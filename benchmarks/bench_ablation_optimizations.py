@@ -1,0 +1,92 @@
+"""Ablation — contribution of each optimization pass (DESIGN.md §5).
+
+The paper's optimizer interleaves identity-partition removal and circuit
+identities inside one cost-guarded loop.  This bench isolates each pass
+on the mapped Table 5/7 workloads to show where the 17-40% recovery
+comes from:
+
+* cancel  — inverse-pair cancellation alone,
+* +merge  — plus phase-run merging,
+* +templates — the full optimizer.
+"""
+
+import pytest
+
+from repro.backend import map_circuit
+from repro.benchlib import revlib, table7
+from repro.core import transmon_cost
+from repro.devices import IBMQX3, PROPOSED96
+from repro.optimize import (
+    LocalOptimizer,
+    merge_phases,
+    remove_identities,
+)
+from repro.reporting import Table
+
+
+def _variants(mapped, coupling_map):
+    cancel_only = remove_identities(mapped)
+    with_merge = merge_phases(cancel_only)
+    full = LocalOptimizer(coupling_map=coupling_map).run(mapped)
+    return cancel_only, with_merge, full
+
+
+def test_print_ablation():
+    workloads = [
+        ("fred6 @ qx3", revlib.build_benchmark("fred6"), IBMQX3),
+        ("4_49_17 @ qx3", revlib.build_benchmark("4_49_17"), IBMQX3),
+        ("4gt13-v1_93 @ qx3", revlib.build_benchmark("4gt13-v1_93"), IBMQX3),
+        ("T6_b @ 96q", table7.build_benchmark("T6_b"), PROPOSED96),
+    ]
+    table = Table(
+        "Ablation — cost after each optimizer stage",
+        ["workload", "mapped", "cancel", "+merge", "+templates (full)",
+         "full %dec"],
+    )
+    for label, circuit, device in workloads:
+        mapped = map_circuit(circuit, device)
+        cancel_only, with_merge, full = _variants(mapped, device.coupling_map)
+        base = transmon_cost(mapped)
+        full_cost = transmon_cost(full)
+        table.add_row(
+            label,
+            f"{base:g}",
+            f"{transmon_cost(cancel_only):g}",
+            f"{transmon_cost(with_merge):g}",
+            f"{full_cost:g}",
+            f"{100 * (base - full_cost) / base:.1f}",
+        )
+        # Each stage can only help, and the full loop is at least as good.
+        assert transmon_cost(cancel_only) <= base
+        assert transmon_cost(with_merge) <= transmon_cost(cancel_only)
+        assert full_cost <= transmon_cost(with_merge)
+    table.print()
+
+
+def test_cancellation_dominates_on_routed_circuits():
+    """Most of the recovery on routed circuits comes from identity
+    partitions (adjacent H pairs and CNOT pairs created by reversal and
+    swap chains)."""
+    mapped = map_circuit(revlib.build_benchmark("4gt13-v1_93"), IBMQX3)
+    cancel_only, _, full = _variants(mapped, IBMQX3.coupling_map)
+    base = transmon_cost(mapped)
+    recovered_total = base - transmon_cost(full)
+    recovered_by_cancel = base - transmon_cost(cancel_only)
+    if recovered_total > 0:
+        share = recovered_by_cancel / recovered_total
+        print(f"Cancellation share of recovery: {share:.0%}")
+        assert share > 0.5
+
+
+def test_benchmark_cancel_pass(benchmark):
+    mapped = map_circuit(table7.build_benchmark("T6_b"), PROPOSED96)
+    reduced = benchmark.pedantic(remove_identities, args=(mapped,), rounds=2,
+                                 iterations=1)
+    assert len(reduced) <= len(mapped)
+
+
+def test_benchmark_full_optimizer(benchmark):
+    mapped = map_circuit(revlib.build_benchmark("4_49_17"), IBMQX3)
+    optimizer = LocalOptimizer(coupling_map=IBMQX3.coupling_map)
+    result = benchmark(optimizer.run, mapped)
+    assert transmon_cost(result) <= transmon_cost(mapped)

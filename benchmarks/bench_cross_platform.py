@@ -1,0 +1,66 @@
+"""Cross-platform sweep — transmon vs trapped ion (beyond the paper).
+
+The paper's conclusion targets "other quantum technology platforms" as
+future work.  This bench compiles the RevLib and arithmetic workloads to
+ibmqx5 (transmon) and an equal-sized ion trap and compares the
+two-qubit-interaction budgets — the quantity that dominates error on
+both platforms.
+"""
+
+import pytest
+
+from repro import NotSynthesizableError, compile_circuit
+from repro.benchlib import revlib
+from repro.benchlib.arithmetic import cuccaro_adder, incrementer
+from repro.devices import IBMQX5, ion_device
+from repro.reporting import Table
+
+ION16 = ion_device(16, name="ion16-bench")
+
+
+def _workloads():
+    yield "3_17_14", revlib.build_benchmark("3_17_14")
+    yield "fred6", revlib.build_benchmark("fred6")
+    yield "4_49_17", revlib.build_benchmark("4_49_17")
+    yield "cuccaro3", cuccaro_adder(3)
+    yield "increment5", incrementer(5)
+
+
+def test_print_cross_platform():
+    table = Table(
+        "Transmon (ibmqx5) vs trapped ion — optimized mappings",
+        ["workload", "qx5 gates", "qx5 2q", "ion gates", "ion 2q (RXX)",
+         "2q ratio"],
+    )
+    for name, circuit in _workloads():
+        transmon = compile_circuit(circuit, IBMQX5, verify=False)
+        ion = compile_circuit(circuit, ION16, verify=False)
+        qx5_two = transmon.optimized.cnot_count
+        ion_two = ion.optimized.count("RXX")
+        table.add_row(
+            name,
+            transmon.optimized_metrics.gate_volume,
+            qx5_two,
+            ion.optimized_metrics.gate_volume,
+            ion_two,
+            f"{qx5_two / max(1, ion_two):.1f}x",
+        )
+        # Routing-free all-to-all coupling never needs more entanglers.
+        assert ion_two <= qx5_two
+    table.print()
+
+
+def test_ion_outputs_native_and_verified():
+    for name, circuit in _workloads():
+        result = compile_circuit(circuit, ION16)
+        assert result.verification.equivalent, name
+        assert all(
+            gate.name in ("RX", "RY", "RZ", "RXX", "I")
+            for gate in result.optimized
+        ), name
+
+
+def test_benchmark_compile_to_ion(benchmark):
+    circuit = revlib.build_benchmark("4_49_17")
+    result = benchmark(compile_circuit, circuit, ION16, verify=False)
+    assert result.optimized.count("RXX") > 0

@@ -1,0 +1,55 @@
+"""Figs. 3-5 — CTR rerouting on ibmqx3 (CNOT q5 -> q10).
+
+Reproduces the paper's worked example: the connectivity tree finds the
+q5 -> q12 -> q11 -> q10 SWAP route, executes the CNOT from q11, and swaps
+back.  Also checks the Fig. 3 bound (every SWAP <= 7 gates).
+"""
+
+import pytest
+
+from repro.backend import cnot_with_ctr, find_swap_path, swap_gates
+from repro.devices import IBMQX3
+from repro.reporting import Table
+
+
+def test_print_fig5_walkthrough():
+    coupling = IBMQX3.coupling_map
+    path = find_swap_path(5, 10, coupling)
+    gates = cnot_with_ctr(5, 10, coupling)
+    table = Table(
+        "Fig. 5 — CTR for CNOT(q5 -> q10) on ibmqx3 (reproduced)",
+        ["quantity", "ours", "paper"],
+    )
+    table.add_row("SWAP route", " -> ".join(f"q{q}" for q in path), "q5 q12 q11 q10")
+    table.add_row("swaps each way", len(path) - 2, 2)
+    table.add_row("total gates emitted", len(gates), "(not stated)")
+    table.add_row(
+        "CNOTs emitted", sum(1 for g in gates if g.name == "CNOT"), "(not stated)"
+    )
+    table.print()
+    assert path == [5, 12, 11, 10]
+
+
+def test_print_fig3_swap_bound():
+    """Every SWAP on every ibmqx3 link compiles to at most 7 gates."""
+    coupling = IBMQX3.coupling_map
+    worst = 0
+    for control, target in coupling.directed_edges:
+        worst = max(worst, len(swap_gates(control, target, coupling)))
+    print(f"Fig. 3 check: worst SWAP gate count on ibmqx3 = {worst} (paper bound: 7)")
+    assert worst <= 7
+
+
+def test_benchmark_ctr_fig5(benchmark):
+    coupling = IBMQX3.coupling_map
+    gates = benchmark(cnot_with_ctr, 5, 10, coupling)
+    assert gates
+
+
+def test_benchmark_ctr_worst_case_96q(benchmark):
+    """Longest reroute on the 96-qubit machine (corner to corner)."""
+    from repro.devices import PROPOSED96
+
+    coupling = PROPOSED96.coupling_map
+    gates = benchmark(cnot_with_ctr, 0, 95, coupling)
+    assert gates

@@ -1,0 +1,115 @@
+"""QMDD scalability — supports the paper's formal-verification claims.
+
+The paper verifies every output (Tables 3/5 at 5-16 qubits) by building
+QMDDs.  This bench measures node counts and check times across widths
+and circuit sizes, and demonstrates the compactness property (Section
+2.4): structured transfer matrices stay polynomial-sized in the DD even
+as the dense matrix grows as 4^n.
+"""
+
+import pytest
+
+from repro import compile_circuit
+from repro.benchlib import revlib, single_target
+from repro.core import CNOT, H, MCX, QuantumCircuit, TOFFOLI
+from repro.devices import IBMQX3, IBMQX5
+from repro.qmdd import QMDDManager, check_equivalence, count_nodes
+from repro.reporting import Table
+
+
+def test_print_qmdd_compactness():
+    """Node counts vs dense matrix size for characteristic functions."""
+    table = Table(
+        "QMDD compactness (Section 2.4)",
+        ["function", "qubits", "dense entries", "QMDD nodes"],
+    )
+    cases = []
+    for n in (4, 8, 12, 16):
+        cases.append((f"identity_{n}", QuantumCircuit(n), n))
+        cnots = QuantumCircuit(n, [CNOT(i, i + 1) for i in range(n - 1)])
+        cases.append((f"cnot_chain_{n}", cnots, n))
+        mcx = QuantumCircuit(n, [MCX(*range(n - 1), n - 1)])
+        cases.append((f"T{n}", mcx, n))
+    for label, circuit, n in cases:
+        manager = QMDDManager(n)
+        nodes = count_nodes(manager.circuit_edge(circuit))
+        table.add_row(label, n, f"4^{n} = {4 ** n}", nodes)
+        # Compactness: nodes grow polynomially for these families.
+        assert nodes <= 4 * n * n
+    table.print()
+
+
+def test_verification_at_table_scale():
+    """Verify representative Table 3/5 outputs by QMDD and report sizes,
+    mirroring 'all outputs were confirmed ... by building the QMDD'."""
+    table = Table(
+        "QMDD verification of compiled benchmarks",
+        ["benchmark", "device", "mapped gates", "nodes", "verdict"],
+    )
+    cases = [
+        (single_target.build_benchmark("033f", 5), IBMQX3),
+        (single_target.build_benchmark("000f", 5), IBMQX5),
+        (revlib.build_benchmark("4gt13-v1_93"), IBMQX5),
+    ]
+    for circuit, device in cases:
+        result = compile_circuit(circuit, device, verify=False)
+        report = check_equivalence(
+            circuit.widened(device.num_qubits), result.optimized
+        )
+        table.add_row(
+            circuit.name,
+            device.name,
+            result.optimized_metrics.gate_volume,
+            f"{report.nodes_first}/{report.nodes_second}",
+            "equivalent" if report.equivalent else "MISMATCH",
+        )
+        assert report.equivalent
+    table.print()
+
+
+def test_full_qmdd_verification_at_96_qubits():
+    """Formally verify a complete Table 8 output by QMDD — beyond the
+    paper, which verified Tables 3/5 formally and 96-qubit outputs by
+    construction.  ~1 minute; enabled with REPRO_BENCH_VERIFY=1."""
+    import os
+
+    if os.environ.get("REPRO_BENCH_VERIFY") != "1":
+        pytest.skip("set REPRO_BENCH_VERIFY=1 for the 96-qubit QMDD check")
+    from repro.benchlib import table7
+    from repro.devices import PROPOSED96
+    from repro.qmdd import compare_edges
+
+    circuit = table7.build_benchmark("T6_b")
+    result = compile_circuit(circuit, PROPOSED96, verify=False)
+    manager = QMDDManager(96)
+    source = manager.circuit_edge(circuit.widened(96))
+    mapped = manager.circuit_edge(result.optimized)
+    verdict = compare_edges(manager, source, mapped)
+    print(f"96-qubit QMDD equivalence: {verdict.equivalent} "
+          f"({verdict.nodes_first}/{verdict.nodes_second} nodes)")
+    assert verdict.equivalent
+
+
+def test_benchmark_qmdd_build_16q(benchmark):
+    """Build the QMDD of a mapped 16-qubit circuit (the verification
+    workload for every Table 3 cell)."""
+    result = compile_circuit(
+        single_target.build_benchmark("0356", 5), IBMQX3, verify=False
+    )
+
+    def build():
+        manager = QMDDManager(16)
+        return manager.circuit_edge(result.optimized)
+
+    edge = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert not edge.is_zero
+
+
+def test_benchmark_qmdd_toffoli_equivalence(benchmark):
+    """The classic check: Toffoli vs its 15-gate network."""
+    from repro.backend import toffoli_network
+
+    a = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+    b = QuantumCircuit(3, toffoli_network(0, 1, 2))
+    result = benchmark(check_equivalence, a, b)
+    assert result.equivalent

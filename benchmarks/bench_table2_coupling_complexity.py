@@ -1,0 +1,65 @@
+"""Table 2 — IBM Q device details and coupling complexity.
+
+Prints the reproduced Table 2 and times the coupling-complexity
+computation (which backs the paper's device-selection guidance).
+"""
+
+import pytest
+
+from repro.devices import PAPER_DEVICES, PROPOSED96, SIMULATOR
+from repro.devices.coupling import CouplingMap
+from repro.reporting import Table
+
+#: Paper Table 2 reference values.
+PAPER_TABLE2 = {
+    "ibmqx2": (5, 0.3),
+    "ibmqx3": (16, 0.0833),
+    "ibmqx4": (5, 0.3),
+    "ibmqx5": (16, 0.0917),
+    "ibmq_16": (14, 0.098901),
+}
+
+
+def test_print_table2():
+    table = Table(
+        "Table 2 — IBM Q device details (reproduced)",
+        ["device", "qubits", "complexity (ours)", "complexity (paper)", "match"],
+    )
+    for device in PAPER_DEVICES:
+        qubits, paper_value = PAPER_TABLE2[device.name]
+        ours = device.coupling_complexity
+        table.add_row(
+            device.name,
+            device.num_qubits,
+            f"{ours:.6f}",
+            f"{paper_value:.6f}",
+            "yes" if abs(ours - paper_value) < 5e-5 else "NO",
+        )
+        assert device.num_qubits == qubits
+        assert abs(ours - paper_value) < 5e-5
+    table.add_row("simulator", SIMULATOR.num_qubits, "1.000000", "1.0 (defn)", "yes")
+    table.add_row(
+        "proposed96", 96, f"{PROPOSED96.coupling_complexity:.6f}", "(Fig. 7)", "-"
+    )
+    table.print()
+
+
+def bench_complexity_all_devices():
+    return [d.coupling_complexity for d in PAPER_DEVICES]
+
+
+def test_benchmark_coupling_complexity(benchmark):
+    values = benchmark(bench_complexity_all_devices)
+    assert len(values) == 5
+
+
+def test_benchmark_distance_matrix_96q(benchmark):
+    """All-pairs-from-one-source BFS on the 96-qubit machine: the routing
+    primitive CTR leans on."""
+    coupling = PROPOSED96.coupling_map
+
+    def sweep():
+        return [coupling.distance(0, q) for q in range(96)]
+
+    distances = benchmark(sweep)
+    assert all(d is not None for d in distances)

@@ -1,0 +1,97 @@
+"""Table 3 — "Optimal Single-target Gates" compiled to the IBM devices.
+
+Regenerates the full grid: every function x every device, unoptimized and
+optimized (T-count / gates / cost), with the technology-independent
+(simulator) column, N/A where the device is too small — the same rows
+the paper reports.  Absolute gate counts differ from the paper because
+the technology-independent inputs are re-synthesized by our front-end
+(see DESIGN.md §4.2); expansion and recovery shapes are compared in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from harness import format_cell, table3_grid
+from repro import compile_circuit
+from repro.benchlib import single_target
+from repro.devices import IBMQX3, PAPER_DEVICES
+from repro.reporting import Table
+
+DEVICE_NAMES = [d.name for d in PAPER_DEVICES]
+
+
+def test_print_table3():
+    grid = table3_grid()
+    table = Table(
+        "Table 3 — single-target gates mapped to IBM devices "
+        "(unopt T/gates/cost  opt T/gates/cost)",
+        ["ftn", "qubits", "tech.ind."] + DEVICE_NAMES,
+    )
+    for name, qubits in single_target.PAPER_STG_BENCHMARKS:
+        row = grid[name]
+        sim = row["simulator"]
+        cells = [format_cell(row[d]) for d in DEVICE_NAMES]
+        table.add_row(f"#{name}", qubits, str(sim[1]), *cells)
+    table.print()
+
+    # Structural assertions on the regenerated grid:
+    for name, qubits in single_target.PAPER_STG_BENCHMARKS:
+        row = grid[name]
+        for device in PAPER_DEVICES:
+            cell = row[device.name]
+            if single_target.expected_na(name, qubits, device.num_qubits):
+                assert cell is None, (name, device.name)
+            else:
+                assert cell is not None
+                unopt, opt, _ = cell
+                assert opt.cost <= unopt.cost
+
+
+def test_na_pattern():
+    """All 6-qubit functions are N/A on the 5-qubit devices (as in the
+    paper); additionally #01 and #07 — full-degree control functions —
+    are N/A there because a full-width MCX has no spare line (our inputs
+    are MCX cascades, not [23]'s pre-decomposed relative-phase circuits;
+    see EXPERIMENTS.md)."""
+    grid = table3_grid()
+    deviations = []
+    for name, qubits in single_target.PAPER_STG_BENCHMARKS:
+        for dev_name, dev_qubits in (("ibmqx2", 5), ("ibmqx4", 5)):
+            expected = single_target.expected_na(name, qubits, dev_qubits)
+            assert (grid[name][dev_name] is None) == expected, (name, dev_name)
+            if expected and qubits <= dev_qubits:
+                deviations.append((name, dev_name))
+        for dev in ("ibmqx3", "ibmqx5", "ibmq_16"):
+            assert grid[name][dev] is not None
+    print(f"Cells N/A here but filled in the paper: {deviations} "
+          f"(4 of 94 outputs; full-degree parity obstruction)")
+    assert deviations == [("01", "ibmqx2"), ("01", "ibmqx4"),
+                          ("07", "ibmqx2"), ("07", "ibmqx4")]
+
+
+def test_expansion_shape():
+    """Mapping to real devices expands circuits (often ~10x for the
+    multi-qubit-heavy functions) — Section 5's observation."""
+    grid = table3_grid()
+    expanded = 0
+    for name, qubits in single_target.PAPER_STG_BENCHMARKS:
+        sim = grid[name]["simulator"][1]
+        cell = grid[name]["ibmqx3"]
+        if cell and cell[0].gate_volume > sim.gate_volume:
+            expanded += 1
+    assert expanded >= 20  # all but the trivial 3-gate functions
+
+
+def test_benchmark_compile_small(benchmark):
+    circuit = single_target.build_benchmark("033f", 5)
+    result = benchmark(compile_circuit, circuit, IBMQX3, verify=False)
+    assert result.optimized_metrics.cost > 0
+
+
+def test_benchmark_compile_large(benchmark):
+    circuit = single_target.build_benchmark("0117", 6)
+    result = benchmark.pedantic(
+        compile_circuit, args=(circuit, IBMQX3),
+        kwargs={"verify": False}, rounds=3, iterations=1,
+    )
+    assert result.optimized_metrics.cost > 0

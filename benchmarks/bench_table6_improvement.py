@@ -1,0 +1,100 @@
+"""Table 6 — percent cost decrease of the Table 5 mappings.
+
+Paper averages: qx2 5.48, qx3 29.56, qx4 6.40, qx5 26.51, ibmq_16 19.08
+(overall ~17.4%) — the 16-qubit devices recover far more because their
+mapped forms carry more rerouting redundancy.
+"""
+
+import pytest
+
+from harness import percent_decrease, table5_grid
+from repro.benchlib import revlib
+from repro.devices import PAPER_DEVICES
+from repro.reporting import Table, average, percent
+
+DEVICE_NAMES = [d.name for d in PAPER_DEVICES]
+
+PAPER_AVERAGES = {
+    "ibmqx2": 5.48,
+    "ibmqx3": 29.56,
+    "ibmqx4": 6.40,
+    "ibmqx5": 26.51,
+    "ibmq_16": 19.08,
+}
+
+
+def test_print_table6():
+    grid = table5_grid()
+    table = Table(
+        "Table 6 — % cost decrease after optimization (reproduced)",
+        ["ftn"] + DEVICE_NAMES,
+    )
+    per_device = {name: [] for name in DEVICE_NAMES}
+    for name, _, _ in revlib.PAPER_REVLIB_BENCHMARKS:
+        row = []
+        for device in DEVICE_NAMES:
+            value = percent_decrease(grid[name][device])
+            row.append(percent(value))
+            if value is not None:
+                per_device[device].append(value)
+        table.add_row(name, *row)
+    ours = [average(per_device[d]) for d in DEVICE_NAMES]
+    table.add_row("Average (ours)", *[percent(v) for v in ours])
+    table.add_row(
+        "Average (paper)", *[f"{PAPER_AVERAGES[d]:.2f}" for d in DEVICE_NAMES]
+    )
+    table.print()
+
+    overall = average([v for vs in per_device.values() for v in vs])
+    print(f"Overall average decrease: ours {overall:.2f}% vs paper ~17.4%")
+    assert overall > 5.0
+
+
+def test_every_entry_positive():
+    """Table 6's striking fact: every synthesizable cell improved."""
+    grid = table5_grid()
+    for name, _, _ in revlib.PAPER_REVLIB_BENCHMARKS:
+        for device in DEVICE_NAMES:
+            value = percent_decrease(grid[name][device])
+            if value is not None:
+                assert value > 0, (name, device)
+
+
+def test_recovery_band():
+    """Recovery magnitudes sit in the paper's double-digit regime for the
+    routing-heavy benchmarks.  (The paper's strict per-device ordering
+    qx3/qx5 >> qx2/qx4 does not transfer exactly because our optimizer
+    recovers more than the paper's on the 5-qubit devices — see
+    EXPERIMENTS.md for the cell-level comparison.)"""
+    grid = table5_grid()
+    per_device = {}
+    for device in DEVICE_NAMES:
+        values = [
+            percent_decrease(grid[name][device])
+            for name, _, _ in revlib.PAPER_REVLIB_BENCHMARKS
+        ]
+        per_device[device] = average([v for v in values if v is not None])
+    # qx3 recovers more than qx2 on average, as in the paper.
+    assert per_device["ibmqx3"] > per_device["ibmqx2"]
+    # Every device shows double-digit-capable recovery on some benchmark.
+    for device in DEVICE_NAMES:
+        best = max(
+            v
+            for name, _, _ in revlib.PAPER_REVLIB_BENCHMARKS
+            if (v := percent_decrease(grid[name][device])) is not None
+        )
+        assert best > 7.0, device
+
+
+def test_benchmark_percent_decrease_computation(benchmark):
+    grid = table5_grid()
+
+    def compute():
+        return [
+            percent_decrease(grid[name][device])
+            for name, _, _ in revlib.PAPER_REVLIB_BENCHMARKS
+            for device in DEVICE_NAMES
+        ]
+
+    values = benchmark(compute)
+    assert len(values) == 25

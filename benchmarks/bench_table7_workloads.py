@@ -1,0 +1,56 @@
+"""Table 7 — 96-qubit benchmark definitions.
+
+Prints the reproduced workload table (gates, controls, targets) and
+times workload construction + the Barenco lowering planning step.
+"""
+
+import pytest
+
+from repro.backend import toffoli_count
+from repro.benchlib import table7
+from repro.reporting import Table
+
+
+def test_print_table7():
+    table = Table(
+        "Table 7 — 96-qubit QC benchmark details (reproduced)",
+        ["name", "gate", "controls", "target"],
+    )
+    for name in table7.PAPER_96Q_BENCHMARKS:
+        circuit = table7.build_benchmark(name)
+        for index, gate in enumerate(circuit, start=1):
+            controls = ", ".join(f"q{q}" for q in gate.controls)
+            table.add_row(
+                name if index == 1 else "",
+                f"{index}: T{gate.num_qubits}",
+                controls,
+                f"q{gate.target}",
+            )
+    table.print()
+
+
+def test_workload_structure():
+    for name in table7.PAPER_96Q_BENCHMARKS:
+        n = int(name[1:-2])
+        circuit = table7.build_benchmark(name)
+        assert len(circuit) == 4
+        for gate in circuit:
+            assert gate.num_qubits == n
+
+
+def test_expected_toffoli_budget():
+    """Planning math: each Tn lowers to 4(n-3) Toffolis with dirty
+    ancillas, fixing Table 8's T-counts before any compilation."""
+    for name, expected_t in [("T6_b", 336), ("T7_b", 448), ("T8_b", 560),
+                             ("T9_b", 672), ("T10_b", 784)]:
+        n = int(name[1:-2])
+        toffolis = toffoli_count(n - 1, 96)  # ancillas abundant
+        assert 4 * toffolis * 7 == expected_t
+
+
+def test_benchmark_build_workloads(benchmark):
+    def build_all():
+        return [table7.build_benchmark(n) for n in table7.PAPER_96Q_BENCHMARKS]
+
+    circuits = benchmark(build_all)
+    assert len(circuits) == 5

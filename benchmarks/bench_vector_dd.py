@@ -1,0 +1,64 @@
+"""Vector-DD simulation scaling (beyond the paper).
+
+The vector decision diagram simulates structured states exactly far past
+dense (2^n amplitudes) and sparse-dict (all-nonzero states) limits.
+This bench prints node counts and runtimes for QFT and GHZ families up
+to 40 qubits and times representative runs.
+"""
+
+import time
+
+import pytest
+
+from repro.benchlib.qft import qft
+from repro.core import CNOT, H, QuantumCircuit
+from repro.qmdd import VectorDDManager, count_nodes
+from repro.reporting import Table
+
+
+def ghz(n: int) -> QuantumCircuit:
+    return QuantumCircuit(n, [H(0)] + [CNOT(0, q) for q in range(1, n)])
+
+
+def test_print_vector_scaling():
+    table = Table(
+        "Vector-DD simulation scaling",
+        ["state", "qubits", "dense amplitudes", "DD nodes", "time"],
+    )
+    for n in (10, 20, 30):
+        manager = VectorDDManager(n)
+        start = time.perf_counter()
+        state = manager.run(qft(n), basis_index=(1 << (n - 1)) | 5)
+        elapsed = time.perf_counter() - start
+        nodes = count_nodes(state)
+        table.add_row(f"QFT|x>", n, f"2^{n}", nodes, f"{elapsed:.2f}s")
+        assert manager.norm_squared(state) == pytest.approx(1.0)
+        assert nodes <= 2 * n  # product state: linear DD
+    for n in (20, 40):
+        manager = VectorDDManager(n)
+        start = time.perf_counter()
+        state = manager.run(ghz(n))
+        elapsed = time.perf_counter() - start
+        table.add_row("GHZ", n, f"2^{n}", count_nodes(state), f"{elapsed:.2f}s")
+        assert manager.norm_squared(state) == pytest.approx(1.0)
+    table.print()
+
+
+def test_benchmark_qft20_vector(benchmark):
+    circuit = qft(20)
+
+    def run():
+        return VectorDDManager(20).run(circuit, basis_index=777)
+
+    state = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert state is not None
+
+
+def test_benchmark_ghz40_vector(benchmark):
+    circuit = ghz(40)
+
+    def run():
+        return VectorDDManager(40).run(circuit)
+
+    state = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert state is not None

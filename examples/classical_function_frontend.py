@@ -1,0 +1,65 @@
+"""Classical-to-quantum synthesis: a full adder through the front-end.
+
+Demonstrates the left half of the paper's Fig. 2: an *irreversible*
+classical switching function enters as a truth table (or PLA/ESOP file),
+the Fazel-Thornton front-end embeds it into a reversible NOT/CNOT/
+Toffoli cascade (inputs preserved, outputs on |0> ancillae), and the
+back-end maps the cascade onto ibmqx5 with formal verification.
+
+The function here is a 1-bit full adder — sum and carry-out of three
+input bits — a staple irreversible workload.
+
+Run:  python examples/classical_function_frontend.py
+"""
+
+from repro import compile_circuit, get_device
+from repro.frontend import TruthTable, esop_minimize, synthesize_truth_table
+from repro.io import to_pla
+from repro.verify import evaluate
+
+
+def full_adder(assignment: int) -> int:
+    """(a, b, cin) -> output word with bit0 = sum, bit1 = carry."""
+    a = (assignment >> 2) & 1
+    b = (assignment >> 1) & 1
+    cin = assignment & 1
+    total = a + b + cin
+    return ((total >> 1) << 1) | (total & 1)
+
+
+def main():
+    table = TruthTable.from_function(full_adder, num_inputs=3, num_outputs=2)
+
+    # Step 1: ESOP extraction (fixed-polarity Reed-Muller search).
+    cubes = esop_minimize(table)
+    print("minimized ESOP (PLA form):")
+    print(to_pla(cubes))
+
+    # Step 2: reversible cascade — 3 preserved inputs + 2 |0> outputs.
+    cascade = synthesize_truth_table(table, name="full_adder")
+    print(f"reversible cascade: {cascade}")
+    print(f"  ancilla outputs added : {cascade.num_qubits - table.num_inputs}")
+    print(f"  cascade histogram     : {cascade.gate_histogram()}")
+
+    # Sanity: exercise the truth table through the cascade.
+    print("\n a b cin | sum carry")
+    for assignment in range(8):
+        bits_out = evaluate(cascade, assignment << 2)
+        carry = bits_out & 1          # line 4 (last)
+        total = (bits_out >> 1) & 1   # line 3
+        a, b, cin = (assignment >> 2) & 1, (assignment >> 1) & 1, assignment & 1
+        print(f"  {a} {b}  {cin}  |  {total}    {carry}")
+
+    # Step 3: technology mapping to a real 16-qubit machine.
+    device = get_device("ibmqx5")
+    result = compile_circuit(cascade, device)
+    print(f"\nmapped to {device.name}:")
+    print(f"  unoptimized : {result.unoptimized_metrics}")
+    print(f"  optimized   : {result.optimized_metrics} "
+          f"({result.percent_cost_decrease:.1f}% cost recovered)")
+    print(f"  verification: {result.verification.method} -> "
+          f"{'EQUIVALENT' if result.verification.equivalent else 'MISMATCH'}")
+
+
+if __name__ == "__main__":
+    main()

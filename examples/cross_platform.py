@@ -1,0 +1,60 @@
+"""One algorithm, two technologies: transmon vs trapped ion.
+
+The paper's conclusion promises that "the compiler will be expanded to
+target other quantum technology platforms".  This example compiles the
+same reversible workload (a 2-bit Cuccaro adder) to:
+
+* **ibmqx5** — transmon: discrete Clifford+T library, sparse coupling
+  map, CTR rerouting, Eqn. 2 cost;
+* **a trapped-ion machine** — all-to-all connectivity through the
+  phonon bus, native {RX, RY, RZ, RXX} rotations, Moelmer-Sorensen
+  entanglers, and an ion cost function that surcharges the slow RXX.
+
+Both outputs are formally verified (the ion output up to the global
+phase its CNOT rebasing introduces).
+
+Run:  python examples/cross_platform.py
+"""
+
+from repro import compile_circuit, get_device
+from repro.benchlib.arithmetic import cuccaro_adder
+from repro.devices import ion_device
+from repro.reporting import Table
+
+
+def main():
+    workload = cuccaro_adder(2)
+    print(f"workload: {workload} (in-place 2-bit ripple-carry adder)")
+
+    transmon = get_device("ibmqx5")
+    ion = ion_device(8)
+
+    table = Table(
+        "Same adder, two technologies",
+        ["target", "native 2q gate", "coupling", "opt metrics",
+         "2q gates", "verified"],
+    )
+    for device, entangler in ((transmon, "CNOT"), (ion, "RXX")):
+        result = compile_circuit(workload, device)
+        two_qubit = result.optimized.count("CNOT") + result.optimized.count("RXX")
+        table.add_row(
+            device.name,
+            entangler,
+            f"{device.coupling_complexity:.3f}",
+            str(result.optimized_metrics),
+            two_qubit,
+            result.verification.method
+            + (" (global phase)" if entangler == "RXX" else ""),
+        )
+    table.print()
+
+    print(
+        "\nThe ion machine needs no SWAP rerouting (all-to-all trap) and so\n"
+        "uses far fewer two-qubit interactions; the transmon pays for its\n"
+        "sparse coupling map in routed CNOTs, exactly the trade-off the\n"
+        "paper's coupling-complexity metric quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

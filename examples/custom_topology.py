@@ -1,0 +1,85 @@
+"""Targeting a custom transmon machine with a custom cost function.
+
+The paper's tool is modular: "custom transmon devices with different
+coupling maps can be added to the tool to provide additional targets",
+each annotated with its own cost function.  This example:
+
+1. defines a 12-qubit ring machine from scratch and registers it,
+2. annotates it with a cost function that punishes CNOTs hard (e.g. a
+   device with unusually poor two-qubit fidelity),
+3. compiles the same reversible adder-style cascade to the custom ring,
+   to ibmqx5 and to the paper's proposed 96-qubit machine,
+4. compares expansion and optimization recovery across topologies.
+
+Run:  python examples/custom_topology.py
+"""
+
+from repro import (
+    CNOT,
+    CostFunction,
+    QuantumCircuit,
+    TOFFOLI,
+    compile_circuit,
+    get_device,
+    register_device,
+)
+from repro.devices import Device, ring_device
+from repro.reporting import Table
+
+
+def build_workload() -> QuantumCircuit:
+    """A small carry-ripple fragment: Toffoli/CNOT chain over 6 qubits."""
+    return QuantumCircuit(
+        6,
+        [
+            TOFFOLI(0, 1, 2),
+            CNOT(0, 1),
+            TOFFOLI(1, 2, 3),
+            CNOT(1, 2),
+            TOFFOLI(2, 3, 4),
+            CNOT(2, 3),
+            TOFFOLI(3, 4, 5),
+        ],
+        name="ripple6",
+    )
+
+
+def main():
+    # A ring topology, unidirectional, with an aggressive CNOT surcharge.
+    poor_cnot_cost = CostFunction(
+        name="poor-cnot", base_weight=1.0,
+        extra_weights={"CNOT": 2.0, "T": 0.5, "TDG": 0.5},
+    )
+    ring = ring_device(12, name="ring12").with_cost_function(poor_cnot_cost)
+    try:
+        register_device(ring)
+    except Exception:
+        pass  # already registered on a second run
+
+    workload = build_workload()
+    targets = [ring, get_device("ibmqx5"), get_device("proposed96")]
+
+    table = Table(
+        "One workload, three targets",
+        ["device", "qubits", "complexity", "unopt", "opt", "%dec", "verified"],
+    )
+    for device in targets:
+        result = compile_circuit(workload, device)
+        table.add_row(
+            device.name,
+            device.num_qubits,
+            f"{device.coupling_complexity:.4f}",
+            str(result.unoptimized_metrics),
+            str(result.optimized_metrics),
+            f"{result.percent_cost_decrease:.1f}",
+            result.verification.method,
+        )
+    table.print()
+    print(
+        "\nNote how the sparser topologies expand the circuit more, and how\n"
+        "the custom cost function steers the optimizer on the ring device."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Compiling a Grover search iteration to IBM hardware.
+
+Grover's algorithm is the canonical "searching large data sets" workload
+the paper's introduction motivates.  One Grover iteration consists of a
+*phase oracle* (flips the amplitude of the marked item) and the
+*diffusion operator* (inversion about the mean).  Both reduce to
+multi-controlled Z gates, which this library expresses with MCX + H and
+the back-end decomposes, routes and verifies like any other circuit.
+
+This example marks item |101> in a 3-qubit database, builds the full
+iteration, compiles it to ibmqx5, and checks via simulation that the
+compiled circuit really amplifies the marked item.
+
+Run:  python examples/grover_oracle.py
+"""
+
+import numpy as np
+
+from repro import H, QuantumCircuit, TOFFOLI, X, Z, compile_circuit, get_device
+from repro.core import CZ, Gate
+from repro.verify import measure_probabilities, simulate, zero_state
+
+
+def phase_oracle(marked: int, num_qubits: int) -> QuantumCircuit:
+    """Flip the phase of |marked> using X-conjugated multi-controlled Z.
+
+    A controlled-controlled-Z is H(target) Toffoli H(target).
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"oracle_{marked:0{num_qubits}b}")
+    zeros = [q for q in range(num_qubits)
+             if not (marked >> (num_qubits - 1 - q)) & 1]
+    for q in zeros:
+        circuit.append(X(q))
+    circuit.append(H(num_qubits - 1))
+    circuit.append(TOFFOLI(0, 1, num_qubits - 1))
+    circuit.append(H(num_qubits - 1))
+    for q in zeros:
+        circuit.append(X(q))
+    return circuit
+
+
+def diffusion(num_qubits: int) -> QuantumCircuit:
+    """Inversion about the mean: H X (CC..Z) X H on every qubit."""
+    circuit = QuantumCircuit(num_qubits, name="diffusion")
+    for q in range(num_qubits):
+        circuit.append(H(q))
+    for q in range(num_qubits):
+        circuit.append(X(q))
+    circuit.append(H(num_qubits - 1))
+    circuit.append(TOFFOLI(0, 1, num_qubits - 1))
+    circuit.append(H(num_qubits - 1))
+    for q in range(num_qubits):
+        circuit.append(X(q))
+    for q in range(num_qubits):
+        circuit.append(H(q))
+    return circuit
+
+
+def main():
+    n = 3
+    marked = 0b101
+
+    # Prepare |+++>, then two Grover iterations (optimal for N=8).
+    grover = QuantumCircuit(n, [H(q) for q in range(n)], name="grover3")
+    for _ in range(2):
+        grover = grover.compose(phase_oracle(marked, n)).compose(diffusion(n))
+
+    print(f"searching for |{marked:03b}> among {2**n} items")
+    print(f"technology-independent circuit: {grover}")
+
+    probabilities = measure_probabilities(simulate(grover))
+    print(f"ideal success probability: {probabilities[marked]:.3f}")
+
+    device = get_device("ibmqx5")
+    result = compile_circuit(grover, device)
+    print(f"\ncompiled to {device.name}:")
+    print(f"  unoptimized : {result.unoptimized_metrics}")
+    print(f"  optimized   : {result.optimized_metrics} "
+          f"({result.percent_cost_decrease:.1f}% cost recovered)")
+    print(f"  verification: {result.verification.method} -> "
+          f"{'EQUIVALENT' if result.verification.equivalent else 'MISMATCH'}")
+
+    # The compiled circuit must amplify the same item.  (Simulate the
+    # 16-qubit register sparsely: only 3 qubits ever leave |0>.)
+    from repro.verify import run_sparse
+
+    final = run_sparse(result.optimized.widened(16), 0)
+    compiled_prob = sum(
+        abs(amplitude) ** 2
+        for index, amplitude in final.amplitudes.items()
+        if index >> (16 - n) == marked
+    )
+    print(f"  compiled success probability: {compiled_prob:.3f}")
+    assert abs(compiled_prob - probabilities[marked]) < 1e-6
+
+
+if __name__ == "__main__":
+    main()

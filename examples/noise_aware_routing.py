@@ -1,0 +1,54 @@
+"""Noise-aware routing: detour around a bad CNOT link.
+
+The paper's cost-function philosophy (§2.2: weight operations by their
+real error characteristics) applied to *routing*: given calibration data
+with one unusually noisy link, the noise-aware CTR variant routes SWAP
+paths by link reliability (Dijkstra over -log survival probability)
+instead of hop count, and measurably raises the expected success
+probability of the routed CNOT.
+
+Run:  python examples/noise_aware_routing.py
+"""
+
+from repro.backend import cnot_with_ctr, cnot_with_noise_aware_ctr
+from repro.core import QuantumCircuit
+from repro.devices import Calibration, CouplingMap
+from repro.drawing import draw_circuit
+
+
+def main():
+    # A 6-qubit ring: two possible routes between any pair of qubits.
+    ring = CouplingMap.from_edge_list(
+        6, [(q, (q + 1) % 6) for q in range(6)], name="ring6"
+    )
+    # Calibration: every link at 1% CNOT error except 1->2 at 40%.
+    errors = {edge: 0.01 for edge in ring.directed_edges}
+    errors[(1, 2)] = 0.40
+    calibration = Calibration(
+        "ring6", {q: 1e-3 for q in range(6)}, errors
+    )
+
+    print("device: 6-qubit ring, link q1->q2 degraded to 40% CNOT error\n")
+    print("goal: CNOT(q0 -> q3) — both routes are 3 hops\n")
+
+    hop_route = cnot_with_ctr(0, 3, ring)
+    safe_route = cnot_with_noise_aware_ctr(0, 3, ring, calibration)
+
+    def success(gates):
+        probability = 1.0
+        for gate in gates:
+            probability *= 1.0 - calibration.gate_error(gate)
+        return probability
+
+    for label, gates in (("hop-count CTR", hop_route),
+                         ("noise-aware CTR", safe_route)):
+        touched = sorted({q for g in gates for q in g.qubits})
+        print(f"{label}: {len(gates)} gates through qubits {touched}, "
+              f"success probability {success(gates):.3f}")
+
+    print("\nnoise-aware route drawn (restricted to its touched qubits):")
+    print(draw_circuit(QuantumCircuit(6, safe_route), max_columns=18))
+
+
+if __name__ == "__main__":
+    main()

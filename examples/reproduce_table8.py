@@ -1,0 +1,53 @@
+"""Reproduce the paper's Table 8 from the command line.
+
+Compiles the five Table 7 generalized-Toffoli cascades to the
+reconstructed 96-qubit machine (Fig. 7) and prints the unoptimized /
+optimized metrics next to the paper's numbers.  The T-counts match the
+paper exactly (they are fixed by the Barenco dirty-ancilla V-chain:
+4(n-3) Toffolis x 7 T per T_n gate x 4 gates); the percent-decrease
+column is the headline comparison.
+
+Run:  python examples/reproduce_table8.py          (~10 s)
+      REPRO_VERIFY=1 python examples/reproduce_table8.py   (adds sampled
+      formal verification of every output)
+"""
+
+import os
+
+from repro import compile_circuit, get_device
+from repro.benchlib import table7
+from repro.reporting import Table
+
+
+def main():
+    device = get_device("proposed96")
+    verify = "sampled" if os.environ.get("REPRO_VERIFY") == "1" else False
+
+    table = Table(
+        "Table 8 — 96-qubit compilation (ours vs paper)",
+        ["name", "ours unopt", "ours opt", "ours %dec", "paper %dec", "time"],
+    )
+    decreases = []
+    for name in table7.PAPER_96Q_BENCHMARKS:
+        circuit = table7.build_benchmark(name)
+        result = compile_circuit(circuit, device, verify=verify)
+        paper_pct = table7.PAPER_TABLE8[name][2]
+        decreases.append(result.percent_cost_decrease)
+        table.add_row(
+            name,
+            str(result.unoptimized_metrics),
+            str(result.optimized_metrics),
+            f"{result.percent_cost_decrease:.2f}",
+            f"{paper_pct:.2f}",
+            f"{result.synthesis_seconds:.2f}s",
+        )
+        if result.verification is not None:
+            print(f"{name}: verification[{result.verification.method}] -> "
+                  f"{'EQUIVALENT' if result.verification.equivalent else 'MISMATCH'}")
+    table.add_row("Average", "", "",
+                  f"{sum(decreases) / len(decreases):.2f}", "39.54", "")
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Export every benchmark suite as circuit files.
+
+Writes the reconstructed paper benchmarks (and the extra workload
+families) into ``benchmarks/data/`` as ``.qc`` (technology-independent
+quantum circuits, the paper's input format) and ``.real`` (RevLib) files,
+so they can be fed back through the CLI::
+
+    python scripts/export_benchmarks.py
+    repro compile benchmarks/data/stg_033f.qc --device ibmqx3
+
+Round-tripping through the parsers is covered by
+``tests/integration/test_artifacts.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.benchlib import revlib, single_target, table7
+from repro.benchlib.arithmetic import ARITHMETIC_SUITE
+from repro.benchlib.qft import qft
+from repro.io import write_qc, write_real
+
+
+def export_all(target_dir: str) -> int:
+    os.makedirs(target_dir, exist_ok=True)
+    written = 0
+
+    for name, qubits in single_target.PAPER_STG_BENCHMARKS:
+        circuit = single_target.build_benchmark(name, qubits)
+        write_qc(circuit, os.path.join(target_dir, f"stg_{name}.qc"))
+        written += 1
+
+    for name, _, _ in revlib.PAPER_REVLIB_BENCHMARKS:
+        circuit = revlib.build_benchmark(name)
+        safe = name.replace("-", "_")
+        write_real(circuit, os.path.join(target_dir, f"{safe}.real"))
+        write_qc(circuit, os.path.join(target_dir, f"{safe}.qc"))
+        written += 2
+
+    for name in table7.PAPER_96Q_BENCHMARKS:
+        circuit = table7.build_benchmark(name)
+        write_qc(circuit, os.path.join(target_dir, f"{name}.qc"))
+        written += 1
+
+    for name, factory in ARITHMETIC_SUITE:
+        circuit = factory()
+        write_qc(circuit, os.path.join(target_dir, f"{name}.qc"))
+        written += 1
+
+    # QFT carries rotations: .qc has no rotation mnemonics, use QASM.
+    from repro.io import write_qasm
+
+    for n in (3, 4, 5):
+        write_qasm(qft(n), os.path.join(target_dir, f"qft{n}.qasm"))
+        written += 1
+
+    return written
+
+
+def main() -> int:
+    target = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "data"
+    )
+    count = export_all(target)
+    print(f"wrote {count} benchmark files to {os.path.abspath(target)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

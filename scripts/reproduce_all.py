@@ -1,0 +1,137 @@
+"""Regenerate every paper table in one command.
+
+Runs the same computations as the benchmark suite and writes a combined
+text report plus machine-readable CSVs::
+
+    python scripts/reproduce_all.py [output_dir]      # default: ./results
+
+Formal verification of every compiled benchmark can be enabled with
+``REPRO_BENCH_VERIFY=1`` (adds minutes).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+from harness import (  # noqa: E402
+    format_cell,
+    percent_decrease,
+    table3_grid,
+    table5_grid,
+    table8_results,
+)
+from repro.benchlib import revlib, single_target, table7  # noqa: E402
+from repro.devices import PAPER_DEVICES  # noqa: E402
+from repro.reporting import Table, average, percent  # noqa: E402
+
+DEVICE_NAMES = [d.name for d in PAPER_DEVICES]
+
+
+def build_table2() -> Table:
+    table = Table("Table 2 — coupling complexity", ["device", "qubits", "complexity"])
+    for device in PAPER_DEVICES:
+        table.add_row(device.name, device.num_qubits,
+                      f"{device.coupling_complexity:.6f}")
+    return table
+
+
+def build_table3() -> Table:
+    grid = table3_grid()
+    table = Table("Table 3 — single-target gates",
+                  ["ftn", "qubits", "tech.ind."] + DEVICE_NAMES)
+    for name, qubits in single_target.PAPER_STG_BENCHMARKS:
+        row = grid[name]
+        table.add_row(
+            f"#{name}", qubits, str(row["simulator"][1]),
+            *[format_cell(row[d]) for d in DEVICE_NAMES],
+        )
+    return table
+
+
+def build_table4() -> Table:
+    grid = table3_grid()
+    table = Table("Table 4 — % cost decrease", ["ftn"] + DEVICE_NAMES)
+    per_device = {d: [] for d in DEVICE_NAMES}
+    for name, _ in single_target.PAPER_STG_BENCHMARKS:
+        cells = []
+        for device in DEVICE_NAMES:
+            value = percent_decrease(grid[name][device])
+            cells.append(percent(value))
+            if value is not None:
+                per_device[device].append(value)
+        table.add_row(f"#{name}", *cells)
+    table.add_row("Average", *[percent(average(per_device[d])) for d in DEVICE_NAMES])
+    return table
+
+
+def build_table5() -> Table:
+    grid = table5_grid()
+    table = Table("Table 5 — RevLib cascades",
+                  ["ftn", "largest", "count"] + DEVICE_NAMES)
+    for name, largest, count in revlib.PAPER_REVLIB_BENCHMARKS:
+        table.add_row(name, largest, count,
+                      *[format_cell(grid[name][d]) for d in DEVICE_NAMES])
+    return table
+
+
+def build_table6() -> Table:
+    grid = table5_grid()
+    table = Table("Table 6 — % cost decrease", ["ftn"] + DEVICE_NAMES)
+    for name, _, _ in revlib.PAPER_REVLIB_BENCHMARKS:
+        table.add_row(name, *[
+            percent(percent_decrease(grid[name][d])) for d in DEVICE_NAMES
+        ])
+    return table
+
+
+def build_table8() -> Table:
+    results = table8_results()
+    table = Table("Table 8 — 96-qubit compilation",
+                  ["name", "unopt", "opt", "%dec", "paper %dec", "time"])
+    for name in table7.PAPER_96Q_BENCHMARKS:
+        result = results[name]
+        table.add_row(
+            name,
+            str(result.unoptimized_metrics),
+            str(result.optimized_metrics),
+            f"{result.percent_cost_decrease:.2f}",
+            f"{table7.PAPER_TABLE8[name][2]:.2f}",
+            f"{result.synthesis_seconds:.2f}s",
+        )
+    return table
+
+
+def main() -> int:
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    os.makedirs(output_dir, exist_ok=True)
+    start = time.time()
+    builders = {
+        "table2": build_table2,
+        "table3": build_table3,
+        "table4": build_table4,
+        "table5": build_table5,
+        "table6": build_table6,
+        "table8": build_table8,
+    }
+    report_lines = []
+    for key, builder in builders.items():
+        table = builder()
+        table.write_csv(os.path.join(output_dir, f"{key}.csv"))
+        report_lines.append(table.render())
+        print(table.render())
+        print()
+    report_path = os.path.join(output_dir, "report.txt")
+    with open(report_path, "w") as handle:
+        handle.write("\n\n".join(report_lines) + "\n")
+    print(f"wrote {report_path} and per-table CSVs "
+          f"({time.time() - start:.1f}s total)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""repro — a technology-dependent quantum logic synthesis and compilation
+tool with QMDD formal verification.
+
+Reproduction of: K. N. Smith and M. A. Thornton, "A Quantum Computational
+Compiler and Design Tool for Technology-Specific Targets", ISCA 2019.
+
+Quickstart::
+
+    from repro import compile_circuit, QuantumCircuit, TOFFOLI, get_device
+
+    circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+    result = compile_circuit(circuit, get_device("ibmqx4"))
+    print(result)            # metrics, verification verdict, timing
+    print(result.qasm)       # technology-dependent OpenQASM output
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — gates, circuits, cost functions (Eqn. 2)
+* :mod:`repro.devices` — coupling maps, IBM Q library, topology builders
+* :mod:`repro.io` — QASM 2.0 / .qc / .real / PLA parsers and writers
+* :mod:`repro.frontend` — ESOP/BDD classical front-end (Fig. 2 left)
+* :mod:`repro.backend` — reversal, CTR, Barenco/N&C decompositions, mapper
+* :mod:`repro.optimize` — identity removal, phase merging, templates
+* :mod:`repro.qmdd` — canonical QMDDs and equivalence checking
+* :mod:`repro.verify` — simulators and the verification facade
+* :mod:`repro.benchlib` — the paper's three benchmark suites
+"""
+
+from .core import (
+    CNOT,
+    CZ,
+    CircuitError,
+    CircuitMetrics,
+    CostFunction,
+    DeviceError,
+    Gate,
+    H,
+    I,
+    MCX,
+    NotSynthesizableError,
+    ParseError,
+    QMDDError,
+    QuantumCircuit,
+    ReproError,
+    S,
+    SWAP,
+    Sdg,
+    SynthesisError,
+    T,
+    TOFFOLI,
+    TRANSMON_COST,
+    Tdg,
+    VerificationError,
+    X,
+    Y,
+    Z,
+    gate_matrix,
+    transmon_cost,
+)
+from .devices import (
+    CouplingMap,
+    Device,
+    available_devices,
+    get_device,
+    register_device,
+)
+from .backend import map_circuit, check_conformance
+from .optimize import LocalOptimizer, optimize_circuit
+from .qmdd import QMDDManager, check_equivalence
+from .verify import require_equivalent, verify_equivalent
+from .frontend import TruthTable, synthesize_truth_table, single_target_gate
+from .io import read_circuit
+from .compiler import CompilationResult, compile_circuit, compile_classical_function
+from .drawing import draw_circuit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Gate",
+    "QuantumCircuit",
+    "CircuitMetrics",
+    "CostFunction",
+    "TRANSMON_COST",
+    "transmon_cost",
+    "gate_matrix",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "Sdg",
+    "T",
+    "Tdg",
+    "I",
+    "CNOT",
+    "CZ",
+    "SWAP",
+    "TOFFOLI",
+    "MCX",
+    # errors
+    "ReproError",
+    "ParseError",
+    "CircuitError",
+    "DeviceError",
+    "SynthesisError",
+    "NotSynthesizableError",
+    "VerificationError",
+    "QMDDError",
+    # devices
+    "CouplingMap",
+    "Device",
+    "available_devices",
+    "get_device",
+    "register_device",
+    # pipeline
+    "map_circuit",
+    "check_conformance",
+    "LocalOptimizer",
+    "optimize_circuit",
+    "QMDDManager",
+    "check_equivalence",
+    "require_equivalent",
+    "verify_equivalent",
+    "TruthTable",
+    "synthesize_truth_table",
+    "single_target_gate",
+    "read_circuit",
+    "CompilationResult",
+    "compile_circuit",
+    "compile_classical_function",
+    "draw_circuit",
+]

@@ -1,0 +1,74 @@
+"""Technology-mapping back-end: reversal, CTR, decompositions, pipeline."""
+
+from .reversal import orient_cnot, reversed_cnot
+from .ctr import (
+    ConnectivityTree,
+    cnot_with_ctr,
+    cnot_with_noise_aware_ctr,
+    find_swap_path,
+    route_cost_in_swaps,
+    swap_gates,
+)
+from .toffoli import cz_network, expand_non_native, swap_network, toffoli_network
+from .mcx import lower_mcx_gates, mcx_to_toffoli, toffoli_count
+from .rebase import ION_GATE_SET, cnot_as_rxx, hadamard_as_rotations, rebase_to_ion
+from .relative_phase import (
+    margolus,
+    margolus_dagger,
+    mcx_relative_phase,
+    rccx_network,
+)
+from .mapper import (
+    MappingOutcome,
+    check_conformance,
+    expand_to_library,
+    identity_placement,
+    legalize_cnots,
+    lower_mcx_for_device,
+    map_circuit,
+)
+from .placement import (
+    choose_placement,
+    greedy_placement,
+    interaction_graph,
+    placement_cost,
+    refine_placement,
+)
+
+__all__ = [
+    "orient_cnot",
+    "reversed_cnot",
+    "ConnectivityTree",
+    "cnot_with_ctr",
+    "cnot_with_noise_aware_ctr",
+    "find_swap_path",
+    "route_cost_in_swaps",
+    "swap_gates",
+    "cz_network",
+    "expand_non_native",
+    "swap_network",
+    "toffoli_network",
+    "lower_mcx_gates",
+    "mcx_to_toffoli",
+    "toffoli_count",
+    "ION_GATE_SET",
+    "cnot_as_rxx",
+    "hadamard_as_rotations",
+    "rebase_to_ion",
+    "margolus",
+    "margolus_dagger",
+    "mcx_relative_phase",
+    "rccx_network",
+    "choose_placement",
+    "greedy_placement",
+    "interaction_graph",
+    "placement_cost",
+    "refine_placement",
+    "MappingOutcome",
+    "check_conformance",
+    "expand_to_library",
+    "identity_placement",
+    "legalize_cnots",
+    "lower_mcx_for_device",
+    "map_circuit",
+]

@@ -1,0 +1,188 @@
+"""Connectivity-Tree Reroute (CTR) — Section 4, Figs. 3-5 of the paper.
+
+CTR makes an arbitrary CNOT executable on a device whose coupling map
+does not couple the two operands:
+
+1. Build a connectivity tree rooted at the control qubit by expanding
+   coupling-map neighbours breadth-first, terminating a branch whenever a
+   node already appears in the tree (Fig. 4 pseudocode).  The expansion
+   stops as soon as the target enters the tree — the root-to-target tree
+   path is then the shortest SWAP route.
+2. SWAP the control's quantum state along the route until it sits on a
+   qubit coupled with the target (``swap_and_CNOT``).
+3. Execute the CNOT (reversing its orientation with Hadamards if the
+   link points the wrong way, Fig. 6).
+4. SWAP the control state back along the route in reverse
+   (``swap_back``), preserving the circuit's original qubit assignment.
+
+SWAPs are compiled to three CNOTs (Fig. 3); on a unidirectional link one
+of the three must be orientation-reversed, so a SWAP costs at most
+3 CNOT + 4 H = 7 gates, matching the paper's bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.exceptions import SynthesisError
+from ..core.gates import CNOT, Gate
+from ..devices.coupling import CouplingMap
+from .reversal import orient_cnot
+
+
+def swap_gates(a: int, b: int, coupling_map: CouplingMap) -> List[Gate]:
+    """Compile SWAP(a, b) for a coupled pair into native CNOTs (+ H).
+
+    Uses the Fig. 3 identity ``SWAP = CNOT(a,b) CNOT(b,a) CNOT(a,b)``;
+    whichever of the two orientations is not native is realized with the
+    Fig. 6 Hadamard reversal, giving at most 7 gates.
+    """
+    if not coupling_map.coupled(a, b):
+        raise SynthesisError(
+            f"cannot SWAP uncoupled qubits {a}, {b} on {coupling_map.name}"
+        )
+    gates: List[Gate] = []
+    gates.extend(orient_cnot(a, b, coupling_map))
+    gates.extend(orient_cnot(b, a, coupling_map))
+    gates.extend(orient_cnot(a, b, coupling_map))
+    return gates
+
+
+def find_swap_path(control: int, target: int, coupling_map: CouplingMap) -> List[int]:
+    """The connectivity-tree search of Fig. 4.
+
+    Returns the qubit sequence ``[control, ..., target]`` along the
+    shortest undirected route.  Raises when the device graph does not
+    connect the two qubits.
+    """
+    path = coupling_map.shortest_path(control, target)
+    if path is None:
+        raise SynthesisError(
+            f"no SWAP path between q{control} and q{target} on "
+            f"{coupling_map.name}: qubits lie in disconnected components"
+        )
+    return path
+
+
+def cnot_with_ctr(
+    control: int,
+    target: int,
+    coupling_map: CouplingMap,
+    path: List[int] = None,
+) -> List[Gate]:
+    """Emit a native-gate sequence implementing CNOT(control, target).
+
+    This is the full ``CNOT_w_CTR`` routine of Fig. 4: if the operands
+    are already coupled only orientation fixing happens; otherwise the
+    control's state is swapped next to the target, the CNOT executes, and
+    the state swaps back.  A precomputed ``path`` (e.g. from the
+    noise-aware router) overrides the BFS shortest path.
+    """
+    if coupling_map.coupled(control, target):
+        return orient_cnot(control, target, coupling_map)
+
+    if path is None:
+        path = find_swap_path(control, target, coupling_map)
+    # path = [control, w1, ..., wk, target]; move control's state to wk.
+    gates: List[Gate] = []
+    forward_pairs = [(path[i], path[i + 1]) for i in range(len(path) - 2)]
+    for a, b in forward_pairs:  # swap_and_CNOT
+        gates.extend(swap_gates(a, b, coupling_map))
+    gates.extend(orient_cnot(path[-2], target, coupling_map))
+    for a, b in reversed(forward_pairs):  # swap_back
+        gates.extend(swap_gates(a, b, coupling_map))
+    return gates
+
+
+def cnot_with_noise_aware_ctr(
+    control: int,
+    target: int,
+    coupling_map: CouplingMap,
+    calibration,
+) -> List[Gate]:
+    """CTR variant that routes along the *most reliable* SWAP path.
+
+    Instead of hop count, each undirected link is weighted by the
+    calibrated error of the CNOTs a SWAP across it will execute
+    (``-log`` of the link's survival probability, so path costs add).
+    Extends the paper's cost-function philosophy into routing itself.
+    """
+    if coupling_map.coupled(control, target):
+        return orient_cnot(control, target, coupling_map)
+
+    def link_cost(a: int, b: int) -> float:
+        import math
+
+        # A SWAP uses the native orientation twice and the reversed
+        # orientation once (Fig. 3 + Fig. 6), whichever direction exists.
+        if coupling_map.allows(a, b):
+            error = calibration.cnot_error[(a, b)]
+        else:
+            error = calibration.cnot_error[(b, a)]
+        return -3.0 * math.log(max(1e-12, 1.0 - error))
+
+    path = coupling_map.cheapest_path(control, target, link_cost)
+    if path is None:
+        raise SynthesisError(
+            f"no SWAP path between q{control} and q{target} on "
+            f"{coupling_map.name}"
+        )
+    return cnot_with_ctr(control, target, coupling_map, path=path)
+
+
+def route_cost_in_swaps(control: int, target: int, coupling_map: CouplingMap) -> int:
+    """Number of SWAPs CTR will spend (each way) for this CNOT: 0 when
+    already coupled, otherwise path length minus 2."""
+    if coupling_map.coupled(control, target):
+        return 0
+    return len(find_swap_path(control, target, coupling_map)) - 2
+
+
+class ConnectivityTree:
+    """Explicit connectivity tree, exposed for inspection and examples.
+
+    :func:`cnot_with_ctr` uses the equivalent BFS in
+    :meth:`CouplingMap.shortest_path`; this class materializes the tree
+    of Fig. 5 so tools and tests can display the layers that CTR explores.
+    """
+
+    def __init__(self, coupling_map: CouplingMap, root: int):
+        self.coupling_map = coupling_map
+        self.root = root
+        self.parent = {root: None}
+        self.layers: List[List[int]] = [[root]]
+
+    def grow_until(self, goal: int, max_layers: int = None) -> bool:
+        """Grow breadth-first layers (``build_branches``) until ``goal``
+        joins the tree.  Returns True on success."""
+        if goal in self.parent:
+            return True
+        limit = max_layers if max_layers is not None else self.coupling_map.num_qubits
+        while len(self.layers) <= limit:
+            frontier = self.layers[-1]
+            next_layer: List[int] = []
+            for node in frontier:
+                for neighbor in self.coupling_map.neighbors(node):
+                    if neighbor in self.parent:
+                        continue  # already in tree: branch terminates
+                    self.parent[neighbor] = node
+                    next_layer.append(neighbor)
+                    if neighbor == goal:
+                        self.layers.append(next_layer)
+                        return True
+            if not next_layer:
+                return False
+            self.layers.append(next_layer)
+        return goal in self.parent
+
+    def path_to(self, goal: int) -> List[int]:
+        """Root-to-goal path through the tree (grow first)."""
+        if not self.grow_until(goal):
+            raise SynthesisError(
+                f"q{goal} unreachable from q{self.root} on {self.coupling_map.name}"
+            )
+        path = [goal]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        path.reverse()
+        return path

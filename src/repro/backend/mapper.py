@@ -1,0 +1,184 @@
+"""The technology-mapping back-end pipeline (Section 4 of the paper).
+
+Given a technology-independent circuit and a target :class:`Device`, the
+mapper applies, in order, the procedures enumerated in Section 4:
+
+1. *Placement* — logical qubits are assigned to physical qubits
+   (identity placement by default; the paper lists smarter placement as
+   future work).
+2. *Generalized-Toffoli lowering* — every MCX becomes a Toffoli cascade
+   (Barenco), borrowing dirty ancillas from idle device qubits chosen
+   nearest the gate's target to keep later rerouting cheap.
+3. *Gate-library expansion* — Toffoli / CZ / SWAP become one- and
+   two-qubit transmon-library gates (Nielsen & Chuang networks).
+4. *CNOT legalization* — each CNOT is orientation-reversed (Fig. 6)
+   and/or rerouted with CTR (Figs. 3-5) so it satisfies the device's
+   coupling map.
+
+The result is the *unoptimized mapping* of the paper's tables; the local
+optimizer (:mod:`repro.optimize`) then produces the optimized mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import NotSynthesizableError, SynthesisError
+from ..core.gates import Gate
+from ..devices.device import Device
+from .ctr import cnot_with_ctr
+from .mcx import mcx_to_toffoli
+from .toffoli import expand_non_native
+
+
+def identity_placement(circuit: QuantumCircuit, device: Device) -> Dict[int, int]:
+    """Logical qubit *i* goes to physical qubit *i*.
+
+    Raises :class:`NotSynthesizableError` when the circuit needs more
+    qubits than the device has — the paper's ``N/A`` table entries.
+    """
+    if circuit.num_qubits > device.num_qubits:
+        raise NotSynthesizableError(
+            f"{circuit.name or 'circuit'} uses {circuit.num_qubits} qubits "
+            f"but {device.name} has only {device.num_qubits}"
+        )
+    return {q: q for q in range(circuit.num_qubits)}
+
+
+def lower_mcx_for_device(
+    circuit: QuantumCircuit, device: Device, mcx_mode: str = "barenco"
+) -> QuantumCircuit:
+    """Lower every generalized Toffoli to a Toffoli cascade, borrowing
+    dirty ancillas from idle device qubits nearest the gate's target.
+
+    ``mcx_mode="barenco"`` uses the pure-Toffoli dirty V-chain (the
+    paper's procedure); ``"relative_phase"`` substitutes Margolus gates
+    for the compute/uncompute ladder pairs — still an *exact* MCX, at
+    roughly two-thirds the T-count (see
+    :mod:`repro.backend.relative_phase`).
+    """
+    if mcx_mode == "barenco":
+        lower = mcx_to_toffoli
+    elif mcx_mode == "relative_phase":
+        from .relative_phase import mcx_relative_phase
+
+        lower = mcx_relative_phase
+    else:
+        raise SynthesisError(f"unknown mcx_mode {mcx_mode!r}")
+    lowered = QuantumCircuit(device.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name != "MCX":
+            lowered.append(gate)
+            continue
+        busy = set(gate.qubits)
+        free = [q for q in range(device.num_qubits) if q not in busy]
+        free.sort(key=lambda q: _distance_or_big(device, q, gate.target))
+        lowered.extend(lower(gate.controls, gate.target, free))
+    return lowered
+
+
+def _distance_or_big(device: Device, a: int, b: int) -> int:
+    distance = device.coupling_map.distance(a, b)
+    return device.num_qubits * 2 if distance is None else distance
+
+
+def expand_to_library(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Expand Toffoli/CZ/SWAP gates into the transmon gate library."""
+    expanded = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        expanded.extend(expand_non_native(gate))
+    return expanded
+
+
+def legalize_cnots(circuit: QuantumCircuit, device: Device) -> QuantumCircuit:
+    """Make every CNOT conform to the device coupling map via orientation
+    reversal and CTR rerouting.  Single-qubit gates pass through."""
+    coupling_map = device.coupling_map
+    legal = QuantumCircuit(device.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if gate.name == "CNOT":
+            control, target = gate.qubits
+            legal.extend(cnot_with_ctr(control, target, coupling_map))
+        elif gate.num_qubits > 1:
+            raise SynthesisError(
+                f"unexpected multi-qubit gate {gate} after library expansion"
+            )
+        else:
+            legal.append(gate)
+    return legal
+
+
+def map_circuit(
+    circuit: QuantumCircuit,
+    device: Device,
+    placement: Optional[Dict[int, int]] = None,
+    mcx_mode: str = "barenco",
+) -> QuantumCircuit:
+    """Run the full Section 4 mapping pipeline; returns the unoptimized
+    technology-dependent circuit on ``device.num_qubits`` wires."""
+    if placement is None:
+        placement = identity_placement(circuit, device)
+    _validate_placement(placement, circuit, device)
+    placed = circuit.remapped(placement, num_qubits=device.num_qubits)
+    lowered = lower_mcx_for_device(placed, device, mcx_mode=mcx_mode)
+    expanded = expand_to_library(lowered)
+    legal = legalize_cnots(expanded, device)
+    if not device.supports_gate("CNOT"):
+        # Non-transmon technology target (e.g. trapped-ion): rebase the
+        # mapped 1q+CNOT circuit into the device's native library.
+        from .rebase import rebase_to_ion
+
+        legal = rebase_to_ion(legal)
+    return legal
+
+
+def _validate_placement(
+    placement: Dict[int, int], circuit: QuantumCircuit, device: Device
+) -> None:
+    physical = list(placement.values())
+    if len(set(physical)) != len(physical):
+        raise SynthesisError("placement maps two logical qubits to one physical qubit")
+    for logical in circuit.used_qubits:
+        target = placement.get(logical, logical)
+        if not (0 <= target < device.num_qubits):
+            raise NotSynthesizableError(
+                f"logical qubit {logical} placed on q{target}, outside "
+                f"{device.name} (0..{device.num_qubits - 1})"
+            )
+
+
+def check_conformance(circuit: QuantumCircuit, device: Device) -> List[str]:
+    """Return a list of violations of the device's constraints (empty when
+    the circuit is executable as-is).  Used by tests and the compiler's
+    own self-check after mapping."""
+    violations: List[str] = []
+    for index, gate in enumerate(circuit):
+        if not device.supports_gate(gate.name):
+            violations.append(f"gate {index}: {gate} not in {device.name} library")
+        elif gate.name == "CNOT":
+            control, target = gate.qubits
+            if not device.coupling_map.allows(control, target):
+                violations.append(
+                    f"gate {index}: CNOT(q{control}, q{target}) violates "
+                    f"{device.name} coupling map"
+                )
+        elif gate.name == "RXX":
+            a, b = gate.qubits
+            if not device.coupling_map.coupled(a, b):
+                violations.append(
+                    f"gate {index}: RXX(q{a}, q{b}) violates "
+                    f"{device.name} coupling map"
+                )
+    return violations
+
+
+@dataclass
+class MappingOutcome:
+    """Everything the compiler records about one mapping run."""
+
+    device: Device
+    original: QuantumCircuit
+    placement: Dict[int, int]
+    unoptimized: QuantumCircuit

@@ -1,0 +1,137 @@
+"""Generalized-Toffoli (MCX / ``T_n``) decomposition into Toffoli cascades.
+
+The paper (Section 4, item 3) lowers generalized Toffoli gates with the
+constructions of Barenco et al. [ref 11]:
+
+* **Lemma 7.2 (V-chain)** — a ``C^k X`` with ``k >= 3`` controls can be
+  built from ``4(k-2)`` Toffoli gates using ``k-2`` *dirty* work qubits
+  (their state is arbitrary and is restored).  The network sweeps a
+  "V" of Toffolis down and up twice; the double sweep cancels the
+  contribution of the unknown ancilla values.
+
+* **Lemma 7.3 (split)** — with only a single borrowable qubit ``b``,
+  ``C^k X`` factors into two smaller multi-controlled gates applied twice:
+  ``C^k X = A B A B`` where ``A = C^m X(c_1..c_m -> b)`` and
+  ``B = C^{k-m+1} X(b, c_{m+1}..c_k -> t)``.  Each half finds enough dirty
+  ancillas among the other half's idle controls, so the recursion bottoms
+  out in Lemma 7.2 V-chains.
+
+When the device offers *no* spare qubit at all (``n == k+1``) the gate
+cannot be expressed with Toffolis alone — the paper reports such cases as
+``N/A`` and we raise :class:`NotSynthesizableError` accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..core.exceptions import NotSynthesizableError
+from ..core.gates import CNOT, Gate, TOFFOLI, X
+
+
+def mcx_to_toffoli(
+    controls: Sequence[int], target: int, ancillas: Sequence[int]
+) -> List[Gate]:
+    """Decompose ``X`` on ``target`` controlled by ``controls`` into a
+    NOT/CNOT/Toffoli cascade, borrowing dirty work qubits from
+    ``ancillas`` (which must be disjoint from the gate's own qubits).
+
+    Every ancilla is returned to its initial state, whatever it was.
+    """
+    controls = list(controls)
+    ancillas = [a for a in ancillas if a != target and a not in controls]
+    k = len(controls)
+    if k == 0:
+        return [X(target)]
+    if k == 1:
+        return [CNOT(controls[0], target)]
+    if k == 2:
+        return [TOFFOLI(controls[0], controls[1], target)]
+    if len(ancillas) >= k - 2:
+        return _v_chain(controls, target, ancillas[: k - 2])
+    if ancillas:
+        return _split(controls, target, ancillas[0])
+    raise NotSynthesizableError(
+        f"T_{k + 1} gate (X with {k} controls) needs at least one spare "
+        f"qubit on the device to decompose into Toffoli gates (Barenco "
+        f"Lemma 7.3); none available"
+    )
+
+
+def toffoli_count(num_controls: int, num_ancillas: int) -> int:
+    """Number of Toffolis :func:`mcx_to_toffoli` will emit (for planning).
+
+    Mirrors the decomposition's branch structure without building gates.
+    """
+    k = num_controls
+    if k <= 1:
+        return 0
+    if k == 2:
+        return 1
+    if num_ancillas >= k - 2:
+        return 4 * (k - 2)
+    if num_ancillas >= 1:
+        m = _split_point(k)
+        first = toffoli_count(m, k - m + 1)
+        second = toffoli_count(k - m + 1, m)
+        return 2 * (first + second)
+    raise NotSynthesizableError("no ancilla available")
+
+
+def _v_chain(controls: List[int], target: int, ancillas: Sequence[int]) -> List[Gate]:
+    """Barenco Lemma 7.2: ``4(k-2)`` Toffolis with ``k-2`` dirty ancillas.
+
+    With controls ``c_1..c_k``, ancillas ``a_1..a_{k-2}`` and writing
+    ``a_{k-1} := target``, the ladder gates are
+    ``G_i = Toffoli(c_i, a_{i-2}, a_{i-1})`` for ``i = 3..k`` and
+    ``M = Toffoli(c_1, c_2, a_1)``.  The network is ``D U D U`` where
+    ``D = G_k G_{k-1} ... G_3`` and ``U = M G_3 ... G_{k-1}``.
+    """
+    k = len(controls)
+    chain = list(ancillas) + [target]  # chain[i-2] == a_{i-1} for gate G_i
+
+    def ladder_gate(i: int) -> Gate:  # G_i, i in 3..k
+        return TOFFOLI(controls[i - 1], chain[i - 3], chain[i - 2])
+
+    descend = [ladder_gate(i) for i in range(k, 2, -1)]
+    ascend = [TOFFOLI(controls[0], controls[1], chain[0])]
+    ascend += [ladder_gate(i) for i in range(3, k)]
+    return descend + ascend + descend + ascend
+
+
+def _split_point(k: int) -> int:
+    """Barenco Lemma 7.3 split size: first half takes ``ceil(k/2)``
+    controls, which guarantees both halves find enough dirty ancillas
+    among each other's idle qubits."""
+    return math.ceil(k / 2)
+
+
+def _split(controls: List[int], target: int, borrow: int) -> List[Gate]:
+    """Barenco Lemma 7.3: ``C^k X = A B A B`` through one borrowed qubit."""
+    k = len(controls)
+    m = _split_point(k)
+    first_controls = controls[:m]
+    second_controls = [borrow] + controls[m:]
+    # Dirty ancillas for each half come from the other half's idle qubits.
+    first = mcx_to_toffoli(first_controls, borrow, controls[m:] + [target])
+    second = mcx_to_toffoli(second_controls, target, first_controls)
+    return first + second + first + second
+
+
+def lower_mcx_gates(gates: Sequence[Gate], num_qubits: int) -> List[Gate]:
+    """Lower every MCX in ``gates`` to Toffolis, borrowing dirty ancillas
+    from whichever of the ``num_qubits`` wires the gate does not touch.
+
+    Ancillas are chosen lowest-index-first; the device-aware mapper makes
+    a smarter, distance-based choice (see :mod:`repro.backend.mapper`).
+    """
+    lowered: List[Gate] = []
+    for gate in gates:
+        if gate.name == "MCX":
+            busy = set(gate.qubits)
+            free = [q for q in range(num_qubits) if q not in busy]
+            lowered.extend(mcx_to_toffoli(gate.controls, gate.target, free))
+        else:
+            lowered.append(gate)
+    return lowered

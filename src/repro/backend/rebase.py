@@ -1,0 +1,89 @@
+"""Rebasing to other technology platforms (trapped-ion Moelmer-Sorensen).
+
+The paper's conclusion: "in future work, the compiler will be expanded
+to target other quantum technology platforms".  This module implements
+the first such target — trapped-ion machines, whose native entangler is
+the XX (Moelmer-Sorensen) interaction rather than the transmon CNOT,
+and whose single-qubit operations are arbitrary rotations.
+
+The key identity (verified against dense unitaries in the tests):
+
+    CNOT(c, t) = e^{i*pi/4} * RY(pi/2, c) . RXX(pi/4; c, t)
+                 . RX(-pi/2, c) . RX(-pi/2, t) . RY(-pi/2, c)
+
+(in circuit order: RY first).  The global phase makes rebased circuits
+equal to their sources only up to ``e^{i*pi/4}`` per CNOT, so
+verification uses the QMDD global-phase mode.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import SynthesisError
+from ..core.gates import Gate, RX, RXX, RY
+
+_HALF_PI = math.pi / 2.0
+
+#: Single-qubit library gates as Z/X/Y rotation angles (up to global
+#: phase): name -> (axis, angle).
+_SINGLE_AS_ROTATION = {
+    "X": ("RX", math.pi),
+    "Y": ("RY", math.pi),
+    "Z": ("RZ", math.pi),
+    "S": ("RZ", _HALF_PI),
+    "SDG": ("RZ", -_HALF_PI),
+    "T": ("RZ", math.pi / 4.0),
+    "TDG": ("RZ", -math.pi / 4.0),
+}
+
+
+def cnot_as_rxx(control: int, target: int) -> List[Gate]:
+    """The Moelmer-Sorensen realization of CNOT (up to global phase)."""
+    return [
+        RY(_HALF_PI, control),
+        RXX(math.pi / 4.0, control, target),
+        RX(-_HALF_PI, control),
+        RX(-_HALF_PI, target),
+        RY(-_HALF_PI, control),
+    ]
+
+
+def hadamard_as_rotations(qubit: int) -> List[Gate]:
+    """H = RY(pi/2) then RX(pi) (up to global phase)."""
+    return [RY(_HALF_PI, qubit), RX(math.pi, qubit)]
+
+
+def rebase_to_ion(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite a transmon-library circuit into the ion library
+    {RX, RY, RZ, RXX}.
+
+    The input must already be mapped to one- and two-qubit gates (run
+    the standard pipeline first); the result equals the input up to a
+    global phase.
+    """
+    rebased = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        name = gate.name
+        if name == "I":
+            continue
+        if name in ("RX", "RY", "RZ", "RXX"):
+            rebased.append(gate)
+        elif name == "H":
+            rebased.extend(hadamard_as_rotations(gate.qubits[0]))
+        elif name in _SINGLE_AS_ROTATION:
+            axis, angle = _SINGLE_AS_ROTATION[name]
+            rebased.append(Gate(axis, gate.qubits, (angle,)))
+        elif name == "CNOT":
+            rebased.extend(cnot_as_rxx(gate.qubits[0], gate.qubits[1]))
+        else:
+            raise SynthesisError(
+                f"rebase_to_ion expects a mapped 1q+CNOT circuit, got {gate}"
+            )
+    return rebased
+
+
+#: The ion native gate set.
+ION_GATE_SET = ("I", "RX", "RY", "RZ", "RXX")

@@ -1,0 +1,48 @@
+"""CNOT orientation reversal (paper Fig. 6).
+
+Transmon couplings are unidirectional: a physical link allows CNOT in one
+fixed direction only.  The identity
+
+    CNOT(c, t) = (H_c . H_t) CNOT(t, c) (H_c . H_t)
+
+realizes the opposite orientation at the price of four Hadamards, turning
+one unsupported CNOT into five native gates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.exceptions import SynthesisError
+from ..core.gates import CNOT, Gate, H
+from ..devices.coupling import CouplingMap
+
+
+def reversed_cnot(control: int, target: int) -> List[Gate]:
+    """The Fig. 6 network: CNOT(control, target) expressed with the
+    physically available CNOT(target, control)."""
+    return [
+        H(control),
+        H(target),
+        CNOT(target, control),
+        H(control),
+        H(target),
+    ]
+
+
+def orient_cnot(control: int, target: int, coupling_map: CouplingMap) -> List[Gate]:
+    """Emit CNOT(control, target) using only natively-oriented CNOTs.
+
+    Returns a single gate when the orientation is native, the 5-gate
+    Fig. 6 network when only the reverse orientation exists, and raises
+    :class:`SynthesisError` when the qubits are not adjacent at all (the
+    caller should have rerouted with CTR first).
+    """
+    if coupling_map.allows(control, target):
+        return [CNOT(control, target)]
+    if coupling_map.allows(target, control):
+        return reversed_cnot(control, target)
+    raise SynthesisError(
+        f"qubits {control} and {target} are not coupled on "
+        f"{coupling_map.name}; reroute with CTR before orienting"
+    )

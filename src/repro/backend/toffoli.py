@@ -1,0 +1,67 @@
+"""Toffoli decomposition into the transmon one- and two-qubit library.
+
+The paper (Section 4, item 4) decomposes every Toffoli with the standard
+Clifford+T network from Nielsen & Chuang [ref 8], Fig. 4.9:
+
+    q_c1: ─────────────●────────────●────●───T───●──
+    q_c2: ────●────────┼───────●────┼────⊕──T†───⊕──
+    q_t : ─H──⊕──T†────⊕───T───⊕──T†⊕──T─────H──────
+
+which costs 7 T/T† gates, 6 CNOTs and 2 Hadamards (15 gates total) and
+needs no ancilla.  CZ and SWAP, also outside the native library, are
+expanded here too.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.gates import CNOT, Gate, H, T, Tdg
+
+
+def toffoli_network(c1: int, c2: int, t: int) -> List[Gate]:
+    """The 15-gate Clifford+T realization of Toffoli(c1, c2, t)."""
+    return [
+        H(t),
+        CNOT(c2, t),
+        Tdg(t),
+        CNOT(c1, t),
+        T(t),
+        CNOT(c2, t),
+        Tdg(t),
+        CNOT(c1, t),
+        T(c2),
+        T(t),
+        H(t),
+        CNOT(c1, c2),
+        T(c1),
+        Tdg(c2),
+        CNOT(c1, c2),
+    ]
+
+
+def cz_network(a: int, b: int) -> List[Gate]:
+    """CZ via the identity ``CZ(a,b) = H_b CNOT(a,b) H_b``."""
+    return [H(b), CNOT(a, b), H(b)]
+
+
+def swap_network(a: int, b: int) -> List[Gate]:
+    """SWAP via three alternating CNOTs (Fig. 3); orientation fixing for
+    unidirectional links happens later in the mapping pipeline."""
+    return [CNOT(a, b), CNOT(b, a), CNOT(a, b)]
+
+
+def expand_non_native(gate: Gate) -> List[Gate]:
+    """Expand one non-native gate (TOFFOLI/CZ/SWAP) to library gates.
+
+    Native gates pass through unchanged; MCX must be lowered to Toffolis
+    first (see :mod:`repro.backend.mcx`).
+    """
+    if gate.name == "TOFFOLI":
+        c1, c2, t = gate.qubits
+        return toffoli_network(c1, c2, t)
+    if gate.name == "CZ":
+        return cz_network(*gate.qubits)
+    if gate.name == "SWAP":
+        return swap_network(*gate.qubits)
+    return [gate]

@@ -1,0 +1,17 @@
+"""Reconstructions of the paper's three benchmark suites."""
+
+from . import single_target, revlib, table7
+from .single_target import PAPER_STG_BENCHMARKS, PAPER_TECH_INDEPENDENT
+from .revlib import PAPER_REVLIB_BENCHMARKS
+from .table7 import PAPER_96Q_BENCHMARKS, PAPER_TABLE8
+
+__all__ = [
+    "single_target",
+    "revlib",
+    "table7",
+    "PAPER_STG_BENCHMARKS",
+    "PAPER_TECH_INDEPENDENT",
+    "PAPER_REVLIB_BENCHMARKS",
+    "PAPER_96Q_BENCHMARKS",
+    "PAPER_TABLE8",
+]

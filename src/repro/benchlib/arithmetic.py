@@ -1,0 +1,115 @@
+"""Arithmetic reversible workloads (beyond the paper's benchmark sets).
+
+Classical arithmetic is the motivating application for classical-to-
+quantum synthesis (the front-end exists so "operations [can] be
+specified for a quantum computer without needing to know extensive
+details of quantum computing", §2.3).  This module provides generator
+functions for the standard circuits used throughout the reversible-logic
+literature:
+
+* :func:`cuccaro_adder` — the CNOT/Toffoli ripple-carry adder of
+  Cuccaro, Draper, Kutin & Moulton (quant-ph/0410184): computes
+  ``b <- a + b (+ cin)`` in place with one ancilla-free carry chain.
+* :func:`incrementer` — ``x <- x + 1`` via a descending MCX staircase
+  (exercises the Barenco lowering heavily on real devices).
+* :func:`majority_voter` — n-input majority into a fresh output line,
+  synthesized through the ESOP front-end.
+
+All generators are verified exhaustively (for benchmark sizes) by the
+unit tests via classical simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import SynthesisError
+from ..core.gates import CNOT, Gate, MCX, TOFFOLI, X
+from ..frontend.truth_table import TruthTable
+from ..frontend.cascade import single_target_gate
+
+
+def _maj(c: int, b: int, a: int) -> List[Gate]:
+    """Cuccaro MAJ block: leaves MAJ(c, b, a) on wire ``a``."""
+    return [CNOT(a, b), CNOT(a, c), TOFFOLI(c, b, a)]
+
+
+def _uma(c: int, b: int, a: int) -> List[Gate]:
+    """Cuccaro UMA block (2-CNOT variant): restores ``a`` and finishes
+    the sum on ``b``."""
+    return [TOFFOLI(c, b, a), CNOT(a, c), CNOT(c, b)]
+
+
+def cuccaro_adder(bits: int, with_carry_out: bool = True) -> QuantumCircuit:
+    """In-place ripple-carry adder ``b <- a + b + cin``.
+
+    Wire layout (MSB-first register convention of this library):
+
+    * wire 0 — carry-in ``cin``
+    * wires ``1 .. 2*bits`` — interleaved ``b_i, a_i`` pairs, least
+      significant pair first
+    * last wire — carry-out (present iff ``with_carry_out``)
+
+    The ``a`` register and ``cin`` are restored; ``b`` holds the sum.
+    """
+    if bits < 1:
+        raise SynthesisError("adder needs at least one bit")
+    total = 1 + 2 * bits + (1 if with_carry_out else 0)
+    circuit = QuantumCircuit(total, name=f"cuccaro{bits}")
+
+    def b_wire(i: int) -> int:
+        return 1 + 2 * i
+
+    def a_wire(i: int) -> int:
+        return 2 + 2 * i
+
+    carry = [0] + [a_wire(i) for i in range(bits)]  # carry chain wires
+    for i in range(bits):
+        circuit.extend(_maj(carry[i], b_wire(i), a_wire(i)))
+    if with_carry_out:
+        circuit.append(CNOT(a_wire(bits - 1), total - 1))
+    for i in reversed(range(bits)):
+        circuit.extend(_uma(carry[i], b_wire(i), a_wire(i)))
+    return circuit
+
+
+def incrementer(bits: int) -> QuantumCircuit:
+    """``x <- x + 1 (mod 2^bits)`` on ``bits`` wires (wire 0 = MSB).
+
+    Classic staircase: the top bit flips when all lower bits are 1, and
+    so on down to the unconditional flip of the least significant bit.
+    """
+    if bits < 1:
+        raise SynthesisError("incrementer needs at least one bit")
+    circuit = QuantumCircuit(bits, name=f"increment{bits}")
+    for position in range(bits - 1):
+        lower = list(range(position + 1, bits))
+        circuit.append(MCX(*lower, position))
+    circuit.append(X(bits - 1))
+    return circuit
+
+
+def majority_voter(voters: int) -> QuantumCircuit:
+    """Majority of ``voters`` input bits written to a fresh output line,
+    synthesized through the ESOP front-end (exercises Fig. 2 end to end).
+    ``voters`` must be odd so ties cannot occur."""
+    if voters < 3 or voters % 2 == 0:
+        raise SynthesisError("majority needs an odd voter count >= 3")
+
+    def majority(assignment: int) -> int:
+        return 1 if bin(assignment).count("1") > voters // 2 else 0
+
+    table = TruthTable.from_function(majority, voters)
+    return single_target_gate(table, name=f"maj{voters}")
+
+
+#: Benchmark suite used by ``bench_arithmetic.py``: (name, factory()).
+ARITHMETIC_SUITE = (
+    ("cuccaro2", lambda: cuccaro_adder(2)),
+    ("cuccaro3", lambda: cuccaro_adder(3)),
+    ("increment4", lambda: incrementer(4)),
+    ("increment6", lambda: incrementer(6)),
+    ("maj3", lambda: majority_voter(3)),
+    ("maj5", lambda: majority_voter(5)),
+)

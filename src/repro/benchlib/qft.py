@@ -1,0 +1,58 @@
+"""Quantum Fourier Transform workloads (rotation-gate showcase).
+
+The QFT is the standard *non-Clifford-angle* workload: its controlled
+phases rotate by pi/2^k, exercising the parametric RZ support through
+every compiler stage (QMDD verification handles arbitrary angles since
+edge weights are arbitrary complex numbers).
+
+Controlled-phase gates are emitted pre-decomposed into the transmon
+library: ``CP(theta; a, b) = RZ(theta/2, a) RZ(theta/2, b) CNOT(a, b)
+RZ(-theta/2, b) CNOT(a, b)`` — exact, since the accumulated phase is
+``theta/2 * (a + b - (a XOR b)) = theta * a * b``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import SynthesisError
+from ..core.gates import CNOT, Gate, H, RZ, SWAP
+
+
+def controlled_phase(theta: float, a: int, b: int) -> List[Gate]:
+    """Exact CP(theta) between qubits ``a`` and ``b`` in library gates."""
+    return [
+        RZ(theta / 2.0, a),
+        RZ(theta / 2.0, b),
+        CNOT(a, b),
+        RZ(-theta / 2.0, b),
+        CNOT(a, b),
+    ]
+
+
+def qft(num_qubits: int, with_reversal: bool = True) -> QuantumCircuit:
+    """The textbook QFT on ``num_qubits`` wires (wire 0 = MSB).
+
+    With ``with_reversal`` the output wire order is reversed by SWAPs so
+    the circuit's unitary equals the DFT matrix
+    ``F[j, k] = exp(2*pi*i*j*k / 2^n) / sqrt(2^n)`` exactly.
+    """
+    if num_qubits < 1:
+        raise SynthesisError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft{num_qubits}")
+    for i in range(num_qubits):
+        circuit.append(H(i))
+        for j in range(i + 1, num_qubits):
+            theta = math.pi / (2 ** (j - i))
+            circuit.extend(controlled_phase(theta, j, i))
+    if with_reversal:
+        for i in range(num_qubits // 2):
+            circuit.append(SWAP(i, num_qubits - 1 - i))
+    return circuit
+
+
+def inverse_qft(num_qubits: int, with_reversal: bool = True) -> QuantumCircuit:
+    """The adjoint QFT (every rotation negated, order reversed)."""
+    return qft(num_qubits, with_reversal).inverse()

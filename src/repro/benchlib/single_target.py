@@ -1,0 +1,129 @@
+"""The paper's first benchmark suite: "Optimal Single-target Gates".
+
+Table 3 lists 24 functions named by hex truth tables, 3-6 qubits.  The
+original circuit files came from reference [23] (quantumlib.stationq.com,
+now offline); we reconstruct each benchmark from its name: function
+``#h`` on ``q`` qubits is the single-target gate whose control function
+is the ``(q-1)``-variable Boolean function with truth table ``int(h, 16)``
+(bit ``i`` of the value = function value on input assignment ``i``).
+
+The reconstruction is validated by the paper's own structure: e.g. ``#3``
+on 3 qubits is ``f = NOT x0`` whose technology-independent realization is
+the 3-gate ``X-CNOT-X``, matching the paper's ``0 T / 3 gates / 3.25``
+entry exactly; ``#1`` is the 2-input NOR whose realization carries one
+Toffoli (7 T), matching the paper's 7 T.
+
+Our technology-independent gate counts come from our own front-end
+(FPRM ESOP + Barenco/N&C decomposition + local optimization) rather than
+the authors' hand-optimized files, so absolute gate totals differ
+slightly; see EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..frontend.truth_table import TruthTable
+from ..frontend.cascade import single_target_gate
+
+#: (hex name, total qubits) for every Table 3 row, in paper order.
+PAPER_STG_BENCHMARKS: Tuple[Tuple[str, int], ...] = (
+    ("1", 3),
+    ("3", 3),
+    ("01", 5),
+    ("03", 4),
+    ("07", 5),
+    ("0f", 4),
+    ("17", 4),
+    ("0001", 6),
+    ("0003", 6),
+    ("0007", 6),
+    ("000f", 5),
+    ("0017", 6),
+    ("001f", 6),
+    ("003f", 6),
+    ("007f", 6),
+    ("00ff", 5),
+    ("0117", 6),
+    ("011f", 6),
+    ("013f", 6),
+    ("017f", 6),
+    ("033f", 5),
+    ("0356", 5),
+    ("0357", 6),
+    ("035f", 6),
+)
+
+#: Paper Table 3 technology-independent reference (T count, gates, cost)
+#: for each function — recorded for the EXPERIMENTS.md comparison.
+PAPER_TECH_INDEPENDENT: Dict[str, Tuple[int, int, float]] = {
+    "1": (7, 17, 22.25),
+    "3": (0, 3, 3.25),
+    "01": (15, 51, 63.75),
+    "03": (7, 20, 25.25),
+    "07": (16, 60, 75.0),
+    "0f": (0, 3, 3.25),
+    "17": (7, 43, 51.75),
+    "0001": (40, 186, 233.0),
+    "0003": (15, 66, 83.0),
+    "0007": (47, 246, 304.25),
+    "000f": (7, 21, 27.5),
+    "0017": (23, 129, 159.0),
+    "001f": (43, 194, 244.5),
+    "003f": (16, 73, 92.25),
+    "007f": (40, 189, 238.5),
+    "00ff": (0, 3, 3.25),
+    "0117": (79, 401, 498.0),
+    "011f": (27, 136, 169.5),
+    "013f": (48, 240, 299.5),
+    "017f": (80, 359, 455.0),
+    "033f": (7, 49, 60.75),
+    "0356": (12, 42, 54.75),
+    "0357": (61, 266, 336.5),
+    "035f": (23, 107, 135.5),
+}
+
+
+def has_full_degree(name: str) -> bool:
+    """True when the control function's algebraic degree equals its
+    variable count (odd number of ones in the truth table).
+
+    Such functions force a full-width generalized Toffoli into any
+    NOT/CNOT/Toffoli cascade (the top Reed-Muller coefficient is
+    polarity-invariant), and a full-width controlled-X is *provably*
+    unrealizable without a spare line — both over NCT (odd-permutation
+    parity argument) and over exact Clifford+T (determinant argument).
+    The paper's Table 3 still fills those cells because its inputs came
+    from [23] pre-decomposed with relative-phase freedom; in our
+    reconstruction they are honest N/A on same-width devices.  Only
+    #01 and #07 (on the 5-qubit devices) are affected.  See
+    EXPERIMENTS.md.
+    """
+    return bin(int(name, 16)).count("1") % 2 == 1
+
+
+def expected_na(name: str, num_qubits: int, device_qubits: int) -> bool:
+    """Whether our reconstruction reports N/A for this function/device."""
+    if num_qubits > device_qubits:
+        return True
+    return num_qubits == device_qubits and has_full_degree(name)
+
+
+def control_table(name: str, num_qubits: int) -> TruthTable:
+    """Control function of benchmark ``name`` on ``num_qubits`` total lines."""
+    return TruthTable.from_hex(name, num_qubits - 1)
+
+
+def build_benchmark(name: str, num_qubits: int) -> QuantumCircuit:
+    """Reconstruct one single-target-gate benchmark as a technology-
+    independent reversible circuit (NOT/CNOT/Toffoli/MCX cascade)."""
+    table = control_table(name, num_qubits)
+    circuit = single_target_gate(table, name=f"#{name}")
+    assert circuit.num_qubits == num_qubits
+    return circuit
+
+
+def all_benchmarks() -> List[QuantumCircuit]:
+    """Every Table 3 benchmark, in paper order."""
+    return [build_benchmark(name, qubits) for name, qubits in PAPER_STG_BENCHMARKS]

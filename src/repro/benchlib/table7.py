@@ -1,0 +1,63 @@
+"""The paper's third benchmark suite: 96-qubit generalized-Toffoli
+cascades (Tables 7 and 8).
+
+Table 7 specifies these workloads completely: each benchmark is a cascade
+of four ``T_n`` gates (n in 6..10) placed on the 96-qubit machine so that
+consecutive gates share at least one qubit.  Controls for gate ``g``
+(1-based) are ``q[20(g-1)+1] .. q[20(g-1)+n-1]`` and the target is
+``q[20g+5]``; e.g. ``T6_b`` gate 1 controls q1..q5 and targets q25.
+
+These circuits are defined directly on *physical* qubits of the Fig. 7
+machine, so they compile with the identity placement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import MCX
+
+#: Benchmark names in Table 7/8 row order.
+PAPER_96Q_BENCHMARKS: Tuple[str, ...] = ("T6_b", "T7_b", "T8_b", "T9_b", "T10_b")
+
+#: Paper Table 8 reference values: name -> (unopt (T, gates, cost),
+#: opt (T, gates, cost), percent decrease).
+PAPER_TABLE8: dict = {
+    "T6_b": ((336, 17312, 19268.0), (336, 10156, 11359.0), 41.05),
+    "T7_b": ((448, 20112, 22400.0), (448, 12234, 13694.0), 38.87),
+    "T8_b": ((560, 21264, 23728.0), (560, 13134, 14746.0), 37.85),
+    "T9_b": ((672, 17696, 19784.0), (672, 11544, 13002.0), 34.28),
+    "T10_b": ((784, 17792, 19960.0), (784, 9518, 10846.0), 45.66),
+}
+
+
+def gate_layout(n: int) -> List[Tuple[List[int], int]]:
+    """Table 7 control/target layout for a ``Tn_b`` cascade: four gates,
+    gate ``g`` controlling ``q[20(g-1)+1 .. 20(g-1)+n-1]`` onto target
+    ``q[20g+5]``."""
+    if not (3 <= n <= 19):
+        raise ValueError("Tn cascades defined for 3 <= n <= 19")
+    layout = []
+    for g in range(4):
+        base = 20 * g
+        controls = [base + 1 + i for i in range(n - 1)]
+        target = base + 25
+        layout.append((controls, target))
+    return layout
+
+
+def build_benchmark(name: str, num_qubits: int = 96) -> QuantumCircuit:
+    """Build ``Tn_b`` (name like ``"T8_b"``) on ``num_qubits`` wires."""
+    if not (name.startswith("T") and name.endswith("_b")):
+        raise ValueError(f"unknown 96-qubit benchmark {name!r}")
+    n = int(name[1:-2])
+    circuit = QuantumCircuit(num_qubits, name=name)
+    for controls, target in gate_layout(n):
+        circuit.append(MCX(*controls, target))
+    return circuit
+
+
+def all_benchmarks(num_qubits: int = 96) -> List[QuantumCircuit]:
+    """Every Table 7 workload, in paper order."""
+    return [build_benchmark(name, num_qubits) for name in PAPER_96Q_BENCHMARKS]

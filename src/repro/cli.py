@@ -1,0 +1,226 @@
+"""Command-line interface for the synthesis and compilation tool.
+
+The paper describes a *prototype tool*; this CLI is its front door::
+
+    repro devices                          # list synthesis targets
+    repro info adder.qc                    # metrics of a circuit file
+    repro compile adder.qc --device ibmqx5 -o adder_qx5.qasm
+    repro compile --hex 033f --inputs 4 --device ibmqx3
+    repro verify original.qc mapped.qasm   # formal equivalence check
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compiler import compile_circuit, compile_classical_function
+from .core.exceptions import NotSynthesizableError, ReproError
+from .devices import available_devices, get_device
+from .io import read_circuit, to_qasm, to_qc, to_real
+from .verify import verify_equivalent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Technology-dependent quantum logic synthesis with "
+        "QMDD formal verification (Smith & Thornton, ISCA 2019).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    devices = commands.add_parser("devices", help="list synthesis targets")
+    devices.set_defaults(handler=cmd_devices)
+
+    info = commands.add_parser("info", help="show metrics of a circuit file")
+    info.add_argument("input", help="circuit file (.qasm/.qc/.real)")
+    info.set_defaults(handler=cmd_info)
+
+    compile_cmd = commands.add_parser(
+        "compile", help="map a circuit or classical function to a device"
+    )
+    compile_cmd.add_argument("input", nargs="?", help="circuit file (.qasm/.qc/.real)")
+    compile_cmd.add_argument("--hex", dest="hex_name",
+                             help="classical function as a hex truth table")
+    compile_cmd.add_argument("--expr", dest="expressions", action="append",
+                             help="classical function as a Boolean expression "
+                                  "(repeatable for multi-output)")
+    compile_cmd.add_argument("--inputs", type=int,
+                             help="variable count for --hex")
+    compile_cmd.add_argument("--device", required=True,
+                             help="target device name (see `repro devices`)")
+    compile_cmd.add_argument("-o", "--output", help="write result here "
+                             "(.qasm/.qc/.real by extension; default stdout)")
+    compile_cmd.add_argument("--placement", default="identity",
+                             choices=["identity", "greedy", "refined"])
+    compile_cmd.add_argument("--no-optimize", action="store_true",
+                             help="emit the raw mapping")
+    compile_cmd.add_argument("--verify", default="auto",
+                             choices=["auto", "qmdd", "dense", "sampled", "none"])
+    compile_cmd.add_argument("--mcx-mode", default="barenco",
+                             choices=["barenco", "relative_phase"],
+                             help="generalized-Toffoli lowering strategy")
+    compile_cmd.set_defaults(handler=cmd_compile)
+
+    draw = commands.add_parser("draw", help="render a circuit file as ASCII art")
+    draw.add_argument("input", help="circuit file (.qasm/.qc/.real)")
+    draw.add_argument("--columns", type=int, default=24,
+                      help="max drawing columns before truncation")
+    draw.add_argument("--params", action="store_true",
+                      help="show rotation angles")
+    draw.set_defaults(handler=cmd_draw)
+
+    verify = commands.add_parser(
+        "verify", help="formally check two circuit files for equivalence"
+    )
+    verify.add_argument("first")
+    verify.add_argument("second")
+    verify.add_argument("--method", default="auto",
+                        choices=["auto", "qmdd", "dense", "sampled"])
+    verify.add_argument("--up-to-global-phase", action="store_true")
+    verify.set_defaults(handler=cmd_verify)
+
+    return parser
+
+
+def cmd_devices(args) -> int:
+    print(f"{'name':<12} {'qubits':>6} {'complexity':>11}  notes")
+    for name in available_devices():
+        device = get_device(name)
+        notes = []
+        if device.is_simulator:
+            notes.append("simulator")
+        if device.retired:
+            notes.append("retired")
+        print(
+            f"{device.name:<12} {device.num_qubits:>6} "
+            f"{device.coupling_complexity:>11.6f}  {', '.join(notes)}"
+        )
+    return 0
+
+
+def cmd_info(args) -> int:
+    circuit = read_circuit(args.input)
+    from .core.cost import CircuitMetrics
+
+    metrics = CircuitMetrics.of(circuit)
+    print(f"file      : {args.input}")
+    print(f"qubits    : {circuit.num_qubits}")
+    print(f"gates     : {metrics.gate_volume}")
+    print(f"T count   : {metrics.t_count}")
+    print(f"CNOTs     : {circuit.cnot_count}")
+    print(f"depth     : {circuit.depth()}")
+    print(f"Eqn.2 cost: {metrics.cost:g}")
+    print(f"histogram : {circuit.gate_histogram()}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    verify = False if args.verify == "none" else args.verify
+    if args.expressions:
+        from .frontend import synthesize_expressions
+
+        cascade = synthesize_expressions(args.expressions, name="expr")
+        result = compile_circuit(
+            cascade,
+            args.device,
+            optimize=not args.no_optimize,
+            verify=verify,
+            placement=args.placement,
+            mcx_mode=args.mcx_mode,
+        )
+    elif args.hex_name:
+        if args.inputs is None:
+            print("error: --hex requires --inputs", file=sys.stderr)
+            return 2
+        result = compile_classical_function(
+            args.hex_name,
+            args.device,
+            num_inputs=args.inputs,
+            optimize=not args.no_optimize,
+            verify=verify,
+            placement=args.placement,
+            mcx_mode=args.mcx_mode,
+        )
+    elif args.input:
+        circuit = read_circuit(args.input)
+        result = compile_circuit(
+            circuit,
+            args.device,
+            optimize=not args.no_optimize,
+            verify=verify,
+            placement=args.placement,
+            mcx_mode=args.mcx_mode,
+        )
+    else:
+        print("error: provide a circuit file or --hex/--inputs", file=sys.stderr)
+        return 2
+
+    print(f"unoptimized : {result.unoptimized_metrics} (T/gates/cost)",
+          file=sys.stderr)
+    print(f"optimized   : {result.optimized_metrics}", file=sys.stderr)
+    print(f"cost saved  : {result.percent_cost_decrease:.2f}%", file=sys.stderr)
+    if result.verification is not None:
+        verdict = "EQUIVALENT" if result.verification.equivalent else "MISMATCH"
+        print(f"verification: {result.verification.method} -> {verdict}",
+              file=sys.stderr)
+    print(f"time        : {result.synthesis_seconds * 1e3:.1f} ms",
+          file=sys.stderr)
+
+    text = _render(result.optimized, args.output)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _render(circuit, output_path: Optional[str]) -> str:
+    if output_path and output_path.endswith(".qc"):
+        return to_qc(circuit)
+    if output_path and output_path.endswith(".real"):
+        return to_real(circuit)
+    return to_qasm(circuit)
+
+
+def cmd_draw(args) -> int:
+    from .drawing import draw_circuit
+
+    circuit = read_circuit(args.input)
+    print(draw_circuit(circuit, max_columns=args.columns,
+                       show_params=args.params))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    first = read_circuit(args.first)
+    second = read_circuit(args.second)
+    report = verify_equivalent(
+        first, second, method=args.method,
+        up_to_global_phase=args.up_to_global_phase,
+    )
+    verdict = "EQUIVALENT" if report.equivalent else "NOT EQUIVALENT"
+    print(f"{verdict} (method={report.method} {report.detail})")
+    return 0 if report.equivalent else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except NotSynthesizableError as error:
+        print(f"N/A: {error}", file=sys.stderr)
+        return 3
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,303 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`~repro.core.gates.Gate`
+applications on ``num_qubits`` wires.  This is the common currency of every
+compiler stage: parsers produce circuits, the back-end transforms them, the
+optimizer rewrites them, the QMDD verifier consumes them.
+
+The IR is deliberately simple — a flat gate list — matching the paper's
+cascade model of quantum programs.  Helper methods cover the needs of the
+tool: gate counting (for the Eqn. 2 cost function), inversion (for
+reversibility), composition, remapping of qubit indices (for placement),
+and structural queries used by the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .exceptions import CircuitError
+from .gates import (
+    Gate,
+    SINGLE_QUBIT_GATES,
+    gate_matrix,
+)
+
+
+class QuantumCircuit:
+    """An ordered cascade of quantum gates on ``num_qubits`` wires."""
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] = (), name: str = ""):
+        if num_qubits < 0:
+            raise CircuitError("num_qubits must be non-negative")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: List[Gate] = []
+        for gate in gates:
+            self.append(gate)
+
+    # -- construction --------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append ``gate``, validating that its operands fit this circuit.
+
+        Returns ``self`` so calls can be chained.
+        """
+        if not isinstance(gate, Gate):
+            raise CircuitError(f"expected Gate, got {type(gate).__name__}")
+        if gate.qubits and max(gate.qubits) >= self.num_qubits:
+            raise CircuitError(
+                f"gate {gate} exceeds circuit width {self.num_qubits}"
+            )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append every gate from ``gates`` in order."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit running ``self`` then ``other``.
+
+        The result's width is the maximum of the two widths.
+        """
+        result = QuantumCircuit(max(self.num_qubits, other.num_qubits), name=self.name)
+        result.extend(self._gates)
+        result.extend(other._gates)
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Return a shallow copy (gates are immutable so sharing is safe)."""
+        return QuantumCircuit(
+            self.num_qubits, self._gates, name=self.name if name is None else name
+        )
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the adjoint circuit: gates reversed and inverted.
+
+        Every circuit in this IR is unitary, so the inverse always exists —
+        the physical-reversibility property of Section 2.3.
+        """
+        inverted = [gate.inverse() for gate in reversed(self._gates)]
+        return QuantumCircuit(self.num_qubits, inverted, name=f"{self.name}_dg")
+
+    def remapped(self, mapping: Dict[int, int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Return a copy with qubit indices renamed through ``mapping``.
+
+        Used to place a logical circuit onto physical device qubits.
+        Indices absent from ``mapping`` map to themselves.
+        """
+        def rename(q: int) -> int:
+            return mapping.get(q, q)
+
+        gates = [
+            Gate(g.name, tuple(rename(q) for q in g.qubits), g.params)
+            for g in self._gates
+        ]
+        width = num_qubits
+        if width is None:
+            width = max(
+                [self.num_qubits] + [q + 1 for g in gates for q in g.qubits]
+            )
+        return QuantumCircuit(width, gates, name=self.name)
+
+    def widened(self, num_qubits: int) -> "QuantumCircuit":
+        """Return a copy embedded in a circuit of at least ``num_qubits``."""
+        if num_qubits < self.num_qubits:
+            raise CircuitError("widened() cannot shrink a circuit")
+        return QuantumCircuit(num_qubits, self._gates, name=self.name)
+
+    # -- sequence protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return QuantumCircuit(self.num_qubits, self._gates[index], name=self.name)
+        return self._gates[index]
+
+    def __eq__(self, other) -> bool:
+        """Structural equality: same width and same gate list.
+
+        For *functional* equality use :mod:`repro.verify`.
+        """
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self._gates == other._gates
+
+    def __hash__(self):
+        return hash((self.num_qubits, tuple(self._gates)))
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gate cascade as an immutable tuple."""
+        return tuple(self._gates)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def count(self, *names: str) -> int:
+        """Number of gates whose name is in ``names``."""
+        wanted = set(names)
+        return sum(1 for gate in self._gates if gate.name in wanted)
+
+    @property
+    def t_count(self) -> int:
+        """Count of T and T† gates (the ``t`` term of Eqn. 2)."""
+        return self.count("T", "TDG")
+
+    @property
+    def cnot_count(self) -> int:
+        """Count of CNOT gates (the ``c`` term of Eqn. 2)."""
+        return self.count("CNOT")
+
+    @property
+    def gate_volume(self) -> int:
+        """Total gate count (the ``a`` term of Eqn. 2)."""
+        return len(self._gates)
+
+    def gate_histogram(self) -> Dict[str, int]:
+        """Mapping of gate name to occurrence count."""
+        histogram: Dict[str, int] = {}
+        for gate in self._gates:
+            histogram[gate.name] = histogram.get(gate.name, 0) + 1
+        return histogram
+
+    @property
+    def used_qubits(self) -> Tuple[int, ...]:
+        """Sorted tuple of qubit indices touched by at least one gate."""
+        used = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return tuple(sorted(used))
+
+    @property
+    def is_native_transmon(self) -> bool:
+        """True if every gate is in the IBM transmon library."""
+        return all(gate.is_native_transmon for gate in self._gates)
+
+    @property
+    def is_classical_reversible(self) -> bool:
+        """True if the circuit is a NOT/CNOT/Toffoli/MCX cascade, i.e. a
+        technology-independent reversible circuit in the sense of [1]."""
+        return all(
+            gate.name in ("I", "X", "CNOT", "TOFFOLI", "MCX", "SWAP")
+            for gate in self._gates
+        )
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of gates sharing qubits."""
+        level: Dict[int, int] = {}
+        depth = 0
+        for gate in self._gates:
+            start = max((level.get(q, 0) for q in gate.qubits), default=0)
+            finish = start + 1
+            for q in gate.qubits:
+                level[q] = finish
+            depth = max(depth, finish)
+        return depth
+
+    def t_depth(self) -> int:
+        """T-depth: number of T/T† stages on the critical path.
+
+        The fault-tolerance metric of Amy et al. [paper ref 10]: only T
+        and T† gates advance a wire's stage counter; all other gates
+        merely synchronize the stages of the wires they touch.
+        """
+        level: Dict[int, int] = {}
+        t_depth = 0
+        for gate in self._gates:
+            start = max((level.get(q, 0) for q in gate.qubits), default=0)
+            finish = start + 1 if gate.name in ("T", "TDG") else start
+            for q in gate.qubits:
+                level[q] = finish
+            t_depth = max(t_depth, finish)
+        return t_depth
+
+    # -- dense matrix -----------------------------------------------------------
+
+    def unitary(self) -> "np.ndarray":
+        """Dense ``2^n x 2^n`` unitary of the whole circuit.
+
+        Exponential in ``num_qubits`` — intended for verification of small
+        circuits only (the QMDD verifier scales much further).
+        """
+        import numpy as np
+
+        n = self.num_qubits
+        if n > 14:
+            raise CircuitError(
+                f"dense unitary of {n} qubits is too large; use the QMDD verifier"
+            )
+        dim = 2 ** n
+        total = np.eye(dim, dtype=complex)
+        for gate in self._gates:
+            total = _apply_gate_matrix(total, gate, n)
+        return total
+
+    # -- rendering ----------------------------------------------------------------
+
+    def __str__(self) -> str:
+        label = self.name or "circuit"
+        return f"<{label}: {self.num_qubits} qubits, {len(self._gates)} gates>"
+
+    def draw(self, max_gates: int = 40) -> str:
+        """A crude textual listing of the cascade, for debugging."""
+        lines = [str(self)]
+        for index, gate in enumerate(self._gates[:max_gates]):
+            lines.append(f"  {index:4d}: {gate}")
+        if len(self._gates) > max_gates:
+            lines.append(f"  ... {len(self._gates) - max_gates} more")
+        return "\n".join(lines)
+
+
+def _apply_gate_matrix(total, gate: Gate, num_qubits: int):
+    """Multiply ``gate``'s full-width matrix into ``total`` (gate acts after)."""
+    import numpy as np
+
+    small = gate_matrix(gate.name, gate.num_qubits, gate.params or None)
+    full = _embed(small, gate.qubits, num_qubits)
+    return full @ total
+
+
+def _embed(matrix, qubits: Sequence[int], num_qubits: int):
+    """Embed ``matrix`` acting on ``qubits`` into the full Hilbert space.
+
+    Qubit 0 is the most significant bit of basis indices.
+    """
+    import numpy as np
+
+    k = len(qubits)
+    dim = 2 ** num_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    others = [q for q in range(num_qubits) if q not in qubits]
+    # Iterate over basis states of the untouched qubits.
+    for rest in range(2 ** len(others)):
+        rest_bits = {q: (rest >> (len(others) - 1 - i)) & 1 for i, q in enumerate(others)}
+        for col_local in range(2 ** k):
+            col_bits = dict(rest_bits)
+            for i, q in enumerate(qubits):
+                col_bits[q] = (col_local >> (k - 1 - i)) & 1
+            col = _bits_to_index(col_bits, num_qubits)
+            for row_local in range(2 ** k):
+                amplitude = matrix[row_local, col_local]
+                if amplitude == 0:
+                    continue
+                row_bits = dict(rest_bits)
+                for i, q in enumerate(qubits):
+                    row_bits[q] = (row_local >> (k - 1 - i)) & 1
+                row = _bits_to_index(row_bits, num_qubits)
+                full[row, col] = amplitude
+    return full
+
+
+def _bits_to_index(bits: Dict[int, int], num_qubits: int) -> int:
+    index = 0
+    for q in range(num_qubits):
+        index = (index << 1) | bits[q]
+    return index

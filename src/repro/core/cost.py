@@ -1,0 +1,112 @@
+"""Quantum cost functions (Section 2.2, Eqn. 2 of the paper).
+
+The paper's exemplary transmon cost function is
+
+    q_cost = 0.5 * t + 0.25 * c + a
+
+where ``t`` counts T/T† gates, ``c`` counts CNOT gates and ``a`` is the
+total gate volume.  T gates are surcharged because of their poor
+fault-tolerant fidelity [Amy et al.]; CNOTs because transmon two-qubit
+operations have higher error rates [Chow et al.].
+
+The compiler treats the cost function as a pluggable component of the
+technology library ("each particular technologically-dependent quantum
+cell library will be characterized and annotated with custom cost
+functions"), so :class:`CostFunction` accepts arbitrary per-gate weights
+or even a user-supplied callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .circuit import QuantumCircuit
+
+
+@dataclass(frozen=True)
+class CostFunction:
+    """A linear quantum cost function over gate counts.
+
+    ``base_weight`` is applied to every gate (the gate-volume term ``a``);
+    ``extra_weights`` adds a per-gate-name surcharge on top of it.  The
+    paper's Eqn. 2 is then ``extra = {T: .5, TDG: .5, CNOT: .25}`` with
+    ``base_weight = 1``.
+
+    A completely custom (possibly nonlinear) metric can be supplied via
+    ``custom``, which receives the circuit and must return a float; the
+    linear terms are ignored in that case.
+    """
+
+    name: str = "custom"
+    base_weight: float = 1.0
+    extra_weights: Dict[str, float] = field(default_factory=dict)
+    custom: Optional[Callable[[QuantumCircuit], float]] = None
+
+    def evaluate(self, circuit: QuantumCircuit) -> float:
+        """Quantum cost of ``circuit`` under this function."""
+        if self.custom is not None:
+            return float(self.custom(circuit))
+        cost = self.base_weight * circuit.gate_volume
+        if self.extra_weights:
+            for gate in circuit:
+                surcharge = self.extra_weights.get(gate.name)
+                if surcharge:
+                    cost += surcharge
+        return cost
+
+    def __call__(self, circuit: QuantumCircuit) -> float:
+        return self.evaluate(circuit)
+
+    def with_weights(self, **extra: float) -> "CostFunction":
+        """Return a copy with updated per-gate surcharges.
+
+        Lets users "easily modify cost function weights so that
+        optimization parameters can be customized" (Section 2.2).
+        """
+        merged = dict(self.extra_weights)
+        merged.update(extra)
+        return CostFunction(self.name, self.base_weight, merged, self.custom)
+
+
+#: The paper's Eqn. 2 cost function for the IBM transmon library.
+TRANSMON_COST = CostFunction(
+    name="transmon-eqn2",
+    base_weight=1.0,
+    extra_weights={"T": 0.5, "TDG": 0.5, "CNOT": 0.25},
+)
+
+
+def transmon_cost(circuit: QuantumCircuit) -> float:
+    """Evaluate Eqn. 2 on ``circuit``: ``0.5*t + 0.25*c + a``."""
+    return TRANSMON_COST.evaluate(circuit)
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """The triple reported throughout the paper's result tables."""
+
+    t_count: int
+    gate_volume: int
+    cost: float
+
+    @classmethod
+    def of(cls, circuit: QuantumCircuit, cost_function: CostFunction = TRANSMON_COST):
+        """Measure ``circuit`` under ``cost_function``."""
+        return cls(
+            t_count=circuit.t_count,
+            gate_volume=circuit.gate_volume,
+            cost=cost_function.evaluate(circuit),
+        )
+
+    def __str__(self) -> str:
+        cost = self.cost
+        cost_text = f"{int(cost)}" if cost == int(cost) else f"{cost:g}"
+        return f"{self.t_count}/{self.gate_volume}/{cost_text}"
+
+    def percent_decrease_to(self, optimized: "CircuitMetrics") -> float:
+        """Percent cost decrease from ``self`` (unoptimized) to ``optimized``,
+        the quantity tabulated in the paper's Tables 4, 6 and 8."""
+        if self.cost == 0:
+            return 0.0
+        return 100.0 * (self.cost - optimized.cost) / self.cost

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro quantum compiler.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch a single base class.  The hierarchy mirrors the tool's stages:
+parsing, synthesis/mapping, and verification.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParseError(ReproError):
+    """A circuit or function specification could not be parsed.
+
+    Carries optional ``filename`` and ``line`` attributes for diagnostics.
+    """
+
+    def __init__(self, message, filename=None, line=None):
+        location = ""
+        if filename is not None:
+            location = f"{filename}:"
+        if line is not None:
+            location = f"{location}{line}:"
+        if location:
+            message = f"{location} {message}"
+        super().__init__(message)
+        self.filename = filename
+        self.line = line
+
+
+class CircuitError(ReproError):
+    """An invalid circuit construction was attempted (bad qubit index,
+    duplicate operands, unknown gate, ...)."""
+
+
+class DeviceError(ReproError):
+    """A device/coupling-map description is malformed or inconsistent."""
+
+
+class SynthesisError(ReproError):
+    """The back-end failed to synthesize a technology-dependent circuit."""
+
+
+class NotSynthesizableError(SynthesisError):
+    """The circuit cannot be realized on the requested target at all.
+
+    This corresponds to the ``N/A`` entries in the paper's Tables 3 and 5:
+    either the circuit needs more qubits than the device provides, or a
+    generalized Toffoli gate cannot be decomposed because no ancilla
+    (work) qubits are available on the device.
+    """
+
+
+class VerificationError(ReproError):
+    """Formal equivalence checking *failed*: the mapped circuit does not
+    implement the same function as its technology-independent source."""
+
+
+class QMDDError(ReproError):
+    """Internal QMDD construction or manipulation error."""

@@ -1,0 +1,481 @@
+"""Gate definitions for the technology libraries used by the compiler.
+
+The paper targets the IBM transmon gate library (Section 3): the
+single-qubit gates ``X, Y, Z, H, S, S†, T, T†`` and the two-qubit
+``CNOT``.  Technology-*independent* circuits may additionally contain
+``CZ``, ``SWAP``, ``Toffoli`` (CCX) and the generalized Toffoli ``Tn``
+(multi-controlled X, written MCX here), which the back-end decomposes.
+
+Table 1 of the paper lists the transfer matrices; :func:`gate_matrix`
+returns exactly those matrices (as numpy arrays) and the unit tests check
+them entry by entry.
+
+A :class:`Gate` is an immutable application of a named operator to a
+tuple of qubit indices.  Qubit order conventions:
+
+* ``CNOT(c, t)`` — first operand is the control, second the target.
+* ``CZ(a, b)`` — symmetric.
+* ``TOFFOLI(c1, c2, t)`` — last operand is the target.
+* ``MCX(c1, ..., ck, t)`` — last operand is the target, the paper's
+  generalized Toffoli ``T_{k+1}`` acting on ``k+1`` qubits.
+
+Matrices use the tensor-order convention that operand 0 is the most
+significant bit of the basis-state index (the same convention as the
+paper's Table 1, where CNOT(control=q0, target=q1) maps |10> -> |11>).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .exceptions import CircuitError
+
+# ---------------------------------------------------------------------------
+# Gate names
+# ---------------------------------------------------------------------------
+
+#: Single-qubit gates available natively on the IBM transmon devices.
+SINGLE_QUBIT_GATES = ("I", "X", "Y", "Z", "H", "S", "SDG", "T", "TDG")
+
+#: The only two-qubit gate available natively on the IBM devices.
+NATIVE_TWO_QUBIT_GATES = ("CNOT",)
+
+#: Extra multi-qubit gates allowed in technology-independent circuits.
+NON_NATIVE_GATES = ("CZ", "SWAP", "TOFFOLI", "MCX")
+
+#: Parametric rotation gates (the IBM machines' "phase rotation" and
+#: "amplitude rotation" operations, Section 3 of the paper).  RZ is the
+#: phase rotation diag(1, e^{i*theta}) (the qiskit u1 convention); RX
+#: and RY are the amplitude rotations.
+PARAMETRIC_GATES = ("RZ", "RX", "RY")
+
+#: Two-qubit parametric gates of *other* technology platforms: RXX is
+#: the Moelmer-Sorensen interaction native to trapped-ion machines
+#: (``cos(theta) I - i sin(theta) X(x)X``), the entangler the paper's
+#: future-work section targets.
+TWO_QUBIT_PARAMETRIC_GATES = ("RXX",)
+
+#: All gates that carry an angle and invert by negating it.
+ROTATION_GATES = PARAMETRIC_GATES + TWO_QUBIT_PARAMETRIC_GATES
+
+#: Every gate name understood by the circuit IR.
+ALL_GATES = (
+    SINGLE_QUBIT_GATES + NATIVE_TWO_QUBIT_GATES + NON_NATIVE_GATES
+    + PARAMETRIC_GATES + TWO_QUBIT_PARAMETRIC_GATES
+)
+
+#: Gates whose matrix is diagonal (they commute with one another and with
+#: the *control* operand of controlled gates).
+DIAGONAL_GATES = frozenset({"I", "Z", "S", "SDG", "T", "TDG", "CZ", "RZ"})
+
+#: Names of self-inverse gates: G . G == identity.
+SELF_INVERSE_GATES = frozenset(
+    {"I", "X", "Y", "Z", "H", "CNOT", "CZ", "SWAP", "TOFFOLI", "MCX"}
+)
+
+#: name -> (inverse name).  Self-inverse gates map to themselves.
+INVERSE_NAME = {
+    "I": "I",
+    "X": "X",
+    "Y": "Y",
+    "Z": "Z",
+    "H": "H",
+    "S": "SDG",
+    "SDG": "S",
+    "T": "TDG",
+    "TDG": "T",
+    "CNOT": "CNOT",
+    "CZ": "CZ",
+    "SWAP": "SWAP",
+    "TOFFOLI": "TOFFOLI",
+    "MCX": "MCX",
+    # Rotations invert by negating the angle; Gate.inverse handles them.
+    "RZ": "RZ",
+    "RX": "RX",
+    "RY": "RY",
+    "RXX": "RXX",
+}
+
+#: Number of operands for fixed-arity gates; MCX is variadic (>= 2).
+GATE_ARITY = {
+    "I": 1,
+    "X": 1,
+    "Y": 1,
+    "Z": 1,
+    "H": 1,
+    "S": 1,
+    "SDG": 1,
+    "T": 1,
+    "TDG": 1,
+    "RZ": 1,
+    "RX": 1,
+    "RY": 1,
+    "RXX": 2,
+    "CNOT": 2,
+    "CZ": 2,
+    "SWAP": 2,
+    "TOFFOLI": 3,
+}
+
+#: Gates that carry exactly one angle parameter.
+PARAM_COUNT = {"RZ": 1, "RX": 1, "RY": 1, "RXX": 1}
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+_BASE_MATRICES: Dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "H": np.array([[_SQRT2_INV, _SQRT2_INV], [_SQRT2_INV, -_SQRT2_INV]], dtype=complex),
+    "S": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "SDG": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "T": np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex),
+    "TDG": np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex),
+}
+
+
+def _controlled_x(num_controls: int) -> np.ndarray:
+    """Matrix of an X gate with ``num_controls`` controls (controls are the
+    most significant qubits, target the least significant)."""
+    dim = 2 ** (num_controls + 1)
+    matrix = np.eye(dim, dtype=complex)
+    # The two basis states where every control is 1 swap target values.
+    hi = dim - 1
+    lo = dim - 2
+    matrix[lo, lo] = 0.0
+    matrix[hi, hi] = 0.0
+    matrix[lo, hi] = 1.0
+    matrix[hi, lo] = 1.0
+    return matrix
+
+
+def gate_matrix(name: str, num_qubits: int = None, params: Tuple[float, ...] = None) -> np.ndarray:
+    """Return the unitary transfer matrix for gate ``name``.
+
+    For ``MCX`` the total qubit count (controls + target) must be supplied
+    via ``num_qubits``; rotations need their angle via ``params``; all
+    other gates have a fixed size.
+
+    >>> gate_matrix("X")
+    array([[0.+0.j, 1.+0.j],
+           [1.+0.j, 0.+0.j]])
+    """
+    if name in _BASE_MATRICES:
+        return _BASE_MATRICES[name].copy()
+    if name == "CNOT":
+        return _controlled_x(1)
+    if name == "TOFFOLI":
+        return _controlled_x(2)
+    if name == "MCX":
+        if num_qubits is None or num_qubits < 2:
+            raise CircuitError("MCX matrix needs num_qubits >= 2")
+        return _controlled_x(num_qubits - 1)
+    if name == "CZ":
+        matrix = np.eye(4, dtype=complex)
+        matrix[3, 3] = -1.0
+        return matrix
+    if name == "SWAP":
+        matrix = np.eye(4, dtype=complex)
+        matrix[1, 1] = matrix[2, 2] = 0.0
+        matrix[1, 2] = matrix[2, 1] = 1.0
+        return matrix
+    if name in PARAMETRIC_GATES:
+        if params is None or len(params) != 1:
+            raise CircuitError(f"{name} needs exactly one angle parameter")
+        return _rotation_matrix(name, params[0])
+    if name == "RXX":
+        if params is None or len(params) != 1:
+            raise CircuitError("RXX needs exactly one angle parameter")
+        theta = params[0]
+        xx = np.kron(_BASE_MATRICES["X"], _BASE_MATRICES["X"])
+        return math.cos(theta) * np.eye(4, dtype=complex) - 1j * math.sin(theta) * xx
+    raise CircuitError(f"unknown gate name: {name!r}")
+
+
+def _rotation_matrix(name: str, theta: float) -> np.ndarray:
+    """RZ (phase rotation, u1 convention) / RX / RY matrices."""
+    if name == "RZ":
+        return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+    half = theta / 2.0
+    c, s = math.cos(half), math.sin(half)
+    if name == "RX":
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    if name == "RY":
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    raise CircuitError(f"unknown rotation {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Gate instances
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An application of a named operator to specific qubits.
+
+    Immutable and hashable so gates can be used as dictionary keys and in
+    sets (the optimizer relies on this).  Rotation gates carry their
+    angle in ``params``; all other gates have empty ``params``.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = ()
+
+    def __post_init__(self):
+        if self.name not in ALL_GATES:
+            raise CircuitError(f"unknown gate name: {self.name!r}")
+        object.__setattr__(self, "qubits", tuple(self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        arity = GATE_ARITY.get(self.name)
+        if arity is not None and len(self.qubits) != arity:
+            raise CircuitError(
+                f"{self.name} expects {arity} operand(s), got {len(self.qubits)}"
+            )
+        expected_params = PARAM_COUNT.get(self.name, 0)
+        if len(self.params) != expected_params:
+            raise CircuitError(
+                f"{self.name} expects {expected_params} parameter(s), got "
+                f"{len(self.params)}"
+            )
+        if self.name == "MCX" and len(self.qubits) < 2:
+            raise CircuitError("MCX needs at least one control and a target")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate operands in {self.name}{self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise CircuitError(f"negative qubit index in {self.name}{self.qubits}")
+
+    # -- structural helpers -------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits this gate touches."""
+        return len(self.qubits)
+
+    @property
+    def controls(self) -> Tuple[int, ...]:
+        """Control operands (empty for uncontrolled gates).
+
+        ``CZ`` is symmetric; by convention its first operand is reported
+        as the control.
+        """
+        if self.name == "CNOT" or self.name == "CZ":
+            return self.qubits[:1]
+        if self.name in ("TOFFOLI", "MCX"):
+            return self.qubits[:-1]
+        return ()
+
+    @property
+    def target(self) -> int:
+        """Target operand (the last qubit for controlled gates)."""
+        return self.qubits[-1]
+
+    @property
+    def is_native_transmon(self) -> bool:
+        """True if the gate exists in the IBM transmon library
+        (single-qubit gates — including the physical phase/amplitude
+        rotations — and CNOT)."""
+        return (
+            self.name in SINGLE_QUBIT_GATES
+            or self.name in PARAMETRIC_GATES
+            or self.name == "CNOT"
+        )
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True if the gate's matrix is diagonal in the computational basis."""
+        return self.name in DIAGONAL_GATES
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate (same operands, adjoint operator).
+
+        Rotations invert by negating their angle."""
+        if self.name in ROTATION_GATES:
+            return Gate(self.name, self.qubits, tuple(-p for p in self.params))
+        return Gate(INVERSE_NAME[self.name], self.qubits)
+
+    def is_inverse_of(self, other: "Gate") -> bool:
+        """True if ``self . other == identity`` acting on the same operands.
+
+        ``CZ`` and ``SWAP`` are symmetric so operand order is ignored for
+        them; Toffoli/MCX controls are an unordered set.
+        """
+        if self.name in ROTATION_GATES:
+            qubits_match = (
+                set(other.qubits) == set(self.qubits)
+                if self.name == "RXX"  # the XX interaction is symmetric
+                else other.qubits == self.qubits
+            )
+            return (
+                other.name == self.name
+                and qubits_match
+                and all(
+                    abs(a + b) < 1e-12 for a, b in zip(self.params, other.params)
+                )
+            )
+        if INVERSE_NAME[self.name] != other.name:
+            return False
+        if other.name in ROTATION_GATES:
+            return False
+        if self.name in ("CZ", "SWAP"):
+            return set(self.qubits) == set(other.qubits)
+        if self.name in ("TOFFOLI", "MCX"):
+            return (
+                self.target == other.target
+                and set(self.controls) == set(other.controls)
+            )
+        return self.qubits == other.qubits
+
+    def commutes_with(self, other: "Gate") -> bool:
+        """Conservative commutation test used by the local optimizer.
+
+        Returns True only when the two gates provably commute:
+
+        * disjoint qubit supports always commute;
+        * two diagonal gates always commute;
+        * a diagonal single-qubit gate on the *control* of a controlled-X
+          commutes with it (phases pass through controls);
+        * X on the *target* of a CNOT/Toffoli/MCX commutes with it.
+
+        A ``False`` answer means "unknown", which is always safe.
+        """
+        shared = set(self.qubits) & set(other.qubits)
+        if not shared:
+            return True
+        if self.is_diagonal and other.is_diagonal:
+            return True
+        for first, second in ((self, other), (other, self)):
+            if first.num_qubits == 1:
+                qubit = first.qubits[0]
+                if second.name in ("CNOT", "TOFFOLI", "MCX"):
+                    if first.is_diagonal and qubit in second.controls:
+                        return True
+                    if first.name == "X" and qubit == second.target:
+                        return True
+                if second.name == "CZ" and first.is_diagonal:
+                    return True
+        if (
+            self.name in ("CNOT", "TOFFOLI", "MCX")
+            and other.name in ("CNOT", "TOFFOLI", "MCX")
+        ):
+            # Controlled-X gates commute when neither target lies in the
+            # other's controls (shared controls and shared targets are fine).
+            if (
+                self.target not in other.controls
+                and other.target not in self.controls
+            ):
+                return True
+        return False
+
+    def __str__(self) -> str:
+        operands = ", ".join(f"q{q}" for q in self.qubits)
+        if self.params:
+            angles = ", ".join(f"{p:g}" for p in self.params)
+            return f"{self.name}({angles})({operands})"
+        return f"{self.name}({operands})"
+
+
+# -- convenience constructors ----------------------------------------------
+
+
+def X(q: int) -> Gate:
+    """Pauli-X (NOT) on qubit ``q``."""
+    return Gate("X", (q,))
+
+
+def Y(q: int) -> Gate:
+    """Pauli-Y on qubit ``q``."""
+    return Gate("Y", (q,))
+
+
+def Z(q: int) -> Gate:
+    """Pauli-Z on qubit ``q``."""
+    return Gate("Z", (q,))
+
+
+def H(q: int) -> Gate:
+    """Hadamard on qubit ``q``."""
+    return Gate("H", (q,))
+
+
+def S(q: int) -> Gate:
+    """Phase gate S on qubit ``q``."""
+    return Gate("S", (q,))
+
+
+def Sdg(q: int) -> Gate:
+    """Adjoint phase gate S† on qubit ``q``."""
+    return Gate("SDG", (q,))
+
+
+def T(q: int) -> Gate:
+    """π/8 gate T on qubit ``q``."""
+    return Gate("T", (q,))
+
+
+def Tdg(q: int) -> Gate:
+    """Adjoint π/8 gate T† on qubit ``q``."""
+    return Gate("TDG", (q,))
+
+
+def I(q: int) -> Gate:  # noqa: E743 - name matches the operator
+    """Identity on qubit ``q``."""
+    return Gate("I", (q,))
+
+
+def CNOT(control: int, target: int) -> Gate:
+    """Controlled-X with ``control`` controlling ``target``."""
+    return Gate("CNOT", (control, target))
+
+
+def CZ(a: int, b: int) -> Gate:
+    """Controlled-Z (symmetric) on qubits ``a`` and ``b``."""
+    return Gate("CZ", (a, b))
+
+
+def SWAP(a: int, b: int) -> Gate:
+    """SWAP of qubits ``a`` and ``b``."""
+    return Gate("SWAP", (a, b))
+
+
+def TOFFOLI(c1: int, c2: int, target: int) -> Gate:
+    """Toffoli (CCX) with controls ``c1``, ``c2`` and target ``target``."""
+    return Gate("TOFFOLI", (c1, c2, target))
+
+
+def MCX(*qubits: int) -> Gate:
+    """Generalized Toffoli ``T_n``: X on the last operand controlled by all
+    preceding operands.  ``MCX(c1, ..., ck, t)`` is the paper's
+    ``T_{k+1}`` gate."""
+    if len(qubits) == 2:
+        return Gate("CNOT", qubits)
+    if len(qubits) == 3:
+        return Gate("TOFFOLI", qubits)
+    return Gate("MCX", qubits)
+
+
+def RZ(theta: float, q: int) -> Gate:
+    """Phase rotation diag(1, e^{i*theta}) on qubit ``q`` (u1 convention)."""
+    return Gate("RZ", (q,), (theta,))
+
+
+def RX(theta: float, q: int) -> Gate:
+    """Amplitude rotation about X by ``theta`` on qubit ``q``."""
+    return Gate("RX", (q,), (theta,))
+
+
+def RY(theta: float, q: int) -> Gate:
+    """Amplitude rotation about Y by ``theta`` on qubit ``q``."""
+    return Gate("RY", (q,), (theta,))
+
+
+def RXX(theta: float, a: int, b: int) -> Gate:
+    """Moelmer-Sorensen XX interaction by ``theta`` between ``a`` and ``b``
+    (the trapped-ion native entangler)."""
+    return Gate("RXX", (a, b), (theta,))

@@ -1,0 +1,57 @@
+"""Device library: coupling maps, IBM Q targets, topology builders."""
+
+from .coupling import CouplingMap
+from .device import (
+    Device,
+    TRANSMON_GATE_SET,
+    available_devices,
+    get_device,
+    register_device,
+)
+from .ibm import (
+    IBMQ16,
+    IBMQX2,
+    IBMQX3,
+    IBMQX4,
+    IBMQX5,
+    PAPER_DEVICES,
+    SIMULATOR,
+)
+from .calibration import Calibration, fidelity_cost, synthetic_calibration
+from .builders import (
+    PROPOSED96,
+    grid_device,
+    ion_device,
+    ladder_device,
+    linear_device,
+    proposed_96q_device,
+    ring_device,
+    star_device,
+)
+
+__all__ = [
+    "Calibration",
+    "fidelity_cost",
+    "synthetic_calibration",
+    "CouplingMap",
+    "Device",
+    "TRANSMON_GATE_SET",
+    "available_devices",
+    "get_device",
+    "register_device",
+    "IBMQX2",
+    "IBMQX3",
+    "IBMQX4",
+    "IBMQX5",
+    "IBMQ16",
+    "SIMULATOR",
+    "PAPER_DEVICES",
+    "PROPOSED96",
+    "grid_device",
+    "ion_device",
+    "ladder_device",
+    "linear_device",
+    "proposed_96q_device",
+    "ring_device",
+    "star_device",
+]

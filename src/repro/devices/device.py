@@ -1,0 +1,108 @@
+"""Device descriptions: a coupling map plus a technology library.
+
+A :class:`Device` bundles everything the back-end needs to target a
+physical machine: the coupling map, the native gate set, and the cost
+function annotated on the technology library (Section 2.2).  The module
+also maintains the tool's *device registry* so that new topologies can be
+"added to the device library" (Section 5) and then selected by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..core.cost import CostFunction, TRANSMON_COST
+from ..core.exceptions import DeviceError
+from .coupling import CouplingMap
+
+#: The IBM transmon native gate set (Section 3): the discrete library
+#: plus the physical phase (RZ) and amplitude (RX/RY) rotations.
+TRANSMON_GATE_SET: Tuple[str, ...] = (
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "RZ",
+    "RX",
+    "RY",
+    "CNOT",
+)
+
+
+@dataclass(frozen=True)
+class Device:
+    """A synthesis target: name, coupling map, gate library, cost function."""
+
+    name: str
+    coupling_map: CouplingMap
+    release_date: str = ""
+    retired: bool = False
+    gate_set: Tuple[str, ...] = TRANSMON_GATE_SET
+    cost_function: CostFunction = TRANSMON_COST
+
+    @property
+    def num_qubits(self) -> int:
+        """Physical qubit count."""
+        return self.coupling_map.num_qubits
+
+    @property
+    def coupling_complexity(self) -> float:
+        """The Table 2 metric for this device."""
+        return self.coupling_map.coupling_complexity
+
+    @property
+    def is_simulator(self) -> bool:
+        """True when the device imposes no coupling restrictions."""
+        return self.coupling_map.all_to_all
+
+    def supports_gate(self, name: str) -> bool:
+        """True if ``name`` is in this device's native library."""
+        return name in self.gate_set
+
+    def with_cost_function(self, cost_function: CostFunction) -> "Device":
+        """Return a copy annotated with a different cost function."""
+        return replace(self, cost_function=cost_function)
+
+    def __str__(self) -> str:
+        kind = "simulator" if self.is_simulator else "device"
+        return (
+            f"<{kind} {self.name}: {self.num_qubits} qubits, "
+            f"complexity {self.coupling_complexity:.4f}>"
+        )
+
+
+_REGISTRY: Dict[str, Device] = {}
+
+
+def register_device(device: Device, overwrite: bool = False) -> Device:
+    """Add ``device`` to the global registry used by :func:`get_device`.
+
+    This is the extension point the paper describes: "custom transmon
+    devices with different coupling maps can be added to the tool to
+    provide additional targets during synthesis".
+    """
+    key = device.name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise DeviceError(f"device {device.name!r} already registered")
+    _REGISTRY[key] = device
+    return device
+
+
+def get_device(name: str) -> Device:
+    """Look up a registered device by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise DeviceError(f"unknown device {name!r}; known devices: {known}")
+
+
+def available_devices() -> Tuple[str, ...]:
+    """Names of all registered devices, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,113 @@
+"""The IBM Q device library (Section 3, Table 2 of the paper).
+
+Coupling maps are transcribed *verbatim* from the dictionaries in
+Section 3 of the paper (which in turn cite the IBM backend-specification
+documents [17-21]).  Keys are qubits eligible to act as a CNOT control;
+values list the targets that control may drive.
+
+The unit tests check that the coupling-complexity values computed from
+these maps reproduce Table 2 exactly:
+
+=============  =======  ===================
+device         qubits   coupling complexity
+=============  =======  ===================
+ibmqx2         5        0.3
+ibmqx3         16       0.08333...
+ibmqx4         5        0.3
+ibmqx5         16       0.09166...
+ibmq_16        14       0.098901...
+=============  =======  ===================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .coupling import CouplingMap
+from .device import Device, register_device
+
+#: ibmqx2 "Yorktown", 5 qubits, Jan. 2017.
+IBMQX2_COUPLING: Dict[int, List[int]] = {0: [1, 2], 1: [2], 3: [2, 4], 4: [2]}
+
+#: ibmqx3, 16 qubits, June 2017 (retired).
+IBMQX3_COUPLING: Dict[int, List[int]] = {
+    0: [1],
+    1: [2],
+    2: [3],
+    3: [14],
+    4: [3, 5],
+    6: [7, 11],
+    7: [10],
+    8: [7],
+    9: [8, 10],
+    11: [10],
+    12: [5, 11, 13],
+    13: [4, 14],
+    15: [0, 14],
+}
+
+#: ibmqx4 "Tenerife", 5 qubits, Sept. 2017.
+IBMQX4_COUPLING: Dict[int, List[int]] = {1: [0], 2: [0, 1], 3: [2, 4], 4: [2]}
+
+#: ibmqx5 "Rueschlikon", 16 qubits, Sept. 2017 (retired).
+IBMQX5_COUPLING: Dict[int, List[int]] = {
+    1: [0, 2],
+    2: [3],
+    3: [4, 14],
+    5: [4],
+    6: [5, 7, 11],
+    7: [10],
+    8: [7],
+    9: [8, 10],
+    11: [10],
+    12: [5, 11, 13],
+    13: [4, 14],
+    15: [0, 2, 14],
+}
+
+#: ibmq_16 "Melbourne", 14 qubits, Sept. 2018.
+IBMQ16_COUPLING: Dict[int, List[int]] = {
+    1: [0, 2],
+    2: [3],
+    4: [3, 10],
+    5: [4, 6, 9],
+    6: [8],
+    7: [8],
+    9: [8, 10],
+    11: [3, 10, 12],
+    12: [2],
+    13: [1, 12],
+}
+
+
+def _make(name: str, qubits: int, coupling: Dict[int, List[int]], release: str,
+          retired: bool = False) -> Device:
+    device = Device(
+        name=name,
+        coupling_map=CouplingMap(qubits, coupling, name=name),
+        release_date=release,
+        retired=retired,
+    )
+    return register_device(device)
+
+
+IBMQX2 = _make("ibmqx2", 5, IBMQX2_COUPLING, "Jan. 2017")
+IBMQX3 = _make("ibmqx3", 16, IBMQX3_COUPLING, "June 2017", retired=True)
+IBMQX4 = _make("ibmqx4", 5, IBMQX4_COUPLING, "Sept. 2017")
+IBMQX5 = _make("ibmqx5", 16, IBMQX5_COUPLING, "Sept. 2017", retired=True)
+IBMQ16 = _make("ibmq_16", 14, IBMQ16_COUPLING, "Sept. 2018")
+
+#: The unrestricted simulator backend (coupling complexity 1.0).  The
+#: paper maps the Table 3 benchmarks to "the simulator" to obtain their
+#: technology-independent metrics; 32 qubits comfortably covers them.
+SIMULATOR = register_device(
+    Device(
+        name="simulator",
+        coupling_map=CouplingMap.fully_connected(32, name="simulator"),
+        release_date="-",
+    )
+)
+
+#: The five physical IBM targets used in the paper's result tables, in
+#: the column order of Tables 3-6.
+PAPER_DEVICES = (IBMQX2, IBMQX3, IBMQX4, IBMQX5, IBMQ16)

@@ -1,0 +1,148 @@
+"""ASCII rendering of quantum circuits.
+
+Renders a :class:`~repro.core.circuit.QuantumCircuit` as column-aligned
+wire art, e.g.::
+
+    q0: ─H─●────●─
+           │    │
+    q1: ───X─●──┼─
+             │  │
+    q2: ─────X──Z─
+
+Gates are packed greedily into time columns (the same scheduling as
+``QuantumCircuit.depth``), controls print as ``●``, X-targets as ``X``,
+other targets by their gate letter, and vertical bars connect the
+operands of multi-qubit gates.  Intended for examples, docs and
+debugging of small circuits; wide circuits truncate gracefully.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .core.circuit import QuantumCircuit
+from .core.gates import Gate
+
+#: gate name -> short label used in the drawing.
+_LABELS = {
+    "I": "I",
+    "X": "X",
+    "Y": "Y",
+    "Z": "Z",
+    "H": "H",
+    "S": "S",
+    "SDG": "S†",
+    "T": "T",
+    "TDG": "T†",
+    "RZ": "Rz",
+    "RX": "Rx",
+    "RY": "Ry",
+}
+
+
+def _columns(circuit: QuantumCircuit) -> List[List[Gate]]:
+    """Greedy left-packing of gates into drawing columns.
+
+    Multi-qubit gates reserve their whole wire *span* (not just their
+    operands) so two spanning gates never overlap ambiguously within one
+    column.
+    """
+    level: Dict[int, int] = {}
+    columns: List[List[Gate]] = []
+    for gate in circuit:
+        qubits = gate.qubits
+        if len(qubits) > 1:
+            span = range(min(qubits), max(qubits) + 1)
+        else:
+            span = qubits
+        start = max((level.get(q, 0) for q in span), default=0)
+        while len(columns) <= start:
+            columns.append([])
+        columns[start].append(gate)
+        for q in span:
+            level[q] = start + 1
+    return columns
+
+
+def _gate_cells(gate: Gate) -> Dict[int, str]:
+    """Per-qubit cell text for one gate."""
+    name = gate.name
+    if name in ("CNOT", "TOFFOLI", "MCX"):
+        cells = {control: "●" for control in gate.controls}
+        cells[gate.target] = "X"
+        return cells
+    if name == "CZ":
+        return {gate.qubits[0]: "●", gate.qubits[1]: "Z"}
+    if name == "SWAP":
+        return {gate.qubits[0]: "x", gate.qubits[1]: "x"}
+    if name == "RXX":
+        return {gate.qubits[0]: "XX", gate.qubits[1]: "XX"}
+    return {gate.qubits[0]: _LABELS.get(name, name)}
+
+
+def draw_circuit(
+    circuit: QuantumCircuit,
+    max_columns: Optional[int] = 24,
+    show_params: bool = False,
+) -> str:
+    """Render ``circuit`` as ASCII wire art (see module docstring).
+
+    ``max_columns`` truncates long circuits with an ellipsis;
+    ``show_params`` appends rotation angles to their labels.
+    """
+    n = circuit.num_qubits
+    columns = _columns(circuit)
+    truncated = max_columns is not None and len(columns) > max_columns
+    if truncated:
+        columns = columns[:max_columns]
+
+    # Build cell text per column, then pad columns to equal width.
+    rendered_columns: List[Dict[int, str]] = []
+    connector_columns: List[Dict[int, bool]] = []
+    for column in columns:
+        cells: Dict[int, str] = {}
+        connect: Dict[int, bool] = {}
+        for gate in column:
+            gate_cells = _gate_cells(gate)
+            if show_params and gate.params:
+                target = gate.qubits[0]
+                angle = ",".join(f"{p:.3g}" for p in gate.params)
+                gate_cells[target] = f"{gate_cells[target]}({angle})"
+            cells.update(gate_cells)
+            if gate.num_qubits > 1:
+                low, high = min(gate.qubits), max(gate.qubits)
+                for wire in range(low, high):
+                    connect[wire] = True  # bar between wire and wire+1
+        rendered_columns.append(cells)
+        connector_columns.append(connect)
+
+    label_width = len(f"q{n - 1}: ")
+    wire_rows = [f"q{q}: ".ljust(label_width) for q in range(n)]
+    gap_rows = [" " * label_width for _ in range(max(0, n - 1))]
+
+    for cells, connect in zip(rendered_columns, connector_columns):
+        width = max([len(text) for text in cells.values()] + [1])
+        for q in range(n):
+            text = cells.get(q)
+            if text is None:
+                # Pass-through wire; a gate spanning this wire (connector
+                # bars both above and below) draws a crossing.
+                through = connect.get(q - 1, False) and connect.get(q, False)
+                body = ("┼" if through else "─").center(width, "─")
+                wire_rows[q] += "─" + body + "─"
+            else:
+                wire_rows[q] += "─" + text.center(width, "─") + "─"
+        for w in range(n - 1):
+            bar = "│" if connect.get(w, False) else " "
+            gap_rows[w] += " " + bar.center(width) + " "
+
+    if truncated:
+        for q in range(n):
+            wire_rows[q] += " …"
+
+    lines: List[str] = []
+    for q in range(n):
+        lines.append(wire_rows[q])
+        if q < n - 1:
+            lines.append(gap_rows[q])
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Classical front-end: truth tables, ESOP extraction, reversible cascades."""
+
+from .truth_table import TruthTable
+from .esop import (
+    esop_fprm_best,
+    esop_fprm_fixed,
+    esop_minimize,
+    esop_pprm,
+    pprm_spectrum,
+    verify_esop,
+)
+from .bdd import BDD, esop_from_bdd
+from .exorcism import esop_minimize_deep, exorcise
+from .expressions import (
+    expression_variables,
+    synthesize_expressions,
+    truth_table_from_expressions,
+)
+from .cascade import (
+    cascade_from_cubes,
+    single_target_gate,
+    synthesize_truth_table,
+    verify_cascade,
+)
+
+__all__ = [
+    "TruthTable",
+    "esop_fprm_best",
+    "esop_fprm_fixed",
+    "esop_minimize",
+    "esop_pprm",
+    "pprm_spectrum",
+    "verify_esop",
+    "BDD",
+    "esop_from_bdd",
+    "esop_minimize_deep",
+    "exorcise",
+    "expression_variables",
+    "synthesize_expressions",
+    "truth_table_from_expressions",
+    "cascade_from_cubes",
+    "single_target_gate",
+    "synthesize_truth_table",
+    "verify_cascade",
+]

@@ -1,0 +1,260 @@
+"""A compact reduced ordered BDD engine for the DD-path front-end.
+
+Section 2.3 of the paper describes the RevKit-style alternative to
+textual ESOP input: represent the irreversible function as an ordered
+decision diagram, whose paths to the 1-terminal enumerate a *disjoint*
+cube cover, then feed those cubes to the cascade generator.  Shared
+isomorphic subgraphs make the DD form more memory-compact than a flat
+cube list for structured functions.
+
+This module implements a classic ROBDD with a unique table and an
+``apply``-based combinator set — enough to build functions symbolically,
+count satisfying assignments, and extract the disjoint cube cover.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.exceptions import ReproError
+from ..io.pla import Cube, CubeList
+from .truth_table import TruthTable
+
+
+class BDD:
+    """Manager for reduced ordered BDDs over ``num_vars`` variables.
+
+    Nodes are integers: 0 and 1 are the terminals; others index the
+    manager's node store.  Variable 0 is the topmost (and the MSB of
+    assignment indices, matching the rest of the library).
+    """
+
+    ZERO = 0
+    ONE = 1
+
+    def __init__(self, num_vars: int):
+        if num_vars < 0:
+            raise ReproError("negative variable count")
+        self.num_vars = num_vars
+        # node id -> (var, low, high); terminals handled separately.
+        self._nodes: List[Tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple, int] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def node(self, var: int, low: int, high: int) -> int:
+        """Hash-consed node; applies the BDD reduction rule low==high."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is None:
+            found = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = found
+        return found
+
+    def var(self, index: int) -> int:
+        """The function ``f = x_index``."""
+        if not (0 <= index < self.num_vars):
+            raise ReproError(f"variable {index} out of range")
+        return self.node(index, self.ZERO, self.ONE)
+
+    def nvar(self, index: int) -> int:
+        """The function ``f = NOT x_index``."""
+        return self.node(index, self.ONE, self.ZERO)
+
+    def _var_of(self, f: int) -> int:
+        if f <= 1:
+            return self.num_vars  # terminals sort below all variables
+        return self._nodes[f][0]
+
+    def _children(self, f: int, var: int) -> Tuple[int, int]:
+        if f <= 1 or self._nodes[f][0] != var:
+            return f, f
+        _, low, high = self._nodes[f]
+        return low, high
+
+    # -- combinators ---------------------------------------------------------------
+
+    def apply(self, op: str, f: int, g: int) -> int:
+        """Binary combinator for op in {'and', 'or', 'xor'}."""
+        table = _TERMINAL_OPS.get(op)
+        if table is None:
+            raise ReproError(f"unknown BDD op {op!r}")
+        return self._apply(op, table, f, g)
+
+    def _apply(self, op: str, table: Callable[[int, int], Optional[int]],
+               f: int, g: int) -> int:
+        terminal = table(f, g)
+        if terminal is not None:
+            return terminal
+        key = (op, f, g)
+        found = self._apply_cache.get(key)
+        if found is not None:
+            return found
+        var = min(self._var_of(f), self._var_of(g))
+        f0, f1 = self._children(f, var)
+        g0, g1 = self._children(g, var)
+        result = self.node(
+            var,
+            self._apply(op, table, f0, g0),
+            self._apply(op, table, f1, g1),
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.apply("and", f, g)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.apply("or", f, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.apply("xor", f, g)
+
+    def not_(self, f: int) -> int:
+        """Negation (via XOR with 1)."""
+        return self.apply("xor", f, self.ONE)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def evaluate(self, f: int, assignment: int) -> int:
+        """Evaluate ``f`` on an assignment integer (variable 0 = MSB)."""
+        while f > 1:
+            var, low, high = self._nodes[f]
+            bit = (assignment >> (self.num_vars - 1 - var)) & 1
+            f = high if bit else low
+        return f
+
+    def from_truth_table(self, column: List[int]) -> int:
+        """Build the BDD of an explicit single-output truth table."""
+        size = len(column)
+        expected = 1 << self.num_vars
+        if size != expected:
+            raise ReproError(f"table must have {expected} rows")
+
+        def build(var: int, offset: int, span: int) -> int:
+            if span == 1:
+                return self.ONE if column[offset] else self.ZERO
+            half = span // 2
+            low = build(var + 1, offset, half)
+            high = build(var + 1, offset + half, half)
+            return self.node(var, low, high)
+
+        return build(0, 0, size)
+
+    def sat_count(self, f: int) -> int:
+        """Number of satisfying assignments of ``f``."""
+        memo: Dict[int, int] = {}
+
+        def count(node: int, var: int) -> int:
+            if node == self.ZERO:
+                return 0
+            if node == self.ONE:
+                return 1 << (self.num_vars - var)
+            found = memo.get(node)
+            if found is None:
+                node_var, low, high = self._nodes[node]
+                below = count(low, node_var + 1) + count(high, node_var + 1)
+                memo[node] = found = below
+            # scale for skipped levels between var and the node's variable
+            node_var = self._nodes[node][0]
+            return found << (node_var - var)
+
+        return count(f, 0)
+
+    def node_count(self, f: int) -> int:
+        """Distinct internal nodes reachable from ``f``."""
+        seen = set()
+
+        def walk(node: int) -> None:
+            if node <= 1 or node in seen:
+                return
+            seen.add(node)
+            _, low, high = self._nodes[node]
+            walk(low)
+            walk(high)
+
+        walk(f)
+        return len(seen)
+
+    # -- disjoint cube extraction -----------------------------------------------------------
+
+    def disjoint_cubes(self, f: int) -> List[Cube]:
+        """Every 1-path as a cube; paths of a reduced BDD are disjoint by
+        construction (Section 2.3's DD-path ESOP)."""
+        cubes: List[Cube] = []
+        literals: List[Optional[int]] = [None] * self.num_vars
+
+        def walk(node: int) -> None:
+            if node == self.ZERO:
+                return
+            if node == self.ONE:
+                cubes.append(Cube(tuple(literals)))
+                return
+            var, low, high = self._nodes[node]
+            literals[var] = 0
+            walk(low)
+            literals[var] = 1
+            walk(high)
+            literals[var] = None
+
+        walk(f)
+        return cubes
+
+
+def esop_from_bdd(table: TruthTable) -> CubeList:
+    """Disjoint-cube ESOP of a truth table via BDD 1-paths.
+
+    Disjoint cubes OR to the same value they XOR to, so the result is a
+    valid ESOP for the cascade generator.
+    """
+    manager = BDD(table.num_inputs)
+    result = CubeList(table.num_inputs, table.num_outputs)
+    for output in range(table.num_outputs):
+        root = manager.from_truth_table(table.output_column(output))
+        for cube in manager.disjoint_cubes(root):
+            result.add(cube, 1 << output)
+    return result
+
+
+def _and_terminal(f: int, g: int) -> Optional[int]:
+    if f == BDD.ZERO or g == BDD.ZERO:
+        return BDD.ZERO
+    if f == BDD.ONE:
+        return g
+    if g == BDD.ONE:
+        return f
+    if f == g:
+        return f
+    return None
+
+
+def _or_terminal(f: int, g: int) -> Optional[int]:
+    if f == BDD.ONE or g == BDD.ONE:
+        return BDD.ONE
+    if f == BDD.ZERO:
+        return g
+    if g == BDD.ZERO:
+        return f
+    if f == g:
+        return f
+    return None
+
+
+def _xor_terminal(f: int, g: int) -> Optional[int]:
+    if f == g:
+        return BDD.ZERO
+    if f == BDD.ZERO:
+        return g
+    if g == BDD.ZERO:
+        return f
+    return None
+
+
+_TERMINAL_OPS = {"and": _and_terminal, "or": _or_terminal, "xor": _xor_terminal}

@@ -1,0 +1,144 @@
+"""ESOP cube list -> reversible Toffoli cascade (Fazel-Thornton, [ref 1]).
+
+The generator embeds an irreversible ``B^n -> B^m`` function into a
+reversible circuit on ``n + m`` lines: the ``n`` input lines pass through
+unchanged (they exit as garbage outputs that happen to equal the inputs)
+and the ``m`` output lines, prepared as ``|0>`` ancillae, accumulate the
+XOR of the cubes — exactly the ESOP semantics, since every covered cube
+toggles its output lines once.
+
+For each cube, the generator emits a generalized Toffoli whose controls
+sit on the cube's bound input lines and whose targets are the cube's
+output lines.  Negative literals need the control line temporarily
+inverted with a NOT; following [1], cubes are ordered and line polarities
+*tracked* so that consecutive cubes sharing negative literals do not pay
+repeated NOT pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import SynthesisError
+from ..core.gates import Gate, MCX, X
+from ..io.pla import Cube, CubeList
+from .truth_table import TruthTable
+from .esop import esop_minimize
+
+
+def cascade_from_cubes(cubes: CubeList, name: str = "") -> QuantumCircuit:
+    """Build the reversible cascade for a (multi-output) ESOP.
+
+    Line layout: lines ``0..n-1`` carry the preserved inputs, lines
+    ``n..n+m-1`` are the ``|0>``-initialized outputs.
+    """
+    n = cubes.num_inputs
+    m = cubes.num_outputs
+    circuit = QuantumCircuit(n + m, name=name)
+    polarity = [0] * n  # 1 = line currently inverted by a pending NOT
+
+    for cube, mask in _ordered_rows(cubes):
+        controls: List[int] = []
+        for variable, literal in enumerate(cube.literals):
+            if literal is None:
+                continue
+            wanted = 1 - literal  # literal 0 (negative) wants inversion
+            if polarity[variable] != wanted:
+                circuit.append(X(variable))
+                polarity[variable] = wanted
+            controls.append(variable)
+        targets = [n + o for o in range(m) if mask & (1 << o)]
+        for target in targets:
+            if not controls:
+                circuit.append(X(target))
+            elif len(controls) == 1:
+                circuit.append(Gate("CNOT", (controls[0], target)))
+            else:
+                circuit.append(MCX(*controls, target))
+    # Restore every input line to its natural polarity.
+    for variable, inverted in enumerate(polarity):
+        if inverted:
+            circuit.append(X(variable))
+    return circuit
+
+
+def _ordered_rows(cubes: CubeList) -> List[Tuple[Cube, int]]:
+    """Order cubes to minimize polarity switches: group by the set of
+    negated variables (greedy nearest-neighbour over negation masks)."""
+    remaining = list(cubes.rows)
+    if not remaining:
+        return []
+
+    def negation_mask(cube: Cube) -> int:
+        mask = 0
+        for variable, literal in enumerate(cube.literals):
+            if literal == 0:
+                mask |= 1 << variable
+        return mask
+
+    ordered: List[Tuple[Cube, int]] = []
+    current_mask = 0
+    while remaining:
+        best_index = min(
+            range(len(remaining)),
+            key=lambda i: (
+                bin(negation_mask(remaining[i][0]) ^ current_mask).count("1"),
+                str(remaining[i][0]),
+            ),
+        )
+        cube, output_mask = remaining.pop(best_index)
+        ordered.append((cube, output_mask))
+        current_mask = negation_mask(cube)
+    return ordered
+
+
+def synthesize_truth_table(
+    table: TruthTable, effort: str = "fprm", name: str = ""
+) -> QuantumCircuit:
+    """Front-end in one call: truth table -> minimized ESOP -> cascade."""
+    cubes = esop_minimize(table, effort=effort)
+    return cascade_from_cubes(cubes, name=name)
+
+
+def single_target_gate(
+    control_function: TruthTable, name: str = ""
+) -> QuantumCircuit:
+    """A *single-target gate*: on ``k+1`` lines, flip the last line iff
+    the control function of the first ``k`` lines is 1.
+
+    These are the paper's first benchmark family ("Optimal Single-target
+    Gates", Table 3): complex reversible functions decompose into
+    single-target gates, which in turn decompose into one- and two-qubit
+    operators.
+    """
+    if control_function.num_outputs != 1:
+        raise SynthesisError("a single-target gate has a single-output control")
+    return synthesize_truth_table(control_function, name=name)
+
+
+def verify_cascade(table: TruthTable, circuit: QuantumCircuit) -> bool:
+    """Exhaustive check: on every input assignment (outputs zeroed), the
+    cascade must preserve the inputs and produce the table's outputs."""
+    from ..verify.permutation import evaluate
+
+    n, m = table.num_inputs, table.num_outputs
+    for assignment in range(1 << n):
+        bits_in = assignment << m  # inputs on top lines, outputs |0>
+        bits_out = evaluate(circuit, bits_in)
+        got_inputs = bits_out >> m
+        got_outputs = bits_out & ((1 << m) - 1)
+        expected = _reverse_mask(table.evaluate(assignment), m)
+        if got_inputs != assignment or got_outputs != expected:
+            return False
+    return True
+
+
+def _reverse_mask(mask: int, width: int) -> int:
+    """Output masks are LSB=output0 but line order puts output0 first
+    (MSB side); reverse bits for the comparison."""
+    result = 0
+    for position in range(width):
+        if mask & (1 << position):
+            result |= 1 << (width - 1 - position)
+    return result

@@ -1,0 +1,129 @@
+"""ESOP extraction: Reed-Muller spectra and fixed-polarity minimization.
+
+The Fazel-Thornton cascade generator [ref 1] consumes a *minimized ESOP*
+(exclusive-or sum of products).  For benchmark-scale functions we derive
+ESOPs from the Reed-Muller spectrum:
+
+* **PPRM** (positive-polarity Reed-Muller): the canonical XOR-of-ANDs
+  with only positive literals, computed by the binary Moebius (butterfly)
+  transform in ``O(n 2^n)``.
+* **FPRM** (fixed-polarity Reed-Muller): each variable independently
+  appears either always-positive or always-negative; searching all
+  ``2^n`` polarities and keeping the fewest-cubes expansion is a classic
+  exact minimization within the FPRM class and is instant for the
+  benchmark sizes used in the paper (n <= 9).
+
+Both return :class:`~repro.io.pla.CubeList` objects, the common currency
+between the front-end stages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..io.pla import Cube, CubeList
+from .truth_table import TruthTable
+
+
+def pprm_spectrum(column: List[int]) -> List[int]:
+    """Binary Moebius transform: PPRM coefficient per monomial.
+
+    ``column[i]`` is the function value on assignment ``i`` (variable 0 =
+    MSB); the result's index ``m`` is the monomial whose set bits say
+    which variables appear.
+    """
+    coefficients = list(column)
+    size = len(coefficients)
+    stride = 1
+    while stride < size:
+        for index in range(size):
+            if index & stride:
+                coefficients[index] ^= coefficients[index ^ stride]
+        stride <<= 1
+    return coefficients
+
+
+def _cube_for_monomial(monomial: int, polarity: int, num_vars: int) -> Cube:
+    """Cube of a monomial under ``polarity`` (bit set -> negative literal).
+
+    Variable ``v`` (MSB-first) participates iff bit ``num_vars-1-v`` of
+    ``monomial`` is set; it appears negated iff the same bit of
+    ``polarity`` is set.
+    """
+    literals: List[Optional[int]] = []
+    for v in range(num_vars):
+        bit = 1 << (num_vars - 1 - v)
+        if monomial & bit:
+            literals.append(0 if polarity & bit else 1)
+        else:
+            literals.append(None)
+    return Cube(tuple(literals))
+
+
+def esop_pprm(table: TruthTable) -> CubeList:
+    """Positive-polarity ESOP of a (multi-output) truth table."""
+    return esop_fprm_fixed(table, polarity=0)
+
+
+def esop_fprm_fixed(table: TruthTable, polarity: int) -> CubeList:
+    """FPRM expansion for one fixed ``polarity`` bit-vector.
+
+    Implemented by complementing the chosen inputs (re-indexing the
+    table by ``assignment XOR polarity``) and reading the PPRM of the
+    shifted function; its monomials then stand for the polarized
+    literals.
+    """
+    cubes: dict = {}
+    for output in range(table.num_outputs):
+        column = table.output_column(output)
+        shifted = [column[i ^ polarity] for i in range(len(column))]
+        for monomial, coefficient in enumerate(pprm_spectrum(shifted)):
+            if coefficient:
+                cube = _cube_for_monomial(monomial, polarity, table.num_inputs)
+                cubes[cube] = cubes.get(cube, 0) ^ (1 << output)
+    result = CubeList(table.num_inputs, table.num_outputs)
+    for cube, mask in cubes.items():
+        if mask:
+            result.add(cube, mask)
+    return result
+
+
+def esop_fprm_best(table: TruthTable) -> Tuple[CubeList, int]:
+    """Search all ``2^n`` polarities; return the smallest FPRM and its
+    polarity.  Ties prefer fewer total literals, then lower polarity."""
+    best: Optional[CubeList] = None
+    best_polarity = 0
+    best_key: Optional[Tuple[int, int]] = None
+    for polarity in range(1 << table.num_inputs):
+        candidate = esop_fprm_fixed(table, polarity)
+        key = (len(candidate), sum(c.care_count for c, _ in candidate.rows))
+        if best_key is None or key < best_key:
+            best, best_polarity, best_key = candidate, polarity, key
+    return best, best_polarity
+
+
+def esop_minimize(table: TruthTable, effort: str = "fprm") -> CubeList:
+    """Front-door ESOP extraction.
+
+    ``effort='pprm'`` returns the canonical positive-polarity form;
+    ``effort='fprm'`` (default) additionally searches polarities;
+    ``effort='deep'`` runs the EXORCISM-style cube-merging loop on top
+    of the best FPRM (see :mod:`repro.frontend.exorcism`).
+    """
+    if effort == "pprm":
+        return esop_pprm(table)
+    if effort == "fprm":
+        return esop_fprm_best(table)[0]
+    if effort == "deep":
+        from .exorcism import esop_minimize_deep
+
+        return esop_minimize_deep(table)
+    raise ValueError(f"unknown ESOP effort {effort!r}")
+
+
+def verify_esop(table: TruthTable, cubes: CubeList) -> bool:
+    """Exhaustively check that ``cubes`` realizes ``table``."""
+    return all(
+        cubes.evaluate(assignment) == table.evaluate(assignment)
+        for assignment in range(1 << table.num_inputs)
+    )

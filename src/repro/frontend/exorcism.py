@@ -1,0 +1,112 @@
+"""Iterative ESOP minimization (EXORCISM-style cube pairing).
+
+FPRM search (``esop_fprm_best``) is exact within the fixed-polarity
+class, but general ESOPs can be smaller.  This module implements the
+classic link-and-reduce loop used by EXORCISM-class minimizers: scan
+cube pairs, apply the exclusive-or cube identities
+
+=====================  =======================  ==================
+pair                   rewrites to              effect
+=====================  =======================  ==================
+``C (+) C``            (nothing)                -2 cubes
+``xC (+) x'C``         ``C``                    -1 cube, -1 literal
+``xC (+) C``           ``x'C``                  -1 cube
+``x'C (+) C``          ``xC``                   -1 cube
+``xC (+) x'D``         unchanged (distance>1)   —
+=====================  =======================  ==================
+
+(where ``C`` is a common cofactor and ``x``/``x'`` a positive/negative
+literal), and repeat until no pair merges.  Each identity is exact over
+GF(2), so the ESOP's function never changes — property-tested against
+exhaustive evaluation.
+
+The driver :func:`esop_minimize_deep` seeds the loop with the best FPRM
+and returns whichever is smaller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..io.pla import Cube, CubeList
+from .esop import esop_fprm_best
+from .truth_table import TruthTable
+
+
+def _merge_pair(a: Cube, b: Cube) -> Optional[Cube]:
+    """Merge two cubes into one when an identity applies; None otherwise.
+
+    Returns a cube ``m`` such that ``a (+) b == m`` pointwise, or the
+    special marker ``_CANCEL`` when the pair annihilates.
+    """
+    if a.literals == b.literals:
+        return _CANCEL
+    differing = [
+        i for i, (la, lb) in enumerate(zip(a.literals, b.literals)) if la != lb
+    ]
+    if len(differing) != 1:
+        return None
+    position = differing[0]
+    la, lb = a.literals[position], b.literals[position]
+    rest = list(a.literals)
+    if la is not None and lb is not None:
+        # xC (+) x'C = C
+        rest[position] = None
+        return Cube(tuple(rest))
+    # xC (+) C = x'C  (one bound literal against a don't-care)
+    bound = la if la is not None else lb
+    rest[position] = 1 - bound
+    return Cube(tuple(rest))
+
+
+class _Cancel:
+    """Sentinel: the pair annihilates (C (+) C = 0)."""
+
+    def __repr__(self):
+        return "<cancel>"
+
+
+_CANCEL = _Cancel()
+
+
+def exorcise(cubes: CubeList, max_rounds: int = 50) -> CubeList:
+    """Repeatedly merge/cancel cube pairs (per output mask) until stable.
+
+    Only pairs with identical output masks are combined, which keeps the
+    rewrite exact for multi-output lists too.
+    """
+    rows: List[Tuple[Cube, int]] = list(cubes.rows)
+    for _ in range(max_rounds):
+        merged = _one_round(rows)
+        if merged is None:
+            break
+        rows = merged
+    result = CubeList(cubes.num_inputs, cubes.num_outputs)
+    for cube, mask in rows:
+        result.add(cube, mask)
+    return result
+
+
+def _one_round(rows: List[Tuple[Cube, int]]) -> Optional[List[Tuple[Cube, int]]]:
+    """Try every pair once; return the new row list or None if stable."""
+    for i in range(len(rows)):
+        cube_i, mask_i = rows[i]
+        for j in range(i + 1, len(rows)):
+            cube_j, mask_j = rows[j]
+            if mask_i != mask_j:
+                continue
+            merged = _merge_pair(cube_i, cube_j)
+            if merged is None:
+                continue
+            remaining = [row for k, row in enumerate(rows) if k not in (i, j)]
+            if merged is not _CANCEL:
+                remaining.append((merged, mask_i))
+            return remaining
+    return None
+
+
+def esop_minimize_deep(table: TruthTable) -> CubeList:
+    """Best-effort ESOP: FPRM search seeded into the exorcise loop."""
+    seed, _ = esop_fprm_best(table)
+    improved = exorcise(seed)
+    return improved if len(improved) <= len(seed) else seed

@@ -1,0 +1,174 @@
+"""Boolean-expression front door for the classical synthesis flow.
+
+The paper's front-end exists so designers can specify classical
+functions "without needing to know extensive details of quantum
+computing".  The friendliest such specification is a plain Boolean
+expression.  This module parses expressions like::
+
+    maj = a & b | a & c | b & c
+    sum = a ^ b ^ cin
+
+into BDDs (so the operators are evaluated symbolically, not
+exponentially) and hands the resulting functions to the ESOP/cascade
+machinery.
+
+Grammar (precedence low to high)::
+
+    expr   := xor ( "|" xor )*
+    xor    := and ( "^" and )*
+    and    := unary ( "&" unary )*
+    unary  := "~" unary | "(" expr ")" | IDENT | "0" | "1"
+
+Variables are ordered by first appearance unless an explicit order is
+supplied.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import ParseError
+from .bdd import BDD
+from .cascade import cascade_from_cubes
+from .esop import esop_minimize
+from .truth_table import TruthTable
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|[()&|^~]|[01])")
+
+
+class _Parser:
+    """Recursive-descent parser producing BDD nodes."""
+
+    def __init__(self, text: str, manager: BDD, variables: Dict[str, int]):
+        self.text = text
+        self.manager = manager
+        self.variables = variables
+        self.tokens = self._tokenize(text)
+        self.position = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        tokens: List[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                if text[position:].strip():
+                    raise ParseError(
+                        f"bad character {text[position:].strip()[0]!r} in "
+                        f"expression {text!r}"
+                    )
+                break
+            tokens.append(match.group(1))
+            position = match.end()
+        return tokens
+
+    def _peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of expression {self.text!r}")
+        self.position += 1
+        return token
+
+    def parse(self) -> int:
+        node = self._expr()
+        if self._peek() is not None:
+            raise ParseError(
+                f"trailing tokens {self.tokens[self.position:]} in {self.text!r}"
+            )
+        return node
+
+    def _expr(self) -> int:
+        node = self._xor()
+        while self._peek() == "|":
+            self._take()
+            node = self.manager.or_(node, self._xor())
+        return node
+
+    def _xor(self) -> int:
+        node = self._and()
+        while self._peek() == "^":
+            self._take()
+            node = self.manager.xor(node, self._and())
+        return node
+
+    def _and(self) -> int:
+        node = self._unary()
+        while self._peek() == "&":
+            self._take()
+            node = self.manager.and_(node, self._unary())
+        return node
+
+    def _unary(self) -> int:
+        token = self._take()
+        if token == "~":
+            return self.manager.not_(self._unary())
+        if token == "(":
+            node = self._expr()
+            if self._take() != ")":
+                raise ParseError(f"missing ')' in {self.text!r}")
+            return node
+        if token == "0":
+            return BDD.ZERO
+        if token == "1":
+            return BDD.ONE
+        if token in self.variables:
+            return self.manager.var(self.variables[token])
+        raise ParseError(f"unknown variable {token!r} in {self.text!r}")
+
+
+def expression_variables(texts: Sequence[str]) -> List[str]:
+    """Variable names in order of first appearance across expressions."""
+    seen: List[str] = []
+    for text in texts:
+        for token in _Parser._tokenize(text):
+            if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) and token not in seen:
+                seen.append(token)
+    return seen
+
+
+def truth_table_from_expressions(
+    expressions: Sequence[str],
+    variables: Optional[Sequence[str]] = None,
+) -> Tuple[TruthTable, List[str]]:
+    """Tabulate one or more Boolean expressions into a multi-output table.
+
+    Returns the table and the variable order used (variable 0 is the
+    most significant assignment bit, as everywhere in this library).
+    """
+    if not expressions:
+        raise ParseError("no expressions supplied")
+    order = list(variables) if variables else expression_variables(expressions)
+    if not order:
+        raise ParseError("expressions reference no variables")
+    index_of = {name: i for i, name in enumerate(order)}
+    manager = BDD(len(order))
+    roots = [
+        _Parser(text, manager, index_of).parse() for text in expressions
+    ]
+    rows: List[int] = []
+    for assignment in range(1 << len(order)):
+        word = 0
+        for output, root in enumerate(roots):
+            word |= manager.evaluate(root, assignment) << output
+        rows.append(word)
+    return TruthTable(len(order), len(expressions), rows), order
+
+
+def synthesize_expressions(
+    expressions: Sequence[str],
+    variables: Optional[Sequence[str]] = None,
+    effort: str = "fprm",
+    name: str = "",
+) -> QuantumCircuit:
+    """Boolean expressions -> reversible cascade (the full front-end)."""
+    table, _ = truth_table_from_expressions(expressions, variables)
+    cubes = esop_minimize(table, effort=effort)
+    return cascade_from_cubes(cubes, name=name or "expr")

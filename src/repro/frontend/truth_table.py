@@ -1,0 +1,112 @@
+"""Multi-output Boolean functions as explicit truth tables.
+
+The front-end's working representation for *small* switching functions:
+an output bit-vector per input assignment.  Variable 0 is the most
+significant bit of the assignment index, consistent with the qubit
+ordering used across the library.
+
+The paper's first benchmark suite names each single-target-gate control
+function by the hex value of its truth table (e.g. ``#033f`` is the
+4-variable function whose table reads 0x033f); :meth:`TruthTable.from_hex`
+reconstructs exactly that encoding: bit ``i`` of the hex value is the
+function value on input assignment ``i``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..core.exceptions import ParseError
+
+
+class TruthTable:
+    """A function ``B^n -> B^m`` stored as ``2^n`` output words."""
+
+    def __init__(self, num_inputs: int, num_outputs: int, outputs: Sequence[int]):
+        if len(outputs) != (1 << num_inputs):
+            raise ParseError(
+                f"expected {1 << num_inputs} rows, got {len(outputs)}"
+            )
+        limit = 1 << num_outputs
+        for row, word in enumerate(outputs):
+            if not (0 <= word < limit):
+                raise ParseError(f"row {row} value {word} exceeds {num_outputs} outputs")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.outputs: List[int] = list(outputs)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_hex(cls, hex_value: str, num_inputs: int) -> "TruthTable":
+        """Single-output table from its hex encoding (paper benchmark names).
+
+        Bit ``i`` (LSB first) of the value is ``f(i)``.
+
+        >>> TruthTable.from_hex("1", 2).outputs   # f = NOR(x0, x1)
+        [1, 0, 0, 0]
+        """
+        value = int(hex_value, 16)
+        rows = 1 << num_inputs
+        if value >= (1 << rows):
+            raise ParseError(
+                f"hex value {hex_value!r} too wide for {num_inputs} inputs"
+            )
+        return cls(num_inputs, 1, [(value >> i) & 1 for i in range(rows)])
+
+    @classmethod
+    def from_function(
+        cls, fn: Callable[[int], int], num_inputs: int, num_outputs: int = 1
+    ) -> "TruthTable":
+        """Tabulate a Python callable over all assignments."""
+        return cls(num_inputs, num_outputs, [fn(i) for i in range(1 << num_inputs)])
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "TruthTable":
+        """Single-output table from an explicit 0/1 row list."""
+        n = (len(bits) - 1).bit_length()
+        if len(bits) != 1 << n:
+            raise ParseError("row count must be a power of two")
+        return cls(n, 1, [b & 1 for b in bits])
+
+    # -- queries -----------------------------------------------------------------
+
+    def evaluate(self, assignment: int) -> int:
+        """Output word for one input assignment."""
+        return self.outputs[assignment]
+
+    def output_column(self, output: int) -> List[int]:
+        """Single output's 0/1 column."""
+        return [(word >> output) & 1 for word in self.outputs]
+
+    def single_output(self, output: int) -> "TruthTable":
+        """Project onto one output."""
+        return TruthTable(self.num_inputs, 1, self.output_column(output))
+
+    @property
+    def ones_count(self) -> int:
+        """Number of assignments with any output set (single-output: the
+        function's weight)."""
+        return sum(1 for word in self.outputs if word)
+
+    def hex_string(self, output: int = 0) -> str:
+        """Hex encoding of one output column (inverse of :meth:`from_hex`)."""
+        value = 0
+        for i, bit in enumerate(self.output_column(output)):
+            value |= bit << i
+        digits = max(1, (1 << self.num_inputs) // 4)
+        return f"{value:0{digits}x}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TruthTable)
+            and self.num_inputs == other.num_inputs
+            and self.num_outputs == other.num_outputs
+            and self.outputs == other.outputs
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TruthTable(inputs={self.num_inputs}, outputs={self.num_outputs}, "
+            f"hex={self.hex_string() if self.num_outputs == 1 else '...'})"
+        )

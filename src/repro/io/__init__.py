@@ -1,0 +1,45 @@
+"""Circuit and function file formats: QASM 2.0, .qc, .real, PLA/ESOP."""
+
+import os
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import ParseError
+from .qasm import parse_qasm, read_qasm, to_qasm, write_qasm
+from .qc import parse_qc, read_qc, to_qc, write_qc
+from .real_fmt import parse_real, read_real, to_real, write_real
+from .pla import Cube, CubeList, parse_pla, read_pla, to_pla
+
+
+def read_circuit(path: str, name: str = "") -> QuantumCircuit:
+    """Load a circuit, dispatching on extension (.qasm, .qc, .real) —
+    the multi-format input stage of the tool's front door (Fig. 2)."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".qasm":
+        return read_qasm(path, name=name)
+    if ext == ".qc":
+        return read_qc(path, name=name)
+    if ext == ".real":
+        return read_real(path, name=name)
+    raise ParseError(f"unknown circuit format {ext!r} (expected .qasm/.qc/.real)")
+
+
+__all__ = [
+    "read_circuit",
+    "parse_qasm",
+    "read_qasm",
+    "to_qasm",
+    "write_qasm",
+    "parse_qc",
+    "read_qc",
+    "to_qc",
+    "write_qc",
+    "parse_real",
+    "read_real",
+    "to_real",
+    "write_real",
+    "Cube",
+    "CubeList",
+    "parse_pla",
+    "read_pla",
+    "to_pla",
+]

@@ -1,0 +1,211 @@
+"""PLA / ESOP cube-list format (Berkeley espresso style).
+
+The classical front-end of the compiler (Fig. 2) accepts switching
+functions as minimized ESOP cube lists — the input representation of the
+Fazel-Thornton cascade generator [ref 1].  The format::
+
+    .i 3
+    .o 2
+    .type esop
+    1-0 10
+    011 01
+    .e
+
+Each row is a cube: input literals (``0`` negative, ``1`` positive,
+``-`` absent) and, per output, whether the cube feeds that output.  With
+``.type esop`` the outputs are exclusive-or sums of their cubes; other
+``.type`` values (or none) are treated as inclusive OR of *disjoint*
+cubes, which the front-end converts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.exceptions import ParseError
+
+
+class Cube:
+    """One product term: per-variable literal in {0, 1, None=absent}."""
+
+    __slots__ = ("literals",)
+
+    def __init__(self, literals: Tuple[Optional[int], ...]):
+        self.literals = tuple(literals)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        mapping = {"0": 0, "1": 1, "-": None, "~": None}
+        try:
+            return cls(tuple(mapping[ch] for ch in text))
+        except KeyError as exc:
+            raise ParseError(f"bad cube character {exc.args[0]!r} in {text!r}")
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.literals)
+
+    def covers(self, assignment: int) -> bool:
+        """True if the cube evaluates to 1 on ``assignment`` (bit i of the
+        assignment = variable i, variable 0 as MSB)."""
+        n = len(self.literals)
+        for position, literal in enumerate(self.literals):
+            if literal is None:
+                continue
+            bit = (assignment >> (n - 1 - position)) & 1
+            if bit != literal:
+                return False
+        return True
+
+    @property
+    def care_count(self) -> int:
+        """Number of bound literals (cube 'degree')."""
+        return sum(1 for literal in self.literals if literal is not None)
+
+    def __str__(self) -> str:
+        return "".join(
+            "-" if lit is None else str(lit) for lit in self.literals
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Cube) and self.literals == other.literals
+
+    def __hash__(self):
+        return hash(self.literals)
+
+
+class CubeList:
+    """A multi-output ESOP: cubes paired with output masks."""
+
+    def __init__(self, num_inputs: int, num_outputs: int,
+                 rows: Optional[List[Tuple[Cube, int]]] = None):
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.rows: List[Tuple[Cube, int]] = list(rows or [])
+
+    def add(self, cube: Cube, output_mask: int) -> None:
+        """Append a cube feeding the outputs set in ``output_mask``
+        (bit 0 = output 0)."""
+        if cube.num_vars != self.num_inputs:
+            raise ParseError("cube width mismatch")
+        self.rows.append((cube, output_mask))
+
+    def evaluate(self, assignment: int) -> int:
+        """Output bit-vector for one input assignment (ESOP semantics)."""
+        result = 0
+        for cube, mask in self.rows:
+            if cube.covers(assignment):
+                result ^= mask
+        return result
+
+    def cubes_for_output(self, output: int) -> List[Cube]:
+        """All cubes feeding a given output index."""
+        return [cube for cube, mask in self.rows if mask & (1 << output)]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def parse_pla(text: str, filename: Optional[str] = None) -> CubeList:
+    """Parse espresso-style PLA/ESOP text into a :class:`CubeList`."""
+    num_inputs = num_outputs = None
+    esop = False
+    rows: List[Tuple[Cube, int]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            directive, _, rest = line.partition(" ")
+            directive = directive.lower()
+            if directive in (".i", ".o"):
+                try:
+                    count = int(rest)
+                except ValueError:
+                    raise ParseError(
+                        f"{directive} expects an integer, got {rest!r}",
+                        filename,
+                        line_no,
+                    )
+                if count < 0:
+                    raise ParseError(
+                        f"{directive} must be non-negative", filename, line_no
+                    )
+                if directive == ".i":
+                    num_inputs = count
+                else:
+                    num_outputs = count
+            elif directive == ".type":
+                esop = rest.strip().lower() == "esop"
+            elif directive == ".e":
+                break
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ParseError(f"bad PLA row {line!r}", filename, line_no)
+        if num_inputs is None or num_outputs is None:
+            raise ParseError(".i/.o must precede cube rows", filename, line_no)
+        cube = Cube.from_string(parts[0])
+        if cube.num_vars != num_inputs:
+            raise ParseError(
+                f"cube {parts[0]!r} has {cube.num_vars} literals, expected "
+                f"{num_inputs}",
+                filename,
+                line_no,
+            )
+        mask = 0
+        for position, ch in enumerate(parts[1]):
+            if ch == "1":
+                mask |= 1 << position
+            elif ch not in "0-~":
+                raise ParseError(f"bad output character {ch!r}", filename, line_no)
+        rows.append((cube, mask))
+    if num_inputs is None or num_outputs is None:
+        raise ParseError("missing .i/.o declarations", filename)
+    cubelist = CubeList(num_inputs, num_outputs, rows)
+    # Non-ESOP PLAs are sums of cubes; we accept them only when the cubes
+    # are pairwise disjoint per output (then OR == XOR and ESOP semantics
+    # coincide).  Checking all pairs is cheap for benchmark-sized PLAs.
+    if not esop:
+        _require_disjoint(cubelist, filename)
+    return cubelist
+
+
+def _require_disjoint(cubelist: CubeList, filename) -> None:
+    for output in range(cubelist.num_outputs):
+        cubes = cubelist.cubes_for_output(output)
+        for i in range(len(cubes)):
+            for j in range(i + 1, len(cubes)):
+                if _intersect(cubes[i], cubes[j]):
+                    raise ParseError(
+                        "PLA is not .type esop and cubes overlap; minimize "
+                        "to an ESOP (or disjoint SOP) first",
+                        filename,
+                    )
+
+
+def _intersect(a: Cube, b: Cube) -> bool:
+    return all(
+        la is None or lb is None or la == lb
+        for la, lb in zip(a.literals, b.literals)
+    )
+
+
+def read_pla(path: str) -> CubeList:
+    """Parse a ``.pla``/``.esop`` file."""
+    with open(path) as handle:
+        return parse_pla(handle.read(), filename=path)
+
+
+def to_pla(cubelist: CubeList, esop: bool = True) -> str:
+    """Emit espresso-style text for ``cubelist``."""
+    lines = [f".i {cubelist.num_inputs}", f".o {cubelist.num_outputs}"]
+    if esop:
+        lines.append(".type esop")
+    for cube, mask in cubelist.rows:
+        bits = "".join(
+            "1" if mask & (1 << o) else "0" for o in range(cubelist.num_outputs)
+        )
+        lines.append(f"{cube} {bits}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

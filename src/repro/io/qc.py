@@ -1,0 +1,159 @@
+""".qc circuit format reader/writer.
+
+The ``.qc`` format is the technology-independent quantum circuit format
+used by the paper's first benchmark set ("these benchmarks were input
+into the synthesis tool as technology-independent .qc files").  A file
+declares named wires and lists gates between ``BEGIN`` and ``END``::
+
+    .v a b c d
+    .i a b c
+    .o d
+    BEGIN
+    H d
+    tof a b c
+    T* d
+    cnot a d
+    END
+
+Supported mnemonics (case-insensitive): ``H X Y Z S S* T T*``, ``cnot``
+(2 wires), ``tof`` (NOT/CNOT/Toffoli/MCX by operand count), ``t1..tN``
+(MCX with N-1 controls), ``swap``, ``id``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import ParseError
+from ..core.gates import Gate, MCX
+
+_SINGLE = {
+    "h": "H",
+    "x": "X",
+    "not": "X",
+    "y": "Y",
+    "z": "Z",
+    "s": "S",
+    "s*": "SDG",
+    "t": "T",
+    "t*": "TDG",
+    "id": "I",
+}
+
+
+def parse_qc(text: str, name: str = "", filename: Optional[str] = None) -> QuantumCircuit:
+    """Parse ``.qc`` source into a circuit."""
+    wires: Dict[str, int] = {}
+    gates: List[Gate] = []
+    in_body = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper == "BEGIN":
+            in_body = True
+            continue
+        if upper == "END":
+            in_body = False
+            continue
+        if line.startswith("."):
+            directive, _, rest = line.partition(" ")
+            if directive.lower() == ".v":
+                for token in rest.split():
+                    if token not in wires:
+                        wires[token] = len(wires)
+            # .i/.o/.c/.ol declare port roles; wire order comes from .v
+            continue
+        if not in_body:
+            continue
+        tokens = line.split()
+        mnemonic = tokens[0].lower()
+        operands = tokens[1:]
+        indices = []
+        for token in operands:
+            if token not in wires:
+                raise ParseError(f"unknown wire {token!r}", filename, line_no)
+            indices.append(wires[token])
+        _dispatch(mnemonic, indices, gates, filename, line_no)
+    circuit = QuantumCircuit(len(wires), name=name)
+    circuit.extend(gates)
+    return circuit
+
+
+def _dispatch(mnemonic, indices, gates, filename, line_no):
+    from ..core.exceptions import CircuitError
+
+    try:
+        if mnemonic in _SINGLE:
+            if len(indices) != 1:
+                raise ParseError(
+                    f"{mnemonic} expects one wire, got {len(indices)}", filename, line_no
+                )
+            gates.append(Gate(_SINGLE[mnemonic], tuple(indices)))
+        elif mnemonic == "cnot":
+            if len(indices) != 2:
+                raise ParseError("cnot expects two wires", filename, line_no)
+            gates.append(Gate("CNOT", tuple(indices)))
+        elif mnemonic == "swap":
+            if len(indices) != 2:
+                raise ParseError("swap expects two wires", filename, line_no)
+            gates.append(Gate("SWAP", tuple(indices)))
+        elif mnemonic == "tof" or re.fullmatch(r"t\d+", mnemonic):
+            expected = int(mnemonic[1:]) if mnemonic != "tof" else len(indices)
+            if len(indices) != expected:
+                raise ParseError(
+                    f"{mnemonic} expects {expected} wires, got {len(indices)}",
+                    filename,
+                    line_no,
+                )
+            if len(indices) == 1:
+                gates.append(Gate("X", tuple(indices)))
+            else:
+                gates.append(MCX(*indices))
+        else:
+            raise ParseError(f"unsupported mnemonic {mnemonic!r}", filename, line_no)
+    except CircuitError as error:
+        raise ParseError(str(error), filename, line_no)
+
+
+def read_qc(path: str, name: str = "") -> QuantumCircuit:
+    """Parse a ``.qc`` file."""
+    import os
+
+    with open(path) as handle:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        return parse_qc(handle.read(), name=name or stem, filename=path)
+
+
+def to_qc(circuit: QuantumCircuit) -> str:
+    """Emit ``.qc`` source for ``circuit`` (wires named q0..qn-1)."""
+    names = [f"q{i}" for i in range(circuit.num_qubits)]
+    reverse_single = {ir: qc for qc, ir in _SINGLE.items() if qc != "not" and qc != "x"}
+    reverse_single["X"] = "X"
+    lines = [".v " + " ".join(names), "BEGIN"]
+    for gate in circuit:
+        operands = " ".join(names[q] for q in gate.qubits)
+        if gate.name in reverse_single:
+            lines.append(f"{reverse_single[gate.name].upper()} {operands}")
+        elif gate.name == "CNOT":
+            lines.append(f"cnot {operands}")
+        elif gate.name == "SWAP":
+            lines.append(f"swap {operands}")
+        elif gate.name in ("TOFFOLI", "MCX"):
+            lines.append(f"t{gate.num_qubits} {operands}")
+        elif gate.name == "CZ":
+            raise ParseError("CZ has no .qc mnemonic; decompose it first")
+        else:
+            lines.append(f"{gate.name} {operands}")
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def write_qc(circuit: QuantumCircuit, path: str) -> None:
+    """Write ``circuit`` to ``path`` in ``.qc`` format."""
+    with open(path, "w") as handle:
+        handle.write(to_qc(circuit))

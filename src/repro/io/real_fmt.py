@@ -1,0 +1,180 @@
+"""RevLib ``.real`` format reader/writer.
+
+RevLib (the paper's reference [24], source of the Table 5 Toffoli-cascade
+benchmarks) distributes reversible circuits in the ``.real`` format::
+
+    .version 2.0
+    .numvars 3
+    .variables a b c
+    .constants ---
+    .garbage ---
+    .begin
+    t3 a b c
+    t2 a b
+    t1 a
+    .end
+
+Gate lines are ``t<n>`` (generalized Toffoli: n-1 controls, last operand
+target), ``f<n>`` (generalized Fredkin: n-2 controls, last two operands
+swapped) and ``v``/``v+`` (unsupported here: not in the Toffoli-cascade
+class the paper uses).  Negative controls, written ``-a``, are handled by
+conjugating with NOT gates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import ParseError
+from ..core.gates import Gate, MCX, SWAP, X
+
+
+def parse_real(text: str, name: str = "", filename: Optional[str] = None) -> QuantumCircuit:
+    """Parse ``.real`` source into a circuit of X/CNOT/Toffoli/MCX/SWAP."""
+    variables: List[str] = []
+    index_of: Dict[str, int] = {}
+    gates: List[Gate] = []
+    declared = None
+    in_body = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        if lowered.startswith(".numvars"):
+            declared = int(line.split()[1])
+            continue
+        if lowered.startswith(".variables"):
+            for token in line.split()[1:]:
+                index_of[token] = len(variables)
+                variables.append(token)
+            continue
+        if lowered.startswith(".begin"):
+            in_body = True
+            continue
+        if lowered.startswith(".end"):
+            in_body = False
+            continue
+        if line.startswith("."):
+            continue  # .version/.constants/.garbage/.inputs/.outputs etc.
+        if not in_body:
+            continue
+        tokens = line.split()
+        mnemonic = tokens[0].lower()
+        operand_tokens = tokens[1:]
+        positive, negative = _operands(operand_tokens, index_of, filename, line_no)
+        if len(set(positive)) != len(positive):
+            raise ParseError(
+                f"duplicate operands in {mnemonic}", filename, line_no
+            )
+
+        match = re.fullmatch(r"t(\d+)", mnemonic)
+        if match:
+            expected = int(match.group(1))
+            if len(operand_tokens) != expected:
+                raise ParseError(
+                    f"{mnemonic} expects {expected} operands", filename, line_no
+                )
+            lines_all = positive  # in declaration order: controls..., target
+            gates.extend(X(q) for q in negative)
+            if len(lines_all) == 1:
+                gates.append(X(lines_all[0]))
+            else:
+                gates.append(MCX(*lines_all))
+            gates.extend(X(q) for q in negative)
+            continue
+        match = re.fullmatch(r"f(\d+)", mnemonic)
+        if match:
+            expected = int(match.group(1))
+            if len(operand_tokens) != expected or expected < 2:
+                raise ParseError(
+                    f"{mnemonic} expects {expected} operands", filename, line_no
+                )
+            controls = positive[:-2]
+            a, b = positive[-2:]
+            gates.extend(X(q) for q in negative)
+            gates.extend(_fredkin(controls, a, b))
+            gates.extend(X(q) for q in negative)
+            continue
+        raise ParseError(f"unsupported .real gate {mnemonic!r}", filename, line_no)
+
+    if declared is not None and declared != len(variables):
+        raise ParseError(
+            f".numvars {declared} but {len(variables)} variables declared", filename
+        )
+    circuit = QuantumCircuit(len(variables), name=name)
+    circuit.extend(gates)
+    return circuit
+
+
+def _operands(
+    tokens: List[str], index_of: Dict[str, int], filename, line_no
+) -> Tuple[List[int], List[int]]:
+    """Resolve operand tokens; returns (lines in order, negated lines)."""
+    ordered: List[int] = []
+    negated: List[int] = []
+    for token in tokens:
+        negative = token.startswith("-")
+        label = token[1:] if negative else token
+        if label not in index_of:
+            raise ParseError(f"unknown variable {label!r}", filename, line_no)
+        index = index_of[label]
+        ordered.append(index)
+        if negative:
+            negated.append(index)
+    return ordered, negated
+
+
+def _fredkin(controls: List[int], a: int, b: int) -> List[Gate]:
+    """Controlled-SWAP as Toffoli/CNOT gates:
+    ``CSWAP = CNOT(b,a) . MCX(controls+a -> b) . CNOT(b,a)``."""
+    from ..core.gates import CNOT
+
+    middle = MCX(*(list(controls) + [a, b])) if controls else Gate("CNOT", (a, b))
+    wrapped = CNOT(b, a)
+    return [wrapped, middle, wrapped]
+
+
+def read_real(path: str, name: str = "") -> QuantumCircuit:
+    """Parse a ``.real`` file."""
+    import os
+
+    with open(path) as handle:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        return parse_real(handle.read(), name=name or stem, filename=path)
+
+
+def to_real(circuit: QuantumCircuit) -> str:
+    """Emit ``.real`` source; only classical-reversible circuits qualify."""
+    if not circuit.is_classical_reversible:
+        raise ParseError(".real holds reversible cascades only")
+    names = [chr(ord("a") + i) if i < 26 else f"x{i}" for i in range(circuit.num_qubits)]
+    lines = [
+        ".version 2.0",
+        f".numvars {circuit.num_qubits}",
+        ".variables " + " ".join(names),
+        ".begin",
+    ]
+    for gate in circuit:
+        operands = " ".join(names[q] for q in gate.qubits)
+        if gate.name == "X":
+            lines.append(f"t1 {operands}")
+        elif gate.name in ("CNOT", "TOFFOLI", "MCX"):
+            lines.append(f"t{gate.num_qubits} {operands}")
+        elif gate.name == "SWAP":
+            lines.append(f"f2 {operands}")
+        elif gate.name == "I":
+            continue
+        else:
+            raise ParseError(f"gate {gate.name} not representable in .real")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_real(circuit: QuantumCircuit, path: str) -> None:
+    """Write ``circuit`` to ``path`` in ``.real`` format."""
+    with open(path, "w") as handle:
+        handle.write(to_real(circuit))

@@ -1,0 +1,22 @@
+"""Local optimizations: identity removal, phase merging, circuit identities."""
+
+from .cancellation import cancel_inverse_pairs, remove_identities
+from .merging import merge_phase_runs, merge_phases
+from .templates import apply_templates, DEFAULT_RULES
+from .local import LocalOptimizer, OptimizationReport, optimize_circuit
+from .phase import PHASE_EXPONENT, is_phase_gate, merged_phase_gates
+
+__all__ = [
+    "cancel_inverse_pairs",
+    "remove_identities",
+    "merge_phase_runs",
+    "merge_phases",
+    "apply_templates",
+    "DEFAULT_RULES",
+    "LocalOptimizer",
+    "OptimizationReport",
+    "optimize_circuit",
+    "PHASE_EXPONENT",
+    "is_phase_gate",
+    "merged_phase_gates",
+]

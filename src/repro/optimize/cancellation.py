@@ -1,0 +1,66 @@
+"""Identity-partition removal (Section 4, optimization item 5).
+
+The basic local optimization removes partitions of gates that compose to
+the identity.  The workhorse is commutation-aware *inverse-pair
+cancellation*: while scanning the cascade, each gate looks backwards
+through gates it provably commutes with; if it meets its own inverse the
+pair annihilates.  Repeating to fixpoint removes nested identity blocks
+(e.g. ``H H``, ``CNOT CNOT``, the back-to-back SWAP chains CTR leaves
+behind) because every removal exposes new adjacent pairs.
+
+Explicit identity gates (``I``) are always dropped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import Gate
+
+
+def cancel_inverse_pairs(gates: Sequence[Gate]) -> List[Gate]:
+    """One left-to-right cancellation sweep.
+
+    Each incoming gate walks backwards over the kept gates: gates it
+    commutes with are skipped; meeting its inverse cancels both; meeting
+    anything else stops the walk.
+    """
+    kept: List[Gate] = []
+    for gate in gates:
+        if gate.name == "I":
+            continue
+        if not _try_cancel(kept, gate):
+            kept.append(gate)
+    return kept
+
+
+#: Maximum number of gates a cancellation walk may commute through; keeps
+#: a sweep near-linear on pathological all-commuting cascades.
+LOOKBACK_WINDOW = 128
+
+
+def _try_cancel(kept: List[Gate], gate: Gate) -> bool:
+    """Cancel ``gate`` against some earlier gate if commutation allows.
+
+    Returns True (and removes the partner from ``kept``) on success.
+    """
+    floor = max(-1, len(kept) - 1 - LOOKBACK_WINDOW)
+    for j in range(len(kept) - 1, floor, -1):
+        previous = kept[j]
+        if gate.is_inverse_of(previous):
+            del kept[j]
+            return True
+        if not gate.commutes_with(previous):
+            return False
+    return False
+
+
+def remove_identities(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Cancel inverse pairs to fixpoint; returns a new circuit."""
+    gates: List[Gate] = list(circuit)
+    while True:
+        reduced = cancel_inverse_pairs(gates)
+        if len(reduced) == len(gates):
+            return QuantumCircuit(circuit.num_qubits, reduced, name=circuit.name)
+        gates = reduced

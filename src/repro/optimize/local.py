@@ -1,0 +1,102 @@
+"""The cost-guarded local optimization driver (Section 4, items 5-6).
+
+The paper applies its two local optimizations "recursively until [the]
+technology library cost function cannot be further reduced".
+:class:`LocalOptimizer` implements exactly that loop:
+
+1. cancel identity partitions (inverse pairs, through commutation);
+2. merge phase-gate runs (``T T -> S`` etc.);
+3. rewrite partitions by cheaper circuit identities (templates), with
+   coupling-map awareness so mapped circuits stay executable;
+4. measure the cost function; repeat while it decreased.
+
+Every accepted round is guaranteed not to increase the cost: if a round
+ever produced a costlier circuit (possible in principle with a hostile
+custom cost function), the previous circuit is returned instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.circuit import QuantumCircuit
+from ..core.cost import CostFunction, TRANSMON_COST
+from ..devices.coupling import CouplingMap
+from .cancellation import remove_identities
+from .merging import merge_phases
+from .templates import apply_templates
+
+
+@dataclass
+class OptimizationReport:
+    """Per-round cost trace of one optimization run."""
+
+    initial_cost: float
+    final_cost: float
+    rounds: int
+    cost_trace: List[float] = field(default_factory=list)
+
+    @property
+    def percent_decrease(self) -> float:
+        if self.initial_cost == 0:
+            return 0.0
+        return 100.0 * (self.initial_cost - self.final_cost) / self.initial_cost
+
+
+class LocalOptimizer:
+    """Fixpoint driver over the local optimization passes."""
+
+    def __init__(
+        self,
+        cost_function: CostFunction = TRANSMON_COST,
+        coupling_map: Optional[CouplingMap] = None,
+        max_rounds: int = 50,
+        enable_templates: bool = True,
+        gate_set=None,
+    ):
+        self.cost_function = cost_function
+        self.coupling_map = coupling_map
+        self.max_rounds = max_rounds
+        self.enable_templates = enable_templates
+        self.gate_set = set(gate_set) if gate_set is not None else None
+        self.last_report: Optional[OptimizationReport] = None
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Optimize ``circuit`` until the cost function stops decreasing."""
+        best = circuit
+        best_cost = self.cost_function(best)
+        trace = [best_cost]
+        rounds = 0
+        for rounds in range(1, self.max_rounds + 1):
+            candidate = remove_identities(best)
+            candidate = merge_phases(candidate, self.gate_set)
+            if self.enable_templates:
+                candidate = apply_templates(
+                    candidate, self.coupling_map, gate_set=self.gate_set
+                )
+                # Templates can expose fresh inverse pairs; clean them now
+                # so the cost comparison sees the full benefit.
+                candidate = remove_identities(candidate)
+            cost = self.cost_function(candidate)
+            trace.append(cost)
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+            else:
+                break
+        self.last_report = OptimizationReport(
+            initial_cost=trace[0],
+            final_cost=best_cost,
+            rounds=rounds,
+            cost_trace=trace,
+        )
+        return best
+
+
+def optimize_circuit(
+    circuit: QuantumCircuit,
+    cost_function: CostFunction = TRANSMON_COST,
+    coupling_map: Optional[CouplingMap] = None,
+) -> QuantumCircuit:
+    """Convenience wrapper: run :class:`LocalOptimizer` once."""
+    return LocalOptimizer(cost_function, coupling_map).run(circuit)

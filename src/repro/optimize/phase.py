@@ -1,0 +1,117 @@
+"""Algebra of the library's diagonal phase gates.
+
+``T, S, Z, S†, T†`` are all powers of the same Z-rotation: ``T = Z^(1/4)``
+etc.  Representing each as an exponent of ``e^(i*pi/4)`` on the |1>
+amplitude lets the optimizer merge any run of phase gates on one qubit
+into at most one library gate:
+
+=======  ==================
+gate     exponent (mod 8)
+=======  ==================
+I        0
+T        1
+S        2
+Z        4
+S†       6
+T†       7
+=======  ==================
+
+Exponents 3 and 5 (``TS`` and its adjoint) have no single-gate library
+representative; such runs are emitted as two gates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.gates import Gate
+
+#: gate name -> phase exponent in units of pi/4 (mod 8).
+PHASE_EXPONENT = {
+    "I": 0,
+    "T": 1,
+    "S": 2,
+    "Z": 4,
+    "SDG": 6,
+    "TDG": 7,
+}
+
+#: exponent -> single library gate name (None for the representable-by-two cases).
+_EXPONENT_GATE = {
+    0: None,  # identity: emit nothing
+    1: "T",
+    2: "S",
+    3: None,  # S then T
+    4: "Z",
+    5: None,  # Z then T
+    6: "SDG",
+    7: "TDG",
+}
+
+#: exponent -> minimal gate-name sequence realizing it.
+EXPONENT_GATES = {
+    0: (),
+    1: ("T",),
+    2: ("S",),
+    3: ("S", "T"),
+    4: ("Z",),
+    5: ("SDG", "TDG"),
+    6: ("SDG",),
+    7: ("TDG",),
+}
+
+
+def is_phase_gate(gate: Gate) -> bool:
+    """True for single-qubit diagonal gates (I, T, S, Z, S†, T†, RZ)."""
+    return gate.name in PHASE_EXPONENT or gate.name == "RZ"
+
+
+def gate_exponent(gate: Gate) -> float:
+    """Phase exponent of a diagonal single-qubit gate in units of pi/4.
+
+    Discrete library gates give integers; RZ gives ``theta / (pi/4)``.
+    """
+    import math
+
+    if gate.name == "RZ":
+        return gate.params[0] / (math.pi / 4.0)
+    return float(PHASE_EXPONENT[gate.name])
+
+
+def emit_phase(exponent: float, qubit: int, gate_set=None) -> List[Gate]:
+    """Minimal gate sequence for ``diag(1, e^{i*pi*exponent/4})``.
+
+    Integer exponents (mod 8) come out as discrete library gates (or as
+    one RZ when ``gate_set`` is given and lacks them — e.g. the ion
+    library); anything else becomes a single RZ rotation.  An exponent
+    within tolerance of a multiple of 8 emits nothing.
+    """
+    import math
+
+    def as_rz() -> List[Gate]:
+        angle = (exponent * math.pi / 4.0) % (2 * math.pi)
+        if angle > math.pi:
+            angle -= 2 * math.pi
+        if abs(angle) < 1e-12:
+            return []
+        return [Gate("RZ", (qubit,), (angle,))]
+
+    rounded = round(exponent)
+    if abs(exponent - rounded) < 1e-9:
+        discrete = merged_phase_gates(int(rounded) % 8, qubit)
+        if gate_set is None or all(g.name in gate_set for g in discrete):
+            return discrete
+        return as_rz()
+    return as_rz()
+
+
+def merged_phase_gates(exponent: int, qubit: int) -> List[Gate]:
+    """Minimal library gate sequence realizing ``diag(1, e^(i*pi*exponent/4))``
+    on ``qubit``."""
+    return [Gate(name, (qubit,)) for name in EXPONENT_GATES[exponent % 8]]
+
+
+def single_gate_for(exponent: int) -> Optional[str]:
+    """Library gate name for ``exponent`` (mod 8), or None when the phase
+    needs zero or two gates."""
+    return _EXPONENT_GATE[exponent % 8]

@@ -1,0 +1,203 @@
+"""Circuit-identity rewrites (Section 4, optimization item 6).
+
+These rules replace a partition of gates with a logically identical but
+cheaper partition.  Each rule fires only when the gates of the partition
+are *adjacent on the qubits they touch* (no intervening gate acts on any
+involved qubit), which guarantees the rewrite is local and exact.
+
+Implemented identities (all phase-exact):
+
+* ``H X H  -> Z``  and  ``H Z H -> X``        (Hadamard conjugation)
+* ``H_c H_t CNOT(t,c) H_c H_t -> CNOT(c,t)``  (Fig. 6 un-reversal) —
+  applied only when the improved orientation is legal on the target
+  device, so optimization never breaks coupling-map conformance.
+* ``CNOT(a,b) X(a) CNOT(a,b) -> X(a) X(b)``   (control-X propagation)
+* ``CNOT(a,b) Z(b) CNOT(a,b) -> Z(a) Z(b)``   (target-Z propagation)
+
+Rules are cost-guarded by the driver in :mod:`repro.optimize.local`:
+a rewrite is kept only if the technology cost function decreases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import CNOT, Gate, H, X, Z
+from ..devices.coupling import CouplingMap
+
+#: A rule takes (gates, index, coupling_map) and, if its pattern starts at
+#: ``index``, returns (indices_consumed, replacement_gates).
+Rule = Callable[
+    [Sequence[Gate], int, Optional[CouplingMap]],
+    Optional[Tuple[List[int], List[Gate]]],
+]
+
+
+#: How far ahead a rule may look for the next gate on a qubit.  Bounds a
+#: template sweep to O(n * window); in mapped circuits partner gates are
+#: always nearby, so the window does not cost reductions in practice.
+LOOKAHEAD_WINDOW = 64
+
+
+def _next_on_qubits(gates: Sequence[Gate], start: int, qubits: set) -> Optional[int]:
+    """Index of the first gate after ``start`` touching any of ``qubits``
+    (searching at most :data:`LOOKAHEAD_WINDOW` gates ahead)."""
+    limit = min(len(gates), start + 1 + LOOKAHEAD_WINDOW)
+    for j in range(start + 1, limit):
+        if set(gates[j].qubits) & qubits:
+            return j
+    return None
+
+
+def _chain_on_qubits(
+    gates: Sequence[Gate], start: int, qubits: set, length: int
+) -> Optional[List[int]]:
+    """Indices of the next ``length`` consecutive gates on ``qubits``
+    starting at ``start`` (which must itself touch them)."""
+    indices = [start]
+    while len(indices) < length:
+        nxt = _next_on_qubits(gates, indices[-1], qubits)
+        if nxt is None:
+            return None
+        indices.append(nxt)
+    return indices
+
+
+def rule_hadamard_conjugation(gates, index, coupling_map=None):
+    """``H P H -> conjugate(P)`` on one qubit, for P in {X, Z}."""
+    first = gates[index]
+    if first.name != "H":
+        return None
+    qubit = first.qubits[0]
+    chain = _chain_on_qubits(gates, index, {qubit}, 3)
+    if chain is None:
+        return None
+    middle, last = gates[chain[1]], gates[chain[2]]
+    if last.name != "H" or last.qubits != first.qubits:
+        return None
+    if middle.qubits != first.qubits:
+        return None
+    if middle.name == "X":
+        return chain, [Z(qubit)]
+    if middle.name == "Z":
+        return chain, [X(qubit)]
+    return None
+
+
+def _prev_on_qubits(gates: Sequence[Gate], start: int, qubits: set) -> Optional[int]:
+    """Index of the last gate before ``start`` touching any of ``qubits``
+    (searching at most :data:`LOOKAHEAD_WINDOW` gates back)."""
+    floor = max(-1, start - 1 - LOOKAHEAD_WINDOW)
+    for j in range(start - 1, floor, -1):
+        if set(gates[j].qubits) & qubits:
+            return j
+    return None
+
+
+def rule_cnot_unreversal(gates, index, coupling_map=None):
+    """Collapse the 5-gate Fig. 6 reversal back to one CNOT when legal.
+
+    Pattern: an H on each operand immediately before and after a CNOT
+    (per-qubit timelines), rewritten to the opposite-orientation CNOT.
+    On a restricted device the rewrite fires only if the coupling map
+    allows the new orientation.
+    """
+    anchor = gates[index]
+    if anchor.name != "H":
+        return None
+    a = anchor.qubits[0]
+    cnot_at = _next_on_qubits(gates, index, {a})
+    if cnot_at is None:
+        return None
+    cnot = gates[cnot_at]
+    if cnot.name != "CNOT" or a not in cnot.qubits:
+        return None
+    b = cnot.qubits[0] if cnot.qubits[1] == a else cnot.qubits[1]
+    # H on the partner qubit immediately before the CNOT.
+    before_b = _prev_on_qubits(gates, cnot_at, {b})
+    if before_b is None or gates[before_b] != H(b):
+        return None
+    # H on both qubits immediately after the CNOT.
+    after_a = _next_on_qubits(gates, cnot_at, {a})
+    after_b = _next_on_qubits(gates, cnot_at, {b})
+    if after_a is None or after_b is None or after_a == after_b:
+        return None
+    if gates[after_a] != H(a) or gates[after_b] != H(b):
+        return None
+    control, target = cnot.qubits
+    new_control, new_target = target, control  # reversed orientation
+    if coupling_map is not None and not coupling_map.allows(new_control, new_target):
+        return None
+    consumed = [index, before_b, cnot_at, after_a, after_b]
+    return consumed, [CNOT(new_control, new_target)]
+
+
+def rule_cnot_x_propagation(gates, index, coupling_map=None):
+    """``CNOT(a,b) X(a) CNOT(a,b) -> X(a) X(b)`` (and the Z dual on b)."""
+    first = gates[index]
+    if first.name != "CNOT":
+        return None
+    a, b = first.qubits
+    chain = _chain_on_qubits(gates, index, {a, b}, 3)
+    if chain is None:
+        return None
+    middle, last = gates[chain[1]], gates[chain[2]]
+    if last != first:
+        return None
+    if middle.name == "X" and middle.qubits == (a,):
+        return chain, [X(a), X(b)]
+    if middle.name == "Z" and middle.qubits == (b,):
+        return chain, [Z(a), Z(b)]
+    return None
+
+
+#: Default rule set, in application order.
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    rule_hadamard_conjugation,
+    rule_cnot_unreversal,
+    rule_cnot_x_propagation,
+)
+
+
+def apply_templates(
+    circuit: QuantumCircuit,
+    coupling_map: Optional[CouplingMap] = None,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+    gate_set=None,
+) -> QuantumCircuit:
+    """One template sweep: try every rule at every position, left to right.
+
+    Matches are applied greedily; the driver iterates sweeps to fixpoint.
+    """
+    gates: List[Gate] = list(circuit)
+    index = 0
+    while index < len(gates):
+        matched = None
+        for rule in rules:
+            matched = rule(gates, index, coupling_map)
+            if matched is not None:
+                break
+        if matched is not None and gate_set is not None:
+            consumed, replacement = matched
+            if any(g.name not in gate_set for g in replacement):
+                matched = None  # rewrite would leave the device library
+        if matched is None:
+            index += 1
+            continue
+        consumed, replacement = matched
+        consumed_set = set(consumed)
+        rebuilt: List[Gate] = []
+        inserted = False
+        for position, gate in enumerate(gates):
+            if position in consumed_set:
+                if not inserted:
+                    rebuilt.extend(replacement)
+                    inserted = True
+                continue
+            rebuilt.append(gate)
+        gates = rebuilt
+        # Resume slightly earlier: the rewrite may enable a new match that
+        # starts just before the replaced partition.
+        index = max(0, min(consumed) - LOOKAHEAD_WINDOW)
+    return QuantumCircuit(circuit.num_qubits, gates, name=circuit.name)

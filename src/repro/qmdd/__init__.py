@@ -1,0 +1,33 @@
+"""Quantum Multiple-valued Decision Diagrams (QMDD) and equivalence checking."""
+
+from .structure import Edge, Node, TERMINAL_LEVEL, count_nodes
+from .values import ValueTable
+from .manager import QMDDManager
+from .equivalence import (
+    EquivalenceResult,
+    assert_equivalent,
+    check_equivalence,
+    check_equivalence_up_to_diagonal,
+    compare_edges,
+    edge_is_diagonal,
+)
+from .render import to_dot, to_text
+from .vector import VectorDDManager
+
+__all__ = [
+    "Edge",
+    "Node",
+    "TERMINAL_LEVEL",
+    "count_nodes",
+    "ValueTable",
+    "QMDDManager",
+    "EquivalenceResult",
+    "assert_equivalent",
+    "check_equivalence",
+    "check_equivalence_up_to_diagonal",
+    "compare_edges",
+    "edge_is_diagonal",
+    "to_dot",
+    "to_text",
+    "VectorDDManager",
+]

@@ -1,0 +1,437 @@
+"""The QMDD manager: unique table, operation caches, matrix algebra.
+
+One :class:`QMDDManager` owns every node it ever builds.  Because nodes
+are hash-consed through the unique table and edge weights are interned
+through the :class:`~repro.qmdd.values.ValueTable`, the QMDD of a matrix
+is *canonical* for a fixed variable order: two circuits implement the
+same transfer matrix if and only if their root edges come out identical
+(same node object, same weight) — the paper's equivalence check, where
+"the pointers to the original and technology-mapped specification will
+match if the two designs are functionally identical" (Section 4).
+
+Normalization rule: each node's outgoing weights are divided by the
+largest-magnitude weight (ties broken by edge position), which propagates
+upward into the incoming edge.  Zero sub-matrices are the terminal node
+with weight 0, regardless of level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import QMDDError
+from ..core.gates import Gate, gate_matrix
+from .structure import Edge, Node, TERMINAL_LEVEL
+from .values import ValueTable
+
+
+class QMDDManager:
+    """Builds and combines QMDDs over a fixed number of qubits."""
+
+    def __init__(self, num_qubits: int, tolerance: float = 1e-9):
+        if num_qubits < 1:
+            raise QMDDError("QMDD needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.values = ValueTable(tolerance)
+        self.terminal = Node(TERMINAL_LEVEL, None)
+        self._unique: Dict[Tuple, Node] = {}
+        self._mul_cache: Dict[Tuple[int, int], Edge] = {}
+        self._add_cache: Dict[Tuple[int, int, complex], Edge] = {}
+        self._gate_cache: Dict[Tuple, Edge] = {}
+        self._identity_cache: Dict[int, Edge] = {}
+        self._apply_cache: Dict[Tuple, Edge] = {}
+        self._zero_edge = Edge(self.terminal, self.values.lookup(0j))
+        self._one_edge = Edge(self.terminal, self.values.lookup(1 + 0j))
+
+    # -- primitive edges ------------------------------------------------------
+
+    @property
+    def zero(self) -> Edge:
+        """The all-zero matrix (any size)."""
+        return self._zero_edge
+
+    @property
+    def one(self) -> Edge:
+        """The scalar 1 (terminal edge)."""
+        return self._one_edge
+
+    def edge(self, node: Node, weight: complex) -> Edge:
+        """An edge with an interned weight; zero weight collapses to the
+        terminal zero edge."""
+        weight = self.values.lookup(weight)
+        if self.values.is_zero(weight):
+            return self._zero_edge
+        return Edge(node, weight)
+
+    # -- node construction -------------------------------------------------------
+
+    def make_node(self, level: int, edges: Sequence[Edge]) -> Edge:
+        """Create (or find) the normalized node for the four quadrant edges,
+        returning the edge that points to it."""
+        if len(edges) != 4:
+            raise QMDDError("a QMDD node has exactly four edges")
+        if all(e.is_zero for e in edges):
+            return self.zero
+        # Normalize: divide by the largest-magnitude weight.  The pick must
+        # be *tolerance-deterministic*: when two magnitudes agree within
+        # the value tolerance, always take the earliest edge, otherwise
+        # float dust on different construction paths would normalize equal
+        # matrices differently and break pointer canonicity.
+        tolerance = self.values.tolerance
+        magnitudes = [abs(e.weight) for e in edges]
+        largest = max(magnitudes)
+        norm = next(
+            e.weight
+            for e, magnitude in zip(edges, magnitudes)
+            if magnitude >= largest - tolerance
+        )
+        normalized = tuple(
+            self.zero if e.is_zero else self.edge(e.node, e.weight / norm)
+            for e in edges
+        )
+        key = (level, tuple((id(e.node), e.weight) for e in normalized))
+        node = self._unique.get(key)
+        if node is None:
+            node = Node(level, normalized)
+            self._unique[key] = node
+        return self.edge(node, norm)
+
+    def identity(self, level: int = 0) -> Edge:
+        """QMDD of the identity matrix on levels ``level..num_qubits-1``."""
+        if level >= self.num_qubits:
+            return self.one
+        cached = self._identity_cache.get(level)
+        if cached is None:
+            sub = self.identity(level + 1)
+            cached = self.make_node(level, (sub, self.zero, self.zero, sub))
+            self._identity_cache[level] = cached
+        return cached
+
+    # -- gate construction ----------------------------------------------------------
+
+    def gate_edge(self, gate: Gate) -> Edge:
+        """QMDD of ``gate`` embedded over all ``num_qubits`` qubits."""
+        key = (gate.name, gate.qubits, gate.params)
+        cached = self._gate_cache.get(key)
+        if cached is None:
+            cached = self._build_gate(gate)
+            self._gate_cache[key] = cached
+        return cached
+
+    def _build_gate(self, gate: Gate) -> Edge:
+        if max(gate.qubits) >= self.num_qubits:
+            raise QMDDError(f"gate {gate} outside {self.num_qubits}-qubit QMDD")
+        if gate.name in ("CNOT", "TOFFOLI", "MCX", "CZ"):
+            # Controlled gates are built structurally (O(num_qubits) nodes)
+            # as identity + |1..1><1..1| (x) (U - I); materializing the
+            # dense 2^k matrix would explode for wide MCX gates.
+            return self._build_controlled(gate)
+        matrix = gate_matrix(gate.name, gate.num_qubits, gate.params or None)
+        position = {q: i for i, q in enumerate(gate.qubits)}
+        k = gate.num_qubits
+        memo: Dict[Tuple[int, int, int], Edge] = {}
+
+        def build(level: int, row: int, col: int) -> Edge:
+            if level == self.num_qubits:
+                return self.edge(self.terminal, matrix[row, col])
+            found = memo.get((level, row, col))
+            if found is not None:
+                return found
+            if level in position:
+                shift = k - 1 - position[level]
+                quadrants = tuple(
+                    build(level + 1, row | (r << shift), col | (c << shift))
+                    for r in (0, 1)
+                    for c in (0, 1)
+                )
+            else:
+                sub = build(level + 1, row, col)
+                quadrants = (sub, self.zero, self.zero, sub)
+            result = self.make_node(level, quadrants)
+            memo[(level, row, col)] = result
+            return result
+
+        return build(0, 0, 0)
+
+    def _build_controlled(self, gate: Gate) -> Edge:
+        """Controlled-X / controlled-Z as ``I + P (x) (U - I)`` where P
+        projects every control onto |1>.  The correction term is a chain
+        of one node per level, so even a 90-control MCX stays tiny."""
+        controls = set(gate.controls)
+        target = gate.target
+        # (U - I) quadrant weights at the target level, as multipliers of
+        # the sub-DD: X - I = [[-1, 1], [1, -1]]; Z - I = diag(0, -2).
+        if gate.name == "CZ":
+            target_weights = (0.0, 0.0, 0.0, -2.0)
+        else:
+            target_weights = (-1.0, 1.0, 1.0, -1.0)
+
+        def build(level: int) -> Edge:
+            if level == self.num_qubits:
+                return self.one
+            sub = build(level + 1)
+            if level in controls:
+                return self.make_node(level, (self.zero, self.zero, self.zero, sub))
+            if level == target:
+                quadrants = tuple(sub.scaled(w) if w else self.zero
+                                  for w in target_weights)
+                return self.make_node(level, quadrants)
+            return self.make_node(level, (sub, self.zero, self.zero, sub))
+
+        return self.add(self.identity(), build(0))
+
+    # -- algebra ---------------------------------------------------------------------
+
+    def multiply(self, left: Edge, right: Edge) -> Edge:
+        """Matrix product ``left @ right``."""
+        if left.is_zero or right.is_zero:
+            return self.zero
+        product = self._mul_nodes(left.node, right.node)
+        return self.edge(product.node, product.weight * left.weight * right.weight)
+
+    def _mul_nodes(self, a: Node, b: Node) -> Edge:
+        if a.is_terminal and b.is_terminal:
+            return self.one
+        if a.is_terminal or b.is_terminal:
+            raise QMDDError("QMDD multiply level mismatch (skipped level?)")
+        if a.level != b.level:
+            raise QMDDError(
+                f"QMDD multiply level mismatch: {a.level} vs {b.level}"
+            )
+        key = (id(a), id(b))
+        cached = self._mul_cache.get(key)
+        if cached is not None:
+            return cached
+        quadrants: List[Edge] = []
+        for i in (0, 1):
+            for j in (0, 1):
+                first = self.multiply(a.edges[2 * i + 0], b.edges[0 + j])
+                second = self.multiply(a.edges[2 * i + 1], b.edges[2 + j])
+                quadrants.append(self.add(first, second))
+        result = self.make_node(a.level, quadrants)
+        self._mul_cache[key] = result
+        return result
+
+    def add(self, left: Edge, right: Edge) -> Edge:
+        """Matrix sum ``left + right``."""
+        if left.is_zero:
+            return right
+        if right.is_zero:
+            return left
+        ratio = self.values.lookup(right.weight / left.weight)
+        summed = self._add_nodes(left.node, right.node, ratio)
+        return self.edge(summed.node, summed.weight * left.weight)
+
+    def _add_nodes(self, a: Node, b: Node, ratio: complex) -> Edge:
+        """``matrix(a) + ratio * matrix(b)`` with weight-1 incoming edges."""
+        if a.is_terminal and b.is_terminal:
+            return self.edge(self.terminal, 1 + ratio)
+        if a.is_terminal or b.is_terminal:
+            raise QMDDError("QMDD add level mismatch (skipped level?)")
+        if a.level != b.level:
+            raise QMDDError(f"QMDD add level mismatch: {a.level} vs {b.level}")
+        key = (id(a), id(b), ratio)
+        cached = self._add_cache.get(key)
+        if cached is not None:
+            return cached
+        quadrants = [
+            self.add(a.edges[i], b.edges[i].scaled(ratio)) for i in range(4)
+        ]
+        result = self.make_node(a.level, quadrants)
+        self._add_cache[key] = result
+        return result
+
+    # -- specialized gate application ------------------------------------------------
+
+    def _scaled_edge(self, edge: Edge, factor: complex) -> Edge:
+        if edge.is_zero or factor == 0:
+            return self._zero_edge
+        return self.edge(edge.node, edge.weight * factor)
+
+    def apply_single(self, edge: Edge, matrix, qubit: int, op_key=None) -> Edge:
+        """Left-multiply a one-qubit gate at ``qubit`` into ``edge``.
+
+        Only nodes at levels ``<= qubit`` are rebuilt; the (typically
+        large) sub-diagrams below the gate are shared untouched — far
+        cheaper than a generic DD-DD multiply for local gates.  Results
+        are cached per (gate, node) in the manager-wide apply cache, so
+        revisiting a subtree shape (ubiquitous in routed circuits, whose
+        SWAP chains repeat) is free.
+        """
+        u00, u01 = matrix[0][0], matrix[0][1]
+        u10, u11 = matrix[1][0], matrix[1][1]
+        if op_key is None:
+            op_key = ("1q", u00, u01, u10, u11, qubit)
+        cache = self._apply_cache
+
+        def rec(e: Edge) -> Edge:
+            if e.weight == 0:
+                return e
+            node = e.node
+            key = (op_key, id(node))
+            cached = cache.get(key)
+            if cached is None:
+                e0, e1, e2, e3 = node.edges
+                if node.level == qubit:
+                    quadrants = (
+                        self.add(self._scaled_edge(e0, u00), self._scaled_edge(e2, u01)),
+                        self.add(self._scaled_edge(e1, u00), self._scaled_edge(e3, u01)),
+                        self.add(self._scaled_edge(e0, u10), self._scaled_edge(e2, u11)),
+                        self.add(self._scaled_edge(e1, u10), self._scaled_edge(e3, u11)),
+                    )
+                else:
+                    quadrants = (rec(e0), rec(e1), rec(e2), rec(e3))
+                cached = self.make_node(node.level, quadrants)
+                cache[key] = cached
+            return self._scaled_edge(cached, e.weight)
+
+        return rec(edge)
+
+    def _project_rows(self, edge: Edge, qubit: int, bit: int) -> Edge:
+        """Zero every matrix row whose ``qubit`` bit differs from ``bit``."""
+        op_key = ("proj", qubit, bit)
+        cache = self._apply_cache
+
+        def rec(e: Edge) -> Edge:
+            if e.weight == 0:
+                return e
+            node = e.node
+            key = (op_key, id(node))
+            cached = cache.get(key)
+            if cached is None:
+                e0, e1, e2, e3 = node.edges
+                if node.level == qubit:
+                    if bit == 0:
+                        quadrants = (e0, e1, self._zero_edge, self._zero_edge)
+                    else:
+                        quadrants = (self._zero_edge, self._zero_edge, e2, e3)
+                else:
+                    quadrants = (rec(e0), rec(e1), rec(e2), rec(e3))
+                cached = self.make_node(node.level, quadrants)
+                cache[key] = cached
+            return self._scaled_edge(cached, e.weight)
+
+        return rec(edge)
+
+    _X_MATRIX = ((0.0, 1.0), (1.0, 0.0))
+
+    def apply_cnot(self, edge: Edge, control: int, target: int) -> Edge:
+        """Left-multiply CNOT(control, target) into ``edge``."""
+        op_key = ("cx", control, target)
+        cache = self._apply_cache
+        outer = min(control, target)
+        x_key = ("1q", 0.0, 1.0, 1.0, 0.0, target)
+
+        def rec(e: Edge) -> Edge:
+            if e.weight == 0:
+                return e
+            node = e.node
+            key = (op_key, id(node))
+            cached = cache.get(key)
+            if cached is None:
+                e0, e1, e2, e3 = node.edges
+                if node.level == outer:
+                    if outer == control:
+                        # Control above target: X hits the control-1 rows.
+                        quadrants = (
+                            e0,
+                            e1,
+                            self.apply_single(e2, self._X_MATRIX, target, x_key),
+                            self.apply_single(e3, self._X_MATRIX, target, x_key),
+                        )
+                    else:
+                        # Target above control: swap target rows within the
+                        # control-1 subspace, keep control-0 rows in place.
+                        quadrants = (
+                            self.add(
+                                self._project_rows(e0, control, 0),
+                                self._project_rows(e2, control, 1),
+                            ),
+                            self.add(
+                                self._project_rows(e1, control, 0),
+                                self._project_rows(e3, control, 1),
+                            ),
+                            self.add(
+                                self._project_rows(e0, control, 1),
+                                self._project_rows(e2, control, 0),
+                            ),
+                            self.add(
+                                self._project_rows(e1, control, 1),
+                                self._project_rows(e3, control, 0),
+                            ),
+                        )
+                else:
+                    quadrants = (rec(e0), rec(e1), rec(e2), rec(e3))
+                cached = self.make_node(node.level, quadrants)
+                cache[key] = cached
+            return self._scaled_edge(cached, e.weight)
+
+        return rec(edge)
+
+    def apply_gate(self, edge: Edge, gate: Gate) -> Edge:
+        """Left-multiply ``gate`` into ``edge`` using the cheapest path:
+        specialized application for one-qubit gates and CNOT (everything a
+        mapped circuit contains), generic multiply otherwise."""
+        if gate.num_qubits == 1:
+            if gate.name == "I":
+                return edge
+            matrix = gate_matrix(gate.name, params=gate.params or None)
+            return self.apply_single(
+                edge,
+                ((matrix[0, 0], matrix[0, 1]), (matrix[1, 0], matrix[1, 1])),
+                gate.qubits[0],
+                ("1g", gate.name, gate.params, gate.qubits[0]),
+            )
+        if gate.name == "CNOT":
+            return self.apply_cnot(edge, gate.qubits[0], gate.qubits[1])
+        return self.multiply(self.gate_edge(gate), edge)
+
+    # -- circuits -----------------------------------------------------------------------
+
+    def circuit_edge(self, circuit: QuantumCircuit) -> Edge:
+        """QMDD of the whole circuit's transfer matrix.
+
+        Gates are applied in circuit order: the total matrix is
+        ``U_last ... U_2 U_1``, built by applying each gate into the
+        running product (specialized application for local gates).
+        """
+        if circuit.num_qubits > self.num_qubits:
+            raise QMDDError(
+                f"circuit has {circuit.num_qubits} qubits, manager only "
+                f"{self.num_qubits}"
+            )
+        total = self.identity()
+        for gate in circuit:
+            total = self.apply_gate(total, gate)
+        return total
+
+    # -- inspection -----------------------------------------------------------------------
+
+    def to_matrix(self, edge: Edge, level: int = 0) -> np.ndarray:
+        """Dense matrix represented by ``edge`` (exponential; tests only)."""
+        size = 2 ** (self.num_qubits - level)
+        if edge.is_zero:
+            return np.zeros((size, size), dtype=complex)
+        if edge.node.is_terminal:
+            if level != self.num_qubits:
+                raise QMDDError("nonzero terminal edge above the bottom level")
+            return np.array([[edge.weight]], dtype=complex)
+        half = size // 2
+        matrix = np.zeros((size, size), dtype=complex)
+        for i in (0, 1):
+            for j in (0, 1):
+                sub = self.to_matrix(edge.node.edges[2 * i + j], level + 1)
+                matrix[i * half : (i + 1) * half, j * half : (j + 1) * half] = sub
+        return matrix * edge.weight
+
+    def stats(self) -> Dict[str, int]:
+        """Table sizes, for diagnostics and the scalability benchmarks."""
+        return {
+            "unique_nodes": len(self._unique),
+            "mul_cache": len(self._mul_cache),
+            "add_cache": len(self._add_cache),
+            "values": len(self.values),
+        }

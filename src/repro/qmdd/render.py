@@ -1,0 +1,100 @@
+"""Textual and Graphviz rendering of QMDDs (paper Fig. 1).
+
+These renderers exist for documentation, debugging and the examples; the
+``examples/qmdd_tour.py`` script reproduces the paper's Fig. 1 (the CNOT
+operation as a QMDD) in ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .manager import QMDDManager
+from .structure import Edge, Node
+
+
+def _format_weight(weight: complex) -> str:
+    re, im = weight.real, weight.imag
+    if abs(im) < 1e-12:
+        value = re
+        if abs(value - round(value)) < 1e-12:
+            return str(int(round(value)))
+        return f"{value:.4g}"
+    if abs(re) < 1e-12:
+        if abs(im - 1) < 1e-12:
+            return "i"
+        if abs(im + 1) < 1e-12:
+            return "-i"
+        return f"{im:.4g}i"
+    return f"({re:.4g}{im:+.4g}i)"
+
+
+def to_text(manager: QMDDManager, edge: Edge) -> str:
+    """An indented textual dump of the QMDD below ``edge``.
+
+    Nodes are labelled ``x<level>``; each line shows the four quadrant
+    edges ``U00 U01 U10 U11`` with their weights, ``0`` for zero edges
+    and ``[1]`` for the terminal.
+    """
+    labels: Dict[int, str] = {}
+    order: List[Node] = []
+
+    def visit(node: Node) -> None:
+        if node.is_terminal or id(node) in labels:
+            return
+        labels[id(node)] = f"n{len(labels)}"
+        order.append(node)
+        for child in node.edges:
+            visit(child.node)
+
+    visit(edge.node)
+    lines = [f"root --{_format_weight(edge.weight)}--> "
+             f"{labels.get(id(edge.node), '[1]')}"]
+    for node in order:
+        parts = []
+        for child in node.edges:
+            if child.is_zero:
+                parts.append("0")
+            elif child.node.is_terminal:
+                parts.append(f"{_format_weight(child.weight)}*[1]")
+            else:
+                parts.append(
+                    f"{_format_weight(child.weight)}*{labels[id(child.node)]}"
+                )
+        lines.append(
+            f"{labels[id(node)]} (x{node.level}): [" + "  ".join(parts) + "]"
+        )
+    return "\n".join(lines)
+
+
+def to_dot(manager: QMDDManager, edge: Edge, title: str = "qmdd") -> str:
+    """Graphviz DOT source for the QMDD below ``edge``."""
+    labels: Dict[int, str] = {}
+    lines = [f'digraph "{title}" {{', "  rankdir=TB;"]
+
+    def visit(node: Node) -> str:
+        if node.is_terminal:
+            return "terminal"
+        name = labels.get(id(node))
+        if name is not None:
+            return name
+        name = f"n{len(labels)}"
+        labels[id(node)] = name
+        lines.append(f'  {name} [label="x{node.level}" shape=circle];')
+        for index, child in enumerate(node.edges):
+            if child.is_zero:
+                continue
+            child_name = visit(child.node)
+            quadrant = f"U{index >> 1}{index & 1}"
+            lines.append(
+                f'  {name} -> {child_name} '
+                f'[label="{quadrant}: {_format_weight(child.weight)}"];'
+            )
+        return name
+
+    lines.append('  terminal [label="1" shape=box];')
+    root = visit(edge.node)
+    lines.append(f'  start [shape=point];')
+    lines.append(f'  start -> {root} [label="{_format_weight(edge.weight)}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""QMDD nodes and edges (Section 2.4, Fig. 1 of the paper).
+
+A QMDD represents a ``2^n x 2^n`` transfer matrix as a directed acyclic
+graph.  Each non-terminal vertex corresponds to one qubit and has four
+outgoing edges giving, left to right, the sub-matrices ``U00, U01, U10,
+U11`` of the matrix quadrant decomposition
+
+    U = [ U00  U01 ]
+        [ U10  U11 ]
+
+Edges carry complex weights; the matrix represented by an edge is the
+weight times the matrix of the node it points to.  Redundancy is removed
+by a unique table (structural hashing), so equal sub-matrices share one
+node — the property that makes equivalence checking a pointer comparison.
+
+Levels: the variable order is ``x0 -> x1 -> ...`` (paper Fig. 1): level 0
+splits on the most-significant qubit.  The terminal node has level
+``TERMINAL_LEVEL`` and represents the scalar 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+TERMINAL_LEVEL = 1 << 30  # deeper than any real level
+
+
+class Node:
+    """A QMDD vertex: a level and four outgoing edges (None for terminal)."""
+
+    __slots__ = ("level", "edges", "_hash")
+
+    def __init__(self, level: int, edges: Optional[Tuple["Edge", ...]]):
+        self.level = level
+        self.edges = edges
+        self._hash = None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.edges is None
+
+    def __repr__(self) -> str:
+        if self.is_terminal:
+            return "<terminal>"
+        return f"<node level={self.level} id={id(self):#x}>"
+
+
+class Edge:
+    """A weighted pointer to a node.  ``weight * matrix(node)``.
+
+    Treated as immutable (a plain __slots__ class rather than a frozen
+    dataclass: edges are created millions of times on the verification
+    hot path and attribute-assignment construction is ~2x cheaper).
+    """
+
+    __slots__ = ("node", "weight")
+
+    def __init__(self, node: Node, weight: complex):
+        self.node = node
+        self.weight = weight
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the zero edge (weight 0 pointing at the terminal)."""
+        return self.weight == 0
+
+    def scaled(self, factor: complex) -> "Edge":
+        """This edge with its weight multiplied by ``factor`` (raw; the
+        manager re-canonicalizes weights when it builds nodes)."""
+        return Edge(self.node, self.weight * factor)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Edge)
+            and self.node is other.node
+            and self.weight == other.weight
+        )
+
+    def __hash__(self):
+        return hash((id(self.node), self.weight))
+
+    def __repr__(self) -> str:
+        return f"Edge({self.weight!r} -> {self.node!r})"
+
+
+def count_nodes(edge: Edge) -> int:
+    """Number of distinct non-terminal nodes reachable from ``edge``."""
+    seen = set()
+
+    def walk(node: Node) -> None:
+        if node.is_terminal or id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.edges:
+            walk(child.node)
+
+    walk(edge.node)
+    return len(seen)

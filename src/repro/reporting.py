@@ -1,0 +1,89 @@
+"""Rendering of paper-style result tables.
+
+The benchmark harness prints rows in the same shape as the paper's
+tables: metric triples ``T-count / gates / cost`` for unoptimized and
+optimized mappings per device, and percent-decrease summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .core.cost import CircuitMetrics
+
+
+def format_cost(value: float) -> str:
+    """Costs print as integers when whole (matching the paper's tables)."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+def metrics_cell(unoptimized: CircuitMetrics, optimized: CircuitMetrics) -> str:
+    """One device cell of Tables 3/5: unopt then opt triples."""
+    return f"{unoptimized}  {optimized}"
+
+
+class Table:
+    """A minimal fixed-width text table with a title and column headers."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cells are str()-ed)."""
+        row = [str(c) for c in cells]
+        while len(row) < len(self.headers):
+            row.append("")
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The table as aligned monospace text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, separator, line(self.headers), separator]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(separator)
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        """Print the rendered table."""
+        print(self.render())
+
+    def to_csv(self) -> str:
+        """The table as CSV (headers + rows), for machine consumption."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        """Write :meth:`to_csv` output to ``path``."""
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+
+def average(values: Iterable[float]) -> Optional[float]:
+    """Mean of the available (non-None) values, or None when empty."""
+    collected = [v for v in values if v is not None]
+    if not collected:
+        return None
+    return sum(collected) / len(collected)
+
+
+def percent(value: Optional[float]) -> str:
+    """Format a percent-decrease cell; N/A for missing entries."""
+    return "N/A" if value is None else f"{value:.2f}"

@@ -1,0 +1,49 @@
+"""Verification: simulators and equivalence checking front door."""
+
+from .simulate import (
+    apply_gate,
+    basis_state,
+    measure_probabilities,
+    simulate,
+    states_equal,
+    zero_state,
+)
+from .sparse_sim import SparseState, run_sparse, sampled_equivalence
+from .permutation import (
+    apply_classical,
+    evaluate,
+    is_identity_permutation,
+    permutation,
+    permutations_equal,
+)
+from .equivalence import VerificationReport, require_equivalent, verify_equivalent
+from .noisy_sim import (
+    NoisyRunReport,
+    compare_under_noise,
+    noisy_success_rate,
+    run_noisy_once,
+)
+
+__all__ = [
+    "apply_gate",
+    "basis_state",
+    "measure_probabilities",
+    "simulate",
+    "states_equal",
+    "zero_state",
+    "SparseState",
+    "run_sparse",
+    "sampled_equivalence",
+    "apply_classical",
+    "evaluate",
+    "is_identity_permutation",
+    "permutation",
+    "permutations_equal",
+    "VerificationReport",
+    "require_equivalent",
+    "verify_equivalent",
+    "NoisyRunReport",
+    "compare_under_noise",
+    "noisy_success_rate",
+    "run_noisy_once",
+]

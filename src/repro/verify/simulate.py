@@ -1,0 +1,90 @@
+"""Dense statevector simulation (small circuits).
+
+A reference simulator used by the test-suite to cross-check the QMDD
+engine and every decomposition: it applies each gate's matrix to a dense
+``2^n`` state with numpy tensor operations.  Exponential in qubits —
+intended for n <= ~14.
+
+Convention: qubit 0 is the most significant bit of the basis index,
+matching :mod:`repro.core.gates` and the QMDD variable order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import CircuitError
+from ..core.gates import Gate, gate_matrix
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """|00...0> as a dense vector."""
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(num_qubits: int, index: int) -> np.ndarray:
+    """Computational basis state |index> (qubit 0 = MSB)."""
+    if not (0 <= index < 2 ** num_qubits):
+        raise CircuitError(f"basis index {index} out of range")
+    state = np.zeros(2 ** num_qubits, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply one gate to a dense state, returning a new state."""
+    matrix = gate_matrix(gate.name, gate.num_qubits, gate.params or None)
+    k = gate.num_qubits
+    # Reshape into a rank-n tensor with one axis per qubit; contract the
+    # gate matrix over the gate's axes.
+    tensor = state.reshape([2] * num_qubits)
+    axes = list(gate.qubits)
+    gate_tensor = matrix.reshape([2] * (2 * k))
+    # gate_tensor indices: (out_1..out_k, in_1..in_k)
+    tensor = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    # tensordot puts the gate's output axes first; move them home.
+    tensor = np.moveaxis(tensor, list(range(k)), axes)
+    return tensor.reshape(2 ** num_qubits)
+
+
+def simulate(
+    circuit: QuantumCircuit,
+    initial: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Final statevector of ``circuit`` from ``initial`` (default |0...0>)."""
+    n = circuit.num_qubits
+    if n > 16:
+        raise CircuitError("dense simulation beyond 16 qubits; use sparse_sim")
+    state = zero_state(n) if initial is None else np.asarray(initial, dtype=complex)
+    if state.shape != (2 ** n,):
+        raise CircuitError("initial state has wrong dimension")
+    for gate in circuit:
+        state = apply_gate(state, gate, n)
+    return state
+
+
+def measure_probabilities(state: np.ndarray) -> np.ndarray:
+    """Born-rule outcome probabilities |amp|^2 of a statevector."""
+    return np.abs(state) ** 2
+
+
+def states_equal(
+    a: np.ndarray, b: np.ndarray, up_to_global_phase: bool = True, atol: float = 1e-8
+) -> bool:
+    """Compare statevectors, optionally modulo global phase."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    if not up_to_global_phase:
+        return bool(np.allclose(a, b, atol=atol))
+    overlap = np.vdot(a, b)
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0:
+        return bool(np.allclose(a, b, atol=atol))
+    return bool(abs(abs(overlap) - norm) <= atol * max(1.0, norm))

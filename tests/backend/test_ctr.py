@@ -1,0 +1,143 @@
+"""CTR rerouting tests, including the paper's Fig. 5 walk on ibmqx3."""
+
+import numpy as np
+import pytest
+
+from repro.core import CNOT, QuantumCircuit, SynthesisError
+from repro.backend import (
+    ConnectivityTree,
+    cnot_with_ctr,
+    find_swap_path,
+    route_cost_in_swaps,
+    swap_gates,
+)
+from repro.devices import CouplingMap, IBMQX3, linear_device
+
+
+class TestSwapGates:
+    def test_bidirectional_pair_uses_three_cnots(self):
+        both = CouplingMap(2, {0: [1], 1: [0]})
+        gates = swap_gates(0, 1, both)
+        assert [g.name for g in gates] == ["CNOT", "CNOT", "CNOT"]
+
+    def test_unidirectional_pair_costs_seven(self):
+        """The paper: all SWAPs have max 7 gates (4 H + 3 CNOT)."""
+        one_way = CouplingMap(2, {0: [1]})
+        gates = swap_gates(0, 1, one_way)
+        assert len(gates) == 7
+        names = [g.name for g in gates]
+        assert names.count("CNOT") == 3
+        assert names.count("H") == 4
+
+    def test_swap_is_functionally_swap(self):
+        from repro.core import SWAP
+
+        one_way = CouplingMap(2, {0: [1]})
+        built = QuantumCircuit(2, swap_gates(0, 1, one_way)).unitary()
+        wanted = QuantumCircuit(2, [SWAP(0, 1)]).unitary()
+        assert np.allclose(built, wanted)
+
+    def test_uncoupled_swap_raises(self):
+        chain = CouplingMap(3, {0: [1], 1: [2]})
+        with pytest.raises(SynthesisError):
+            swap_gates(0, 2, chain)
+
+    def test_all_emitted_cnots_legal(self):
+        one_way = CouplingMap(2, {1: [0]})
+        for gate in swap_gates(0, 1, one_way):
+            if gate.name == "CNOT":
+                assert one_way.allows(*gate.qubits)
+
+
+class TestFig5:
+    """The worked example: CNOT with q5 control, q10 target on ibmqx3."""
+
+    def test_swap_path_matches_paper(self):
+        path = find_swap_path(5, 10, IBMQX3.coupling_map)
+        assert path == [5, 12, 11, 10]
+
+    def test_two_swaps_each_way(self):
+        assert route_cost_in_swaps(5, 10, IBMQX3.coupling_map) == 2
+
+    def test_rerouted_cnot_is_correct(self):
+        gates = cnot_with_ctr(5, 10, IBMQX3.coupling_map)
+        # restrict to the touched region for a dense check
+        touched = sorted({q for g in gates for q in g.qubits})
+        assert touched == [5, 10, 11, 12]
+        relabel = {q: i for i, q in enumerate(touched)}
+        local = QuantumCircuit(4, [type(g)(g.name, tuple(relabel[q] for q in g.qubits))
+                                   for g in gates])
+        wanted = QuantumCircuit(4, [CNOT(relabel[5], relabel[10])]).unitary()
+        assert np.allclose(local.unitary(), wanted)
+
+    def test_all_rerouted_cnots_legal(self):
+        for gate in cnot_with_ctr(5, 10, IBMQX3.coupling_map):
+            if gate.name == "CNOT":
+                assert IBMQX3.coupling_map.allows(*gate.qubits)
+
+
+class TestCtrGeneral:
+    def test_already_coupled_no_swaps(self):
+        chain = linear_device(4).coupling_map
+        gates = cnot_with_ctr(0, 1, chain)
+        assert gates == [CNOT(0, 1)]
+
+    def test_reverse_coupled_uses_reversal_only(self):
+        chain = linear_device(4).coupling_map
+        gates = cnot_with_ctr(1, 0, chain)
+        assert len(gates) == 5
+
+    def test_long_chain_reroute_correct(self):
+        chain = linear_device(5).coupling_map
+        gates = cnot_with_ctr(0, 4, chain)
+        built = QuantumCircuit(5, gates).unitary()
+        wanted = QuantumCircuit(5, [CNOT(0, 4)]).unitary()
+        assert np.allclose(built, wanted)
+
+    def test_reroute_restores_intermediate_qubits(self):
+        """Swap-back must leave every intermediate qubit untouched — checked
+        implicitly by full unitary equality on the whole register."""
+        chain = linear_device(4).coupling_map
+        gates = cnot_with_ctr(3, 0, chain)
+        built = QuantumCircuit(4, gates).unitary()
+        wanted = QuantumCircuit(4, [CNOT(3, 0)]).unitary()
+        assert np.allclose(built, wanted)
+
+    def test_disconnected_raises(self):
+        split = CouplingMap(4, {0: [1], 2: [3]})
+        with pytest.raises(SynthesisError):
+            cnot_with_ctr(0, 3, split)
+
+    def test_route_cost_zero_when_coupled(self):
+        chain = linear_device(3).coupling_map
+        assert route_cost_in_swaps(0, 1, chain) == 0
+        assert route_cost_in_swaps(1, 0, chain) == 0
+        assert route_cost_in_swaps(0, 2, chain) == 1
+
+
+class TestConnectivityTree:
+    def test_tree_layers_bfs(self):
+        tree = ConnectivityTree(IBMQX3.coupling_map, root=5)
+        assert tree.grow_until(10)
+        assert tree.layers[0] == [5]
+        # q10 appears exactly at BFS distance 3
+        depth_of_10 = next(
+            i for i, layer in enumerate(tree.layers) if 10 in layer
+        )
+        assert depth_of_10 == 3
+
+    def test_path_to_matches_shortest(self):
+        tree = ConnectivityTree(IBMQX3.coupling_map, root=5)
+        assert tree.path_to(10) == [5, 12, 11, 10]
+
+    def test_unreachable_raises(self):
+        split = CouplingMap(4, {0: [1], 2: [3]})
+        tree = ConnectivityTree(split, root=0)
+        with pytest.raises(SynthesisError):
+            tree.path_to(3)
+
+    def test_branch_termination_visits_each_node_once(self):
+        tree = ConnectivityTree(IBMQX3.coupling_map, root=0)
+        tree.grow_until(10)
+        flat = [q for layer in tree.layers for q in layer]
+        assert len(flat) == len(set(flat))

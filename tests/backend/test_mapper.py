@@ -1,0 +1,132 @@
+"""Full mapping pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNOT,
+    CZ,
+    H,
+    MCX,
+    NotSynthesizableError,
+    QuantumCircuit,
+    SWAP,
+    SynthesisError,
+    T,
+    TOFFOLI,
+    X,
+)
+from repro.backend import (
+    check_conformance,
+    expand_to_library,
+    identity_placement,
+    legalize_cnots,
+    lower_mcx_for_device,
+    map_circuit,
+)
+from repro.devices import IBMQX2, IBMQX3, IBMQX4, SIMULATOR, linear_device
+
+
+class TestIdentityPlacement:
+    def test_identity(self):
+        c = QuantumCircuit(3)
+        assert identity_placement(c, IBMQX2) == {0: 0, 1: 1, 2: 2}
+
+    def test_too_wide_raises_not_synthesizable(self):
+        c = QuantumCircuit(6)
+        with pytest.raises(NotSynthesizableError):
+            identity_placement(c, IBMQX2)
+
+
+class TestStages:
+    def test_lower_mcx_picks_near_ancillas(self):
+        c = QuantumCircuit(5, [MCX(0, 1, 2, 3, 4)])
+        lowered = lower_mcx_for_device(c, IBMQX3)
+        assert all(g.name in ("TOFFOLI",) for g in lowered)
+        assert lowered.num_qubits == 16
+
+    def test_expand_to_library(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2), CZ(0, 1), SWAP(1, 2)])
+        expanded = expand_to_library(c)
+        assert expanded.gate_volume == 15 + 3 + 3
+        assert all(g.is_native_transmon for g in expanded)
+
+    def test_legalize_rejects_multiqubit_leftovers(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)]).widened(5)
+        with pytest.raises(SynthesisError):
+            legalize_cnots(c, IBMQX2)
+
+
+class TestMapCircuit:
+    @pytest.mark.parametrize("device", [IBMQX2, IBMQX4])
+    def test_toffoli_on_5q_devices(self, device):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+        mapped = map_circuit(c, device)
+        assert check_conformance(mapped, device) == []
+        ref = c.widened(5).unitary()
+        assert np.allclose(mapped.unitary(), ref)
+
+    def test_simulator_mapping_is_pure_decomposition(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        mapped = map_circuit(c, SIMULATOR)
+        # full connectivity: exactly the 15-gate network, no routing
+        assert mapped.gate_volume == 15
+
+    def test_mapping_preserves_function_with_routing(self):
+        chain = linear_device(5)
+        c = QuantumCircuit(5, [CNOT(0, 4), CNOT(4, 0), TOFFOLI(0, 2, 4)])
+        mapped = map_circuit(c, chain)
+        assert check_conformance(mapped, chain) == []
+        assert np.allclose(mapped.unitary(), c.unitary())
+
+    def test_custom_placement(self):
+        chain = linear_device(4)
+        c = QuantumCircuit(2, [CNOT(0, 1)], name="pair")
+        mapped = map_circuit(c, chain, placement={0: 2, 1: 3})
+        assert check_conformance(mapped, chain) == []
+        assert mapped.gates == (CNOT(2, 3),)
+
+    def test_placement_collision_rejected(self):
+        chain = linear_device(4)
+        c = QuantumCircuit(2, [CNOT(0, 1)])
+        with pytest.raises(SynthesisError):
+            map_circuit(c, chain, placement={0: 1, 1: 1})
+
+    def test_placement_out_of_range_rejected(self):
+        chain = linear_device(4)
+        c = QuantumCircuit(2, [CNOT(0, 1)])
+        with pytest.raises(NotSynthesizableError):
+            map_circuit(c, chain, placement={0: 0, 1: 9})
+
+    def test_mcx_without_room_raises(self):
+        """T5 on a 5-qubit device: the paper's N/A entries."""
+        c = QuantumCircuit(5, [MCX(0, 1, 2, 3, 4)])
+        with pytest.raises(NotSynthesizableError):
+            map_circuit(c, IBMQX2)
+
+    def test_mapped_output_native(self):
+        c = QuantumCircuit(4, [TOFFOLI(0, 1, 3), H(2), T(0), CNOT(3, 0)])
+        mapped = map_circuit(c, IBMQX4)
+        assert mapped.is_native_transmon
+
+    def test_single_qubit_gates_untouched_by_routing(self):
+        c = QuantumCircuit(2, [H(0), T(1), X(0)])
+        mapped = map_circuit(c, IBMQX2)
+        assert mapped.gates == (H(0), T(1), X(0))
+
+
+class TestConformanceChecker:
+    def test_flags_illegal_direction(self):
+        c = QuantumCircuit(5, [CNOT(1, 0)])  # qx2 allows only 0->1
+        violations = check_conformance(c, IBMQX2)
+        assert len(violations) == 1
+        assert "coupling map" in violations[0]
+
+    def test_flags_non_native_gate(self):
+        c = QuantumCircuit(5, [TOFFOLI(0, 1, 2)])
+        violations = check_conformance(c, IBMQX2)
+        assert "library" in violations[0]
+
+    def test_clean_circuit_passes(self):
+        c = QuantumCircuit(5, [CNOT(0, 1), H(3)])
+        assert check_conformance(c, IBMQX2) == []

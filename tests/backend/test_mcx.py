@@ -1,0 +1,160 @@
+"""Barenco generalized-Toffoli decomposition tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNOT,
+    Gate,
+    MCX,
+    NotSynthesizableError,
+    QuantumCircuit,
+    TOFFOLI,
+    X,
+)
+from repro.backend import lower_mcx_gates, mcx_to_toffoli, toffoli_count
+from repro.verify.permutation import evaluate
+
+
+def _check_against_dense(controls, target, ancillas, num_qubits):
+    gates = mcx_to_toffoli(controls, target, ancillas)
+    built = QuantumCircuit(num_qubits, gates).unitary()
+    wanted = QuantumCircuit(num_qubits, [MCX(*controls, target)]).unitary()
+    assert np.allclose(built, wanted)
+    return gates
+
+
+class TestTrivialCases:
+    def test_zero_controls_is_not(self):
+        assert mcx_to_toffoli([], 0, []) == [X(0)]
+
+    def test_one_control_is_cnot(self):
+        assert mcx_to_toffoli([3], 1, []) == [CNOT(3, 1)]
+
+    def test_two_controls_is_toffoli(self):
+        assert mcx_to_toffoli([0, 2], 4, []) == [TOFFOLI(0, 2, 4)]
+
+    def test_ancillas_overlapping_gate_are_filtered(self):
+        gates = mcx_to_toffoli([0, 1], 2, [0, 1, 2, 3])
+        assert gates == [TOFFOLI(0, 1, 2)]
+
+
+class TestVChain:
+    """Lemma 7.2: 4(k-2) Toffolis with k-2 dirty ancillas."""
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_counts(self, k):
+        controls = list(range(k))
+        ancillas = list(range(k + 1, k + 1 + (k - 2)))
+        gates = mcx_to_toffoli(controls, k, ancillas)
+        assert len(gates) == 4 * (k - 2)
+        assert all(g.name == "TOFFOLI" for g in gates)
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_unitary(self, k):
+        controls = list(range(k))
+        ancillas = list(range(k + 1, k + 1 + (k - 2)))
+        _check_against_dense(controls, k, ancillas, k + 1 + (k - 2))
+
+    def test_dirty_ancillas_restored_in_superposition(self):
+        """The V-chain must work for *any* ancilla state — the full-space
+        unitary check above implies it, but verify explicitly on basis
+        states with ancillas set to 1."""
+        controls, target, ancilla = [0, 1, 2], 3, [4]
+        gates = mcx_to_toffoli(controls, target, ancilla)
+        circuit = QuantumCircuit(5, gates)
+        for bits in range(32):
+            out = evaluate(circuit, bits)
+            controls_on = all(bits & (1 << (4 - c)) for c in controls)
+            expected = bits ^ (1 << (4 - target)) if controls_on else bits
+            assert out == expected
+
+    def test_large_k_classical(self):
+        """k=9 (the paper's T10 gates) checked classically on sampled inputs."""
+        k = 9
+        controls = list(range(k))
+        target = k
+        ancillas = list(range(k + 1, k + 1 + (k - 2)))
+        n = k + 1 + (k - 2)
+        gates = mcx_to_toffoli(controls, target, ancillas)
+        assert len(gates) == 4 * (k - 2)
+        circuit = QuantumCircuit(n, gates)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(200):
+            bits = rng.randrange(1 << n)
+            controls_on = all(bits & (1 << (n - 1 - c)) for c in controls)
+            expected = bits ^ (1 << (n - 1 - target)) if controls_on else bits
+            assert evaluate(circuit, bits) == expected
+
+
+class TestSplit:
+    """Lemma 7.3: single borrowed qubit, recursive halves."""
+
+    @pytest.mark.parametrize("k", [4, 5])
+    def test_unitary_with_one_ancilla(self, k):
+        controls = list(range(k))
+        _check_against_dense(controls, k, [k + 1], k + 2)
+
+    def test_split_gate_count_k4(self):
+        # halves: C2X (1 toffoli) and C3X (v-chain 4), each twice -> 10
+        gates = mcx_to_toffoli([0, 1, 2, 3], 4, [5])
+        assert len(gates) == 10
+
+    def test_toffoli_count_helper_matches(self):
+        for k, ancillas in [(3, 1), (4, 2), (5, 3), (4, 1), (5, 1), (6, 1)]:
+            controls = list(range(k))
+            pool = list(range(k + 1, k + 1 + ancillas))
+            gates = mcx_to_toffoli(controls, k, pool)
+            toffolis = sum(1 for g in gates if g.name == "TOFFOLI")
+            assert toffolis == toffoli_count(k, ancillas)
+
+
+class TestNotSynthesizable:
+    def test_no_ancilla_raises(self):
+        with pytest.raises(NotSynthesizableError):
+            mcx_to_toffoli([0, 1, 2], 3, [])
+
+    def test_paper_na_case_t5_on_5_qubits(self):
+        """4gt12-v0_88's T5 on a 5-qubit machine: N/A in Table 5."""
+        with pytest.raises(NotSynthesizableError):
+            mcx_to_toffoli([0, 1, 2, 3], 4, [])
+
+    def test_toffoli_count_no_ancilla_raises(self):
+        with pytest.raises(NotSynthesizableError):
+            toffoli_count(5, 0)
+
+
+class TestLowerMcxGates:
+    def test_passthrough_without_mcx(self):
+        gates = [X(0), CNOT(0, 1)]
+        assert lower_mcx_gates(gates, 4) == gates
+
+    def test_lowering_uses_free_wires(self):
+        gates = lower_mcx_gates([MCX(0, 1, 2, 3, 4)], 8)
+        assert all(g.name == "TOFFOLI" for g in gates)
+        used = {q for g in gates for q in g.qubits}
+        assert used >= {0, 1, 2, 3, 4}
+        assert used <= set(range(8))
+
+    def test_lowered_circuit_equivalent(self):
+        gates = lower_mcx_gates([MCX(0, 1, 2, 3)], 6)
+        built = QuantumCircuit(6, gates).unitary()
+        wanted = QuantumCircuit(6, [MCX(0, 1, 2, 3)]).unitary()
+        assert np.allclose(built, wanted)
+
+
+class TestPaperTCounts:
+    """The paper's Table 8 T-counts pin down the Lemma 7.2 usage: a Tn
+    gate with k = n-1 controls costs 4(k-2) Toffolis = 28(k-2) T."""
+
+    @pytest.mark.parametrize(
+        "n,expected_total_t",
+        [(6, 336), (7, 448), (8, 560), (9, 672), (10, 784)],
+    )
+    def test_table8_t_counts(self, n, expected_total_t):
+        k = n - 1
+        toffolis_per_gate = 4 * (k - 2)
+        # four gates per benchmark, 7 T per Toffoli
+        assert 4 * toffolis_per_gate * 7 == expected_total_t

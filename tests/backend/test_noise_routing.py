@@ -1,0 +1,107 @@
+"""Noise-aware CTR routing tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CNOT, DeviceError, QuantumCircuit, SynthesisError
+from repro.backend import cnot_with_ctr, cnot_with_noise_aware_ctr
+from repro.devices import Calibration, CouplingMap, IBMQX3, synthetic_calibration
+
+
+def ring_map() -> CouplingMap:
+    """A 6-ring: two routes between any pair (clockwise/anticlockwise)."""
+    return CouplingMap.from_edge_list(
+        6, [(q, (q + 1) % 6) for q in range(6)], name="ring6"
+    )
+
+
+def calibration_with_bad_link(coupling: CouplingMap, bad: tuple,
+                              base: float = 1e-2, worse: float = 0.4) -> Calibration:
+    errors = {}
+    for edge in coupling.directed_edges:
+        errors[edge] = worse if edge == bad else base
+    singles = {q: 1e-3 for q in range(coupling.num_qubits)}
+    return Calibration(coupling.name, singles, errors)
+
+
+class TestCheapestPath:
+    def test_equal_weights_match_bfs(self):
+        coupling = ring_map()
+        path = coupling.cheapest_path(0, 2, lambda a, b: 1.0)
+        assert path == [0, 1, 2]
+
+    def test_avoids_expensive_link(self):
+        coupling = ring_map()
+
+        def cost(a, b):
+            return 100.0 if {a, b} == {1, 2} else 1.0
+
+        path = coupling.cheapest_path(0, 2, cost)
+        assert path == [0, 5, 4, 3, 2]
+
+    def test_same_endpoint(self):
+        assert ring_map().cheapest_path(3, 3, lambda a, b: 1.0) == [3]
+
+    def test_disconnected_returns_none(self):
+        split = CouplingMap(4, {0: [1], 2: [3]})
+        assert split.cheapest_path(0, 3, lambda a, b: 1.0) is None
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(DeviceError):
+            ring_map().cheapest_path(0, 3, lambda a, b: -1.0)
+
+
+class TestNoiseAwareCtr:
+    def test_detours_around_noisy_link(self):
+        coupling = ring_map()
+        calibration = calibration_with_bad_link(coupling, (1, 2))
+        gates = cnot_with_noise_aware_ctr(0, 3, coupling, calibration)
+        touched = {q for g in gates for q in g.qubits}
+        # hop route 0-1-2-3 avoided; the 0-5-4-3 detour used instead
+        assert 5 in touched and 4 in touched
+        assert 2 not in touched
+
+    def test_still_functionally_correct(self):
+        coupling = ring_map()
+        calibration = calibration_with_bad_link(coupling, (1, 2))
+        gates = cnot_with_noise_aware_ctr(0, 3, coupling, calibration)
+        built = QuantumCircuit(6, gates).unitary()
+        wanted = QuantumCircuit(6, [CNOT(0, 3)]).unitary()
+        assert np.allclose(built, wanted)
+
+    def test_coupled_pair_short_circuits(self):
+        coupling = ring_map()
+        calibration = calibration_with_bad_link(coupling, (1, 2))
+        gates = cnot_with_noise_aware_ctr(0, 1, coupling, calibration)
+        assert len(gates) <= 5
+
+    def test_matches_plain_ctr_under_uniform_noise(self):
+        calibration = synthetic_calibration(IBMQX3, spread=0.0)
+        noisy = cnot_with_noise_aware_ctr(5, 10, IBMQX3.coupling_map, calibration)
+        plain = cnot_with_ctr(5, 10, IBMQX3.coupling_map)
+        assert len(noisy) == len(plain)
+
+    def test_disconnected_raises(self):
+        split = CouplingMap(4, {0: [1], 2: [3]})
+        calibration = Calibration(
+            "split", {q: 1e-3 for q in range(4)},
+            {(0, 1): 1e-2, (2, 3): 1e-2},
+        )
+        with pytest.raises(SynthesisError):
+            cnot_with_noise_aware_ctr(0, 3, split, calibration)
+
+    def test_higher_success_probability_than_hop_routing(self):
+        """The point of the feature: the reliable detour beats the short
+        noisy route in end-to-end success probability."""
+        coupling = ring_map()
+        calibration = calibration_with_bad_link(coupling, (1, 2))
+        short = cnot_with_ctr(0, 3, coupling)
+        reliable = cnot_with_noise_aware_ctr(0, 3, coupling, calibration)
+
+        def success(gates):
+            p = 1.0
+            for gate in gates:
+                p *= 1.0 - calibration.gate_error(gate)
+            return p
+
+        assert success(reliable) > success(short)

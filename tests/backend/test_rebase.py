@@ -1,0 +1,143 @@
+"""Trapped-ion rebasing tests (the paper's other-platforms future work)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNOT,
+    Gate,
+    H,
+    QuantumCircuit,
+    S,
+    SynthesisError,
+    T,
+    TOFFOLI,
+    X,
+    gate_matrix,
+)
+from repro.backend import (
+    ION_GATE_SET,
+    check_conformance,
+    cnot_as_rxx,
+    hadamard_as_rotations,
+    map_circuit,
+    rebase_to_ion,
+)
+from repro.devices import ion_device
+from tests.conftest import random_circuit
+
+
+def equal_up_to_phase(a: np.ndarray, b: np.ndarray) -> bool:
+    index = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(a[index]) < 1e-12:
+        return False
+    return np.allclose(a * (b[index] / a[index]), b, atol=1e-8)
+
+
+class TestRxxGate:
+    def test_matrix(self):
+        theta = 0.37
+        m = gate_matrix("RXX", params=(theta,))
+        X = gate_matrix("X")
+        expected = math.cos(theta) * np.eye(4) - 1j * math.sin(theta) * np.kron(X, X)
+        assert np.allclose(m, expected)
+
+    def test_inverse_negates(self):
+        g = Gate("RXX", (0, 1), (0.5,))
+        assert g.inverse().params == (-0.5,)
+        assert g.is_inverse_of(g.inverse())
+        assert g.is_inverse_of(Gate("RXX", (1, 0), (-0.5,)))  # symmetric
+
+    def test_cancellation_in_optimizer(self):
+        from repro.optimize import remove_identities
+
+        g = Gate("RXX", (0, 1), (0.5,))
+        c = QuantumCircuit(2, [g, g.inverse()])
+        assert len(remove_identities(c)) == 0
+
+    def test_sparse_not_required(self):
+        """RXX is supported by dense/QMDD paths (generic fallback)."""
+        from repro.qmdd import QMDDManager
+
+        c = QuantumCircuit(2, [Gate("RXX", (0, 1), (0.9,))])
+        m = QMDDManager(2)
+        assert np.allclose(m.to_matrix(m.circuit_edge(c)), c.unitary())
+
+
+class TestIdentities:
+    def test_cnot_as_rxx_up_to_phase(self):
+        built = QuantumCircuit(2, cnot_as_rxx(0, 1)).unitary()
+        wanted = QuantumCircuit(2, [CNOT(0, 1)]).unitary()
+        assert equal_up_to_phase(built, wanted)
+        assert not np.allclose(built, wanted)  # genuinely a phase off
+
+    def test_hadamard_as_rotations_up_to_phase(self):
+        built = QuantumCircuit(1, hadamard_as_rotations(0)).unitary()
+        assert equal_up_to_phase(built, gate_matrix("H"))
+
+
+class TestRebaseToIon:
+    def test_output_is_ion_native(self):
+        c = QuantumCircuit(2, [H(0), T(1), CNOT(0, 1), S(0), X(1)])
+        rebased = rebase_to_ion(c)
+        assert all(g.name in ION_GATE_SET for g in rebased)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_equal_up_to_phase(self, seed):
+        c = random_circuit(3, 12, seed=seed,
+                           gate_pool=("X", "Y", "Z", "H", "S", "SDG", "T",
+                                      "TDG", "CNOT"))
+        rebased = rebase_to_ion(c)
+        assert equal_up_to_phase(rebased.unitary(), c.unitary())
+
+    def test_unmapped_gate_rejected(self):
+        with pytest.raises(SynthesisError):
+            rebase_to_ion(QuantumCircuit(3, [TOFFOLI(0, 1, 2)]))
+
+
+class TestIonDevice:
+    def test_device_properties(self):
+        ion = ion_device(7)
+        assert ion.num_qubits == 7
+        assert ion.is_simulator  # all-to-all
+        assert ion.supports_gate("RXX")
+        assert not ion.supports_gate("CNOT")
+        assert not ion.supports_gate("T")
+        assert ion.cost_function.extra_weights["RXX"] == 2.0
+
+    def test_full_pipeline_toffoli(self):
+        from repro import compile_circuit
+
+        result = compile_circuit(
+            QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx"), ion_device(5)
+        )
+        assert result.verification.equivalent
+        assert check_conformance(result.optimized, ion_device(5)) == []
+        histogram = result.optimized.gate_histogram()
+        assert set(histogram) <= {"RX", "RY", "RZ", "RXX"}
+        assert histogram["RXX"] == 6  # one MS gate per Toffoli-network CNOT
+
+    def test_mcx_workload_on_ion(self):
+        from repro import compile_circuit
+        from repro.core import MCX
+
+        result = compile_circuit(
+            QuantumCircuit(6, [MCX(0, 1, 2, 3, 4, 5)]), ion_device(8)
+        )
+        assert result.verification.equivalent
+
+    def test_optimizer_stays_in_library(self):
+        """Phase merging must not re-emit T/S/Z on the ion target."""
+        from repro import compile_circuit
+
+        c = QuantumCircuit(2, [T(0), T(0), CNOT(0, 1), S(1), S(1)])
+        result = compile_circuit(c, ion_device(3))
+        assert all(g.name in ION_GATE_SET for g in result.optimized)
+
+    def test_cost_function_prefers_fewer_ms_gates(self):
+        ion = ion_device(3)
+        one = QuantumCircuit(2, [Gate("RXX", (0, 1), (0.2,))])
+        two = one.compose(one)
+        assert ion.cost_function(two) == 2 * ion.cost_function(one)

@@ -1,0 +1,55 @@
+"""Fig. 6 CNOT orientation reversal."""
+
+import numpy as np
+import pytest
+
+from repro.core import CNOT, QuantumCircuit, SynthesisError
+from repro.backend import orient_cnot, reversed_cnot
+from repro.devices import CouplingMap
+
+
+@pytest.fixture
+def one_way():
+    """Only CNOT(0 -> 1) physically exists."""
+    return CouplingMap(2, {0: [1]}, name="oneway")
+
+
+class TestReversedCnot:
+    def test_gate_shape(self):
+        gates = reversed_cnot(0, 1)
+        assert [g.name for g in gates] == ["H", "H", "CNOT", "H", "H"]
+        assert gates[2].qubits == (1, 0)  # physically reversed orientation
+
+    def test_is_functionally_a_cnot(self):
+        wanted = QuantumCircuit(2, [CNOT(0, 1)]).unitary()
+        built = QuantumCircuit(2, reversed_cnot(0, 1)).unitary()
+        assert np.allclose(built, wanted)
+
+    def test_reversal_both_directions(self):
+        wanted = QuantumCircuit(2, [CNOT(1, 0)]).unitary()
+        built = QuantumCircuit(2, reversed_cnot(1, 0)).unitary()
+        assert np.allclose(built, wanted)
+
+
+class TestOrientCnot:
+    def test_native_direction_passes_through(self, one_way):
+        assert orient_cnot(0, 1, one_way) == [CNOT(0, 1)]
+
+    def test_reverse_direction_uses_hadamards(self, one_way):
+        gates = orient_cnot(1, 0, one_way)
+        assert len(gates) == 5
+        assert gates[2] == CNOT(0, 1)
+        built = QuantumCircuit(2, gates).unitary()
+        wanted = QuantumCircuit(2, [CNOT(1, 0)]).unitary()
+        assert np.allclose(built, wanted)
+
+    def test_uncoupled_raises(self):
+        disconnected = CouplingMap(3, {0: [1]})
+        with pytest.raises(SynthesisError):
+            orient_cnot(0, 2, disconnected)
+
+    def test_emitted_gates_all_legal(self, one_way):
+        for control, target in [(0, 1), (1, 0)]:
+            for gate in orient_cnot(control, target, one_way):
+                if gate.name == "CNOT":
+                    assert one_way.allows(*gate.qubits)

@@ -1,0 +1,73 @@
+"""Toffoli / CZ / SWAP library expansion (the N&C networks)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CNOT, CZ, Gate, QuantumCircuit, SWAP, TOFFOLI, X
+from repro.backend import cz_network, expand_non_native, swap_network, toffoli_network
+
+
+class TestToffoliNetwork:
+    def test_gate_budget_matches_paper(self):
+        """7 T/T†, 6 CNOT, 2 H — 15 gates, the standard Clifford+T cost."""
+        c = QuantumCircuit(3, toffoli_network(0, 1, 2))
+        assert c.gate_volume == 15
+        assert c.t_count == 7
+        assert c.cnot_count == 6
+        assert c.count("H") == 2
+
+    def test_functionally_toffoli(self):
+        built = QuantumCircuit(3, toffoli_network(0, 1, 2)).unitary()
+        wanted = QuantumCircuit(3, [TOFFOLI(0, 1, 2)]).unitary()
+        assert np.allclose(built, wanted)
+
+    def test_control_order_irrelevant(self):
+        a = QuantumCircuit(3, toffoli_network(1, 0, 2)).unitary()
+        b = QuantumCircuit(3, [TOFFOLI(0, 1, 2)]).unitary()
+        assert np.allclose(a, b)
+
+    def test_arbitrary_operand_positions(self):
+        built = QuantumCircuit(4, toffoli_network(3, 1, 0)).unitary()
+        wanted = QuantumCircuit(4, [TOFFOLI(3, 1, 0)]).unitary()
+        assert np.allclose(built, wanted)
+
+    def test_no_ancilla_used(self):
+        used = {q for g in toffoli_network(0, 1, 2) for q in g.qubits}
+        assert used == {0, 1, 2}
+
+
+class TestCzNetwork:
+    def test_structure(self):
+        gates = cz_network(0, 1)
+        assert [g.name for g in gates] == ["H", "CNOT", "H"]
+
+    def test_functionally_cz(self):
+        built = QuantumCircuit(2, cz_network(0, 1)).unitary()
+        wanted = QuantumCircuit(2, [CZ(0, 1)]).unitary()
+        assert np.allclose(built, wanted)
+
+
+class TestSwapNetwork:
+    def test_three_cnots(self):
+        gates = swap_network(0, 1)
+        assert [g.name for g in gates] == ["CNOT"] * 3
+        assert gates[0].qubits == (0, 1)
+        assert gates[1].qubits == (1, 0)
+
+    def test_functionally_swap(self):
+        built = QuantumCircuit(2, swap_network(0, 1)).unitary()
+        wanted = QuantumCircuit(2, [SWAP(0, 1)]).unitary()
+        assert np.allclose(built, wanted)
+
+
+class TestExpandNonNative:
+    def test_native_gates_unchanged(self):
+        assert expand_non_native(X(0)) == [X(0)]
+        assert expand_non_native(CNOT(0, 1)) == [CNOT(0, 1)]
+
+    def test_toffoli_expands(self):
+        assert len(expand_non_native(TOFFOLI(0, 1, 2))) == 15
+
+    def test_cz_and_swap_expand(self):
+        assert len(expand_non_native(CZ(0, 1))) == 3
+        assert len(expand_non_native(SWAP(0, 1))) == 3

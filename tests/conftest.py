@@ -1,0 +1,94 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import CNOT, Gate, H, QuantumCircuit, S, T, TOFFOLI, X
+from repro.devices import (
+    IBMQ16,
+    IBMQX2,
+    IBMQX3,
+    IBMQX4,
+    IBMQX5,
+    PROPOSED96,
+    SIMULATOR,
+)
+
+
+@pytest.fixture
+def qx2():
+    return IBMQX2
+
+
+@pytest.fixture
+def qx3():
+    return IBMQX3
+
+
+@pytest.fixture
+def qx4():
+    return IBMQX4
+
+
+@pytest.fixture
+def qx5():
+    return IBMQX5
+
+
+@pytest.fixture
+def melbourne():
+    return IBMQ16
+
+
+@pytest.fixture
+def simulator():
+    return SIMULATOR
+
+
+@pytest.fixture
+def machine96():
+    return PROPOSED96
+
+
+@pytest.fixture
+def bell_pair():
+    """H + CNOT: the smallest entangling circuit."""
+    return QuantumCircuit(2, [H(0), CNOT(0, 1)], name="bell")
+
+
+@pytest.fixture
+def toffoli_circuit():
+    return QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: int = 0,
+    gate_pool=("X", "Y", "Z", "H", "S", "SDG", "T", "TDG", "CNOT", "TOFFOLI"),
+) -> QuantumCircuit:
+    """Deterministic random circuit for equivalence-preservation tests."""
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random{seed}")
+    for _ in range(num_gates):
+        name = rng.choice(gate_pool)
+        if name == "CNOT":
+            a, b = rng.sample(range(num_qubits), 2)
+            circuit.append(Gate("CNOT", (a, b)))
+        elif name == "TOFFOLI":
+            if num_qubits < 3:
+                circuit.append(X(rng.randrange(num_qubits)))
+            else:
+                a, b, c = rng.sample(range(num_qubits), 3)
+                circuit.append(Gate("TOFFOLI", (a, b, c)))
+        else:
+            circuit.append(Gate(name, (rng.randrange(num_qubits),)))
+    return circuit
+
+
+def unitaries_close(a: QuantumCircuit, b: QuantumCircuit, atol=1e-8) -> bool:
+    """Dense unitary comparison on a common width."""
+    width = max(a.num_qubits, b.num_qubits)
+    return np.allclose(a.widened(width).unitary(), b.widened(width).unitary(), atol=atol)

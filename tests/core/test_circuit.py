@@ -1,0 +1,191 @@
+"""QuantumCircuit IR tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNOT,
+    CircuitError,
+    Gate,
+    H,
+    MCX,
+    QuantumCircuit,
+    S,
+    T,
+    TOFFOLI,
+    Tdg,
+    X,
+    gate_matrix,
+)
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        c = QuantumCircuit(3)
+        assert c.num_qubits == 3
+        assert len(c) == 0
+        assert c.gate_volume == 0
+        assert c.depth() == 0
+
+    def test_append_validates_width(self):
+        c = QuantumCircuit(2)
+        c.append(CNOT(0, 1))
+        with pytest.raises(CircuitError):
+            c.append(X(2))
+
+    def test_append_rejects_non_gate(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).append("x 0")
+
+    def test_append_chains(self):
+        c = QuantumCircuit(2).append(H(0)).append(CNOT(0, 1))
+        assert len(c) == 2
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(-1)
+
+    def test_constructor_accepts_gates(self):
+        c = QuantumCircuit(2, [H(0), CNOT(0, 1)])
+        assert [g.name for g in c] == ["H", "CNOT"]
+
+    def test_extend(self):
+        c = QuantumCircuit(3)
+        c.extend([X(0), X(1), X(2)])
+        assert len(c) == 3
+
+
+class TestSequenceProtocol:
+    def test_indexing_and_slicing(self):
+        c = QuantumCircuit(2, [H(0), CNOT(0, 1), X(1)])
+        assert c[0] == H(0)
+        assert c[-1] == X(1)
+        sliced = c[1:]
+        assert isinstance(sliced, QuantumCircuit)
+        assert len(sliced) == 2
+        assert sliced.num_qubits == 2
+
+    def test_structural_equality_and_hash(self):
+        a = QuantumCircuit(2, [H(0)])
+        b = QuantumCircuit(2, [H(0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != QuantumCircuit(3, [H(0)])
+        assert a != QuantumCircuit(2, [H(1)])
+
+    def test_gates_property_immutable_view(self):
+        c = QuantumCircuit(2, [H(0)])
+        assert c.gates == (H(0),)
+
+
+class TestTransformations:
+    def test_compose(self):
+        a = QuantumCircuit(2, [H(0)])
+        b = QuantumCircuit(3, [CNOT(1, 2)])
+        c = a.compose(b)
+        assert c.num_qubits == 3
+        assert [g.name for g in c] == ["H", "CNOT"]
+
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(2, [H(0)], name="orig")
+        b = a.copy()
+        b.append(X(1))
+        assert len(a) == 1
+        assert b.name == "orig"
+
+    def test_inverse_reverses_and_adjoints(self):
+        c = QuantumCircuit(2, [H(0), T(1), CNOT(0, 1)])
+        inv = c.inverse()
+        assert [g.name for g in inv] == ["CNOT", "TDG", "H"]
+
+    def test_inverse_is_functional_inverse(self):
+        c = QuantumCircuit(3, [H(0), T(1), TOFFOLI(0, 1, 2), S(2)])
+        u = c.compose(c.inverse()).unitary()
+        assert np.allclose(u, np.eye(8))
+
+    def test_remapped(self):
+        c = QuantumCircuit(2, [CNOT(0, 1)])
+        r = c.remapped({0: 4, 1: 2})
+        assert r[0] == CNOT(4, 2)
+        assert r.num_qubits == 5
+
+    def test_remapped_partial_mapping(self):
+        c = QuantumCircuit(3, [CNOT(0, 2)])
+        r = c.remapped({2: 5})
+        assert r[0] == CNOT(0, 5)
+
+    def test_widened(self):
+        c = QuantumCircuit(2, [H(1)])
+        w = c.widened(6)
+        assert w.num_qubits == 6
+        with pytest.raises(CircuitError):
+            w.widened(3)
+
+
+class TestMetrics:
+    def test_counts(self):
+        c = QuantumCircuit(
+            3, [T(0), Tdg(1), T(2), CNOT(0, 1), CNOT(1, 2), H(0)]
+        )
+        assert c.t_count == 3
+        assert c.cnot_count == 2
+        assert c.gate_volume == 6
+        assert c.count("H") == 1
+        assert c.count("T", "H") == 3
+
+    def test_histogram(self):
+        c = QuantumCircuit(2, [H(0), H(1), CNOT(0, 1)])
+        assert c.gate_histogram() == {"H": 2, "CNOT": 1}
+
+    def test_used_qubits(self):
+        c = QuantumCircuit(6, [CNOT(1, 4)])
+        assert c.used_qubits == (1, 4)
+
+    def test_depth(self):
+        c = QuantumCircuit(3, [H(0), H(1), CNOT(0, 1), X(2)])
+        assert c.depth() == 2
+        assert QuantumCircuit(1, [H(0), H(0), H(0)]).depth() == 3
+
+    def test_is_native_transmon(self):
+        assert QuantumCircuit(2, [H(0), CNOT(0, 1)]).is_native_transmon
+        assert not QuantumCircuit(3, [TOFFOLI(0, 1, 2)]).is_native_transmon
+
+    def test_is_classical_reversible(self):
+        assert QuantumCircuit(4, [X(0), CNOT(0, 1), MCX(0, 1, 2, 3)]).is_classical_reversible
+        assert not QuantumCircuit(2, [H(0)]).is_classical_reversible
+
+
+class TestUnitary:
+    def test_single_gate_matches_gate_matrix(self):
+        c = QuantumCircuit(1, [H(0)])
+        assert np.allclose(c.unitary(), gate_matrix("H"))
+
+    def test_gate_order_is_applied_left_to_right(self):
+        c = QuantumCircuit(1, [X(0), H(0)])
+        expected = gate_matrix("H") @ gate_matrix("X")
+        assert np.allclose(c.unitary(), expected)
+
+    def test_embedding_msb_convention(self):
+        # X on qubit 0 of two flips the most significant bit.
+        c = QuantumCircuit(2, [X(0)])
+        u = c.unitary()
+        state = np.zeros(4)
+        state[0b00] = 1
+        out = u @ state
+        assert out[0b10] == 1
+
+    def test_cnot_control_is_first_operand(self):
+        c = QuantumCircuit(2, [CNOT(0, 1)])
+        u = c.unitary()
+        state = np.zeros(4)
+        state[0b10] = 1  # control=1, target=0
+        assert (u @ state)[0b11] == 1
+
+    def test_too_wide_raises(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(15).unitary()
+
+    def test_draw_contains_gates(self):
+        text = QuantumCircuit(2, [H(0), CNOT(0, 1)], name="demo").draw()
+        assert "demo" in text
+        assert "CNOT" in text

@@ -1,0 +1,90 @@
+"""Cost function tests: the paper's Eqn. 2 and pluggable variants."""
+
+import pytest
+
+from repro.core import (
+    CNOT,
+    CircuitMetrics,
+    CostFunction,
+    H,
+    QuantumCircuit,
+    T,
+    TRANSMON_COST,
+    Tdg,
+    X,
+    transmon_cost,
+)
+
+
+class TestEqn2:
+    def test_empty_circuit_costs_zero(self):
+        assert transmon_cost(QuantumCircuit(2)) == 0.0
+
+    def test_single_qubit_gate_costs_one(self):
+        assert transmon_cost(QuantumCircuit(1, [H(0)])) == 1.0
+        assert transmon_cost(QuantumCircuit(1, [X(0)])) == 1.0
+
+    def test_t_gate_costs_one_and_a_half(self):
+        assert transmon_cost(QuantumCircuit(1, [T(0)])) == 1.5
+        assert transmon_cost(QuantumCircuit(1, [Tdg(0)])) == 1.5
+
+    def test_cnot_costs_one_and_a_quarter(self):
+        assert transmon_cost(QuantumCircuit(2, [CNOT(0, 1)])) == 1.25
+
+    def test_formula_on_mixed_circuit(self):
+        # 2 T + 3 CNOT + 7 total: 0.5*2 + 0.25*3 + 7 = 8.75
+        c = QuantumCircuit(
+            3, [T(0), Tdg(1), CNOT(0, 1), CNOT(1, 2), CNOT(0, 2), H(0), X(2)]
+        )
+        assert transmon_cost(c) == pytest.approx(8.75)
+
+    def test_paper_example_value(self):
+        """The paper's #3 tech-independent entry: 0 T / 3 gates / 3.25 —
+        an X-CNOT-X realization."""
+        c = QuantumCircuit(3, [X(0), CNOT(0, 2), X(0)])
+        assert transmon_cost(c) == pytest.approx(3.25)
+
+
+class TestCustomization:
+    def test_with_weights_overrides(self):
+        heavier = TRANSMON_COST.with_weights(CNOT=1.0)
+        c = QuantumCircuit(2, [CNOT(0, 1)])
+        assert heavier.evaluate(c) == 2.0
+        # original untouched
+        assert TRANSMON_COST.evaluate(c) == 1.25
+
+    def test_custom_callable(self):
+        depth_cost = CostFunction(name="depth", custom=lambda c: float(c.depth()))
+        c = QuantumCircuit(2, [H(0), H(1), CNOT(0, 1)])
+        assert depth_cost(c) == 2.0
+
+    def test_base_weight(self):
+        volume_only = CostFunction(name="volume", base_weight=2.0)
+        assert volume_only.evaluate(QuantumCircuit(1, [H(0), H(0)])) == 4.0
+
+    def test_callable_protocol(self):
+        assert TRANSMON_COST(QuantumCircuit(1, [T(0)])) == 1.5
+
+
+class TestCircuitMetrics:
+    def test_of(self):
+        c = QuantumCircuit(2, [T(0), CNOT(0, 1), H(1)])
+        m = CircuitMetrics.of(c)
+        assert m.t_count == 1
+        assert m.gate_volume == 3
+        assert m.cost == pytest.approx(3.75)
+
+    def test_str_matches_paper_cell_format(self):
+        c = QuantumCircuit(2, [T(0), CNOT(0, 1), H(1)])
+        assert str(CircuitMetrics.of(c)) == "1/3/3.75"
+        whole = CircuitMetrics(t_count=0, gate_volume=3, cost=3.0)
+        assert str(whole) == "0/3/3"
+
+    def test_percent_decrease(self):
+        before = CircuitMetrics(7, 100, 200.0)
+        after = CircuitMetrics(7, 80, 150.0)
+        assert before.percent_decrease_to(after) == pytest.approx(25.0)
+
+    def test_percent_decrease_zero_cost(self):
+        zero = CircuitMetrics(0, 0, 0.0)
+        assert zero.percent_decrease_to(zero) == 0.0

@@ -1,0 +1,90 @@
+"""ASCII circuit renderer tests."""
+
+import pytest
+
+from repro.core import (
+    CNOT,
+    CZ,
+    H,
+    QuantumCircuit,
+    RZ,
+    SWAP,
+    T,
+    TOFFOLI,
+    Tdg,
+    X,
+)
+from repro.drawing import draw_circuit
+
+
+class TestBasics:
+    def test_empty_circuit(self):
+        art = draw_circuit(QuantumCircuit(2))
+        lines = art.splitlines()
+        assert lines[0].startswith("q0:")
+        assert lines[2].startswith("q1:")
+
+    def test_single_qubit_labels(self):
+        art = draw_circuit(QuantumCircuit(1, [H(0), T(0), Tdg(0)]))
+        assert "H" in art and "T" in art and "T†" in art
+
+    def test_cnot_symbols(self):
+        art = draw_circuit(QuantumCircuit(2, [CNOT(0, 1)]))
+        top, gap, bottom = art.splitlines()
+        assert "●" in top
+        assert "X" in bottom
+        assert "│" in gap
+
+    def test_cz_and_swap_symbols(self):
+        art = draw_circuit(QuantumCircuit(2, [CZ(0, 1), SWAP(0, 1)]))
+        top, _, bottom = art.splitlines()
+        assert "●" in top and "Z" in bottom
+        assert top.count("x") == 1 and bottom.count("x") == 1
+
+    def test_toffoli_crossing(self):
+        """A gate spanning an untouched wire draws a crossing there."""
+        art = draw_circuit(QuantumCircuit(3, [TOFFOLI(0, 2, 1)]))
+        lines = art.splitlines()
+        assert "●" in lines[0] and "X" in lines[2] and "●" in lines[4]
+
+    def test_spanning_crossing_symbol(self):
+        art = draw_circuit(QuantumCircuit(3, [CNOT(0, 2)]))
+        middle_wire = art.splitlines()[2]
+        assert "┼" in middle_wire
+
+
+class TestLayout:
+    def test_parallel_gates_share_column(self):
+        c = QuantumCircuit(2, [H(0), H(1)])
+        art = draw_circuit(c)
+        top, _, bottom = art.splitlines()
+        assert top.index("H") == bottom.index("H")
+
+    def test_sequential_gates_ordered(self):
+        c = QuantumCircuit(1, [H(0), X(0)])
+        line = draw_circuit(c).splitlines()[0]
+        assert line.index("H") < line.index("X")
+
+    def test_spanning_gates_never_share_a_column(self):
+        """SWAP(0,3) and CZ(1,2) overlap in span; they must serialize."""
+        c = QuantumCircuit(4, [SWAP(0, 3), CZ(1, 2)])
+        art = draw_circuit(c)
+        top = art.splitlines()[0]
+        row1 = art.splitlines()[2]
+        assert top.index("x") != row1.index("●")
+
+    def test_truncation_marker(self):
+        c = QuantumCircuit(1, [H(0)] * 40)
+        art = draw_circuit(c, max_columns=5)
+        assert "…" in art
+        assert art.splitlines()[0].count("H") == 5
+
+    def test_show_params(self):
+        art = draw_circuit(QuantumCircuit(1, [RZ(0.5, 0)]), show_params=True)
+        assert "Rz(0.5)" in art
+
+    def test_all_rows_have_consistent_width(self):
+        c = QuantumCircuit(3, [H(0), CNOT(0, 2), T(1), TOFFOLI(0, 1, 2)])
+        lines = draw_circuit(c).splitlines()
+        wire_lines = lines[::2]
+        assert len({len(line) for line in wire_lines}) == 1

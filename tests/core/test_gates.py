@@ -1,0 +1,258 @@
+"""Gate model tests, including exact Table 1 transfer matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNOT,
+    CZ,
+    CircuitError,
+    Gate,
+    H,
+    MCX,
+    S,
+    SWAP,
+    Sdg,
+    T,
+    TOFFOLI,
+    Tdg,
+    X,
+    Y,
+    Z,
+    gate_matrix,
+)
+from repro.core.gates import (
+    ALL_GATES,
+    DIAGONAL_GATES,
+    GATE_ARITY,
+    INVERSE_NAME,
+    SELF_INVERSE_GATES,
+)
+
+SQ2 = 1 / math.sqrt(2)
+
+
+class TestTable1Matrices:
+    """Every transfer matrix of the paper's Table 1, entry by entry."""
+
+    def test_pauli_x(self):
+        assert np.array_equal(gate_matrix("X"), [[0, 1], [1, 0]])
+
+    def test_pauli_y(self):
+        assert np.array_equal(gate_matrix("Y"), [[0, -1j], [1j, 0]])
+
+    def test_pauli_z(self):
+        assert np.array_equal(gate_matrix("Z"), [[1, 0], [0, -1]])
+
+    def test_hadamard(self):
+        assert np.allclose(gate_matrix("H"), [[SQ2, SQ2], [SQ2, -SQ2]])
+
+    def test_phase_s(self):
+        assert np.array_equal(gate_matrix("S"), [[1, 0], [0, 1j]])
+
+    def test_s_dagger(self):
+        assert np.array_equal(gate_matrix("SDG"), [[1, 0], [0, -1j]])
+
+    def test_t(self):
+        expected = [[1, 0], [0, np.exp(1j * math.pi / 4)]]
+        assert np.allclose(gate_matrix("T"), expected)
+
+    def test_t_dagger(self):
+        expected = [[1, 0], [0, np.exp(-1j * math.pi / 4)]]
+        assert np.allclose(gate_matrix("TDG"), expected)
+
+    def test_cnot(self):
+        expected = np.eye(4)[:, [0, 1, 3, 2]]
+        assert np.array_equal(gate_matrix("CNOT"), expected)
+
+    def test_cz(self):
+        assert np.array_equal(gate_matrix("CZ"), np.diag([1, 1, 1, -1]))
+
+    def test_swap(self):
+        expected = np.eye(4)[:, [0, 2, 1, 3]]
+        assert np.array_equal(gate_matrix("SWAP"), expected)
+
+    def test_toffoli(self):
+        expected = np.eye(8)[:, [0, 1, 2, 3, 4, 5, 7, 6]]
+        assert np.array_equal(gate_matrix("TOFFOLI"), expected)
+
+    def test_mcx_matrix_generalizes_toffoli(self):
+        assert np.array_equal(gate_matrix("MCX", 3), gate_matrix("TOFFOLI"))
+        m4 = gate_matrix("MCX", 4)
+        expected = np.eye(16)
+        expected[:, [14, 15]] = expected[:, [15, 14]]
+        assert np.array_equal(m4, expected)
+
+    def test_all_matrices_unitary(self):
+        from repro.core.gates import ROTATION_GATES
+
+        for name in ALL_GATES:
+            size = 4 if name == "MCX" else None
+            params = (0.731,) if name in ROTATION_GATES else None
+            m = gate_matrix(name, size, params)
+            assert np.allclose(m @ m.conj().T, np.eye(m.shape[0])), name
+
+    def test_unknown_gate_matrix_raises(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("FROBNICATE")
+
+    def test_mcx_matrix_requires_size(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("MCX")
+
+
+class TestGateConstruction:
+    def test_constructors_produce_expected_names(self):
+        assert X(0).name == "X"
+        assert Y(1).name == "Y"
+        assert Z(2).name == "Z"
+        assert H(0).name == "H"
+        assert S(0).name == "S"
+        assert Sdg(0).name == "SDG"
+        assert T(0).name == "T"
+        assert Tdg(0).name == "TDG"
+        assert CNOT(0, 1).name == "CNOT"
+        assert CZ(0, 1).name == "CZ"
+        assert SWAP(0, 1).name == "SWAP"
+        assert TOFFOLI(0, 1, 2).name == "TOFFOLI"
+
+    def test_mcx_constructor_specializes_small_cases(self):
+        assert MCX(0, 1).name == "CNOT"
+        assert MCX(0, 1, 2).name == "TOFFOLI"
+        assert MCX(0, 1, 2, 3).name == "MCX"
+
+    def test_arity_enforced(self):
+        with pytest.raises(CircuitError):
+            Gate("CNOT", (0,))
+        with pytest.raises(CircuitError):
+            Gate("X", (0, 1))
+        with pytest.raises(CircuitError):
+            Gate("TOFFOLI", (0, 1))
+
+    def test_duplicate_operands_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("CNOT", (1, 1))
+        with pytest.raises(CircuitError):
+            Gate("TOFFOLI", (0, 1, 0))
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("X", (-1,))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("BOGUS", (0,))
+
+    def test_gates_hashable_and_equal(self):
+        assert CNOT(0, 1) == CNOT(0, 1)
+        assert CNOT(0, 1) != CNOT(1, 0)
+        assert len({X(0), X(0), X(1)}) == 2
+
+    def test_str_rendering(self):
+        assert str(CNOT(2, 5)) == "CNOT(q2, q5)"
+
+
+class TestGateStructure:
+    def test_controls_and_target(self):
+        assert CNOT(3, 7).controls == (3,)
+        assert CNOT(3, 7).target == 7
+        assert TOFFOLI(1, 2, 0).controls == (1, 2)
+        assert TOFFOLI(1, 2, 0).target == 0
+        g = MCX(5, 6, 7, 8, 9)
+        assert g.controls == (5, 6, 7, 8)
+        assert g.target == 9
+        assert X(4).controls == ()
+
+    def test_native_transmon_flags(self):
+        assert CNOT(0, 1).is_native_transmon
+        assert T(0).is_native_transmon
+        assert not TOFFOLI(0, 1, 2).is_native_transmon
+        assert not SWAP(0, 1).is_native_transmon
+        assert not CZ(0, 1).is_native_transmon
+
+    def test_diagonal_flags(self):
+        for name in DIAGONAL_GATES:
+            assert name in ("I", "Z", "S", "SDG", "T", "TDG", "CZ", "RZ")
+        assert T(0).is_diagonal
+        assert not H(0).is_diagonal
+        assert CZ(0, 1).is_diagonal
+
+
+class TestInverse:
+    def test_inverse_names_are_involutive(self):
+        for name, inverse in INVERSE_NAME.items():
+            assert INVERSE_NAME[inverse] == name
+
+    def test_self_inverse_set(self):
+        for name in SELF_INVERSE_GATES:
+            assert INVERSE_NAME[name] == name
+
+    def test_inverse_gate_matrices(self):
+        for gate in [X(0), H(0), S(0), T(0), Sdg(0), Tdg(0)]:
+            m = gate_matrix(gate.name)
+            mi = gate_matrix(gate.inverse().name)
+            assert np.allclose(m @ mi, np.eye(2)), gate.name
+
+    def test_is_inverse_of_same_operands(self):
+        assert T(0).is_inverse_of(Tdg(0))
+        assert not T(0).is_inverse_of(Tdg(1))
+        assert CNOT(0, 1).is_inverse_of(CNOT(0, 1))
+        assert not CNOT(0, 1).is_inverse_of(CNOT(1, 0))
+
+    def test_is_inverse_of_symmetric_gates(self):
+        assert SWAP(0, 1).is_inverse_of(SWAP(1, 0))
+        assert CZ(2, 3).is_inverse_of(CZ(3, 2))
+
+    def test_is_inverse_of_unordered_controls(self):
+        assert TOFFOLI(0, 1, 2).is_inverse_of(TOFFOLI(1, 0, 2))
+        assert not TOFFOLI(0, 1, 2).is_inverse_of(TOFFOLI(0, 2, 1))
+        assert MCX(0, 1, 2, 3).is_inverse_of(MCX(2, 1, 0, 3))
+
+
+class TestCommutation:
+    """commutes_with must never claim commutation falsely (checked against
+    dense matrices); False answers are allowed to be conservative."""
+
+    def _check_sound(self, a, b, width):
+        from repro.core import QuantumCircuit
+
+        ab = QuantumCircuit(width, [a, b]).unitary()
+        ba = QuantumCircuit(width, [b, a]).unitary()
+        actually_commute = np.allclose(ab, ba)
+        if a.commutes_with(b):
+            assert actually_commute, f"{a} vs {b}"
+        # symmetry
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    def test_disjoint_gates_commute(self):
+        assert X(0).commutes_with(H(1))
+        assert CNOT(0, 1).commutes_with(CNOT(2, 3))
+
+    def test_diagonal_gates_commute(self):
+        assert T(0).commutes_with(Z(0))
+        assert CZ(0, 1).commutes_with(S(1))
+
+    def test_control_phase_commutes_with_cnot(self):
+        assert T(0).commutes_with(CNOT(0, 1))
+        assert not T(1).commutes_with(CNOT(0, 1)) or False  # conservative
+
+    def test_x_on_target_commutes(self):
+        assert X(1).commutes_with(CNOT(0, 1))
+        assert X(2).commutes_with(TOFFOLI(0, 1, 2))
+
+    def test_shared_target_cnots_commute(self):
+        assert CNOT(0, 2).commutes_with(CNOT(1, 2))
+        assert not CNOT(0, 1).commutes_with(CNOT(1, 2))
+
+    def test_soundness_exhaustive_pairs(self):
+        pool = [
+            X(0), Y(0), Z(0), H(0), S(0), T(0),
+            X(1), Z(1), H(1),
+            CNOT(0, 1), CNOT(1, 0), CNOT(0, 2), CNOT(1, 2),
+            CZ(0, 1), SWAP(0, 1), TOFFOLI(0, 1, 2),
+        ]
+        for a in pool:
+            for b in pool:
+                self._check_sound(a, b, 3)

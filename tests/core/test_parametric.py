@@ -1,0 +1,206 @@
+"""Parametric rotation gates (RZ / RX / RY) across the toolchain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNOT,
+    CircuitError,
+    Gate,
+    H,
+    QuantumCircuit,
+    RX,
+    RY,
+    RZ,
+    S,
+    T,
+    X,
+    Z,
+    gate_matrix,
+)
+
+PI = math.pi
+
+
+class TestConstruction:
+    def test_constructors(self):
+        assert RZ(0.5, 2) == Gate("RZ", (2,), (0.5,))
+        assert RX(PI, 0).params == (PI,)
+        assert RY(-0.25, 1).name == "RY"
+
+    def test_param_count_enforced(self):
+        with pytest.raises(CircuitError):
+            Gate("RZ", (0,))
+        with pytest.raises(CircuitError):
+            Gate("RZ", (0,), (1.0, 2.0))
+        with pytest.raises(CircuitError):
+            Gate("X", (0,), (1.0,))
+
+    def test_params_coerced_to_float(self):
+        assert Gate("RZ", (0,), (1,)).params == (1.0,)
+
+    def test_str_shows_angle(self):
+        assert "0.5" in str(RZ(0.5, 0))
+
+    def test_hashable(self):
+        assert len({RZ(0.5, 0), RZ(0.5, 0), RZ(0.6, 0)}) == 2
+
+
+class TestMatrices:
+    def test_rz_is_phase_rotation(self):
+        m = gate_matrix("RZ", params=(PI / 4,))
+        assert np.allclose(m, gate_matrix("T"))
+        assert np.allclose(gate_matrix("RZ", params=(PI,)), gate_matrix("Z"))
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        m = gate_matrix("RX", params=(PI,))
+        assert np.allclose(m, -1j * gate_matrix("X"))
+
+    def test_ry_rotates_real(self):
+        m = gate_matrix("RY", params=(PI / 2,))
+        expected = np.array([[1, -1], [1, 1]]) / math.sqrt(2)
+        assert np.allclose(m, expected)
+
+    def test_missing_params_raises(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("RZ")
+
+
+class TestSemantics:
+    def test_inverse_negates_angle(self):
+        assert RZ(0.7, 0).inverse() == RZ(-0.7, 0)
+        assert RX(0.7, 0).is_inverse_of(RX(-0.7, 0))
+        assert not RX(0.7, 0).is_inverse_of(RX(0.6, 0))
+        assert not RX(0.7, 0).is_inverse_of(RY(-0.7, 0))
+
+    def test_rz_is_diagonal_and_commutes_on_controls(self):
+        assert RZ(0.3, 0).is_diagonal
+        assert RZ(0.3, 0).commutes_with(CNOT(0, 1))
+        assert not RX(0.3, 1).is_diagonal
+
+    def test_circuit_inverse_roundtrip(self):
+        c = QuantumCircuit(2, [RX(0.4, 0), RZ(1.1, 1), CNOT(0, 1), RY(-0.2, 0)])
+        assert np.allclose(c.compose(c.inverse()).unitary(), np.eye(4))
+
+    def test_remapped_keeps_params(self):
+        c = QuantumCircuit(2, [RZ(0.9, 0)])
+        assert c.remapped({0: 1})[0] == RZ(0.9, 1)
+
+    def test_native_transmon(self):
+        assert RZ(0.1, 0).is_native_transmon
+        assert QuantumCircuit(1, [RX(0.1, 0)]).is_native_transmon
+
+
+class TestSimulators:
+    def test_sparse_matches_dense(self):
+        from repro.verify import basis_state, run_sparse, simulate
+
+        c = QuantumCircuit(2, [RX(0.8, 0), RZ(0.3, 1), CNOT(0, 1), RY(1.3, 1)])
+        for idx in range(4):
+            dense = simulate(c, basis_state(2, idx))
+            sparse = run_sparse(c, idx)
+            rebuilt = np.zeros(4, dtype=complex)
+            for k, v in sparse.amplitudes.items():
+                rebuilt[k] = v
+            assert np.allclose(rebuilt, dense), idx
+
+    def test_qmdd_matches_dense(self):
+        from repro.qmdd import QMDDManager
+
+        c = QuantumCircuit(2, [RY(0.8, 0), CNOT(0, 1), RZ(-2.2, 1), RX(0.1, 0)])
+        m = QMDDManager(2)
+        assert np.allclose(m.to_matrix(m.circuit_edge(c)), c.unitary())
+
+    def test_qmdd_distinguishes_angles(self):
+        from repro.qmdd import check_equivalence
+
+        a = QuantumCircuit(1, [RZ(0.5, 0)])
+        b = QuantumCircuit(1, [RZ(0.6, 0)])
+        assert not check_equivalence(a, b).equivalent
+        assert check_equivalence(a, a.copy()).equivalent
+
+
+class TestOptimizer:
+    def test_rz_pair_cancels(self):
+        from repro.optimize import remove_identities
+
+        c = QuantumCircuit(1, [RZ(0.5, 0), RZ(-0.5, 0)])
+        assert len(remove_identities(c)) == 0
+
+    def test_rz_run_merges_to_single_rotation(self):
+        from repro.optimize import merge_phases
+
+        c = QuantumCircuit(1, [RZ(0.3, 0), RZ(0.4, 0)])
+        merged = merge_phases(c)
+        assert len(merged) == 1
+        assert merged[0].name == "RZ"
+        assert merged[0].params[0] == pytest.approx(0.7)
+
+    def test_rz_plus_discrete_merges_to_library_gate(self):
+        """RZ(pi/4) T == S: the merger recognizes the discrete total."""
+        from repro.optimize import merge_phases
+
+        c = QuantumCircuit(1, [RZ(PI / 4, 0), T(0)])
+        merged = merge_phases(c)
+        assert merged.gates == (S(0),)
+
+    def test_merge_preserves_unitary(self):
+        from repro.optimize import optimize_circuit
+
+        c = QuantumCircuit(2, [RZ(0.3, 0), T(0), CNOT(0, 1), RZ(-0.3, 0), Z(1)])
+        out = optimize_circuit(c)
+        assert np.allclose(out.unitary(), c.unitary())
+
+    def test_full_turn_vanishes(self):
+        from repro.optimize import merge_phases
+
+        c = QuantumCircuit(1, [RZ(PI, 0), RZ(PI, 0)])
+        assert len(merge_phases(c)) == 0
+
+
+class TestQasmIO:
+    def test_parse_angle_expressions(self):
+        from repro.io import parse_qasm
+
+        source = (
+            "qreg q[2];\n"
+            "rz(pi/2) q[0];\n"
+            "rx(-pi/4) q[1];\n"
+            "ry(0.25) q[0];\n"
+            "u1(2*pi/8) q[1];\n"
+        )
+        c = parse_qasm(source)
+        assert c[0] == RZ(PI / 2, 0)
+        assert c[1] == RX(-PI / 4, 1)
+        assert c[2] == RY(0.25, 0)
+        assert c[3] == RZ(PI / 4, 1)
+
+    def test_roundtrip(self):
+        from repro.io import parse_qasm, to_qasm
+
+        c = QuantumCircuit(2, [RZ(0.123456789, 0), RX(-1.5, 1), RY(2.25, 0)])
+        back = parse_qasm(to_qasm(c))
+        for ours, theirs in zip(c, back):
+            assert ours.name == theirs.name
+            assert ours.params[0] == pytest.approx(theirs.params[0])
+
+    def test_bad_angle_rejected(self):
+        from repro.core import ParseError
+        from repro.io import parse_qasm
+
+        with pytest.raises(ParseError):
+            parse_qasm("qreg q[1];\nrz(import_os) q[0];")
+        with pytest.raises(ParseError):
+            parse_qasm("qreg q[1];\nrz(pi**2) q[0];")
+
+
+class TestCompilerIntegration:
+    def test_rotation_circuit_compiles_and_verifies(self):
+        from repro import compile_circuit
+
+        c = QuantumCircuit(3, [RX(0.7, 0), CNOT(0, 2), RZ(1.2, 2), RY(-0.4, 1)])
+        result = compile_circuit(c, "ibmqx2")
+        assert result.verification.equivalent
+        assert result.optimized.is_native_transmon

@@ -1,0 +1,108 @@
+"""Reporting helpers (table rendering, averages)."""
+
+import pytest
+
+from repro.core import CNOT, H, QuantumCircuit, T, Tdg, X
+from repro.core.cost import CircuitMetrics
+from repro.reporting import Table, average, format_cost, metrics_cell, percent
+
+
+class TestFormatting:
+    def test_format_cost_whole(self):
+        assert format_cost(3.0) == "3"
+        assert format_cost(0.0) == "0"
+
+    def test_format_cost_fractional(self):
+        assert format_cost(3.25) == "3.25"
+
+    def test_metrics_cell(self):
+        a = CircuitMetrics(7, 17, 22.25)
+        b = CircuitMetrics(7, 15, 20.0)
+        assert metrics_cell(a, b) == "7/17/22.25  7/15/20"
+
+    def test_percent(self):
+        assert percent(None) == "N/A"
+        assert percent(12.345) == "12.35"
+
+    def test_average(self):
+        assert average([1.0, 2.0, 3.0]) == 2.0
+        assert average([1.0, None, 3.0]) == 2.0
+        assert average([]) is None
+        assert average([None]) is None
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("demo", ["a", "long-header"])
+        table.add_row("x", 1)
+        table.add_row("longer-cell", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "long-header" in lines[2]
+        # all data lines equal width header line
+        assert len(lines[4]) <= len(lines[1]) + 2
+
+    def test_short_rows_padded(self):
+        table = Table("t", ["a", "b", "c"])
+        table.add_row("only-one")
+        assert "only-one" in table.render()
+
+    def test_print(self, capsys):
+        table = Table("printed", ["col"])
+        table.add_row("val")
+        table.print()
+        out = capsys.readouterr().out
+        assert "printed" in out and "val" in out
+
+    def test_to_csv(self):
+        table = Table("t", ["a", "b"])
+        table.add_row("x,y", 1)  # embedded comma must be quoted
+        csv_text = table.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert '"x,y"' in lines[1]
+
+    def test_write_csv(self, tmp_path):
+        import csv
+
+        table = Table("t", ["name", "value"])
+        table.add_row("alpha", 3)
+        path = tmp_path / "out.csv"
+        table.write_csv(str(path))
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["name", "value"], ["alpha", "3"]]
+
+
+class TestTDepth:
+    """T-depth metric (lives in core.circuit; tested here with the other
+    reporting-oriented metrics)."""
+
+    def test_empty(self):
+        assert QuantumCircuit(2).t_depth() == 0
+
+    def test_sequential_ts(self):
+        assert QuantumCircuit(1, [T(0), T(0), T(0)]).t_depth() == 3
+
+    def test_parallel_ts(self):
+        assert QuantumCircuit(2, [T(0), T(1)]).t_depth() == 1
+
+    def test_non_t_gates_free(self):
+        c = QuantumCircuit(2, [H(0), X(1), CNOT(0, 1), H(0)])
+        assert c.t_depth() == 0
+
+    def test_cnot_synchronizes_stages(self):
+        # T(0); CNOT ties qubit 1 to qubit 0's stage; T(1) lands at stage 2
+        c = QuantumCircuit(2, [T(0), CNOT(0, 1), T(1)])
+        assert c.t_depth() == 2
+
+    def test_toffoli_network_t_depth(self):
+        from repro.backend import toffoli_network
+
+        c = QuantumCircuit(3, toffoli_network(0, 1, 2))
+        # the standard network has T-depth well below its T-count of 7
+        assert 1 <= c.t_depth() <= 6
+
+    def test_tdg_counts(self):
+        assert QuantumCircuit(1, [Tdg(0), Tdg(0)]).t_depth() == 2

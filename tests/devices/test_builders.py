@@ -1,0 +1,123 @@
+"""Topology builders and the Fig. 7 96-qubit reconstruction."""
+
+import pytest
+
+from repro.core import DeviceError
+from repro.devices import (
+    PROPOSED96,
+    get_device,
+    grid_device,
+    ladder_device,
+    linear_device,
+    proposed_96q_device,
+    ring_device,
+    star_device,
+)
+
+
+class TestLinear:
+    def test_chain_structure(self):
+        d = linear_device(5)
+        m = d.coupling_map
+        for q in range(4):
+            assert m.allows(q, q + 1)
+            assert not m.allows(q + 1, q)
+        assert not m.coupled(0, 2)
+
+    def test_bidirectional(self):
+        d = linear_device(4, bidirectional=True)
+        assert d.coupling_map.allows(2, 1)
+
+    def test_connected(self):
+        assert linear_device(10).coupling_map.is_connected()
+
+    def test_complexity(self):
+        d = linear_device(5)
+        assert d.coupling_complexity == pytest.approx(4 / 20)
+
+
+class TestRing:
+    def test_wraps_around(self):
+        d = ring_device(6)
+        assert d.coupling_map.allows(5, 0)
+        assert d.coupling_map.is_connected()
+
+    def test_too_small(self):
+        with pytest.raises(DeviceError):
+            ring_device(2)
+
+    def test_distance_uses_both_arcs(self):
+        d = ring_device(8)
+        assert d.coupling_map.distance(0, 7) == 1
+
+
+class TestStar:
+    def test_hub_couples_all(self):
+        d = star_device(5)
+        for leaf in range(1, 5):
+            assert d.coupling_map.allows(0, leaf)
+        assert not d.coupling_map.coupled(1, 2)
+
+    def test_leaf_to_leaf_distance(self):
+        assert star_device(6).coupling_map.distance(1, 5) == 2
+
+
+class TestGrid:
+    def test_dimensions(self):
+        d = grid_device(3, 4)
+        assert d.num_qubits == 12
+
+    def test_neighbour_structure(self):
+        d = grid_device(3, 4)
+        m = d.coupling_map
+        assert m.coupled(0, 1)     # horizontal
+        assert m.coupled(0, 4)     # vertical
+        assert not m.coupled(0, 5)  # diagonal
+        assert not m.coupled(3, 4)  # row wrap must not exist
+
+    def test_connected(self):
+        assert grid_device(4, 7).coupling_map.is_connected()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(DeviceError):
+            grid_device(0, 3)
+
+    def test_ladder_is_two_rows(self):
+        d = ladder_device(8)
+        assert d.num_qubits == 16
+        assert d.coupling_map.coupled(0, 8)
+
+
+class TestProposed96:
+    def test_size_and_name(self):
+        d = proposed_96q_device()
+        assert d.num_qubits == 96
+        assert PROPOSED96.num_qubits == 96
+        assert get_device("proposed96") is PROPOSED96
+
+    def test_connected(self):
+        assert PROPOSED96.coupling_map.is_connected()
+
+    def test_every_qubit_coupled(self):
+        m = PROPOSED96.coupling_map
+        for q in range(96):
+            assert m.neighbors(q)
+
+    def test_low_coupling_complexity(self):
+        """Complexity must sit well below the 16-qubit devices (Table 2
+        trend: complexity falls as machines grow)."""
+        assert PROPOSED96.coupling_complexity < 0.05
+
+    def test_table7_placements_routable(self):
+        """Controls and targets used by Table 7 are mutually reachable."""
+        m = PROPOSED96.coupling_map
+        for target in (25, 45, 65, 85):
+            for control in range(1, 10):
+                assert m.distance(control, target) is not None
+
+    def test_grid_coordinates(self):
+        """Qubit r*16+c couples to its 4-neighbourhood only."""
+        m = PROPOSED96.coupling_map
+        assert m.coupled(0, 16)
+        assert m.coupled(17, 18)
+        assert not m.coupled(15, 16)  # row boundary

@@ -1,0 +1,114 @@
+"""Calibration data and fidelity cost-function tests."""
+
+import math
+
+import pytest
+
+from repro.core import CNOT, DeviceError, Gate, H, QuantumCircuit, T, TOFFOLI, X
+from repro.devices import (
+    Calibration,
+    IBMQX2,
+    IBMQX5,
+    fidelity_cost,
+    synthetic_calibration,
+)
+
+
+@pytest.fixture
+def qx2_cal():
+    return synthetic_calibration(IBMQX2)
+
+
+class TestSyntheticCalibration:
+    def test_covers_all_qubits_and_edges(self, qx2_cal):
+        assert set(qx2_cal.single_qubit_error) == set(range(5))
+        assert set(qx2_cal.cnot_error) == IBMQX2.coupling_map.directed_edges
+        assert set(qx2_cal.readout_error) == set(range(5))
+
+    def test_rates_in_published_ranges(self, qx2_cal):
+        for error in qx2_cal.single_qubit_error.values():
+            assert 1e-3 <= error <= 1.5e-3
+        for error in qx2_cal.cnot_error.values():
+            assert 2e-2 <= error <= 3e-2
+
+    def test_deterministic(self):
+        a = synthetic_calibration(IBMQX2)
+        b = synthetic_calibration(IBMQX2)
+        assert a.single_qubit_error == b.single_qubit_error
+        assert a.cnot_error == b.cnot_error
+
+    def test_devices_differ(self):
+        a = synthetic_calibration(IBMQX2)
+        b = synthetic_calibration(IBMQX5)
+        assert a.single_qubit_error[0] != b.single_qubit_error[0]
+
+
+class TestGateError:
+    def test_single_qubit_lookup(self, qx2_cal):
+        assert qx2_cal.gate_error(H(3)) == qx2_cal.single_qubit_error[3]
+
+    def test_cnot_lookup(self, qx2_cal):
+        assert qx2_cal.gate_error(CNOT(0, 1)) == qx2_cal.cnot_error[(0, 1)]
+
+    def test_unknown_edge_raises(self, qx2_cal):
+        with pytest.raises(DeviceError):
+            qx2_cal.gate_error(CNOT(1, 0))  # reverse orientation not native
+
+    def test_non_native_gate_raises(self, qx2_cal):
+        with pytest.raises(DeviceError):
+            qx2_cal.gate_error(TOFFOLI(0, 1, 2))
+
+    def test_unknown_qubit_raises(self):
+        cal = Calibration("tiny", {0: 1e-3}, {})
+        with pytest.raises(DeviceError):
+            cal.gate_error(X(5))
+
+
+class TestSuccessProbability:
+    def test_empty_circuit(self, qx2_cal):
+        assert qx2_cal.success_probability(QuantumCircuit(5)) == 1.0
+
+    def test_multiplicative(self, qx2_cal):
+        single = qx2_cal.success_probability(QuantumCircuit(5, [H(0)]))
+        double = qx2_cal.success_probability(QuantumCircuit(5, [H(0), H(0)]))
+        assert double == pytest.approx(single ** 2)
+
+    def test_cnot_dominates(self, qx2_cal):
+        with_cnot = qx2_cal.success_probability(QuantumCircuit(5, [CNOT(0, 1)]))
+        with_h = qx2_cal.success_probability(QuantumCircuit(5, [H(0)]))
+        assert with_cnot < with_h
+
+
+class TestFidelityCost:
+    def test_additive_neg_log(self, qx2_cal):
+        cost = fidelity_cost(qx2_cal)
+        circuit = QuantumCircuit(5, [H(0), CNOT(0, 1)])
+        expected = -(
+            math.log(1 - qx2_cal.gate_error(H(0)))
+            + math.log(1 - qx2_cal.gate_error(CNOT(0, 1)))
+        )
+        assert cost(circuit) == pytest.approx(expected)
+
+    def test_lower_cost_means_higher_success(self, qx2_cal):
+        cost = fidelity_cost(qx2_cal)
+        short = QuantumCircuit(5, [CNOT(0, 1)])
+        long = QuantumCircuit(5, [CNOT(0, 1), CNOT(0, 1), CNOT(0, 2)])
+        assert cost(short) < cost(long)
+        assert qx2_cal.success_probability(short) > qx2_cal.success_probability(long)
+
+    def test_compile_with_fidelity_cost(self, qx2_cal):
+        """End to end: the compiler optimizes under the fidelity metric
+        and still formally verifies."""
+        from repro import compile_circuit
+
+        circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        result = compile_circuit(
+            circuit, IBMQX2, cost_function=fidelity_cost(qx2_cal)
+        )
+        assert result.verification.equivalent
+        assert result.optimized_metrics.cost <= result.unoptimized_metrics.cost
+        prob = qx2_cal.success_probability(result.optimized)
+        assert 0 < prob < 1
+
+    def test_cost_name_mentions_device(self, qx2_cal):
+        assert "ibmqx2" in fidelity_cost(qx2_cal).name

@@ -1,0 +1,126 @@
+"""CouplingMap behaviour: queries, metrics, path search."""
+
+import pytest
+
+from repro.core import DeviceError
+from repro.devices import CouplingMap
+
+
+@pytest.fixture
+def small_map():
+    # 0 -> 1 -> 2, 3 isolated from the chain via 2 -> 3
+    return CouplingMap(4, {0: [1], 1: [2], 2: [3]}, name="chain4")
+
+
+class TestQueries:
+    def test_allows_directed(self, small_map):
+        assert small_map.allows(0, 1)
+        assert not small_map.allows(1, 0)
+
+    def test_allows_reversed(self, small_map):
+        assert small_map.allows_reversed(1, 0)
+        assert not small_map.allows_reversed(0, 1)  # native direction exists
+        assert not small_map.allows_reversed(0, 2)  # not adjacent at all
+
+    def test_coupled_is_undirected(self, small_map):
+        assert small_map.coupled(0, 1)
+        assert small_map.coupled(1, 0)
+        assert not small_map.coupled(0, 2)
+
+    def test_neighbors(self, small_map):
+        assert small_map.neighbors(1) == (0, 2)
+        assert small_map.neighbors(0) == (1,)
+
+    def test_as_dict_matches_input(self, small_map):
+        assert small_map.as_dict() == {0: [1], 1: [2], 2: [3]}
+
+    def test_neighbors_out_of_range(self, small_map):
+        with pytest.raises(DeviceError):
+            small_map.neighbors(9)
+
+
+class TestValidation:
+    def test_self_coupling_rejected(self):
+        with pytest.raises(DeviceError):
+            CouplingMap(2, {0: [0]})
+
+    def test_out_of_range_coupling_rejected(self):
+        with pytest.raises(DeviceError):
+            CouplingMap(2, {0: [5]})
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(DeviceError):
+            CouplingMap(0, {})
+
+
+class TestComplexity:
+    def test_paper_example_qx2(self):
+        """Section 3's worked example: 6 couplings / 20 permutations = 0.3."""
+        qx2 = CouplingMap(5, {0: [1, 2], 1: [2], 3: [2, 4], 4: [2]})
+        assert qx2.coupling_complexity == pytest.approx(0.3)
+
+    def test_fully_connected_is_one(self):
+        assert CouplingMap.fully_connected(8).coupling_complexity == 1.0
+
+    def test_single_qubit_is_one(self):
+        assert CouplingMap(1, {}).coupling_complexity == 1.0
+
+    def test_chain_complexity(self, small_map):
+        assert small_map.coupling_complexity == pytest.approx(3 / 12)
+
+
+class TestConnectivity:
+    def test_connected_chain(self, small_map):
+        assert small_map.is_connected()
+
+    def test_disconnected_components(self):
+        split = CouplingMap(4, {0: [1], 2: [3]})
+        assert not split.is_connected()
+
+    def test_fully_connected(self):
+        assert CouplingMap.fully_connected(5).is_connected()
+
+
+class TestShortestPath:
+    def test_trivial_path(self, small_map):
+        assert small_map.shortest_path(2, 2) == [2]
+
+    def test_chain_path(self, small_map):
+        assert small_map.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_path_ignores_direction(self, small_map):
+        assert small_map.shortest_path(3, 0) == [3, 2, 1, 0]
+
+    def test_no_path_returns_none(self):
+        split = CouplingMap(4, {0: [1], 2: [3]})
+        assert split.shortest_path(0, 3) is None
+        assert split.distance(0, 3) is None
+
+    def test_distance(self, small_map):
+        assert small_map.distance(0, 3) == 3
+        assert small_map.distance(1, 2) == 1
+        assert small_map.distance(2, 2) == 0
+
+    def test_shortest_among_alternatives(self):
+        # ring with a chord: 0-1-2-3-0 plus 0-2
+        ring = CouplingMap.from_edge_list(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        )
+        assert ring.distance(0, 2) == 1
+        path = ring.shortest_path(1, 3)
+        assert len(path) == 3  # 1-2-3 or 1-0-3
+
+
+class TestEdgeList:
+    def test_from_edge_list_roundtrip(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        m = CouplingMap.from_edge_list(3, edges, name="tri")
+        assert m.directed_edges == frozenset(edges)
+
+    def test_fully_connected_directed_edges(self):
+        m = CouplingMap.fully_connected(3)
+        assert len(m.directed_edges) == 6
+        assert m.allows(0, 2) and m.allows(2, 0)
+
+    def test_repr_contains_name(self, small_map):
+        assert "chain4" in repr(small_map)

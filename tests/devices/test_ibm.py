@@ -1,0 +1,161 @@
+"""IBM Q device library: Table 2 of the paper, exactly."""
+
+import pytest
+
+from repro.core import DeviceError
+from repro.devices import (
+    Device,
+    IBMQ16,
+    IBMQX2,
+    IBMQX3,
+    IBMQX4,
+    IBMQX5,
+    PAPER_DEVICES,
+    SIMULATOR,
+    available_devices,
+    get_device,
+    register_device,
+)
+from repro.devices.coupling import CouplingMap
+
+
+class TestTable2:
+    """Qubit counts and coupling complexities, row by row."""
+
+    @pytest.mark.parametrize(
+        "device,qubits,complexity",
+        [
+            (IBMQX2, 5, 0.3),
+            (IBMQX3, 16, 20 / 240),     # 0.0833...
+            (IBMQX4, 5, 0.3),
+            (IBMQX5, 16, 22 / 240),     # 0.0916...
+            (IBMQ16, 14, 18 / 182),     # 0.098901...
+        ],
+    )
+    def test_qubits_and_complexity(self, device, qubits, complexity):
+        assert device.num_qubits == qubits
+        assert device.coupling_complexity == pytest.approx(complexity, abs=1e-12)
+
+    def test_complexity_decimal_expansions(self):
+        """The repeating decimals printed in Table 2."""
+        assert f"{IBMQX3.coupling_complexity:.4f}" == "0.0833"
+        assert f"{IBMQX5.coupling_complexity:.5f}" == "0.09167"
+        assert f"{IBMQ16.coupling_complexity:.6f}" == "0.098901"
+
+    def test_retired_flags(self):
+        assert IBMQX3.retired and IBMQX5.retired
+        assert not IBMQX2.retired and not IBMQX4.retired and not IBMQ16.retired
+
+    def test_paper_device_order(self):
+        assert [d.name for d in PAPER_DEVICES] == [
+            "ibmqx2",
+            "ibmqx3",
+            "ibmqx4",
+            "ibmqx5",
+            "ibmq_16",
+        ]
+
+
+class TestCouplingMapsVerbatim:
+    """Spot-check couplings straight from the Section 3 dictionaries."""
+
+    def test_qx2_entries(self):
+        m = IBMQX2.coupling_map
+        assert m.allows(0, 1) and m.allows(0, 2) and m.allows(3, 4)
+        assert not m.allows(1, 0)
+        assert not m.allows(2, 0)
+
+    def test_qx4_reversed_from_qx2(self):
+        m = IBMQX4.coupling_map
+        assert m.allows(1, 0) and m.allows(2, 0) and m.allows(2, 1)
+        assert not m.allows(0, 1)
+
+    def test_qx3_fig5_neighbourhood(self):
+        """The couplings the paper's Fig. 5 walk relies on."""
+        m = IBMQX3.coupling_map
+        assert m.allows(12, 5)   # q5 <-> q12
+        assert m.allows(12, 11)  # q12 <-> q11
+        assert m.allows(11, 10)  # q11 -> q10
+        assert not m.coupled(5, 10)
+
+    def test_qx5_entries(self):
+        m = IBMQX5.coupling_map
+        assert m.allows(15, 0) and m.allows(15, 2) and m.allows(15, 14)
+        assert m.allows(6, 5) and m.allows(6, 7) and m.allows(6, 11)
+
+    def test_melbourne_entries(self):
+        m = IBMQ16.coupling_map
+        assert m.allows(5, 4) and m.allows(5, 6) and m.allows(5, 9)
+        assert m.allows(13, 1) and m.allows(13, 12)
+
+    def test_all_maps_connected(self):
+        for device in PAPER_DEVICES:
+            assert device.coupling_map.is_connected(), device.name
+
+    def test_all_isolated_qubits_absent(self):
+        """Every qubit on every paper device participates in a coupling
+        (needed for routing to any position)."""
+        for device in PAPER_DEVICES:
+            m = device.coupling_map
+            for q in range(device.num_qubits):
+                assert m.neighbors(q), f"{device.name} q{q}"
+
+
+class TestSimulator:
+    def test_unrestricted(self):
+        assert SIMULATOR.is_simulator
+        assert SIMULATOR.coupling_complexity == 1.0
+        assert SIMULATOR.coupling_map.allows(0, 31)
+
+    def test_physical_devices_are_not_simulators(self):
+        for device in PAPER_DEVICES:
+            assert not device.is_simulator
+
+
+class TestRegistry:
+    def test_lookup_by_name_case_insensitive(self):
+        assert get_device("IBMQX2") is IBMQX2
+        assert get_device("ibmq_16") is IBMQ16
+
+    def test_unknown_name(self):
+        with pytest.raises(DeviceError):
+            get_device("ibmq_not_a_machine")
+
+    def test_available_devices_contains_paper_set(self):
+        names = available_devices()
+        for expected in ("ibmqx2", "ibmqx3", "ibmqx4", "ibmqx5", "ibmq_16",
+                         "simulator", "proposed96"):
+            assert expected in names
+
+    def test_register_duplicate_rejected(self):
+        dup = Device("ibmqx2", CouplingMap(2, {0: [1]}))
+        with pytest.raises(DeviceError):
+            register_device(dup)
+
+    def test_register_overwrite_allowed(self):
+        custom = Device("scratch-dev", CouplingMap(2, {0: [1]}))
+        register_device(custom)
+        replacement = Device("scratch-dev", CouplingMap(3, {0: [1, 2]}))
+        register_device(replacement, overwrite=True)
+        assert get_device("scratch-dev").num_qubits == 3
+
+
+class TestDeviceObject:
+    def test_gate_set(self):
+        assert IBMQX2.supports_gate("CNOT")
+        assert IBMQX2.supports_gate("TDG")
+        assert not IBMQX2.supports_gate("TOFFOLI")
+        assert not IBMQX2.supports_gate("SWAP")
+
+    def test_with_cost_function(self):
+        from repro.core import CostFunction
+
+        flat = CostFunction(name="flat")
+        modified = IBMQX2.with_cost_function(flat)
+        assert modified.cost_function is flat
+        assert modified.name == IBMQX2.name
+        assert IBMQX2.cost_function is not flat
+
+    def test_str(self):
+        assert "ibmqx2" in str(IBMQX2)
+        assert "simulator" in str(SIMULATOR)

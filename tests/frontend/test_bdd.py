@@ -1,0 +1,126 @@
+"""BDD engine tests."""
+
+import pytest
+
+from repro.core import ReproError
+from repro.frontend import BDD, TruthTable, esop_from_bdd, verify_esop
+
+
+class TestBasics:
+    def test_terminals(self):
+        b = BDD(2)
+        assert b.evaluate(BDD.ZERO, 0b00) == 0
+        assert b.evaluate(BDD.ONE, 0b11) == 1
+
+    def test_var(self):
+        b = BDD(2)
+        x0 = b.var(0)
+        assert b.evaluate(x0, 0b10) == 1
+        assert b.evaluate(x0, 0b01) == 0
+
+    def test_nvar(self):
+        b = BDD(2)
+        nx1 = b.nvar(1)
+        assert b.evaluate(nx1, 0b00) == 1
+        assert b.evaluate(nx1, 0b01) == 0
+
+    def test_var_range_checked(self):
+        with pytest.raises(ReproError):
+            BDD(2).var(5)
+
+    def test_reduction_rule(self):
+        b = BDD(2)
+        assert b.node(0, BDD.ONE, BDD.ONE) == BDD.ONE
+
+    def test_hash_consing(self):
+        b = BDD(2)
+        assert b.var(0) == b.var(0)
+
+
+class TestApply:
+    def test_and_or_xor_match_python(self):
+        b = BDD(3)
+        x0, x1, x2 = b.var(0), b.var(1), b.var(2)
+        f_and = b.and_(x0, x1)
+        f_or = b.or_(x1, x2)
+        f_xor = b.xor(x0, x2)
+        for a in range(8):
+            bits = [(a >> 2) & 1, (a >> 1) & 1, a & 1]
+            assert b.evaluate(f_and, a) == (bits[0] & bits[1])
+            assert b.evaluate(f_or, a) == (bits[1] | bits[2])
+            assert b.evaluate(f_xor, a) == (bits[0] ^ bits[2])
+
+    def test_not(self):
+        b = BDD(1)
+        nx = b.not_(b.var(0))
+        assert b.evaluate(nx, 0) == 1
+        assert b.evaluate(nx, 1) == 0
+
+    def test_canonicity_of_equal_functions(self):
+        b = BDD(2)
+        # x0 XOR x1 built two ways
+        direct = b.xor(b.var(0), b.var(1))
+        via_or = b.and_(
+            b.or_(b.var(0), b.var(1)), b.not_(b.and_(b.var(0), b.var(1)))
+        )
+        assert direct == via_or
+
+    def test_unknown_op(self):
+        b = BDD(1)
+        with pytest.raises(ReproError):
+            b.apply("nand", b.var(0), BDD.ONE)
+
+
+class TestTruthTableBridge:
+    def test_from_truth_table_evaluates(self):
+        b = BDD(3)
+        column = [1, 0, 1, 1, 0, 0, 1, 0]
+        root = b.from_truth_table(column)
+        for a in range(8):
+            assert b.evaluate(root, a) == column[a]
+
+    def test_sat_count(self):
+        b = BDD(3)
+        root = b.from_truth_table([1, 0, 1, 1, 0, 0, 1, 0])
+        assert b.sat_count(root) == 4
+        assert b.sat_count(BDD.ONE) == 8
+        assert b.sat_count(BDD.ZERO) == 0
+
+    def test_sat_count_with_skipped_levels(self):
+        b = BDD(3)
+        # f = x2: node at the bottom level only
+        assert b.sat_count(b.var(2)) == 4
+
+    def test_node_count(self):
+        b = BDD(2)
+        assert b.node_count(b.var(0)) == 1
+        assert b.node_count(BDD.ONE) == 0
+
+
+class TestDisjointCubes:
+    def test_cubes_are_disjoint_and_cover(self):
+        b = BDD(3)
+        column = [1, 0, 1, 1, 0, 0, 1, 1]
+        root = b.from_truth_table(column)
+        cubes = b.disjoint_cubes(root)
+        for a in range(8):
+            covering = [c for c in cubes if c.covers(a)]
+            assert len(covering) == (1 if column[a] else 0), a
+
+    def test_esop_from_bdd_all_three_var_functions(self):
+        for value in range(0, 256, 7):  # sampled for speed
+            table = TruthTable.from_hex(f"{value:02x}", 3)
+            assert verify_esop(table, esop_from_bdd(table)), value
+
+    def test_esop_from_bdd_multi_output(self):
+        table = TruthTable(2, 2, [0b01, 0b10, 0b11, 0b00])
+        assert verify_esop(table, esop_from_bdd(table))
+
+    def test_shared_subgraph_compactness(self):
+        """A symmetric function's BDD is smaller than its cube count."""
+        b = BDD(4)
+        # parity of 4 variables: 8 disjoint cubes but only 7 BDD nodes
+        parity = [bin(a).count("1") & 1 for a in range(16)]
+        root = b.from_truth_table(parity)
+        assert b.node_count(root) == 7
+        assert len(b.disjoint_cubes(root)) == 8

@@ -1,0 +1,120 @@
+"""Fazel-Thornton cascade generation tests."""
+
+import pytest
+
+from repro.core import Gate, SynthesisError, X
+from repro.frontend import (
+    TruthTable,
+    cascade_from_cubes,
+    single_target_gate,
+    synthesize_truth_table,
+    verify_cascade,
+)
+from repro.io import Cube, CubeList
+
+
+class TestCascadeStructure:
+    def test_positive_cube_is_bare_mcx(self):
+        cubes = CubeList(3, 1)
+        cubes.add(Cube.from_string("111"), 1)
+        circuit = cascade_from_cubes(cubes)
+        assert len(circuit) == 1
+        assert circuit[0].name == "MCX"
+        assert circuit[0].controls == (0, 1, 2)
+        assert circuit[0].target == 3
+
+    def test_single_literal_cube_is_cnot(self):
+        cubes = CubeList(2, 1)
+        cubes.add(Cube.from_string("1-"), 1)
+        assert cascade_from_cubes(cubes)[0].name == "CNOT"
+
+    def test_constant_cube_is_x(self):
+        cubes = CubeList(2, 1)
+        cubes.add(Cube.from_string("--"), 1)
+        assert cascade_from_cubes(cubes).gates == (X(2),)
+
+    def test_negative_literals_conjugated(self):
+        cubes = CubeList(2, 1)
+        cubes.add(Cube.from_string("00"), 1)
+        circuit = cascade_from_cubes(cubes)
+        # X on both controls, the gate, X back: 5 gates
+        assert circuit.count("X") == 4
+        assert circuit.count("TOFFOLI") == 1
+
+    def test_polarity_reuse_between_cubes(self):
+        """Two cubes sharing a negation must not pay the NOT pair twice."""
+        cubes = CubeList(2, 1)
+        cubes.add(Cube.from_string("01"), 1)
+        cubes.add(Cube.from_string("00"), 1)
+        circuit = cascade_from_cubes(cubes)
+        # naive: 2+2 X per cube = 6 X total; with tracking: 2 X around both
+        assert circuit.count("X") <= 4
+
+    def test_polarity_restored_at_end(self):
+        cubes = CubeList(2, 1)
+        cubes.add(Cube.from_string("00"), 1)
+        table = TruthTable(2, 1, [1, 0, 0, 0])
+        assert verify_cascade(table, cascade_from_cubes(cubes))
+
+    def test_multi_output_targets(self):
+        cubes = CubeList(2, 2)
+        cubes.add(Cube.from_string("11"), 0b11)
+        circuit = cascade_from_cubes(cubes)
+        targets = [g.target for g in circuit]
+        assert sorted(targets) == [2, 3]
+
+
+class TestSynthesizeTruthTable:
+    @pytest.mark.parametrize("hexval,n", [("1", 2), ("6", 2), ("e8", 3), ("96", 3),
+                                          ("033f", 4), ("0356", 4), ("ffff", 4)])
+    def test_correctness(self, hexval, n):
+        table = TruthTable.from_hex(hexval, n)
+        circuit = synthesize_truth_table(table)
+        assert verify_cascade(table, circuit)
+
+    def test_exhaustive_three_variables(self):
+        for value in range(0, 256, 5):
+            table = TruthTable.from_hex(f"{value:02x}", 3)
+            assert verify_cascade(table, synthesize_truth_table(table)), value
+
+    def test_multi_output_adder_bit(self):
+        """Half adder: sum and carry of two bits."""
+        def half_adder(a):
+            x, y = (a >> 1) & 1, a & 1
+            return ((x & y) << 1) | (x ^ y)
+
+        table = TruthTable.from_function(half_adder, 2, 2)
+        circuit = synthesize_truth_table(table)
+        assert verify_cascade(table, circuit)
+
+    def test_output_is_reversible_cascade(self):
+        table = TruthTable.from_hex("033f", 4)
+        circuit = synthesize_truth_table(table)
+        assert circuit.is_classical_reversible
+
+
+class TestSingleTargetGate:
+    def test_flips_target_iff_control_function(self):
+        table = TruthTable.from_hex("e8", 3)  # majority
+        circuit = single_target_gate(table)
+        assert circuit.num_qubits == 4
+        from repro.verify import evaluate
+
+        for a in range(8):
+            out = evaluate(circuit, a << 1)
+            assert out >> 1 == a
+            assert (out & 1) == table.evaluate(a)
+
+    def test_multi_output_rejected(self):
+        table = TruthTable(2, 2, [0, 1, 2, 3])
+        with pytest.raises(SynthesisError):
+            single_target_gate(table)
+
+    def test_paper_hash3_is_three_gates(self):
+        """#3 = NOT x0 realizes as X-CNOT-X: the paper's 0 T / 3 gates."""
+        table = TruthTable.from_hex("3", 2)
+        circuit = single_target_gate(table)
+        assert circuit.gate_volume == 3
+        assert circuit.t_count == 0
+        names = sorted(g.name for g in circuit)
+        assert names == ["CNOT", "X", "X"]

@@ -1,0 +1,101 @@
+"""ESOP extraction tests: PPRM spectrum, FPRM search."""
+
+import pytest
+
+from repro.frontend import (
+    TruthTable,
+    esop_fprm_best,
+    esop_fprm_fixed,
+    esop_minimize,
+    esop_pprm,
+    pprm_spectrum,
+    verify_esop,
+)
+
+
+class TestPprmSpectrum:
+    def test_constant_zero(self):
+        assert pprm_spectrum([0, 0, 0, 0]) == [0, 0, 0, 0]
+
+    def test_constant_one(self):
+        # f = 1 -> single constant monomial
+        assert pprm_spectrum([1, 1, 1, 1]) == [1, 0, 0, 0]
+
+    def test_single_variable(self):
+        # f = x1 (LSB of assignment): monomial index 0b01
+        assert pprm_spectrum([0, 1, 0, 1]) == [0, 1, 0, 0]
+
+    def test_and(self):
+        # f = x0 AND x1: only monomial 0b11
+        assert pprm_spectrum([0, 0, 0, 1]) == [0, 0, 0, 1]
+
+    def test_xor(self):
+        # f = x0 XOR x1: monomials 01 and 10
+        assert pprm_spectrum([0, 1, 1, 0]) == [0, 1, 1, 0]
+
+    def test_transform_is_involution(self):
+        column = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert pprm_spectrum(pprm_spectrum(column)) == column
+
+
+class TestPprmEsop:
+    def test_all_two_variable_functions(self):
+        """Exhaustive: every f: B^2 -> B is realized exactly."""
+        for value in range(16):
+            table = TruthTable.from_hex(f"{value:x}", 2)
+            assert verify_esop(table, esop_pprm(table)), value
+
+    def test_all_three_variable_functions(self):
+        for value in range(256):
+            table = TruthTable.from_hex(f"{value:02x}", 3)
+            assert verify_esop(table, esop_pprm(table)), value
+
+    def test_multi_output(self):
+        table = TruthTable(2, 2, [0b00, 0b01, 0b10, 0b11])
+        cubes = esop_pprm(table)
+        assert verify_esop(table, cubes)
+
+    def test_shared_cube_merged_across_outputs(self):
+        """Two outputs with the same monomial share one cube row."""
+        table = TruthTable(2, 2, [0, 0, 0, 0b11])  # both outputs = AND
+        cubes = esop_pprm(table)
+        assert len(cubes) == 1
+        assert cubes.rows[0][1] == 0b11
+
+
+class TestFprm:
+    def test_fixed_polarity_correct_for_all_polarities(self):
+        table = TruthTable.from_hex("96", 3)
+        for polarity in range(8):
+            cubes = esop_fprm_fixed(table, polarity)
+            assert verify_esop(table, cubes), polarity
+
+    def test_best_no_worse_than_pprm(self):
+        for hexval, n in [("e8", 3), ("17", 3), ("033f", 4), ("0356", 4)]:
+            table = TruthTable.from_hex(hexval, n)
+            best, _ = esop_fprm_best(table)
+            assert len(best) <= len(esop_pprm(table))
+            assert verify_esop(table, best)
+
+    def test_negative_polarity_wins_for_nor(self):
+        """NOR = x̄0 x̄1 is one cube in polarity 11 but 4 cubes in PPRM."""
+        table = TruthTable.from_hex("1", 2)
+        assert len(esop_pprm(table)) == 4
+        best, polarity = esop_fprm_best(table)
+        assert len(best) == 1
+        assert polarity == 0b11
+
+
+class TestMinimizeFrontDoor:
+    def test_efforts(self):
+        table = TruthTable.from_hex("6", 2)
+        assert verify_esop(table, esop_minimize(table, effort="pprm"))
+        assert verify_esop(table, esop_minimize(table, effort="fprm"))
+
+    def test_unknown_effort(self):
+        with pytest.raises(ValueError):
+            esop_minimize(TruthTable.from_hex("1", 2), effort="magic")
+
+    def test_constant_zero_gives_empty_list(self):
+        table = TruthTable.from_hex("0", 2)
+        assert len(esop_minimize(table)) == 0

@@ -1,0 +1,101 @@
+"""EXORCISM-style ESOP minimization tests."""
+
+import pytest
+
+from repro.frontend import (
+    TruthTable,
+    esop_minimize,
+    esop_minimize_deep,
+    esop_pprm,
+    exorcise,
+    verify_esop,
+)
+from repro.frontend.exorcism import _CANCEL, _merge_pair
+from repro.io.pla import Cube, CubeList
+
+
+def cube(text):
+    return Cube.from_string(text)
+
+
+class TestMergePair:
+    def test_identical_cubes_cancel(self):
+        assert _merge_pair(cube("1-0"), cube("1-0")) is _CANCEL
+
+    def test_opposite_literal_merges_away(self):
+        # x C (+) x' C = C
+        merged = _merge_pair(cube("10-"), cube("00-"))
+        assert merged == cube("-0-")
+
+    def test_bound_vs_free_flips(self):
+        # x C (+) C = x' C
+        merged = _merge_pair(cube("10-"), cube("-0-"))
+        assert merged == cube("00-")
+        merged = _merge_pair(cube("-0-"), cube("00-"))
+        assert merged == cube("10-")
+
+    def test_distance_two_no_merge(self):
+        assert _merge_pair(cube("11-"), cube("00-")) is None
+        assert _merge_pair(cube("1--"), cube("-00")) is None
+
+
+class TestExorcise:
+    def test_duplicate_rows_vanish(self):
+        cubes = CubeList(2, 1)
+        cubes.add(cube("1-"), 1)
+        cubes.add(cube("1-"), 1)
+        assert len(exorcise(cubes)) == 0
+
+    def test_classic_xor_pair(self):
+        # x y' (+) x' y' = y'
+        cubes = CubeList(2, 1)
+        cubes.add(cube("10"), 1)
+        cubes.add(cube("00"), 1)
+        out = exorcise(cubes)
+        assert len(out) == 1
+        assert out.rows[0][0] == cube("-0")
+
+    def test_masks_kept_separate(self):
+        cubes = CubeList(2, 2)
+        cubes.add(cube("1-"), 0b01)
+        cubes.add(cube("1-"), 0b10)  # different output: no cancellation
+        assert len(exorcise(cubes)) == 2
+
+    def test_function_preserved_exhaustively(self):
+        for value in range(0, 256, 3):
+            table = TruthTable.from_hex(f"{value:02x}", 3)
+            before = esop_pprm(table)
+            after = exorcise(before)
+            assert verify_esop(table, after), value
+            assert len(after) <= len(before)
+
+    def test_cascading_merges(self):
+        """PPRM of NOR has 4 cubes; exorcise collapses toward the single
+        negative-literal cube (or equivalent small form)."""
+        table = TruthTable.from_hex("1", 2)
+        out = exorcise(esop_pprm(table))
+        assert verify_esop(table, out)
+        assert len(out) <= 3
+
+
+class TestDeepEffort:
+    def test_never_worse_than_fprm(self):
+        for hexval, n in [("1", 2), ("96", 3), ("e8", 3), ("033f", 4),
+                          ("6996", 4), ("1ee1", 4)]:
+            table = TruthTable.from_hex(hexval, n)
+            deep = esop_minimize_deep(table)
+            fprm = esop_minimize(table, effort="fprm")
+            assert verify_esop(table, deep), hexval
+            assert len(deep) <= len(fprm), hexval
+
+    def test_effort_dispatch(self):
+        table = TruthTable.from_hex("96", 3)
+        assert verify_esop(table, esop_minimize(table, effort="deep"))
+
+    def test_front_to_back_with_deep_effort(self):
+        from repro import compile_classical_function
+
+        result = compile_classical_function(
+            "e8", "ibmqx5", num_inputs=3, effort="deep"
+        )
+        assert result.verification.equivalent

@@ -1,0 +1,137 @@
+"""Boolean-expression front-end tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ParseError
+from repro.frontend import (
+    expression_variables,
+    synthesize_expressions,
+    truth_table_from_expressions,
+    verify_cascade,
+)
+
+
+def python_eval(expression: str, names, assignment: int) -> int:
+    env = {
+        name: (assignment >> (len(names) - 1 - i)) & 1
+        for i, name in enumerate(names)
+    }
+    return eval(expression, {"__builtins__": {}}, env) & 1  # noqa: S307 - test oracle
+
+
+class TestParsing:
+    def test_variable_order_first_appearance(self):
+        assert expression_variables(["b & a", "c ^ a"]) == ["b", "a", "c"]
+
+    def test_simple_operators(self):
+        table, order = truth_table_from_expressions(["a & b"])
+        assert order == ["a", "b"]
+        assert table.outputs == [0, 0, 0, 1]
+        table, _ = truth_table_from_expressions(["a | b"])
+        assert table.outputs == [0, 1, 1, 1]
+        table, _ = truth_table_from_expressions(["a ^ b"])
+        assert table.outputs == [0, 1, 1, 0]
+        table, _ = truth_table_from_expressions(["~a"])
+        assert table.outputs == [1, 0]
+
+    def test_constants(self):
+        table, _ = truth_table_from_expressions(["a & 0"])
+        assert table.outputs == [0, 0]
+        table, _ = truth_table_from_expressions(["a | 1"])
+        assert table.outputs == [1, 1]
+
+    def test_precedence_and_parentheses(self):
+        # ~ binds tighter than &, & tighter than ^, ^ tighter than |
+        table, _ = truth_table_from_expressions(["~a & b"])
+        assert table.outputs == [0, 1, 0, 0]
+        grouped, _ = truth_table_from_expressions(["a & (b | c)"])
+        flat, _ = truth_table_from_expressions(["a & b | a & c"])
+        assert grouped.outputs == flat.outputs
+
+    def test_explicit_variable_order(self):
+        table, order = truth_table_from_expressions(["a"], variables=["b", "a"])
+        assert order == ["b", "a"]
+        assert table.outputs == [0, 1, 0, 1]
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            truth_table_from_expressions(["a &"])
+        with pytest.raises(ParseError):
+            truth_table_from_expressions(["(a"])
+        with pytest.raises(ParseError):
+            truth_table_from_expressions(["a @ b"])
+        with pytest.raises(ParseError):
+            truth_table_from_expressions([])
+        with pytest.raises(ParseError):
+            truth_table_from_expressions(["1"])  # no variables
+        with pytest.raises(ParseError):
+            truth_table_from_expressions(["a"], variables=["b"])  # unknown a
+
+
+class TestAgainstPythonOracle:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "a & b | a & c | b & c",
+            "a ^ b ^ c",
+            "~(a & b) ^ (c | a)",
+            "(a | ~b) & (~a | c) & (b | c)",
+        ],
+    )
+    def test_tabulation_matches_python(self, expression):
+        table, order = truth_table_from_expressions([expression])
+        for assignment in range(1 << len(order)):
+            assert table.evaluate(assignment) == python_eval(
+                expression, order, assignment
+            ), assignment
+
+    def test_multi_output_full_adder(self):
+        table, order = truth_table_from_expressions(
+            ["a ^ b ^ cin", "a & b | cin & (a ^ b)"]
+        )
+        assert order == ["a", "b", "cin"]
+        for assignment in range(8):
+            a = (assignment >> 2) & 1
+            b = (assignment >> 1) & 1
+            cin = assignment & 1
+            total = a + b + cin
+            word = table.evaluate(assignment)
+            assert word & 1 == total & 1        # sum
+            assert (word >> 1) & 1 == total >> 1  # carry
+
+
+class TestSynthesis:
+    def test_cascade_verified(self):
+        expressions = ["a & b | a & c | b & c", "a ^ b ^ c"]
+        table, _ = truth_table_from_expressions(expressions)
+        circuit = synthesize_expressions(expressions)
+        assert verify_cascade(table, circuit)
+
+    def test_end_to_end_compile(self):
+        from repro import compile_circuit
+
+        circuit = synthesize_expressions(["a & b ^ ~c"], name="mix")
+        result = compile_circuit(circuit, "ibmqx5")
+        assert result.verification.equivalent
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_random_3var_functions_via_expression(self, value):
+        """Any 3-variable function expressed as minterms round-trips."""
+        minterms = [
+            f"{'a' if (m >> 2) & 1 else '~a'} & "
+            f"{'b' if (m >> 1) & 1 else '~b'} & "
+            f"{'c' if m & 1 else '~c'}"
+            for m in range(8)
+            if (value >> m) & 1
+        ]
+        if not minterms:
+            return
+        expression = " | ".join(f"({term})" for term in minterms)
+        table, order = truth_table_from_expressions(
+            [expression], variables=["a", "b", "c"]
+        )
+        for assignment in range(8):
+            expected = (value >> assignment) & 1
+            assert table.evaluate(assignment) == expected

@@ -1,0 +1,76 @@
+"""TruthTable tests, including the paper's hex naming convention."""
+
+import pytest
+
+from repro.core import ParseError
+from repro.frontend import TruthTable
+
+
+class TestConstruction:
+    def test_explicit_rows(self):
+        t = TruthTable(2, 1, [1, 0, 0, 0])
+        assert t.evaluate(0) == 1
+        assert t.evaluate(3) == 0
+
+    def test_row_count_checked(self):
+        with pytest.raises(ParseError):
+            TruthTable(2, 1, [1, 0, 0])
+
+    def test_row_value_range_checked(self):
+        with pytest.raises(ParseError):
+            TruthTable(1, 1, [0, 2])
+
+    def test_from_function(self):
+        t = TruthTable.from_function(lambda a: a & 1, 3)
+        assert t.outputs == [0, 1] * 4
+
+    def test_from_bits(self):
+        t = TruthTable.from_bits([0, 1, 1, 0])
+        assert t.num_inputs == 2
+        with pytest.raises(ParseError):
+            TruthTable.from_bits([0, 1, 1])
+
+
+class TestHexNaming:
+    """The paper's #h benchmark naming: bit i of the value is f(i)."""
+
+    def test_hash_1_is_nor(self):
+        t = TruthTable.from_hex("1", 2)
+        assert t.outputs == [1, 0, 0, 0]
+
+    def test_hash_3_is_not_msb(self):
+        # f(0)=f(1)=1: true iff the assignment's MSB (variable 0) is 0.
+        t = TruthTable.from_hex("3", 2)
+        assert t.outputs == [1, 1, 0, 0]
+
+    def test_hash_033f(self):
+        t = TruthTable.from_hex("033f", 4)
+        expected = [(0x033F >> i) & 1 for i in range(16)]
+        assert t.outputs == expected
+
+    def test_hex_roundtrip(self):
+        t = TruthTable.from_hex("0356", 4)
+        assert t.hex_string() == "0356"
+
+    def test_too_wide_value_rejected(self):
+        with pytest.raises(ParseError):
+            TruthTable.from_hex("1ff", 2)
+
+
+class TestQueries:
+    def test_output_column_and_projection(self):
+        t = TruthTable(1, 2, [0b10, 0b01])
+        assert t.output_column(0) == [0, 1]
+        assert t.output_column(1) == [1, 0]
+        assert t.single_output(1).outputs == [1, 0]
+
+    def test_ones_count(self):
+        assert TruthTable.from_hex("3", 2).ones_count == 2
+        assert TruthTable.from_hex("0", 2).ones_count == 0
+
+    def test_equality(self):
+        assert TruthTable.from_hex("7", 2) == TruthTable.from_hex("07", 2)
+        assert TruthTable.from_hex("7", 2) != TruthTable.from_hex("7", 3)
+
+    def test_repr(self):
+        assert "hex=" in repr(TruthTable.from_hex("3", 2))

@@ -1,0 +1,109 @@
+"""Arithmetic workload generators, verified classically and end to end."""
+
+import pytest
+
+from repro.core import SynthesisError
+from repro.benchlib.arithmetic import (
+    ARITHMETIC_SUITE,
+    cuccaro_adder,
+    incrementer,
+    majority_voter,
+)
+from repro.verify import evaluate
+
+
+def _run_adder(circuit, bits, a, b, cin, with_carry_out=True):
+    """Pack operands into the wire layout, run, unpack (sum, carry)."""
+    total = circuit.num_qubits
+    word = 0
+
+    def set_bit(wire, value):
+        nonlocal word
+        if value:
+            word |= 1 << (total - 1 - wire)
+
+    set_bit(0, cin)
+    for i in range(bits):
+        set_bit(1 + 2 * i, (b >> i) & 1)  # b_i
+        set_bit(2 + 2 * i, (a >> i) & 1)  # a_i
+    out = evaluate(circuit, word)
+
+    def get_bit(wire):
+        return (out >> (total - 1 - wire)) & 1
+
+    sum_out = sum(get_bit(1 + 2 * i) << i for i in range(bits))
+    a_out = sum(get_bit(2 + 2 * i) << i for i in range(bits))
+    cin_out = get_bit(0)
+    carry = get_bit(total - 1) if with_carry_out else None
+    return sum_out, carry, a_out, cin_out
+
+
+class TestCuccaroAdder:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_exhaustive_addition(self, bits):
+        circuit = cuccaro_adder(bits)
+        for a in range(1 << bits):
+            for b in range(1 << bits):
+                for cin in (0, 1):
+                    total = a + b + cin
+                    s, carry, a_out, cin_out = _run_adder(circuit, bits, a, b, cin)
+                    assert s == total % (1 << bits), (a, b, cin)
+                    assert carry == total >> bits, (a, b, cin)
+                    assert a_out == a  # operand restored
+                    assert cin_out == cin
+
+    def test_without_carry_out(self):
+        circuit = cuccaro_adder(2, with_carry_out=False)
+        s, carry, a_out, _ = _run_adder(circuit, 2, 3, 2, 0, with_carry_out=False)
+        assert s == 1  # 3+2 mod 4
+        assert carry is None
+
+    def test_gate_budget_linear(self):
+        """Cuccaro uses 2 Toffolis + O(1) CNOTs per bit."""
+        for bits in (2, 4, 8):
+            circuit = cuccaro_adder(bits)
+            assert circuit.count("TOFFOLI") == 2 * bits
+            assert circuit.gate_volume <= 6 * bits + 1
+
+    def test_invalid_size(self):
+        with pytest.raises(SynthesisError):
+            cuccaro_adder(0)
+
+
+class TestIncrementer:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 6])
+    def test_exhaustive_increment(self, bits):
+        circuit = incrementer(bits)
+        for x in range(1 << bits):
+            assert evaluate(circuit, x) == (x + 1) % (1 << bits)
+
+    def test_invalid_size(self):
+        with pytest.raises(SynthesisError):
+            incrementer(0)
+
+
+class TestMajorityVoter:
+    @pytest.mark.parametrize("voters", [3, 5])
+    def test_exhaustive_vote(self, voters):
+        circuit = majority_voter(voters)
+        for votes in range(1 << voters):
+            out = evaluate(circuit, votes << 1)
+            expected = 1 if bin(votes).count("1") > voters // 2 else 0
+            assert (out & 1) == expected
+            assert out >> 1 == votes  # voters preserved
+
+    def test_even_or_tiny_rejected(self):
+        with pytest.raises(SynthesisError):
+            majority_voter(4)
+        with pytest.raises(SynthesisError):
+            majority_voter(1)
+
+
+class TestSuiteCompiles:
+    @pytest.mark.parametrize("name,factory", ARITHMETIC_SUITE)
+    def test_compiles_and_verifies_on_qx5(self, name, factory):
+        from repro import compile_circuit
+
+        circuit = factory()
+        result = compile_circuit(circuit, "ibmqx5")
+        assert result.verification.equivalent, name

@@ -1,0 +1,65 @@
+"""Benchmark artifact export/reload round trips."""
+
+import os
+import sys
+
+import pytest
+
+SCRIPTS = os.path.join(os.path.dirname(__file__), "..", "..", "scripts")
+sys.path.insert(0, SCRIPTS)
+
+from export_benchmarks import export_all  # noqa: E402
+
+from repro.benchlib import revlib, single_target, table7
+from repro.io import read_circuit
+from repro.verify import permutations_equal
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    target = str(tmp_path_factory.mktemp("bench_data"))
+    count = export_all(target)
+    assert count > 35
+    return target
+
+
+class TestExport:
+    def test_file_inventory(self, artifact_dir):
+        names = set(os.listdir(artifact_dir))
+        assert "stg_033f.qc" in names
+        assert "fred6.real" in names and "fred6.qc" in names
+        assert "T10_b.qc" in names
+        assert "cuccaro3.qc" in names
+        assert "qft4.qasm" in names
+
+    def test_stg_roundtrip(self, artifact_dir):
+        for name, qubits in single_target.PAPER_STG_BENCHMARKS[:6]:
+            circuit = read_circuit(os.path.join(artifact_dir, f"stg_{name}.qc"))
+            original = single_target.build_benchmark(name, qubits)
+            assert circuit.gates == original.gates, name
+
+    def test_revlib_real_roundtrip_functional(self, artifact_dir):
+        for name, _, _ in revlib.PAPER_REVLIB_BENCHMARKS:
+            safe = name.replace("-", "_")
+            circuit = read_circuit(os.path.join(artifact_dir, f"{safe}.real"))
+            original = revlib.build_benchmark(name)
+            assert permutations_equal(circuit, original), name
+
+    def test_table7_roundtrip(self, artifact_dir):
+        for name in table7.PAPER_96Q_BENCHMARKS:
+            circuit = read_circuit(os.path.join(artifact_dir, f"{name}.qc"))
+            assert circuit.gates == table7.build_benchmark(name).gates
+
+    def test_qft_qasm_reload_compiles(self, artifact_dir):
+        from repro import compile_circuit
+
+        circuit = read_circuit(os.path.join(artifact_dir, "qft3.qasm"))
+        result = compile_circuit(circuit, "ibmqx2")
+        assert result.verification.equivalent
+
+    def test_cli_compile_from_artifact(self, artifact_dir, capsys):
+        from repro.cli import main
+
+        path = os.path.join(artifact_dir, "stg_3.qc")
+        assert main(["compile", path, "--device", "ibmqx4"]) == 0
+        assert "OPENQASM" in capsys.readouterr().out

@@ -1,0 +1,166 @@
+"""CLI tests (invoked in-process through cli.main)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core import CNOT, H, MCX, QuantumCircuit, TOFFOLI
+from repro.io import parse_qasm, read_circuit, write_qc
+
+
+@pytest.fixture
+def toffoli_file(tmp_path):
+    path = str(tmp_path / "ccx.qc")
+    write_qc(QuantumCircuit(3, [TOFFOLI(0, 1, 2)]), path)
+    return path
+
+
+class TestDevices:
+    def test_lists_paper_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ibmqx2", "ibmqx3", "ibmqx4", "ibmqx5", "ibmq_16",
+                     "simulator", "proposed96"):
+            assert name in out
+
+    def test_shows_complexity(self, capsys):
+        main(["devices"])
+        out = capsys.readouterr().out
+        assert "0.300000" in out  # qx2/qx4
+        assert "0.098901" in out  # melbourne
+
+
+class TestInfo:
+    def test_metrics_printed(self, toffoli_file, capsys):
+        assert main(["info", toffoli_file]) == 0
+        out = capsys.readouterr().out
+        assert "qubits    : 3" in out
+        assert "gates     : 1" in out
+        assert "TOFFOLI" in out
+
+    def test_unknown_extension_errors(self, tmp_path, capsys):
+        path = str(tmp_path / "circuit.xyz")
+        with open(path, "w") as handle:
+            handle.write("nonsense")
+        assert main(["info", path]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_compile_to_stdout_qasm(self, toffoli_file, capsys):
+        assert main(["compile", toffoli_file, "--device", "ibmqx4"]) == 0
+        captured = capsys.readouterr()
+        assert "OPENQASM 2.0;" in captured.out
+        assert "EQUIVALENT" in captured.err
+
+    def test_compile_to_file(self, toffoli_file, tmp_path, capsys):
+        out_path = str(tmp_path / "mapped.qasm")
+        assert main(
+            ["compile", toffoli_file, "--device", "ibmqx4", "-o", out_path]
+        ) == 0
+        mapped = read_circuit(out_path)
+        assert mapped.is_native_transmon
+        assert len(mapped) > 15  # routing happened
+
+    def test_compile_hex_function(self, capsys):
+        code = main(
+            ["compile", "--hex", "e8", "--inputs", "3", "--device", "simulator"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OPENQASM" in out
+
+    def test_hex_without_inputs(self, capsys):
+        assert main(["compile", "--hex", "e8", "--device", "simulator"]) == 2
+
+    def test_no_input_at_all(self, capsys):
+        assert main(["compile", "--device", "simulator"]) == 2
+
+    def test_na_exit_code(self, tmp_path, capsys):
+        path = str(tmp_path / "t5.qc")
+        write_qc(QuantumCircuit(5, [MCX(0, 1, 2, 3, 4)]), path)
+        assert main(["compile", path, "--device", "ibmqx2"]) == 3
+        assert "N/A" in capsys.readouterr().err
+
+    def test_no_optimize_flag(self, toffoli_file, capsys):
+        assert main(
+            ["compile", toffoli_file, "--device", "ibmqx4",
+             "--no-optimize", "--verify", "none"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "cost saved  : 0.00%" in err
+
+    def test_greedy_placement_flag(self, toffoli_file, capsys):
+        assert main(
+            ["compile", toffoli_file, "--device", "ibmqx5",
+             "--placement", "greedy"]
+        ) == 0
+
+    def test_output_format_by_extension(self, toffoli_file, tmp_path):
+        out_path = str(tmp_path / "mapped.qc")
+        main(["compile", toffoli_file, "--device", "ibmqx4", "-o", out_path])
+        assert read_circuit(out_path).is_native_transmon
+
+
+class TestDraw:
+    def test_draws_wires(self, toffoli_file, capsys):
+        assert main(["draw", toffoli_file]) == 0
+        out = capsys.readouterr().out
+        assert "q0:" in out and "●" in out and "X" in out
+
+    def test_columns_flag_truncates(self, tmp_path, capsys):
+        from repro.core import H
+
+        path = str(tmp_path / "long.qc")
+        write_qc(QuantumCircuit(1, [H(0)] * 30), path)
+        assert main(["draw", path, "--columns", "4"]) == 0
+        assert "…" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_equivalent_files(self, tmp_path, capsys):
+        from repro.backend import toffoli_network
+
+        a = str(tmp_path / "a.qc")
+        b = str(tmp_path / "b.qc")
+        write_qc(QuantumCircuit(3, [TOFFOLI(0, 1, 2)]), a)
+        write_qc(QuantumCircuit(3, toffoli_network(0, 1, 2)), b)
+        assert main(["verify", a, b]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_inequivalent_files(self, tmp_path, capsys):
+        a = str(tmp_path / "a.qc")
+        b = str(tmp_path / "b.qc")
+        write_qc(QuantumCircuit(2, [CNOT(0, 1)]), a)
+        write_qc(QuantumCircuit(2, [CNOT(1, 0)]), b)
+        assert main(["verify", a, b]) == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+    def test_explicit_method(self, tmp_path, capsys):
+        a = str(tmp_path / "a.qc")
+        write_qc(QuantumCircuit(2, [CNOT(0, 1)]), a)
+        assert main(["verify", a, a, "--method", "dense"]) == 0
+        assert "dense" in capsys.readouterr().out
+
+
+class TestExpressionCompile:
+    def test_expr_flag(self, capsys):
+        code = main(["compile", "--expr", "a & b ^ ~c", "--device", "simulator"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "OPENQASM" in captured.out
+        assert "EQUIVALENT" in captured.err
+
+    def test_multi_output_exprs(self, capsys):
+        code = main([
+            "compile",
+            "--expr", "a ^ b ^ c",
+            "--expr", "a & b | c & (a ^ b)",
+            "--device", "ibmqx5",
+        ])
+        assert code == 0
+
+    def test_bad_expression_errors(self, capsys):
+        assert main(["compile", "--expr", "a &&& b", "--device", "simulator"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,145 @@
+"""End-to-end compiler facade tests."""
+
+import pytest
+
+from repro import (
+    CNOT,
+    CostFunction,
+    H,
+    MCX,
+    NotSynthesizableError,
+    QuantumCircuit,
+    T,
+    TOFFOLI,
+    VerificationError,
+    compile_circuit,
+    compile_classical_function,
+)
+from repro.core import Gate, X
+from repro.backend import check_conformance
+from repro.devices import IBMQX2, IBMQX3, IBMQX4, SIMULATOR, get_device
+from repro.frontend import TruthTable
+from repro.io import parse_qasm
+
+
+class TestCompileCircuit:
+    def test_toffoli_to_qx4(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+        result = compile_circuit(c, IBMQX4)
+        assert result.verification.equivalent
+        assert result.optimized_metrics.cost <= result.unoptimized_metrics.cost
+        assert check_conformance(result.optimized, IBMQX4) == []
+
+    def test_device_by_name(self):
+        c = QuantumCircuit(2, [CNOT(1, 0)])
+        result = compile_circuit(c, "ibmqx2")
+        assert result.device is IBMQX2
+
+    def test_mapping_expands_gate_count(self):
+        """The paper's central observation: real-device constraints make
+        circuits grow (often ~10x for routed CNOTs)."""
+        c = QuantumCircuit(16, [CNOT(5, 10)])  # Fig. 5 scenario
+        result = compile_circuit(c, IBMQX3)
+        assert result.unoptimized_metrics.gate_volume > 10 * c.gate_volume
+
+    def test_simulator_no_expansion_for_native(self):
+        c = QuantumCircuit(3, [H(0), CNOT(0, 1), T(2)])
+        result = compile_circuit(c, SIMULATOR)
+        assert result.optimized_metrics.gate_volume == 3
+
+    def test_optimize_flag_off(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        result = compile_circuit(c, IBMQX4, optimize=False)
+        assert result.optimized is result.unoptimized
+
+    def test_verify_flag_off(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        result = compile_circuit(c, IBMQX4, verify=False)
+        assert result.verification is None
+
+    def test_explicit_verify_method(self):
+        c = QuantumCircuit(2, [CNOT(0, 1)])
+        result = compile_circuit(c, IBMQX2, verify="dense")
+        assert result.verification.method == "dense"
+
+    def test_custom_cost_function(self):
+        only_cnots = CostFunction(name="cnots", base_weight=0.0,
+                                  extra_weights={"CNOT": 1.0})
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        result = compile_circuit(c, IBMQX4, cost_function=only_cnots)
+        assert result.optimized_metrics.cost == result.optimized.cnot_count
+
+    def test_custom_placement_used(self):
+        c = QuantumCircuit(2, [CNOT(0, 1)], name="pair")
+        result = compile_circuit(c, IBMQX2, placement={0: 3, 1: 4})
+        assert result.placement == {0: 3, 1: 4}
+        assert result.verification.equivalent
+
+    def test_too_large_raises_na(self):
+        c = QuantumCircuit(6, [X(5)])
+        with pytest.raises(NotSynthesizableError):
+            compile_circuit(c, IBMQX2)
+
+    def test_qasm_output_parses_back(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        result = compile_circuit(c, IBMQX4)
+        reparsed = parse_qasm(result.qasm)
+        assert reparsed.gates == result.optimized.gates
+
+    def test_synthesis_time_recorded(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        result = compile_circuit(c, IBMQX4)
+        assert result.synthesis_seconds > 0
+
+    def test_row_and_str_render(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+        result = compile_circuit(c, IBMQX4)
+        assert "/" in result.row()
+        assert "ccx" in str(result)
+        assert "verified[qmdd]" in str(result)
+
+
+class TestCompileClassical:
+    def test_hex_function(self):
+        result = compile_classical_function("e8", IBMQX4, num_inputs=3)
+        assert result.verification.equivalent
+        assert result.original.name == "#e8"
+
+    def test_truth_table_object(self):
+        table = TruthTable.from_hex("6", 2)
+        result = compile_classical_function(table, "ibmqx2")
+        assert result.verification.equivalent
+
+    def test_hex_without_inputs_raises(self):
+        from repro.core import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            compile_classical_function("e8", IBMQX4)
+
+    def test_effort_forwarded(self):
+        """Both ESOP efforts compile and verify; they produce different
+        cascades (NOR is 1 cube under FPRM, 4 under PPRM)."""
+        table = TruthTable.from_hex("1", 2)
+        fprm = compile_classical_function(table, SIMULATOR, effort="fprm")
+        pprm = compile_classical_function(table, SIMULATOR, effort="pprm")
+        assert fprm.verification.equivalent and pprm.verification.equivalent
+        assert fprm.original.gates != pprm.original.gates
+
+
+class TestVerificationCatchesBugs:
+    def test_detects_injected_fault(self, monkeypatch):
+        """If mapping were broken, verification must catch it."""
+        import repro.compiler as compiler_module
+
+        original_map = compiler_module.map_circuit
+
+        def broken_map(circuit, device, placement=None, **kwargs):
+            mapped = original_map(circuit, device, placement, **kwargs)
+            sabotaged = mapped.copy()
+            sabotaged.append(Gate("X", (0,)))
+            return sabotaged
+
+        monkeypatch.setattr(compiler_module, "map_circuit", broken_map)
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        with pytest.raises(VerificationError):
+            compile_circuit(c, IBMQX4)

@@ -1,0 +1,96 @@
+"""End-to-end scenario tests combining several features at once."""
+
+import pytest
+
+from repro import (
+    CNOT,
+    H,
+    QuantumCircuit,
+    T,
+    TOFFOLI,
+    compile_circuit,
+    compile_classical_function,
+    draw_circuit,
+)
+from repro.core import MCX, X
+from repro.devices import IBMQX3, IBMQX5, ion_device, synthetic_calibration, fidelity_cost
+from repro.frontend import synthesize_expressions
+from repro.io import parse_qasm
+
+
+class TestCombinedFeatureFlows:
+    def test_expression_to_ion_with_greedy_placement(self):
+        """Boolean expression -> cascade -> ion target, greedy placement,
+        relative-phase MCX lowering, verified up to global phase."""
+        cascade = synthesize_expressions(
+            ["a & b & c | ~a & ~b & ~c"], name="agree3"
+        )
+        result = compile_circuit(
+            cascade,
+            ion_device(8),
+            placement="greedy",
+            mcx_mode="relative_phase",
+        )
+        assert result.verification.equivalent
+        assert all(g.name in ("RX", "RY", "RZ", "RXX", "I")
+                   for g in result.optimized)
+
+    def test_hex_function_with_fidelity_cost_and_deep_esop(self):
+        calibration = synthetic_calibration(IBMQX5)
+        result = compile_classical_function(
+            "6996", IBMQX5, num_inputs=4, effort="deep",
+            cost_function=fidelity_cost(calibration),
+        )
+        assert result.verification.equivalent
+        # fidelity cost is -log(success): must be positive and finite
+        assert 0 < result.optimized_metrics.cost < 100
+
+    def test_qasm_roundtrip_through_two_devices(self):
+        """Compile to qx3, re-parse the QASM, re-verify, then retarget the
+        mapped artifact to the simulator."""
+        circuit = QuantumCircuit(4, [TOFFOLI(0, 1, 3), CNOT(3, 0), T(2)],
+                                 name="chain")
+        first = compile_circuit(circuit, IBMQX3)
+        reparsed = parse_qasm(first.qasm)
+        assert reparsed.gates == first.optimized.gates
+        second = compile_circuit(reparsed, "simulator")
+        assert second.verification.equivalent
+
+    def test_relative_phase_and_greedy_compose_on_table8_workload(self):
+        from repro.benchlib import table7
+        from repro.devices import PROPOSED96
+
+        circuit = table7.build_benchmark("T6_b")
+        baseline = compile_circuit(circuit, PROPOSED96, verify=False)
+        tuned = compile_circuit(
+            circuit, PROPOSED96, verify=False, mcx_mode="relative_phase"
+        )
+        assert tuned.optimized_metrics.cost < baseline.optimized_metrics.cost
+
+    def test_drawing_of_compiled_output(self):
+        result = compile_circuit(
+            QuantumCircuit(2, [H(0), CNOT(0, 1)]), "ibmqx2"
+        )
+        art = draw_circuit(result.optimized)
+        assert "q0:" in art and "q4:" in art  # full device register drawn
+
+    def test_mcx_ancilla_budget_interacts_with_placement(self):
+        """A T6 gate on exactly-sized vs generous devices: the generous
+        device admits the cheap V-chain; the exact-size device must split
+        (more Toffolis) but still verifies."""
+        from repro.devices import linear_device
+
+        gate_circuit = QuantumCircuit(6, [MCX(0, 1, 2, 3, 4, 5)])
+        small = compile_circuit(gate_circuit, linear_device(7), verify=False)
+        large = compile_circuit(gate_circuit, linear_device(12), verify=False)
+        assert small.unoptimized_metrics.t_count > large.unoptimized_metrics.t_count
+
+    def test_verification_method_names_survive_facade(self):
+        result = compile_circuit(
+            QuantumCircuit(2, [CNOT(0, 1)]), "ibmqx2", verify="dense"
+        )
+        assert result.verification.method == "dense"
+        result = compile_circuit(
+            QuantumCircuit(2, [CNOT(0, 1)]), "ibmqx2", verify="sampled"
+        )
+        assert result.verification.method == "sampled"

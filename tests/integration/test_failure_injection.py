@@ -1,0 +1,93 @@
+"""Failure injection: the verifier must catch any broken transformation.
+
+Each test sabotages one pipeline stage and confirms the compiler's
+closing formal verification refuses to emit the wrong circuit — the
+property that makes the paper's "formally-verified synthesis" claim
+meaningful.
+"""
+
+import pytest
+
+from repro import VerificationError, compile_circuit
+from repro.core import CNOT, Gate, H, QuantumCircuit, T, TOFFOLI, X
+from repro.devices import IBMQX4
+
+
+@pytest.fixture
+def workload():
+    return QuantumCircuit(3, [TOFFOLI(0, 1, 2), CNOT(2, 0), T(1)], name="w")
+
+
+class TestSabotagedStages:
+    def test_broken_optimizer_caught(self, workload, monkeypatch):
+        """An optimizer that drops a real gate must be detected."""
+        import repro.compiler as compiler_module
+
+        class BrokenOptimizer:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def run(self, circuit):
+                return circuit[:-1]  # silently drop the last gate
+
+        monkeypatch.setattr(compiler_module, "LocalOptimizer", BrokenOptimizer)
+        with pytest.raises(VerificationError):
+            compile_circuit(workload, IBMQX4)
+
+    def test_broken_toffoli_network_caught(self, workload, monkeypatch):
+        """A subtly wrong decomposition (one T turned into T†) fails."""
+        import repro.backend.toffoli as toffoli_module
+        import repro.backend.mapper as mapper_module
+
+        original = toffoli_module.toffoli_network
+
+        def wrong_network(c1, c2, t):
+            gates = original(c1, c2, t)
+            return [
+                Gate("TDG", g.qubits) if g.name == "T" and g.qubits == (t,)
+                else g
+                for g in gates
+            ]
+
+        monkeypatch.setattr(toffoli_module, "toffoli_network", wrong_network)
+        # expand_non_native captured the name at import time inside the
+        # backend module; patch at the consumer too.
+        def wrong_expand(gate):
+            if gate.name == "TOFFOLI":
+                return wrong_network(*gate.qubits)
+            return original_expand(gate)
+
+        original_expand = mapper_module.expand_non_native
+        monkeypatch.setattr(mapper_module, "expand_non_native", wrong_expand)
+        with pytest.raises(VerificationError):
+            compile_circuit(workload, IBMQX4)
+
+    def test_swapped_cnot_orientation_caught(self, workload, monkeypatch):
+        """Routing that flips a CNOT's direction without the Hadamard
+        correction must never emit: either the conformance self-check or
+        the formal verifier stops it."""
+        from repro.core import SynthesisError
+        import repro.backend.mapper as mapper_module
+
+        original = mapper_module.legalize_cnots
+
+        def wrong_legalize(circuit, device):
+            legal = original(circuit, device)
+            flipped = QuantumCircuit(legal.num_qubits, name=legal.name)
+            swapped_one = False
+            for gate in legal:
+                if gate.name == "CNOT" and not swapped_one:
+                    flipped.append(Gate("CNOT", (gate.qubits[1], gate.qubits[0])))
+                    swapped_one = True
+                    continue
+                flipped.append(gate)
+            return flipped
+
+        monkeypatch.setattr(mapper_module, "legalize_cnots", wrong_legalize)
+        with pytest.raises((VerificationError, SynthesisError)):
+            compile_circuit(workload, IBMQX4)
+
+    def test_clean_pipeline_passes(self, workload):
+        """Control case: the unmodified pipeline verifies."""
+        result = compile_circuit(workload, IBMQX4)
+        assert result.verification.equivalent

@@ -1,0 +1,99 @@
+"""QFT generator tests: exact DFT matrices and full-pipeline compilation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.benchlib.qft import controlled_phase, inverse_qft, qft
+from repro.core import QuantumCircuit, SynthesisError
+
+
+def dft_matrix(n: int) -> np.ndarray:
+    dim = 1 << n
+    omega = np.exp(2j * math.pi / dim)
+    return np.array(
+        [[omega ** (j * k) for k in range(dim)] for j in range(dim)]
+    ) / math.sqrt(dim)
+
+
+class TestControlledPhase:
+    def test_exact_cp_matrix(self):
+        theta = 0.731
+        built = QuantumCircuit(2, controlled_phase(theta, 0, 1)).unitary()
+        wanted = np.diag([1, 1, 1, np.exp(1j * theta)])
+        assert np.allclose(built, wanted)
+
+    def test_symmetric_in_operands(self):
+        theta = math.pi / 8
+        a = QuantumCircuit(2, controlled_phase(theta, 0, 1)).unitary()
+        b = QuantumCircuit(2, controlled_phase(theta, 1, 0)).unitary()
+        assert np.allclose(a, b)
+
+
+class TestQft:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_matrix(self, n):
+        assert np.allclose(qft(n).unitary(), dft_matrix(n))
+
+    def test_without_reversal_is_bit_reversed_dft(self):
+        n = 3
+        u = qft(n, with_reversal=False).unitary()
+        f = dft_matrix(n)
+        # rows appear in bit-reversed order
+        def reverse_bits(x):
+            return int(f"{x:0{n}b}"[::-1], 2)
+
+        permuted = np.zeros_like(f)
+        for row in range(1 << n):
+            permuted[reverse_bits(row)] = f[row]
+        assert np.allclose(u, permuted)
+
+    def test_inverse_qft(self):
+        n = 3
+        product = qft(n).compose(inverse_qft(n)).unitary()
+        assert np.allclose(product, np.eye(1 << n))
+
+    def test_invalid_size(self):
+        with pytest.raises(SynthesisError):
+            qft(0)
+
+    def test_gate_budget(self):
+        """n H gates, n(n-1)/2 controlled phases (5 gates each), plus
+        floor(n/2) swaps."""
+        n = 5
+        circuit = qft(n)
+        assert circuit.count("H") == n
+        assert circuit.count("CNOT") == 2 * (n * (n - 1) // 2)
+        assert circuit.count("SWAP") == n // 2
+
+
+class TestQftCompilation:
+    def test_compiles_to_ibmqx2_verified(self):
+        """Rotations flow through mapping, optimization and QMDD
+        verification (arbitrary-angle edge weights)."""
+        from repro import compile_circuit
+
+        result = compile_circuit(qft(3), "ibmqx2")
+        assert result.verification.equivalent
+        assert result.verification.method == "qmdd"
+        assert result.optimized.count("RZ") > 0
+
+    def test_compiles_to_sparse_device(self):
+        from repro import compile_circuit
+
+        result = compile_circuit(qft(4), "ibmqx3")
+        assert result.verification.equivalent
+        assert result.optimized_metrics.cost <= result.unoptimized_metrics.cost
+
+    def test_optimizer_merges_adjacent_qft_iqft(self):
+        """QFT followed by its inverse collapses substantially."""
+        from repro.optimize import optimize_circuit
+
+        n = 3
+        doubled = qft(n, with_reversal=False).compose(
+            inverse_qft(n, with_reversal=False)
+        )
+        reduced = optimize_circuit(doubled)
+        assert len(reduced) < len(doubled) / 2
+        assert np.allclose(reduced.widened(n).unitary(), np.eye(1 << n))

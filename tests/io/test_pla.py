@@ -1,0 +1,106 @@
+"""PLA/ESOP cube-list format tests."""
+
+import pytest
+
+from repro.core import ParseError
+from repro.io import Cube, CubeList, parse_pla, to_pla
+
+
+class TestCube:
+    def test_from_string(self):
+        cube = Cube.from_string("1-0")
+        assert cube.literals == (1, None, 0)
+        assert str(cube) == "1-0"
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            Cube.from_string("1x0")
+
+    def test_covers(self):
+        cube = Cube.from_string("1-0")  # x0=1, x2=0 (x0 is MSB)
+        assert cube.covers(0b100)
+        assert cube.covers(0b110)
+        assert not cube.covers(0b101)
+        assert not cube.covers(0b000)
+
+    def test_care_count(self):
+        assert Cube.from_string("1-0").care_count == 2
+        assert Cube.from_string("---").care_count == 0
+
+    def test_equality_hash(self):
+        assert Cube.from_string("01") == Cube.from_string("01")
+        assert len({Cube.from_string("01"), Cube.from_string("01")}) == 1
+
+
+class TestCubeList:
+    def test_esop_evaluation_xor(self):
+        cubes = CubeList(2, 1)
+        cubes.add(Cube.from_string("1-"), 1)
+        cubes.add(Cube.from_string("11"), 1)
+        # 10 -> covered once -> 1; 11 -> covered twice -> XOR 0
+        assert cubes.evaluate(0b10) == 1
+        assert cubes.evaluate(0b11) == 0
+        assert cubes.evaluate(0b00) == 0
+
+    def test_multi_output_masks(self):
+        cubes = CubeList(2, 2)
+        cubes.add(Cube.from_string("1-"), 0b01)
+        cubes.add(Cube.from_string("-1"), 0b10)
+        assert cubes.evaluate(0b10) == 0b01
+        assert cubes.evaluate(0b01) == 0b10
+        assert cubes.evaluate(0b11) == 0b11
+
+    def test_cubes_for_output(self):
+        cubes = CubeList(2, 2)
+        cubes.add(Cube.from_string("1-"), 0b11)
+        cubes.add(Cube.from_string("-1"), 0b10)
+        assert len(cubes.cubes_for_output(0)) == 1
+        assert len(cubes.cubes_for_output(1)) == 2
+
+    def test_width_mismatch(self):
+        cubes = CubeList(3, 1)
+        with pytest.raises(ParseError):
+            cubes.add(Cube.from_string("1-"), 1)
+
+
+class TestParse:
+    def test_esop_file(self):
+        cubes = parse_pla(".i 3\n.o 2\n.type esop\n1-0 10\n011 01\n.e\n")
+        assert cubes.num_inputs == 3
+        assert cubes.num_outputs == 2
+        assert len(cubes) == 2
+
+    def test_disjoint_sop_accepted(self):
+        cubes = parse_pla(".i 2\n.o 1\n10 1\n01 1\n.e\n")
+        assert cubes.evaluate(0b10) == 1
+
+    def test_overlapping_sop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pla(".i 2\n.o 1\n1- 1\n11 1\n.e\n")
+
+    def test_overlap_fine_in_esop_mode(self):
+        cubes = parse_pla(".i 2\n.o 1\n.type esop\n1- 1\n11 1\n.e\n")
+        assert cubes.evaluate(0b11) == 0
+
+    def test_missing_declarations(self):
+        with pytest.raises(ParseError):
+            parse_pla("10 1\n.e\n")
+
+    def test_cube_width_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_pla(".i 3\n.o 1\n10 1\n.e\n")
+
+    def test_comments_skipped(self):
+        cubes = parse_pla("# header\n.i 1\n.o 1\n1 1 # cube\n.e\n")
+        assert len(cubes) == 1
+
+
+class TestEmit:
+    def test_roundtrip(self):
+        cubes = CubeList(3, 2)
+        cubes.add(Cube.from_string("1-0"), 0b01)
+        cubes.add(Cube.from_string("-11"), 0b11)
+        back = parse_pla(to_pla(cubes))
+        assert len(back) == 2
+        for assignment in range(8):
+            assert back.evaluate(assignment) == cubes.evaluate(assignment)

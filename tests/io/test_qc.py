@@ -1,0 +1,86 @@
+""".qc format tests."""
+
+import pytest
+
+from repro.core import CNOT, Gate, H, MCX, ParseError, QuantumCircuit, SWAP, T, X
+from repro.io import parse_qc, read_qc, to_qc, write_qc
+
+
+SAMPLE = """
+.v a b c d
+.i a b c
+.o d
+BEGIN
+H a
+T* d
+tof a b d
+cnot a d
+t4 a b c d
+swap b c
+END
+"""
+
+
+class TestParsing:
+    def test_sample(self):
+        c = parse_qc(SAMPLE, name="sample")
+        assert c.num_qubits == 4
+        names = [g.name for g in c]
+        assert names == ["H", "TDG", "TOFFOLI", "CNOT", "MCX", "SWAP"]
+
+    def test_wire_order_follows_dot_v(self):
+        c = parse_qc(".v x y\nBEGIN\ncnot y x\nEND")
+        assert c.gates == (CNOT(1, 0),)
+
+    def test_tof_arity_dispatch(self):
+        c = parse_qc(".v a b c\nBEGIN\ntof a\ntof a b\ntof a b c\nEND")
+        assert [g.name for g in c] == ["X", "CNOT", "TOFFOLI"]
+
+    def test_tn_mnemonics(self):
+        c = parse_qc(".v a b c d e\nBEGIN\nt1 a\nt2 a b\nt3 a b c\nt5 a b c d e\nEND")
+        assert [g.name for g in c] == ["X", "CNOT", "TOFFOLI", "MCX"]
+
+    def test_adjoint_gates(self):
+        c = parse_qc(".v a\nBEGIN\nS* a\nT* a\nEND")
+        assert [g.name for g in c] == ["SDG", "TDG"]
+
+    def test_comments_ignored(self):
+        c = parse_qc(".v a  # wires\nBEGIN\nX a  # flip\nEND")
+        assert c.gates == (X(0),)
+
+    def test_unknown_wire_raises(self):
+        with pytest.raises(ParseError):
+            parse_qc(".v a\nBEGIN\nX b\nEND")
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(ParseError):
+            parse_qc(".v a\nBEGIN\nfrob a\nEND")
+
+    def test_wrong_tn_arity_raises(self):
+        with pytest.raises(ParseError):
+            parse_qc(".v a b\nBEGIN\nt3 a b\nEND")
+
+    def test_gates_outside_body_ignored(self):
+        c = parse_qc(".v a\nX a\nBEGIN\nEND")
+        assert len(c) == 0
+
+
+class TestEmission:
+    def test_roundtrip(self):
+        c = QuantumCircuit(
+            4, [H(0), T(1), CNOT(0, 1), MCX(0, 1, 2, 3), SWAP(2, 3), X(2)]
+        )
+        back = parse_qc(to_qc(c))
+        assert back.gates == c.gates
+
+    def test_cz_rejected(self):
+        from repro.core import CZ
+
+        with pytest.raises(ParseError):
+            to_qc(QuantumCircuit(2, [CZ(0, 1)]))
+
+    def test_file_roundtrip(self, tmp_path):
+        c = QuantumCircuit(3, [MCX(0, 1, 2)])
+        path = str(tmp_path / "cascade.qc")
+        write_qc(c, path)
+        assert read_qc(path).gates == c.gates

@@ -1,0 +1,112 @@
+""".real (RevLib) format tests."""
+
+import pytest
+
+from repro.core import CNOT, MCX, ParseError, QuantumCircuit, SWAP, TOFFOLI, X
+from repro.io import parse_real, read_real, to_real, write_real
+from repro.verify import permutations_equal
+
+
+SAMPLE = """
+.version 2.0
+.numvars 3
+.variables a b c
+.constants ---
+.garbage ---
+.begin
+t3 a b c
+t2 a b
+t1 a
+.end
+"""
+
+
+class TestParsing:
+    def test_sample(self):
+        c = parse_real(SAMPLE, name="sample")
+        assert c.num_qubits == 3
+        assert c.gates == (TOFFOLI(0, 1, 2), CNOT(0, 1), X(0))
+
+    def test_numvars_mismatch_raises(self):
+        bad = ".numvars 2\n.variables a b c\n.begin\n.end"
+        with pytest.raises(ParseError):
+            parse_real(bad)
+
+    def test_negative_controls_conjugated(self):
+        c = parse_real(".numvars 2\n.variables a b\n.begin\nt2 -a b\n.end")
+        assert c.gates == (X(0), CNOT(0, 1), X(0))
+
+    def test_negative_control_semantics(self):
+        """t2 -a b flips b iff a == 0."""
+        c = parse_real(".numvars 2\n.variables a b\n.begin\nt2 -a b\n.end")
+        from repro.verify import evaluate
+
+        assert evaluate(c, 0b00) == 0b01
+        assert evaluate(c, 0b10) == 0b10
+
+    def test_fredkin(self):
+        c = parse_real(".numvars 3\n.variables a b c\n.begin\nf3 a b c\n.end")
+        from repro.verify import evaluate
+
+        # control a=1 swaps b and c
+        assert evaluate(c, 0b110) == 0b101
+        assert evaluate(c, 0b010) == 0b010  # no control: unchanged
+
+    def test_plain_f2_is_swap(self):
+        c = parse_real(".numvars 2\n.variables a b\n.begin\nf2 a b\n.end")
+        from repro.verify import evaluate
+
+        assert evaluate(c, 0b10) == 0b01
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 1\n.variables a\n.begin\nv a\n.end")
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 1\n.variables a\n.begin\nt1 z\n.end")
+
+    def test_wrong_operand_count_raises(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 2\n.variables a b\n.begin\nt3 a b\n.end")
+
+
+class TestEmission:
+    def test_roundtrip(self):
+        c = QuantumCircuit(4, [X(0), CNOT(1, 2), TOFFOLI(0, 1, 3), MCX(0, 1, 2, 3)])
+        back = parse_real(to_real(c))
+        assert back.gates == c.gates
+
+    def test_swap_roundtrips_functionally(self):
+        c = QuantumCircuit(2, [SWAP(0, 1)])
+        back = parse_real(to_real(c))
+        assert permutations_equal(c, back)
+
+    def test_non_reversible_rejected(self):
+        from repro.core import H
+
+        with pytest.raises(ParseError):
+            to_real(QuantumCircuit(1, [H(0)]))
+
+    def test_file_roundtrip(self, tmp_path):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        path = str(tmp_path / "ccx.real")
+        write_real(c, path)
+        assert read_real(path).gates == c.gates
+
+
+class TestDispatch:
+    def test_read_circuit_by_extension(self, tmp_path):
+        from repro.io import read_circuit, write_qasm, write_qc
+
+        c = QuantumCircuit(2, [CNOT(0, 1)])
+        for writer, ext in [(write_qasm, "qasm"), (write_qc, "qc"), (write_real, "real")]:
+            path = str(tmp_path / f"c.{ext}")
+            writer(c, path)
+            assert read_circuit(path).gates == c.gates
+
+    def test_unknown_extension(self):
+        from repro.io import read_circuit
+
+        with pytest.raises(ParseError):
+            read_circuit("circuit.xyz")

@@ -1,0 +1,110 @@
+"""Inverse-pair cancellation (identity-partition removal)."""
+
+import numpy as np
+
+from repro.core import (
+    CNOT,
+    CZ,
+    Gate,
+    H,
+    I,
+    QuantumCircuit,
+    S,
+    SWAP,
+    Sdg,
+    T,
+    TOFFOLI,
+    Tdg,
+    X,
+    Z,
+)
+from repro.optimize import cancel_inverse_pairs, remove_identities
+
+
+class TestBasicPairs:
+    def test_adjacent_self_inverse(self):
+        assert cancel_inverse_pairs([H(0), H(0)]) == []
+        assert cancel_inverse_pairs([X(1), X(1)]) == []
+        assert cancel_inverse_pairs([CNOT(0, 1), CNOT(0, 1)]) == []
+
+    def test_adjoint_pairs(self):
+        assert cancel_inverse_pairs([T(0), Tdg(0)]) == []
+        assert cancel_inverse_pairs([Sdg(2), S(2)]) == []
+
+    def test_non_pairs_survive(self):
+        gates = [H(0), X(0)]
+        assert cancel_inverse_pairs(gates) == gates
+
+    def test_different_qubits_do_not_cancel(self):
+        gates = [H(0), H(1)]
+        assert cancel_inverse_pairs(gates) == gates
+
+    def test_cnot_orientation_matters(self):
+        gates = [CNOT(0, 1), CNOT(1, 0)]
+        assert cancel_inverse_pairs(gates) == gates
+
+    def test_explicit_identity_gates_dropped(self):
+        assert cancel_inverse_pairs([I(0), X(1), I(2)]) == [X(1)]
+
+    def test_symmetric_gate_operand_order(self):
+        assert cancel_inverse_pairs([SWAP(0, 1), SWAP(1, 0)]) == []
+        assert cancel_inverse_pairs([CZ(0, 1), CZ(1, 0)]) == []
+
+    def test_toffoli_control_order(self):
+        assert cancel_inverse_pairs([TOFFOLI(0, 1, 2), TOFFOLI(1, 0, 2)]) == []
+
+
+class TestCommutationAwareness:
+    def test_cancel_through_disjoint_gate(self):
+        gates = [H(0), X(1), H(0)]
+        assert cancel_inverse_pairs(gates) == [X(1)]
+
+    def test_cancel_through_commuting_diagonal(self):
+        # T on control commutes with CNOT: H..H around it
+        gates = [T(0), CNOT(0, 1), Tdg(0)]
+        assert cancel_inverse_pairs(gates) == [CNOT(0, 1)]
+
+    def test_no_cancel_through_blocking_gate(self):
+        gates = [H(0), X(0), H(0)]
+        assert cancel_inverse_pairs(gates) == gates
+
+    def test_cnots_cancel_through_shared_control(self):
+        gates = [CNOT(0, 1), CNOT(0, 2), CNOT(0, 1)]
+        assert cancel_inverse_pairs(gates) == [CNOT(0, 2)]
+
+    def test_x_on_target_commutes_through_cnot(self):
+        gates = [X(1), CNOT(0, 1), X(1)]
+        assert cancel_inverse_pairs(gates) == [CNOT(0, 1)]
+
+
+class TestFixpoint:
+    def test_nested_identity_block(self):
+        # [H X X H] needs two rounds without commutation; one scan handles
+        # it because removal exposes the outer pair immediately.
+        c = QuantumCircuit(1, [H(0), X(0), X(0), H(0)])
+        assert len(remove_identities(c)) == 0
+
+    def test_interleaved_swap_chains(self):
+        """The back-to-back SWAP chains CTR emits must vanish."""
+        swap = [CNOT(0, 1), CNOT(1, 0), CNOT(0, 1)]
+        c = QuantumCircuit(2, swap + swap)
+        assert len(remove_identities(c)) == 0
+
+    def test_preserves_unitary(self):
+        gates = [H(0), T(1), CNOT(0, 1), Tdg(1), T(1), CNOT(0, 1), H(0), X(2)]
+        c = QuantumCircuit(3, gates)
+        reduced = remove_identities(c)
+        assert len(reduced) < len(c)
+        assert np.allclose(reduced.unitary(), c.unitary())
+
+    def test_idempotent(self):
+        c = QuantumCircuit(2, [H(0), CNOT(0, 1), T(1)])
+        once = remove_identities(c)
+        twice = remove_identities(once)
+        assert once == twice
+
+    def test_keeps_name_and_width(self):
+        c = QuantumCircuit(3, [H(0), H(0)], name="keepme")
+        reduced = remove_identities(c)
+        assert reduced.name == "keepme"
+        assert reduced.num_qubits == 3

@@ -1,0 +1,79 @@
+"""Parser robustness: malformed input must raise ParseError, never crash
+with an arbitrary exception or hang."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ParseError
+from repro.io import parse_pla, parse_qasm, parse_qc, parse_real
+
+printable_lines = st.text(
+    alphabet=string.ascii_letters + string.digits + " .;[]()-*#\n\t_,",
+    max_size=300,
+)
+
+
+def _accepts_or_parse_error(parser, text):
+    try:
+        circuit = parser(text)
+    except ParseError:
+        return
+    # If it parsed, the result must at least be a consistent circuit.
+    assert circuit.num_qubits >= 0
+    for gate in circuit:
+        assert max(gate.qubits, default=0) < max(circuit.num_qubits, 1)
+
+
+class TestFuzz:
+    @given(printable_lines)
+    @settings(max_examples=120, deadline=None)
+    def test_qasm_fuzz(self, text):
+        _accepts_or_parse_error(parse_qasm, text)
+
+    @given(printable_lines)
+    @settings(max_examples=120, deadline=None)
+    def test_qc_fuzz(self, text):
+        _accepts_or_parse_error(parse_qc, text)
+
+    @given(printable_lines)
+    @settings(max_examples=120, deadline=None)
+    def test_real_fuzz(self, text):
+        _accepts_or_parse_error(parse_real, text)
+
+    @given(printable_lines)
+    @settings(max_examples=120, deadline=None)
+    def test_pla_fuzz(self, text):
+        _accepts_or_parse_error(parse_pla, text)
+
+
+class TestTargetedMalformed:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "qreg q[;\nx q[0];",
+            "qreg q[2];\ncx q[0];",          # missing operand
+            "qreg q[2];\ncx q[0], q[0];",    # duplicate operand
+            "qreg q[2];\nrz() q[0];",        # empty angle
+            "qreg q[2];\nrz(1/0) q[0];",     # division blow-up
+        ],
+    )
+    def test_qasm_malformed(self, text):
+        with pytest.raises((ParseError, ZeroDivisionError)):
+            parse_qasm(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            ".v a\nBEGIN\ncnot a a\nEND",    # duplicate wire
+            ".v a b\nBEGIN\nt9 a b\nEND",    # arity mismatch
+        ],
+    )
+    def test_qc_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_qc(text)
+
+    def test_real_duplicate_operand(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 2\n.variables a b\n.begin\nt2 a a\n.end")

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Every transformation in the tool must preserve function: optimization,
+mapping, decomposition, format round-trips, and the QMDD must agree with
+dense linear algebra on arbitrary circuits.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CNOT, Gate, MCX, QuantumCircuit, TOFFOLI
+from repro.backend import check_conformance, map_circuit, mcx_to_toffoli
+from repro.devices import linear_device
+from repro.frontend import TruthTable, esop_minimize, synthesize_truth_table, verify_cascade, verify_esop
+from repro.io import parse_qasm, parse_qc, parse_real, to_qasm, to_qc, to_real
+from repro.optimize import optimize_circuit
+from repro.qmdd import QMDDManager, check_equivalence
+from repro.verify import permutation, run_sparse, simulate, basis_state
+
+
+# -- circuit strategies -------------------------------------------------------
+
+SINGLE_QUBIT = ["X", "Y", "Z", "H", "S", "SDG", "T", "TDG"]
+
+
+@st.composite
+def circuits(draw, num_qubits=3, max_gates=16, classical_only=False):
+    n = num_qubits
+    gate_kinds = ["1q", "cnot", "toffoli"]
+    if classical_only:
+        gate_kinds = ["x", "cnot", "toffoli"]
+    gates = []
+    for _ in range(draw(st.integers(0, max_gates))):
+        kind = draw(st.sampled_from(gate_kinds))
+        if kind == "1q":
+            name = draw(st.sampled_from(SINGLE_QUBIT))
+            gates.append(Gate(name, (draw(st.integers(0, n - 1)),)))
+        elif kind == "x":
+            gates.append(Gate("X", (draw(st.integers(0, n - 1)),)))
+        elif kind == "cnot":
+            pair = draw(st.permutations(range(n)))
+            gates.append(CNOT(pair[0], pair[1]))
+        else:
+            triple = draw(st.permutations(range(n)))
+            gates.append(TOFFOLI(triple[0], triple[1], triple[2]))
+    return QuantumCircuit(n, gates)
+
+
+# -- optimizer invariants -------------------------------------------------------
+
+
+class TestOptimizerProperties:
+    @given(circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_optimization_preserves_unitary(self, circuit):
+        optimized = optimize_circuit(circuit)
+        assert np.allclose(optimized.unitary(), circuit.unitary())
+
+    @given(circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_optimization_never_increases_cost(self, circuit):
+        from repro.core import transmon_cost
+
+        assert transmon_cost(optimize_circuit(circuit)) <= transmon_cost(circuit)
+
+    @given(circuits())
+    @settings(max_examples=30, deadline=None)
+    def test_optimization_idempotent_on_result(self, circuit):
+        once = optimize_circuit(circuit)
+        twice = optimize_circuit(once)
+        from repro.core import transmon_cost
+
+        assert transmon_cost(twice) == transmon_cost(once)
+
+
+class TestMappingProperties:
+    @given(circuits(num_qubits=4, max_gates=10))
+    @settings(max_examples=30, deadline=None)
+    def test_mapping_preserves_unitary_and_conformance(self, circuit):
+        device = linear_device(4)
+        mapped = map_circuit(circuit, device)
+        assert check_conformance(mapped, device) == []
+        assert np.allclose(mapped.unitary(), circuit.unitary())
+
+    @given(circuits(num_qubits=4, max_gates=8))
+    @settings(max_examples=20, deadline=None)
+    def test_map_then_optimize_still_equivalent(self, circuit):
+        device = linear_device(4)
+        mapped = map_circuit(circuit, device)
+        optimized = optimize_circuit(mapped, coupling_map=device.coupling_map)
+        assert check_conformance(optimized, device) == []
+        assert np.allclose(optimized.unitary(), circuit.unitary())
+
+
+class TestQmddProperties:
+    @given(circuits(num_qubits=3, max_gates=14))
+    @settings(max_examples=40, deadline=None)
+    def test_qmdd_matches_dense(self, circuit):
+        manager = QMDDManager(3)
+        edge = manager.circuit_edge(circuit)
+        assert np.allclose(manager.to_matrix(edge), circuit.unitary())
+
+    @given(circuits(num_qubits=3, max_gates=10))
+    @settings(max_examples=30, deadline=None)
+    def test_circuit_equivalent_to_double_inverse(self, circuit):
+        roundtrip = circuit.compose(circuit.inverse()).compose(circuit)
+        assert check_equivalence(circuit, roundtrip).equivalent
+
+    @given(circuits(num_qubits=3, max_gates=10), st.integers(0, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_sparse_simulator_matches_dense(self, circuit, basis):
+        sparse = run_sparse(circuit, basis)
+        dense = simulate(circuit, basis_state(3, basis))
+        rebuilt = np.zeros(8, dtype=complex)
+        for idx, amp in sparse.amplitudes.items():
+            rebuilt[idx] = amp
+        assert np.allclose(rebuilt, dense)
+
+
+class TestDecompositionProperties:
+    @given(st.integers(3, 6), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_mcx_classical_behaviour(self, k, data):
+        """Barenco decomposition acts as MCX on every sampled basis state."""
+        ancilla_count = data.draw(st.integers(1, k - 2)) if k > 3 else 1
+        n = k + 1 + ancilla_count
+        controls = list(range(k))
+        target = k
+        ancillas = list(range(k + 1, n))
+        gates = mcx_to_toffoli(controls, target, ancillas)
+        circuit = QuantumCircuit(n, gates)
+        bits = data.draw(st.integers(0, (1 << n) - 1))
+        out = permutation_step(circuit, bits, n)
+        controls_on = all(bits & (1 << (n - 1 - c)) for c in controls)
+        expected = bits ^ (1 << (n - 1 - target)) if controls_on else bits
+        assert out == expected
+
+
+def permutation_step(circuit, bits, n):
+    from repro.verify import evaluate
+
+    return evaluate(circuit, bits)
+
+
+class TestFrontendProperties:
+    @given(st.integers(0, 255))
+    @settings(max_examples=80, deadline=None)
+    def test_esop_and_cascade_for_every_3var_function(self, value):
+        table = TruthTable.from_hex(f"{value:02x}", 3)
+        cubes = esop_minimize(table)
+        assert verify_esop(table, cubes)
+        cascade = synthesize_truth_table(table)
+        assert verify_cascade(table, cascade)
+
+    @given(st.lists(st.integers(0, 3), min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_multi_output_cascades(self, rows):
+        table = TruthTable(4, 2, rows)
+        cascade = synthesize_truth_table(table)
+        assert verify_cascade(table, cascade)
+
+
+class TestFormatRoundtrips:
+    @given(circuits(num_qubits=4, max_gates=12))
+    @settings(max_examples=40, deadline=None)
+    def test_qasm_roundtrip(self, circuit):
+        assert parse_qasm(to_qasm(circuit)).gates == circuit.gates
+
+    @given(circuits(num_qubits=4, max_gates=12))
+    @settings(max_examples=40, deadline=None)
+    def test_qc_roundtrip(self, circuit):
+        assert parse_qc(to_qc(circuit)).gates == circuit.gates
+
+    @given(circuits(num_qubits=4, max_gates=12, classical_only=True))
+    @settings(max_examples=40, deadline=None)
+    def test_real_roundtrip(self, circuit):
+        assert parse_real(to_real(circuit)).gates == circuit.gates
+
+    @given(circuits(num_qubits=4, max_gates=12, classical_only=True))
+    @settings(max_examples=20, deadline=None)
+    def test_real_roundtrip_preserves_permutation(self, circuit):
+        assert permutation(parse_real(to_real(circuit))) == permutation(circuit)

@@ -1,0 +1,106 @@
+"""Direct tests of the specialized QMDD gate-application engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import CNOT, Gate, H, QuantumCircuit, RZ, T, X, gate_matrix
+from repro.qmdd import QMDDManager
+from tests.conftest import random_circuit
+
+
+def as_tuple(matrix):
+    return ((matrix[0, 0], matrix[0, 1]), (matrix[1, 0], matrix[1, 1]))
+
+
+class TestApplySingle:
+    @pytest.mark.parametrize("qubit", [0, 1, 2, 3])
+    def test_on_identity(self, qubit):
+        m = QMDDManager(4)
+        edge = m.apply_single(m.identity(), as_tuple(gate_matrix("H")), qubit)
+        wanted = QuantumCircuit(4, [H(qubit)]).unitary()
+        assert np.allclose(m.to_matrix(edge), wanted)
+
+    def test_chained_applications(self):
+        m = QMDDManager(3)
+        edge = m.identity()
+        gates = [H(0), T(1), X(2), H(0), T(1)]
+        for gate in gates:
+            edge = m.apply_gate(edge, gate)
+        wanted = QuantumCircuit(3, gates).unitary()
+        assert np.allclose(m.to_matrix(edge), wanted)
+
+    def test_on_nontrivial_state(self):
+        m = QMDDManager(3)
+        base = m.circuit_edge(random_circuit(3, 12, seed=5))
+        edge = m.apply_single(base, as_tuple(gate_matrix("T")), 1)
+        wanted = (
+            QuantumCircuit(3, [T(1)]).unitary()
+            @ m.to_matrix(base)
+        )
+        assert np.allclose(m.to_matrix(edge), wanted)
+
+    def test_apply_cache_reuses(self):
+        m = QMDDManager(3)
+        edge = m.identity()
+        m.apply_single(edge, as_tuple(gate_matrix("H")), 1, ("1g", "H", (), 1))
+        before = len(m._apply_cache)
+        m.apply_single(edge, as_tuple(gate_matrix("H")), 1, ("1g", "H", (), 1))
+        assert len(m._apply_cache) == before  # fully cached second time
+
+
+class TestApplyCnot:
+    @pytest.mark.parametrize("control,target", [(0, 1), (1, 0), (0, 3), (3, 0),
+                                                (1, 2), (2, 1)])
+    def test_all_orientations_on_identity(self, control, target):
+        m = QMDDManager(4)
+        edge = m.apply_cnot(m.identity(), control, target)
+        wanted = QuantumCircuit(4, [CNOT(control, target)]).unitary()
+        assert np.allclose(m.to_matrix(edge), wanted)
+
+    @pytest.mark.parametrize("control,target", [(0, 2), (2, 0)])
+    def test_on_random_base(self, control, target):
+        m = QMDDManager(3)
+        base = m.circuit_edge(random_circuit(3, 15, seed=9))
+        edge = m.apply_cnot(base, control, target)
+        wanted = (
+            QuantumCircuit(3, [CNOT(control, target)]).unitary()
+            @ m.to_matrix(base)
+        )
+        assert np.allclose(m.to_matrix(edge), wanted)
+
+    def test_double_application_is_identity(self):
+        m = QMDDManager(4)
+        once = m.apply_cnot(m.identity(), 2, 0)
+        twice = m.apply_cnot(once, 2, 0)
+        assert twice.node is m.identity().node
+
+
+class TestApplyGateDispatch:
+    def test_identity_gate_short_circuits(self):
+        m = QMDDManager(2)
+        edge = m.identity()
+        assert m.apply_gate(edge, Gate("I", (0,))) is edge
+
+    def test_rotation_applies(self):
+        m = QMDDManager(2)
+        edge = m.apply_gate(m.identity(), RZ(0.777, 1))
+        wanted = QuantumCircuit(2, [RZ(0.777, 1)]).unitary()
+        assert np.allclose(m.to_matrix(edge), wanted)
+
+    def test_multiqubit_falls_back_to_multiply(self):
+        from repro.core import TOFFOLI
+
+        m = QMDDManager(3)
+        edge = m.apply_gate(m.identity(), TOFFOLI(0, 1, 2))
+        wanted = QuantumCircuit(3, [TOFFOLI(0, 1, 2)]).unitary()
+        assert np.allclose(m.to_matrix(edge), wanted)
+
+    def test_equivalence_with_generic_multiply(self):
+        """Fast path and generic path build the *same canonical node*."""
+        m = QMDDManager(3)
+        base = m.circuit_edge(random_circuit(3, 10, seed=2))
+        for gate in (H(0), T(2), CNOT(1, 2), CNOT(2, 1)):
+            fast = m.apply_gate(base, gate)
+            generic = m.multiply(m.gate_edge(gate), base)
+            assert fast.node is generic.node, gate
+            assert m.values.equal(fast.weight, generic.weight), gate

@@ -1,0 +1,69 @@
+"""Up-to-diagonal equivalence (relative-phase verification)."""
+
+import pytest
+
+from repro.core import CNOT, Gate, H, QuantumCircuit, S, T, TOFFOLI, X, Z
+from repro.backend import margolus
+from repro.qmdd import (
+    QMDDManager,
+    check_equivalence,
+    check_equivalence_up_to_diagonal,
+    edge_is_diagonal,
+)
+
+
+class TestEdgeIsDiagonal:
+    def test_identity_is_diagonal(self):
+        m = QMDDManager(3)
+        assert edge_is_diagonal(m.identity())
+
+    def test_phase_gates_diagonal(self):
+        m = QMDDManager(2)
+        for gate in (Z(0), S(1), T(0), Gate("CZ", (0, 1))):
+            assert edge_is_diagonal(m.gate_edge(gate)), gate
+
+    def test_x_and_h_not_diagonal(self):
+        m = QMDDManager(2)
+        assert not edge_is_diagonal(m.gate_edge(X(0)))
+        assert not edge_is_diagonal(m.gate_edge(H(1)))
+        assert not edge_is_diagonal(m.gate_edge(CNOT(0, 1)))
+
+    def test_composite_diagonal_circuit(self):
+        m = QMDDManager(2)
+        edge = m.circuit_edge(QuantumCircuit(2, [T(0), Gate("CZ", (0, 1)), S(1)]))
+        assert edge_is_diagonal(edge)
+
+
+class TestUpToDiagonal:
+    def test_margolus_vs_toffoli(self):
+        """The Margolus gate is a Toffoli only up to diagonal phases —
+        strict equivalence fails, diagonal equivalence holds."""
+        a = QuantumCircuit(3, margolus(0, 1, 2))
+        b = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        assert not check_equivalence(a, b).equivalent
+        assert check_equivalence_up_to_diagonal(a, b)
+
+    def test_exact_equivalence_implies_diagonal(self):
+        c = QuantumCircuit(2, [H(0), CNOT(0, 1)])
+        assert check_equivalence_up_to_diagonal(c, c.copy())
+
+    def test_different_classical_action_rejected(self):
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(2, [CNOT(1, 0)])
+        assert not check_equivalence_up_to_diagonal(a, b)
+
+    def test_x_difference_rejected(self):
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(2, [CNOT(0, 1), X(0)])
+        assert not check_equivalence_up_to_diagonal(a, b)
+
+    def test_phase_difference_accepted(self):
+        a = QuantumCircuit(2, [CNOT(0, 1), T(0), Gate("CZ", (0, 1))])
+        b = QuantumCircuit(2, [CNOT(0, 1)])
+        assert check_equivalence_up_to_diagonal(a, b)
+        assert not check_equivalence(a, b).equivalent
+
+    def test_widths_harmonized(self):
+        a = QuantumCircuit(3, margolus(0, 1, 2))
+        b = QuantumCircuit(4, [TOFFOLI(0, 1, 2)])
+        assert check_equivalence_up_to_diagonal(a, b)

@@ -1,0 +1,119 @@
+"""QMDD equivalence checking."""
+
+import pytest
+
+from repro.core import (
+    CNOT,
+    Gate,
+    H,
+    QuantumCircuit,
+    S,
+    SWAP,
+    T,
+    TOFFOLI,
+    VerificationError,
+    X,
+    Z,
+)
+from repro.qmdd import QMDDManager, assert_equivalent, check_equivalence
+from repro.backend import toffoli_network
+from tests.conftest import random_circuit
+
+
+class TestPositiveCases:
+    def test_identical_circuits(self):
+        c = QuantumCircuit(2, [H(0), CNOT(0, 1)])
+        result = check_equivalence(c, c.copy())
+        assert result.equivalent and result.exact and result.shared_root
+
+    def test_hxh_equals_z(self):
+        a = QuantumCircuit(1, [H(0), X(0), H(0)])
+        b = QuantumCircuit(1, [Z(0)])
+        assert check_equivalence(a, b).exact
+
+    def test_toffoli_against_clifford_t_network(self):
+        a = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        b = QuantumCircuit(3, toffoli_network(0, 1, 2))
+        assert check_equivalence(a, b).exact
+
+    def test_swap_against_cnot_triple(self):
+        a = QuantumCircuit(2, [SWAP(0, 1)])
+        b = QuantumCircuit(2, [CNOT(0, 1), CNOT(1, 0), CNOT(0, 1)])
+        assert check_equivalence(a, b).exact
+
+    def test_widths_harmonized(self):
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(4, [CNOT(0, 1)])  # identity on extra wires
+        assert check_equivalence(a, b).equivalent
+
+    def test_random_circuit_against_itself_reversed_inverse(self):
+        c = random_circuit(4, 30, seed=11)
+        doubled = c.compose(c.inverse())
+        empty = QuantumCircuit(4)
+        assert check_equivalence(doubled, empty).exact
+
+
+class TestNegativeCases:
+    def test_different_functions(self):
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(2, [CNOT(1, 0)])
+        result = check_equivalence(a, b)
+        assert not result.equivalent
+        assert not result.shared_root
+
+    def test_single_gate_difference(self):
+        c = random_circuit(3, 20, seed=3)
+        broken = QuantumCircuit(3, list(c) + [X(1)])
+        assert not check_equivalence(c, broken).equivalent
+
+    def test_t_vs_tdg(self):
+        a = QuantumCircuit(1, [T(0)])
+        b = QuantumCircuit(1, [Gate("TDG", (0,))])
+        assert not check_equivalence(a, b).equivalent
+
+
+class TestGlobalPhase:
+    def test_phase_difference_detected(self):
+        """Z X = -i Y: same function as Y up to global phase only."""
+        a = QuantumCircuit(1, [X(0), Z(0)])
+        b = QuantumCircuit(1, [Gate("Y", (0,))])
+        strict = check_equivalence(a, b)
+        assert not strict.equivalent
+        assert strict.phase_only
+        relaxed = check_equivalence(a, b, up_to_global_phase=True)
+        assert relaxed.equivalent and not relaxed.exact
+
+    def test_exact_is_not_phase_only(self):
+        c = QuantumCircuit(1, [S(0)])
+        result = check_equivalence(c, c.copy())
+        assert result.exact and not result.phase_only
+
+
+class TestAssertEquivalent:
+    def test_passes_silently(self):
+        c = QuantumCircuit(2, [H(0)])
+        assert assert_equivalent(c, c.copy()).equivalent
+
+    def test_raises_on_mismatch(self):
+        a = QuantumCircuit(1, [X(0)])
+        b = QuantumCircuit(1, [Z(0)])
+        with pytest.raises(VerificationError):
+            assert_equivalent(a, b)
+
+
+class TestManagerReuse:
+    def test_external_manager(self):
+        m = QMDDManager(3)
+        a = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        b = QuantumCircuit(3, toffoli_network(0, 1, 2))
+        result = check_equivalence(a, b, manager=m)
+        assert result.equivalent
+        assert m.stats()["unique_nodes"] > 0
+
+    def test_narrow_manager_rejected(self):
+        from repro.core import QMDDError
+
+        m = QMDDManager(2)
+        a = QuantumCircuit(3, [X(2)])
+        with pytest.raises(QMDDError):
+            check_equivalence(a, a, manager=m)

@@ -1,0 +1,180 @@
+"""QMDD construction and algebra, cross-checked against dense matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNOT,
+    CZ,
+    Gate,
+    H,
+    MCX,
+    QMDDError,
+    QuantumCircuit,
+    S,
+    SWAP,
+    T,
+    TOFFOLI,
+    X,
+    gate_matrix,
+)
+from repro.qmdd import QMDDManager, count_nodes
+from tests.conftest import random_circuit
+
+
+class TestPrimitives:
+    def test_zero_and_one(self):
+        m = QMDDManager(2)
+        assert m.zero.is_zero
+        assert m.one.weight == 1
+
+    def test_identity_matrix(self):
+        m = QMDDManager(3)
+        assert np.allclose(m.to_matrix(m.identity()), np.eye(8))
+
+    def test_identity_is_shared(self):
+        m = QMDDManager(4)
+        assert m.identity().node is m.identity().node
+
+    def test_identity_node_count_linear(self):
+        m = QMDDManager(10)
+        assert count_nodes(m.identity()) == 10
+
+    def test_invalid_width(self):
+        with pytest.raises(QMDDError):
+            QMDDManager(0)
+
+
+class TestGateEdges:
+    @pytest.mark.parametrize("name", ["X", "Y", "Z", "H", "S", "SDG", "T", "TDG"])
+    def test_single_qubit_gates_all_positions(self, name):
+        for n in (1, 2, 3):
+            for q in range(n):
+                m = QMDDManager(n)
+                edge = m.gate_edge(Gate(name, (q,)))
+                wanted = QuantumCircuit(n, [Gate(name, (q,))]).unitary()
+                assert np.allclose(m.to_matrix(edge), wanted), (name, n, q)
+
+    def test_cnot_both_orientations(self):
+        m = QMDDManager(2)
+        up = m.gate_edge(CNOT(0, 1))
+        down = m.gate_edge(CNOT(1, 0))
+        assert np.allclose(m.to_matrix(up), gate_matrix("CNOT"))
+        wanted = QuantumCircuit(2, [CNOT(1, 0)]).unitary()
+        assert np.allclose(m.to_matrix(down), wanted)
+
+    def test_nonadjacent_cnot(self):
+        m = QMDDManager(4)
+        edge = m.gate_edge(CNOT(0, 3))
+        wanted = QuantumCircuit(4, [CNOT(0, 3)]).unitary()
+        assert np.allclose(m.to_matrix(edge), wanted)
+
+    def test_toffoli_and_mcx(self):
+        m = QMDDManager(4)
+        for gate in (TOFFOLI(0, 1, 3), MCX(0, 1, 2, 3), SWAP(1, 2), CZ(0, 2)):
+            wanted = QuantumCircuit(4, [gate]).unitary()
+            assert np.allclose(m.to_matrix(m.gate_edge(gate)), wanted), gate
+
+    def test_gate_cache_shares(self):
+        m = QMDDManager(3)
+        assert m.gate_edge(H(1)).node is m.gate_edge(H(1)).node
+
+    def test_gate_outside_width_raises(self):
+        m = QMDDManager(2)
+        with pytest.raises(QMDDError):
+            m.gate_edge(X(5))
+
+
+class TestAlgebra:
+    def test_multiply_matches_dense(self):
+        m = QMDDManager(2)
+        hx = m.multiply(m.gate_edge(H(0)), m.gate_edge(X(0)))
+        wanted = QuantumCircuit(2, [X(0), H(0)]).unitary()
+        assert np.allclose(m.to_matrix(hx), wanted)
+
+    def test_multiply_by_zero(self):
+        m = QMDDManager(2)
+        assert m.multiply(m.zero, m.gate_edge(H(0))).is_zero
+
+    def test_add_matches_dense(self):
+        m = QMDDManager(2)
+        total = m.add(m.gate_edge(X(0)), m.gate_edge(X(1)))
+        wanted = (QuantumCircuit(2, [X(0)]).unitary()
+                  + QuantumCircuit(2, [X(1)]).unitary())
+        assert np.allclose(m.to_matrix(total), wanted)
+
+    def test_add_zero_identity(self):
+        m = QMDDManager(2)
+        e = m.gate_edge(H(1))
+        assert m.add(m.zero, e) == e
+        assert m.add(e, m.zero) == e
+
+    def test_self_inverse_products_give_identity(self):
+        m = QMDDManager(3)
+        for gate in (X(0), H(1), CNOT(0, 2), SWAP(1, 2), TOFFOLI(0, 1, 2)):
+            e = m.gate_edge(gate)
+            product = m.multiply(e, e)
+            assert product.node is m.identity().node, gate
+            assert m.values.is_one(product.weight)
+
+
+class TestCircuits:
+    def test_circuit_edge_matches_dense_random(self):
+        for seed in range(6):
+            c = random_circuit(4, 25, seed=seed)
+            m = QMDDManager(4)
+            assert np.allclose(m.to_matrix(m.circuit_edge(c)), c.unitary()), seed
+
+    def test_empty_circuit_is_identity(self):
+        m = QMDDManager(3)
+        edge = m.circuit_edge(QuantumCircuit(3))
+        assert edge.node is m.identity().node
+
+    def test_narrow_circuit_widened_automatically(self):
+        m = QMDDManager(4)
+        edge = m.circuit_edge(QuantumCircuit(2, [H(0)]))
+        wanted = QuantumCircuit(2, [H(0)]).widened(4).unitary()
+        assert np.allclose(m.to_matrix(edge), wanted)
+
+    def test_too_wide_circuit_raises(self):
+        m = QMDDManager(2)
+        with pytest.raises(QMDDError):
+            m.circuit_edge(QuantumCircuit(5, [X(4)]))
+
+    def test_stats_populated(self):
+        m = QMDDManager(3)
+        m.circuit_edge(random_circuit(3, 10, seed=1))
+        stats = m.stats()
+        assert stats["unique_nodes"] > 0
+        assert stats["values"] > 0
+
+
+class TestCanonicity:
+    def test_same_function_same_node(self):
+        """HXH built two ways shares a node with Z — the pointer-equality
+        canonicity the paper's verification relies on."""
+        m = QMDDManager(1)
+        via_h = m.circuit_edge(QuantumCircuit(1, [H(0), X(0), H(0)]))
+        direct = m.circuit_edge(QuantumCircuit(1, [Gate("Z", (0,))]))
+        assert via_h.node is direct.node
+        assert m.values.equal(via_h.weight, direct.weight)
+
+    def test_different_functions_different_roots(self):
+        m = QMDDManager(2)
+        a = m.circuit_edge(QuantumCircuit(2, [CNOT(0, 1)]))
+        b = m.circuit_edge(QuantumCircuit(2, [CNOT(1, 0)]))
+        assert a.node is not b.node or not m.values.equal(a.weight, b.weight)
+
+    def test_swap_as_three_cnots_canonical(self):
+        m = QMDDManager(2)
+        swapped = m.circuit_edge(
+            QuantumCircuit(2, [CNOT(0, 1), CNOT(1, 0), CNOT(0, 1)])
+        )
+        native = m.circuit_edge(QuantumCircuit(2, [SWAP(0, 1)]))
+        assert swapped.node is native.node
+
+    def test_t_to_the_eighth_is_identity(self):
+        m = QMDDManager(1)
+        edge = m.circuit_edge(QuantumCircuit(1, [T(0)] * 8))
+        assert edge.node is m.identity().node
+        assert m.values.is_one(edge.weight)

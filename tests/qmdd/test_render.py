@@ -1,0 +1,70 @@
+"""QMDD textual/DOT renderer tests."""
+
+import math
+
+import pytest
+
+from repro.core import CNOT, Gate, H, QuantumCircuit, T, X
+from repro.qmdd import QMDDManager, to_dot, to_text
+from repro.qmdd.render import _format_weight
+
+
+class TestWeightFormatting:
+    def test_integers(self):
+        assert _format_weight(1 + 0j) == "1"
+        assert _format_weight(-2 + 0j) == "-2"
+        assert _format_weight(0j) == "0"
+
+    def test_pure_imaginary(self):
+        assert _format_weight(1j) == "i"
+        assert _format_weight(-1j) == "-i"
+        assert _format_weight(0.5j) == "0.5i"
+
+    def test_real_fraction(self):
+        text = _format_weight(1 / math.sqrt(2) + 0j)
+        assert text.startswith("0.707")
+
+    def test_general_complex(self):
+        text = _format_weight(0.5 + 0.5j)
+        assert "0.5" in text and "i" in text and text.startswith("(")
+
+
+class TestToText:
+    def test_identity(self):
+        m = QMDDManager(2)
+        text = to_text(m, m.identity())
+        assert "root --1-->" in text
+        assert "x0" in text and "x1" in text
+
+    def test_zero_edges_printed_as_zero(self):
+        m = QMDDManager(1)
+        text = to_text(m, m.gate_edge(T(0)))
+        assert "0" in text
+
+    def test_terminal_marker(self):
+        m = QMDDManager(1)
+        text = to_text(m, m.gate_edge(X(0)))
+        assert "[1]" in text
+
+    def test_shared_nodes_printed_once(self):
+        m = QMDDManager(3)
+        text = to_text(m, m.identity())
+        # identity: one node per level -> exactly 3 node lines + root
+        assert len(text.splitlines()) == 4
+
+
+class TestToDot:
+    def test_well_formed_graph(self):
+        m = QMDDManager(2)
+        edge = m.circuit_edge(QuantumCircuit(2, [H(0), CNOT(0, 1)]))
+        dot = to_dot(m, edge, title="bell")
+        assert dot.startswith('digraph "bell"')
+        assert dot.count("->") >= 3
+        assert "U00" in dot or "U11" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_zero_edges_omitted(self):
+        m = QMDDManager(1)
+        dot = to_dot(m, m.gate_edge(Gate("Z", (0,))))
+        # diagonal gate: off-diagonal (zero) quadrants draw no arrows
+        assert "U01" not in dot and "U10" not in dot

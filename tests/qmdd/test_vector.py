@@ -1,0 +1,209 @@
+"""Vector decision diagram simulator tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNOT,
+    CZ,
+    Gate,
+    H,
+    MCX,
+    QMDDError,
+    QuantumCircuit,
+    RY,
+    RZ,
+    SWAP,
+    T,
+    TOFFOLI,
+    X,
+)
+from repro.qmdd import VectorDDManager
+from repro.verify import basis_state, simulate
+from tests.conftest import random_circuit
+
+
+class TestBasisStates:
+    def test_zero_state(self):
+        m = VectorDDManager(3)
+        state = m.basis_state(0)
+        assert m.amplitude(state, 0) == 1
+        assert m.amplitude(state, 5) == 0
+
+    def test_arbitrary_basis(self):
+        m = VectorDDManager(4)
+        state = m.basis_state(0b1010)
+        assert m.amplitude(state, 0b1010) == 1
+        assert m.norm_squared(state) == pytest.approx(1.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(QMDDError):
+            VectorDDManager(2).basis_state(4)
+
+    def test_node_count_linear(self):
+        from repro.qmdd import count_nodes
+
+        m = VectorDDManager(20)
+        assert count_nodes(m.basis_state(0b1010_1010_1010_1010_1010)) == 20
+
+
+class TestGateApplication:
+    @pytest.mark.parametrize("gate", [
+        X(0), H(1), T(2), RZ(0.7, 0), RY(-1.2, 2),
+        CNOT(0, 1), CNOT(2, 0), CZ(1, 2), SWAP(0, 2),
+        TOFFOLI(0, 1, 2), Gate("MCX", (1, 2, 0)),
+    ])
+    def test_each_gate_matches_dense(self, gate):
+        m = VectorDDManager(3)
+        c = QuantumCircuit(3, [gate])
+        for idx in range(8):
+            vec = m.to_statevector(m.run(c, idx))
+            dense = simulate(c, basis_state(3, idx))
+            assert np.allclose(vec, dense), (gate, idx)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits(self, seed):
+        c = random_circuit(4, 25, seed=seed)
+        m = VectorDDManager(4)
+        vec = m.to_statevector(m.run(c, 3))
+        dense = simulate(c, basis_state(4, 3))
+        assert np.allclose(vec, dense)
+
+    def test_norm_preserved(self):
+        c = random_circuit(4, 30, seed=7)
+        m = VectorDDManager(4)
+        assert m.norm_squared(m.run(c, 9)) == pytest.approx(1.0)
+
+    def test_wide_controlled_gate_without_matrices(self):
+        """A 20-control MCX applies with no dense matrix anywhere."""
+        m = VectorDDManager(22)
+        gate = MCX(*range(21), 21)
+        all_ones = (1 << 22) - 2
+        state = m.apply_gate(m.basis_state(all_ones), gate)
+        assert m.amplitude(state, (1 << 22) - 1) == 1
+
+    def test_circuit_wider_than_manager_rejected(self):
+        m = VectorDDManager(2)
+        with pytest.raises(QMDDError):
+            m.run(QuantumCircuit(3, [X(2)]))
+
+
+class TestScale:
+    def test_qft_30_qubits(self):
+        """Far beyond dense (2^30 amplitudes) and sparse (all nonzero)
+        simulation: the product structure keeps the DD tiny."""
+        from repro.benchlib.qft import qft
+
+        m = VectorDDManager(30)
+        state = m.run(qft(30), basis_index=12345)
+        assert m.norm_squared(state) == pytest.approx(1.0)
+        expected = 1.0 / math.sqrt(2 ** 30)
+        assert abs(m.amplitude(state, 99)) == pytest.approx(expected)
+
+    def test_ghz_50_qubits(self):
+        m = VectorDDManager(50)
+        c = QuantumCircuit(50, [H(0)] + [CNOT(0, q) for q in range(1, 50)])
+        state = m.run(c)
+        amp = 1 / math.sqrt(2)
+        assert m.amplitude(state, 0) == pytest.approx(amp)
+        assert m.amplitude(state, (1 << 50) - 1) == pytest.approx(amp)
+        assert m.amplitude(state, 1) == 0
+        assert m.norm_squared(state) == pytest.approx(1.0)
+
+    def test_dense_export_guard(self):
+        m = VectorDDManager(20)
+        with pytest.raises(QMDDError):
+            m.to_statevector(m.basis_state(0))
+
+
+class TestRxxInSimulators:
+    """Regression: RXX must route through dedicated 2-qubit handling in
+    both the sparse and vector simulators (a naive fallback would apply
+    its 4x4 matrix as a 1-qubit gate)."""
+
+    def test_vector_dd_rxx_matches_dense(self):
+        import numpy as np
+
+        from repro.core import Gate, QuantumCircuit
+        from repro.qmdd import VectorDDManager
+        from repro.verify import basis_state, simulate
+
+        c = QuantumCircuit(3, [Gate("RXX", (0, 2), (0.73,)),
+                               Gate("RXX", (2, 1), (-1.1,))])
+        m = VectorDDManager(3)
+        for idx in range(8):
+            dense = simulate(c, basis_state(3, idx))
+            vec = m.to_statevector(m.run(c, idx))
+            assert np.allclose(vec, dense), idx
+
+    def test_sparse_rxx_matches_dense(self):
+        import numpy as np
+
+        from repro.core import Gate, QuantumCircuit
+        from repro.verify import basis_state, run_sparse, simulate
+
+        c = QuantumCircuit(2, [Gate("RXX", (0, 1), (0.4,))])
+        for idx in range(4):
+            dense = simulate(c, basis_state(2, idx))
+            sp = run_sparse(c, idx)
+            rebuilt = np.zeros(4, dtype=complex)
+            for k, v in sp.amplitudes.items():
+                rebuilt[k] = v
+            assert np.allclose(rebuilt, dense), idx
+
+    def test_every_ir_multiqubit_gate_covered(self):
+        """apply_gate handles every multi-qubit gate the IR can express
+        (SWAP/CZ/RXX/controlled-X families) — none falls through to the
+        single-qubit path."""
+        from repro.core import CZ, Gate, MCX, QuantumCircuit, SWAP, TOFFOLI
+        from repro.qmdd import VectorDDManager
+        from repro.verify import basis_state, simulate
+
+        gates = [CZ(0, 1), SWAP(1, 2), TOFFOLI(0, 1, 2),
+                 MCX(0, 1, 2, 3), Gate("RXX", (1, 3), (0.2,))]
+        c = QuantumCircuit(4, gates)
+        m = VectorDDManager(4)
+        dense = simulate(c, basis_state(4, 0b1011))
+        vec = m.to_statevector(m.run(c, 0b1011))
+        import numpy as np
+
+        assert np.allclose(vec, dense)
+
+
+class TestSampling:
+    def test_basis_state_deterministic(self):
+        from repro.qmdd import VectorDDManager
+
+        m = VectorDDManager(4)
+        counts = m.sample(m.basis_state(0b1001), shots=50)
+        assert counts == {0b1001: 50}
+
+    def test_ghz_splits_evenly(self):
+        from repro.core import CNOT, H, QuantumCircuit
+        from repro.qmdd import VectorDDManager
+
+        m = VectorDDManager(3)
+        state = m.run(QuantumCircuit(3, [H(0), CNOT(0, 1), CNOT(0, 2)]))
+        counts = m.sample(state, shots=400, seed=5)
+        assert set(counts) == {0b000, 0b111}
+        assert 120 < counts[0b000] < 280
+
+    def test_wide_register_sampling(self):
+        from repro.core import CNOT, H, QuantumCircuit
+        from repro.qmdd import VectorDDManager
+
+        n = 40
+        m = VectorDDManager(n)
+        state = m.run(QuantumCircuit(n, [H(0)] + [CNOT(0, q) for q in range(1, n)]))
+        counts = m.sample(state, shots=30, seed=8)
+        assert set(counts) <= {0, (1 << n) - 1}
+
+    def test_zero_vector_rejected(self):
+        from repro.core import QMDDError
+        from repro.qmdd import VectorDDManager
+
+        m = VectorDDManager(2)
+        with pytest.raises(QMDDError):
+            m.sample(m.zero, shots=1)

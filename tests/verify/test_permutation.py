@@ -1,0 +1,84 @@
+"""Classical reversible (permutation) simulation."""
+
+import pytest
+
+from repro.core import CNOT, CircuitError, H, MCX, QuantumCircuit, SWAP, TOFFOLI, X
+from repro.verify import (
+    evaluate,
+    is_identity_permutation,
+    permutation,
+    permutations_equal,
+)
+
+
+class TestEvaluate:
+    def test_not(self):
+        c = QuantumCircuit(3, [X(0)])
+        assert evaluate(c, 0b000) == 0b100
+        assert evaluate(c, 0b100) == 0b000
+
+    def test_cnot(self):
+        c = QuantumCircuit(2, [CNOT(0, 1)])
+        assert evaluate(c, 0b10) == 0b11
+        assert evaluate(c, 0b01) == 0b01
+
+    def test_toffoli(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        assert evaluate(c, 0b110) == 0b111
+        assert evaluate(c, 0b100) == 0b100
+
+    def test_mcx(self):
+        c = QuantumCircuit(5, [MCX(0, 1, 2, 3, 4)])
+        assert evaluate(c, 0b11110) == 0b11111
+        assert evaluate(c, 0b11010) == 0b11010
+
+    def test_swap(self):
+        c = QuantumCircuit(2, [SWAP(0, 1)])
+        assert evaluate(c, 0b10) == 0b01
+        assert evaluate(c, 0b11) == 0b11
+
+    def test_non_classical_rejected(self):
+        c = QuantumCircuit(1, [H(0)])
+        with pytest.raises(CircuitError):
+            evaluate(c, 0)
+
+
+class TestPermutation:
+    def test_identity(self):
+        assert permutation(QuantumCircuit(2)) == [0, 1, 2, 3]
+        assert is_identity_permutation(QuantumCircuit(3))
+
+    def test_not_permutation(self):
+        assert permutation(QuantumCircuit(1, [X(0)])) == [1, 0]
+
+    def test_permutation_is_bijection(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2), CNOT(2, 0), X(1)])
+        p = permutation(c)
+        assert sorted(p) == list(range(8))
+
+    def test_circuit_inverse_gives_inverse_permutation(self):
+        c = QuantumCircuit(3, [TOFFOLI(0, 1, 2), CNOT(2, 0), SWAP(0, 1)])
+        p = permutation(c)
+        q = permutation(c.inverse())
+        assert all(q[p[i]] == i for i in range(8))
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(CircuitError):
+            permutation(QuantumCircuit(21))
+
+
+class TestPermutationsEqual:
+    def test_equal_after_rewrite(self):
+        a = QuantumCircuit(2, [SWAP(0, 1)])
+        b = QuantumCircuit(2, [CNOT(0, 1), CNOT(1, 0), CNOT(0, 1)])
+        assert permutations_equal(a, b)
+
+    def test_unequal(self):
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(2, [CNOT(1, 0)])
+        assert not permutations_equal(a, b)
+
+    def test_width_harmonized(self):
+        a = QuantumCircuit(2, [X(1)])
+        b = QuantumCircuit(3, [X(1)])
+        assert permutations_equal(a, b)

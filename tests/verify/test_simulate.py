@@ -1,0 +1,80 @@
+"""Dense statevector simulator tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CNOT, CircuitError, H, QuantumCircuit, T, TOFFOLI, X
+from repro.verify import (
+    basis_state,
+    measure_probabilities,
+    simulate,
+    states_equal,
+    zero_state,
+)
+
+
+class TestStates:
+    def test_zero_state(self):
+        s = zero_state(2)
+        assert s[0] == 1 and np.count_nonzero(s) == 1
+
+    def test_basis_state(self):
+        s = basis_state(3, 0b101)
+        assert s[5] == 1
+
+    def test_basis_state_range_check(self):
+        with pytest.raises(CircuitError):
+            basis_state(2, 7)
+
+
+class TestSimulate:
+    def test_not_flips_msb(self):
+        out = simulate(QuantumCircuit(2, [X(0)]))
+        assert out[0b10] == 1
+
+    def test_bell_state(self):
+        out = simulate(QuantumCircuit(2, [H(0), CNOT(0, 1)]))
+        amp = 1 / math.sqrt(2)
+        assert np.allclose(out, [amp, 0, 0, amp])
+
+    def test_toffoli_on_full_controls(self):
+        out = simulate(QuantumCircuit(3, [TOFFOLI(0, 1, 2)]), basis_state(3, 0b110))
+        assert out[0b111] == 1
+
+    def test_matches_unitary_column(self):
+        c = QuantumCircuit(2, [H(0), T(1), CNOT(0, 1)])
+        u = c.unitary()
+        for col in range(4):
+            assert np.allclose(simulate(c, basis_state(2, col)), u[:, col])
+
+    def test_initial_state_dimension_checked(self):
+        with pytest.raises(CircuitError):
+            simulate(QuantumCircuit(2), np.zeros(3))
+
+    def test_wide_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            simulate(QuantumCircuit(20))
+
+
+class TestComparisons:
+    def test_probabilities(self):
+        out = simulate(QuantumCircuit(1, [H(0)]))
+        assert np.allclose(measure_probabilities(out), [0.5, 0.5])
+
+    def test_states_equal_exact(self):
+        a = basis_state(2, 1)
+        assert states_equal(a, a.copy(), up_to_global_phase=False)
+
+    def test_states_equal_global_phase(self):
+        a = simulate(QuantumCircuit(1, [H(0)]))
+        b = a * np.exp(0.7j)
+        assert states_equal(a, b)
+        assert not states_equal(a, b, up_to_global_phase=False)
+
+    def test_states_unequal(self):
+        assert not states_equal(basis_state(1, 0), basis_state(1, 1))
+
+    def test_shape_mismatch(self):
+        assert not states_equal(zero_state(1), zero_state(2))

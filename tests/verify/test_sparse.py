@@ -1,0 +1,128 @@
+"""Sparse simulator tests: agreement with dense on small circuits and
+scalability to wide, thin circuits."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CNOT,
+    CZ,
+    CircuitError,
+    Gate,
+    H,
+    MCX,
+    QuantumCircuit,
+    S,
+    SWAP,
+    T,
+    TOFFOLI,
+    X,
+    Y,
+)
+from repro.verify import SparseState, run_sparse, sampled_equivalence, simulate, basis_state
+from tests.conftest import random_circuit
+
+
+def dense_of(state: SparseState) -> np.ndarray:
+    out = np.zeros(1 << state.num_qubits, dtype=complex)
+    for idx, amp in state.amplitudes.items():
+        out[idx] = amp
+    return out
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuits_all_basis_inputs(self, seed):
+        c = random_circuit(3, 20, seed=seed)
+        for idx in range(8):
+            sparse = run_sparse(c, idx)
+            dense = simulate(c, basis_state(3, idx))
+            assert np.allclose(dense_of(sparse), dense), (seed, idx)
+
+    def test_each_gate_kind(self):
+        gates = [
+            X(0), Y(1), Gate("Z", (0,)), H(2), S(1), Gate("SDG", (0,)),
+            T(2), Gate("TDG", (1,)), CNOT(0, 1), CZ(1, 2), SWAP(0, 2),
+            TOFFOLI(0, 1, 2),
+        ]
+        c = QuantumCircuit(3, gates)
+        for idx in (0, 3, 7):
+            sparse = run_sparse(c, idx)
+            dense = simulate(c, basis_state(3, idx))
+            assert np.allclose(dense_of(sparse), dense)
+
+    def test_mcx_wide(self):
+        c = QuantumCircuit(6, [MCX(0, 1, 2, 3, 4, 5)])
+        full = (1 << 6) - 2  # all controls set, target 0
+        out = run_sparse(c, full)
+        assert out.amplitudes == {0b111111: 1.0 + 0j}
+
+
+class TestSparsity:
+    def test_classical_circuit_stays_single_branch(self):
+        c = QuantumCircuit(40, [X(0), CNOT(0, 39), TOFFOLI(0, 39, 20)])
+        state = run_sparse(c, 0)
+        assert state.branch_count == 1
+
+    def test_hadamard_pairs_recollapse(self):
+        c = QuantumCircuit(30, [H(7), H(7)])
+        state = run_sparse(c, 0)
+        assert state.branch_count == 1
+
+    def test_wide_toffoli_network_thin(self):
+        """A decomposed Toffoli on a wide register keeps few branches."""
+        from repro.backend import toffoli_network
+
+        c = QuantumCircuit(50, toffoli_network(10, 20, 30))
+        state = run_sparse(c, (1 << 49) >> 10)  # some basis input
+        assert state.branch_count <= 4
+
+
+class TestComparisons:
+    def test_fidelity_identical(self):
+        a = SparseState.basis(4, 5)
+        assert a.fidelity_with(SparseState.basis(4, 5)) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal(self):
+        a = SparseState.basis(4, 5)
+        assert a.fidelity_with(SparseState.basis(4, 6)) == 0.0
+
+    def test_equals_up_to_phase(self):
+        a = run_sparse(QuantumCircuit(2, [H(0)]), 0)
+        b = SparseState(2, {k: v * np.exp(0.3j) for k, v in a.amplitudes.items()})
+        assert a.equals(b, up_to_global_phase=True)
+        assert not a.equals(b)
+
+    def test_basis_range_check(self):
+        with pytest.raises(CircuitError):
+            SparseState.basis(2, 4)
+
+
+class TestSampledEquivalence:
+    def test_equivalent_circuits_pass(self):
+        from repro.backend import toffoli_network
+
+        a = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        b = QuantumCircuit(3, toffoli_network(0, 1, 2))
+        assert sampled_equivalence(a, b, samples=8)
+
+    def test_inequivalent_circuits_fail(self):
+        a = QuantumCircuit(3, [CNOT(0, 1)])
+        b = QuantumCircuit(3, [CNOT(0, 2)])
+        assert not sampled_equivalence(a, b, samples=16)
+
+    def test_wide_circuits(self):
+        """96-qubit MCX against its Barenco decomposition — the Table 8
+        verification path."""
+        from repro.backend import lower_mcx_gates
+
+        gate = MCX(*range(9), 20)
+        original = QuantumCircuit(96, [gate])
+        lowered = QuantumCircuit(96, lower_mcx_gates([gate], 96))
+        assert sampled_equivalence(original, lowered, samples=12)
+
+    def test_deterministic_seed(self):
+        a = QuantumCircuit(3, [CNOT(0, 1)])
+        assert sampled_equivalence(a, a, samples=4, seed=1) == sampled_equivalence(
+            a, a, samples=4, seed=1
+        )
