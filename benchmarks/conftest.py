@@ -1,6 +1,16 @@
-"""Benchmark-suite configuration: make `harness` importable."""
+"""Benchmark-suite configuration: make `harness` importable and emit the
+machine-readable perf record at session end."""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_runtime.json`` whenever at least one grid was built."""
+    import harness
+
+    path = harness.write_runtime_json()
+    if path:
+        print(f"\nwrote {path}")

@@ -71,6 +71,7 @@ from .verify import require_equivalent, verify_equivalent
 from .frontend import TruthTable, synthesize_truth_table, single_target_gate
 from .io import read_circuit
 from .compiler import CompilationResult, compile_circuit, compile_classical_function
+from .batch import BatchReport, CompilationCache, CompileJob, compile_many
 from .drawing import draw_circuit
 
 __version__ = "1.0.0"
@@ -130,5 +131,10 @@ __all__ = [
     "CompilationResult",
     "compile_circuit",
     "compile_classical_function",
+    # batch
+    "BatchReport",
+    "CompilationCache",
+    "CompileJob",
+    "compile_many",
     "draw_circuit",
 ]

@@ -1,0 +1,61 @@
+"""Batch compilation engine: parallel fan-out + content-addressed cache.
+
+Quickstart::
+
+    from repro.batch import CompilationCache, compile_many
+
+    cache = CompilationCache(directory=".repro_cache")
+    report = compile_many(
+        [(circuit, "ibmqx4"), (circuit, "ibmqx5", {"verify": False})],
+        workers=4,
+        cache=cache,
+    )
+    for entry in report:          # submission order, always
+        if entry.ok:
+            print(entry.job.label, entry.result.optimized_metrics)
+        else:
+            print(entry.job.label, "failed:", entry.error)
+
+See :mod:`repro.batch.engine` for the execution model and
+:mod:`repro.batch.cache` for what the cache key covers.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    CompilationCache,
+    cost_function_identity,
+    device_identity,
+    job_cache_key,
+)
+from .engine import (
+    BatchReport,
+    CompileJob,
+    JobError,
+    JobResult,
+    compile_many,
+    default_worker_count,
+)
+from .serialize import (
+    circuit_from_payload,
+    circuit_to_payload,
+    result_from_payload,
+    result_to_payload,
+)
+
+__all__ = [
+    "BatchReport",
+    "CompilationCache",
+    "CompileJob",
+    "DEFAULT_CACHE_DIR",
+    "JobError",
+    "JobResult",
+    "circuit_from_payload",
+    "circuit_to_payload",
+    "compile_many",
+    "cost_function_identity",
+    "default_worker_count",
+    "device_identity",
+    "job_cache_key",
+    "result_from_payload",
+    "result_to_payload",
+]

@@ -1,0 +1,225 @@
+"""Content-addressed compilation cache (in-memory LRU + optional disk).
+
+A cache key addresses one compilation *cell* by content, not identity:
+
+* the circuit **fingerprint** (SHA-256 over width and the exact gate
+  cascade, :meth:`~repro.core.circuit.QuantumCircuit.fingerprint`);
+* the **device identity** (name, width, gate set, and the device's
+  annotated cost function);
+* the **cost-function identity** of any explicit override;
+* every compile **option** that can change the output (optimize flag,
+  verify method, placement, MCX lowering mode, sample count).
+
+Two grid cells with the same key provably run the identical compilation,
+so the second one is served from cache — the paper's Tables 3 vs 4 and
+5 vs 6 reuse the same compilations, as do repeated benchmark runs.
+
+Jobs whose cost function carries an opaque ``custom`` callable have no
+stable content identity and are **never cached** (``cache_key`` returns
+``None``); they always compile fresh.
+
+Tiers: an in-memory LRU (default 512 entries) backed by an optional
+on-disk JSON store (default directory ``.repro_cache/``).  Disk entries
+are sharded two-level (``ab/abcdef....json``) and survive processes, so
+a second benchmark run starts warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..compiler import CompilationResult
+from ..core.circuit import QuantumCircuit
+from ..core.cost import CostFunction
+from ..devices.device import Device
+from .serialize import result_from_payload, result_to_payload
+
+#: Default on-disk store location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def cost_function_identity(cost_function: Optional[CostFunction]) -> Optional[str]:
+    """A stable string identity for ``cost_function``.
+
+    Returns ``None`` when the function has no content identity (an opaque
+    ``custom`` callable) — such jobs must not be cached.
+    """
+    if cost_function is None:
+        return "default"
+    if cost_function.custom is not None:
+        return None
+    weights = ";".join(
+        f"{name}={weight!r}"
+        for name, weight in sorted(cost_function.extra_weights.items())
+    )
+    return f"{cost_function.name}|{cost_function.base_weight!r}|{weights}"
+
+
+def device_identity(device: Device) -> Optional[str]:
+    """Device part of the cache key: name, width, library, cost function."""
+    cost_id = cost_function_identity(device.cost_function)
+    if cost_id is None:
+        return None
+    return "{}|{}|{}|{}".format(
+        device.name, device.num_qubits, ",".join(device.gate_set), cost_id
+    )
+
+
+def job_cache_key(
+    circuit: QuantumCircuit, device: Device, options: Dict
+) -> Optional[str]:
+    """Content-address one compilation, or ``None`` if uncacheable.
+
+    ``options`` are the keyword arguments handed to
+    :func:`repro.compiler.compile_circuit`.
+    """
+    dev_id = device_identity(device)
+    if dev_id is None:
+        return None
+    cost_id = cost_function_identity(options.get("cost_function"))
+    if cost_id is None:
+        return None
+    placement = options.get("placement")
+    if isinstance(placement, dict):
+        placement_id = ",".join(
+            f"{k}:{v}" for k, v in sorted(placement.items())
+        )
+    else:
+        placement_id = str(placement)
+    parts = (
+        circuit.fingerprint(),
+        dev_id,
+        cost_id,
+        f"optimize={options.get('optimize', True)}",
+        f"verify={options.get('verify', True)}",
+        f"placement={placement_id}",
+        f"mcx_mode={options.get('mcx_mode', 'barenco')}",
+        f"verify_samples={options.get('verify_samples', 32)}",
+    )
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+class CompilationCache:
+    """Two-tier (memory LRU + optional disk) store of compilation results.
+
+    Thread-/process-safety model: the cache lives in the *coordinating*
+    process only — workers never touch it.  Disk writes go through a
+    temp-file rename so concurrent coordinators at worst recompute.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 512,
+        directory: Optional[str] = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.directory = directory
+        self._memory: "OrderedDict[str, CompilationResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.stores = 0
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: Optional[str]) -> Optional[CompilationResult]:
+        """Cached result for ``key``, or ``None`` (miss / uncacheable)."""
+        if key is None:
+            return None
+        result = self._memory.get(key)
+        if result is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            self.memory_hits += 1
+            return result
+        result = self._disk_get(key)
+        if result is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            self._memory_put(key, result)
+            return result
+        self.misses += 1
+        return None
+
+    def put(self, key: Optional[str], result: CompilationResult) -> None:
+        """Store ``result`` under ``key`` in every tier (no-op if ``key``
+        is ``None``)."""
+        if key is None:
+            return
+        self.stores += 1
+        self._memory_put(key, result)
+        self._disk_put(key, result)
+
+    def __contains__(self, key: Optional[str]) -> bool:
+        if key is None:
+            return False
+        return key in self._memory or os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- memory tier -------------------------------------------------------
+
+    def _memory_put(self, key: str, result: CompilationResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        directory = self.directory or ""
+        return os.path.join(directory, key[:2], f"{key}.json")
+
+    def _disk_get(self, key: str) -> Optional[CompilationResult]:
+        if not self.directory:
+            return None
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            return result_from_payload(payload)
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _disk_put(self, key: str, result: CompilationResult) -> None:
+        if not self.directory:
+            return
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            temp = f"{path}.tmp.{os.getpid()}"
+            with open(temp, "w") as handle:
+                json.dump(result_to_payload(result), handle)
+            os.replace(temp, path)
+        except OSError:
+            pass  # a full/read-only disk degrades to memory-only caching
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Counters snapshot for logs and ``BENCH_runtime.json``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+            "memory_entries": len(self._memory),
+            "disk_enabled": bool(self.directory),
+        }

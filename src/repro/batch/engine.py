@@ -1,0 +1,358 @@
+"""Process-parallel batch compilation with deterministic result order.
+
+:func:`compile_many` fans a list of ``(circuit, device, options)`` jobs
+across a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **Deterministic ordering** — results come back in job-submission
+  order regardless of which worker finished first.
+* **Chunked dispatch** — jobs are shipped in contiguous chunks to
+  amortize pickling overhead; chunk size adapts to the job count.
+* **Serial fallback** — ``workers=1`` runs fully in-process (no pool,
+  no pickling), as do individual jobs that cannot be pickled (e.g. a
+  device annotated with a lambda cost function).
+* **Per-job error capture** — a failing cell produces a structured
+  :class:`JobError` in its slot; it never crashes the pool or masks the
+  other cells.
+* **Content-addressed caching** — pass a
+  :class:`~repro.batch.cache.CompilationCache` and repeated cells are
+  served without compiling (see :mod:`repro.batch.cache` for the key).
+
+The coordinating process owns the cache; worker processes only ever
+compile.  Fresh results are cached on the way back, so a second call
+with the same jobs is pure cache hits.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..compiler import CompilationResult, compile_circuit
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import ReproError
+from ..devices.device import Device, get_device
+from .cache import CompilationCache, job_cache_key
+
+#: Options accepted by :func:`repro.compiler.compile_circuit`, the only
+#: keys a job's options mapping may carry.
+_KNOWN_OPTIONS = frozenset(
+    {
+        "optimize",
+        "verify",
+        "placement",
+        "cost_function",
+        "verify_samples",
+        "mcx_mode",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One cell of a compilation grid: a circuit bound for a device."""
+
+    circuit: QuantumCircuit
+    device: Device
+    options: Tuple[Tuple[str, object], ...] = ()
+    label: str = ""
+
+    @classmethod
+    def make(
+        cls,
+        circuit: QuantumCircuit,
+        device: Union[Device, str],
+        options: Optional[Dict] = None,
+        label: str = "",
+    ) -> "CompileJob":
+        """Normalize user input into a job (resolves device names,
+        validates option keys)."""
+        if isinstance(device, str):
+            device = get_device(device)
+        options = dict(options or {})
+        unknown = set(options) - _KNOWN_OPTIONS
+        if unknown:
+            raise ReproError(
+                f"unknown compile option(s): {', '.join(sorted(unknown))}"
+            )
+        if not label:
+            label = f"{circuit.name or 'circuit'}@{device.name}"
+        return cls(
+            circuit=circuit,
+            device=device,
+            options=tuple(sorted(options.items(), key=lambda kv: kv[0])),
+            label=label,
+        )
+
+    @property
+    def option_dict(self) -> Dict:
+        return dict(self.options)
+
+    def cache_key(self) -> Optional[str]:
+        """Content address of this job (``None`` if uncacheable)."""
+        return job_cache_key(self.circuit, self.device, self.option_dict)
+
+    def run(self) -> CompilationResult:
+        """Execute this job in the current process."""
+        return compile_circuit(self.circuit, self.device, **self.option_dict)
+
+
+@dataclass(frozen=True)
+class JobError:
+    """Structured capture of one failed cell."""
+
+    exception_type: str
+    message: str
+    traceback_text: str = ""
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "JobError":
+        return cls(
+            exception_type=type(error).__name__,
+            message=str(error),
+            traceback_text=traceback.format_exc(),
+        )
+
+    @property
+    def not_synthesizable(self) -> bool:
+        """True for the paper's N/A cells (circuit wider than the device
+        or otherwise not mappable) as opposed to genuine failures."""
+        return self.exception_type == "NotSynthesizableError"
+
+    def __str__(self) -> str:
+        return f"{self.exception_type}: {self.message}"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, in submission order within the batch."""
+
+    index: int
+    job: CompileJob
+    result: Optional[CompilationResult] = None
+    error: Optional[JobError] = None
+    from_cache: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> CompilationResult:
+        """The result, raising a ``ReproError`` if the job failed."""
+        if self.error is not None:
+            raise ReproError(
+                f"job {self.job.label!r} failed: {self.error}"
+            )
+        return self.result
+
+
+@dataclass
+class BatchReport:
+    """Everything one :func:`compile_many` invocation produced."""
+
+    results: List[JobResult]
+    workers: int
+    wall_seconds: float
+    cache_stats: Optional[Dict] = None
+    serial_fallbacks: int = 0
+    chunk_size: int = 0
+    extra: Dict = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> JobResult:
+        return self.results[index]
+
+    @property
+    def ok(self) -> bool:
+        return all(entry.ok for entry in self.results)
+
+    def successes(self) -> List[JobResult]:
+        return [entry for entry in self.results if entry.ok]
+
+    def errors(self) -> List[JobResult]:
+        return [entry for entry in self.results if not entry.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for entry in self.results if entry.from_cache)
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.results)} jobs",
+            f"{len(self.errors())} failed",
+            f"{self.cache_hits} cached",
+            f"workers={self.workers}",
+            f"{self.wall_seconds:.2f}s",
+        ]
+        return ", ".join(parts)
+
+
+JobLike = Union[
+    CompileJob,
+    Tuple[QuantumCircuit, Union[Device, str]],
+    Tuple[QuantumCircuit, Union[Device, str], Dict],
+]
+
+
+def _normalize(jobs: Iterable[JobLike]) -> List[CompileJob]:
+    normalized: List[CompileJob] = []
+    for job in jobs:
+        if isinstance(job, CompileJob):
+            normalized.append(job)
+        elif isinstance(job, tuple) and len(job) in (2, 3):
+            options = job[2] if len(job) == 3 else None
+            normalized.append(CompileJob.make(job[0], job[1], options))
+        else:
+            raise ReproError(
+                "jobs must be CompileJob or (circuit, device[, options]) "
+                f"tuples, got {type(job).__name__}"
+            )
+    return normalized
+
+
+def _execute_packed(packed: bytes) -> List[Tuple[int, str, bytes]]:
+    """Worker entry point: run a pickled chunk of (index, job) pairs.
+
+    Every outcome — success or failure — is pickled *individually* so a
+    single unpicklable result cannot poison the whole chunk.
+    """
+    out: List[Tuple[int, str, bytes]] = []
+    for index, job in pickle.loads(packed):
+        try:
+            result = job.run()
+            out.append((index, "ok", pickle.dumps(result)))
+        except BaseException as error:  # captured, never crashes the pool
+            out.append(
+                (index, "error", pickle.dumps(JobError.from_exception(error)))
+            )
+    return out
+
+
+def default_worker_count() -> int:
+    """Worker count when the caller asks for ``workers=None``: the CPU
+    count, capped at 8 (compilation is CPU-bound; more buys nothing)."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def compile_many(
+    jobs: Iterable[JobLike],
+    workers: Optional[int] = 1,
+    cache: Optional[CompilationCache] = None,
+    chunk_size: Optional[int] = None,
+) -> BatchReport:
+    """Compile every job, optionally in parallel, with per-job errors.
+
+    ``workers=1`` (the default) is fully serial and allocation-free;
+    ``workers=None`` picks :func:`default_worker_count`.  Results are
+    returned in submission order.  With a ``cache``, previously-compiled
+    cells are served without compiling and fresh results are stored back.
+    """
+    started = time.perf_counter()
+    job_list = _normalize(jobs)
+    if workers is None:
+        workers = default_worker_count()
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+
+    results: List[Optional[JobResult]] = [None] * len(job_list)
+    pending: List[Tuple[int, CompileJob, Optional[str]]] = []
+    for index, job in enumerate(job_list):
+        key = job.cache_key() if cache is not None else None
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            results[index] = JobResult(
+                index=index, job=job, result=cached, from_cache=True
+            )
+        else:
+            pending.append((index, job, key))
+
+    serial_fallbacks = 0
+    parallel: List[Tuple[int, CompileJob, Optional[str]]] = []
+    serial: List[Tuple[int, CompileJob, Optional[str]]] = []
+    if workers > 1 and len(pending) > 1:
+        for entry in pending:
+            if _picklable(entry[1]):
+                parallel.append(entry)
+            else:
+                serial.append(entry)
+                serial_fallbacks += 1
+    else:
+        serial = pending
+
+    used_chunk = 0
+    if parallel:
+        used_chunk = chunk_size or max(1, len(parallel) // (workers * 4) or 1)
+        chunks = [
+            parallel[i : i + used_chunk]
+            for i in range(0, len(parallel), used_chunk)
+        ]
+        key_of = {index: key for index, _, key in parallel}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            packed = [
+                pickle.dumps([(index, job) for index, job, _ in chunk])
+                for chunk in chunks
+            ]
+            for chunk_out in pool.map(_execute_packed, packed):
+                for index, status, payload in chunk_out:
+                    job = job_list[index]
+                    if status == "ok":
+                        result = pickle.loads(payload)
+                        if cache is not None:
+                            cache.put(key_of[index], result)
+                        results[index] = JobResult(
+                            index=index,
+                            job=job,
+                            result=result,
+                            seconds=result.synthesis_seconds,
+                        )
+                    else:
+                        results[index] = JobResult(
+                            index=index, job=job, error=pickle.loads(payload)
+                        )
+
+    for index, job, key in serial:
+        cell_started = time.perf_counter()
+        try:
+            result = job.run()
+        except BaseException as error:
+            results[index] = JobResult(
+                index=index, job=job, error=JobError.from_exception(error)
+            )
+        else:
+            if cache is not None:
+                cache.put(key, result)
+            results[index] = JobResult(
+                index=index,
+                job=job,
+                result=result,
+                seconds=time.perf_counter() - cell_started,
+            )
+
+    if any(entry is None for entry in results):
+        raise ReproError("internal error: batch left unfilled job slots")
+    return BatchReport(
+        results=results,
+        workers=workers,
+        wall_seconds=time.perf_counter() - started,
+        cache_stats=cache.stats() if cache is not None else None,
+        serial_fallbacks=serial_fallbacks,
+        chunk_size=used_chunk,
+    )
+
+
+def _picklable(job: CompileJob) -> bool:
+    try:
+        pickle.dumps(job)
+        return True
+    except Exception:
+        return False

@@ -1,0 +1,114 @@
+"""JSON-safe (de)serialization of circuits and compilation results.
+
+The on-disk tier of the batch compilation cache (:mod:`repro.batch.cache`)
+persists one JSON document per cached cell.  The document stores the full
+gate cascades — not just metrics — so a cache hit reconstructs a
+:class:`~repro.compiler.CompilationResult` whose QASM output is
+byte-identical to what a fresh compilation would have produced.
+
+Devices are stored by *name* and resolved through the device registry on
+load; a payload referencing an unregistered device fails to deserialize
+(the cache treats that as a miss and recompiles).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..compiler import CompilationResult
+from ..core.circuit import QuantumCircuit
+from ..core.cost import CircuitMetrics
+from ..core.gates import intern_gate
+from ..devices.device import get_device
+from ..verify.equivalence import VerificationReport
+
+#: Schema version of cache payloads.  Bump on any incompatible change so
+#: stale cache files read as misses instead of mis-deserializing.
+PAYLOAD_VERSION = 1
+
+
+def circuit_to_payload(circuit: QuantumCircuit) -> Dict:
+    """Encode ``circuit`` as JSON-safe primitives."""
+    return {
+        "num_qubits": circuit.num_qubits,
+        "name": circuit.name,
+        "gates": [
+            [gate.name, list(gate.qubits), list(gate.params)]
+            for gate in circuit
+        ],
+    }
+
+
+def circuit_from_payload(payload: Dict) -> QuantumCircuit:
+    """Rebuild a circuit encoded by :func:`circuit_to_payload`."""
+    gates = [
+        intern_gate(name, tuple(qubits), tuple(params))
+        for name, qubits, params in payload["gates"]
+    ]
+    return QuantumCircuit(
+        payload["num_qubits"], gates, name=payload.get("name", "")
+    )
+
+
+def _metrics_to_payload(metrics: CircuitMetrics) -> Dict:
+    return {
+        "t_count": metrics.t_count,
+        "gate_volume": metrics.gate_volume,
+        "cost": metrics.cost,
+    }
+
+
+def _metrics_from_payload(payload: Dict) -> CircuitMetrics:
+    return CircuitMetrics(
+        t_count=payload["t_count"],
+        gate_volume=payload["gate_volume"],
+        cost=payload["cost"],
+    )
+
+
+def result_to_payload(result: CompilationResult) -> Dict:
+    """Encode a full compilation result as JSON-safe primitives."""
+    verification = None
+    if result.verification is not None:
+        verification = {
+            "method": result.verification.method,
+            "equivalent": result.verification.equivalent,
+            "detail": result.verification.detail,
+        }
+    return {
+        "version": PAYLOAD_VERSION,
+        "device": result.device.name,
+        "original": circuit_to_payload(result.original),
+        "unoptimized": circuit_to_payload(result.unoptimized),
+        "optimized": circuit_to_payload(result.optimized),
+        "unoptimized_metrics": _metrics_to_payload(result.unoptimized_metrics),
+        "optimized_metrics": _metrics_to_payload(result.optimized_metrics),
+        "verification": verification,
+        "synthesis_seconds": result.synthesis_seconds,
+        "placement": {str(k): v for k, v in result.placement.items()},
+    }
+
+
+def result_from_payload(payload: Dict) -> Optional[CompilationResult]:
+    """Rebuild a compilation result; ``None`` if the payload is from an
+    incompatible schema version."""
+    if payload.get("version") != PAYLOAD_VERSION:
+        return None
+    verification = None
+    if payload.get("verification") is not None:
+        verification = VerificationReport(
+            method=payload["verification"]["method"],
+            equivalent=payload["verification"]["equivalent"],
+            detail=payload["verification"].get("detail", ""),
+        )
+    return CompilationResult(
+        original=circuit_from_payload(payload["original"]),
+        device=get_device(payload["device"]),
+        unoptimized=circuit_from_payload(payload["unoptimized"]),
+        optimized=circuit_from_payload(payload["optimized"]),
+        unoptimized_metrics=_metrics_from_payload(payload["unoptimized_metrics"]),
+        optimized_metrics=_metrics_from_payload(payload["optimized_metrics"]),
+        verification=verification,
+        synthesis_seconds=payload["synthesis_seconds"],
+        placement={int(k): v for k, v in payload.get("placement", {}).items()},
+    )

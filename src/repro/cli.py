@@ -17,7 +17,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .compiler import compile_circuit, compile_classical_function
 from .core.exceptions import NotSynthesizableError, ReproError
 from .devices import available_devices, get_device
 from .io import read_circuit, to_qasm, to_qc, to_real
@@ -40,9 +39,11 @@ def build_parser() -> argparse.ArgumentParser:
     info.set_defaults(handler=cmd_info)
 
     compile_cmd = commands.add_parser(
-        "compile", help="map a circuit or classical function to a device"
+        "compile", help="map circuits or a classical function to a device"
     )
-    compile_cmd.add_argument("input", nargs="?", help="circuit file (.qasm/.qc/.real)")
+    compile_cmd.add_argument("inputs_files", nargs="*", metavar="input",
+                             help="circuit file(s) (.qasm/.qc/.real); several "
+                                  "files are batch-compiled together")
     compile_cmd.add_argument("--hex", dest="hex_name",
                              help="classical function as a hex truth table")
     compile_cmd.add_argument("--expr", dest="expressions", action="append",
@@ -53,7 +54,8 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--device", required=True,
                              help="target device name (see `repro devices`)")
     compile_cmd.add_argument("-o", "--output", help="write result here "
-                             "(.qasm/.qc/.real by extension; default stdout)")
+                             "(.qasm/.qc/.real by extension; default stdout). "
+                             "With several inputs: an output directory")
     compile_cmd.add_argument("--placement", default="identity",
                              choices=["identity", "greedy", "refined"])
     compile_cmd.add_argument("--no-optimize", action="store_true",
@@ -63,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--mcx-mode", default="barenco",
                              choices=["barenco", "relative_phase"],
                              help="generalized-Toffoli lowering strategy")
+    compile_cmd.add_argument("--workers", type=int, default=1,
+                             help="worker processes for batch compilation "
+                                  "(default 1 = serial)")
+    compile_cmd.add_argument("--cache-dir", default=None,
+                             help="enable the persistent compilation cache "
+                                  "in this directory (e.g. .repro_cache)")
     compile_cmd.set_defaults(handler=cmd_compile)
 
     draw = commands.add_parser("draw", help="render a circuit file as ASCII art")
@@ -120,45 +128,64 @@ def cmd_info(args) -> int:
 
 def cmd_compile(args) -> int:
     verify = False if args.verify == "none" else args.verify
+    options = {
+        "optimize": not args.no_optimize,
+        "verify": verify,
+        "placement": args.placement,
+        "mcx_mode": args.mcx_mode,
+    }
+
+    # Collect the circuits to compile (front-end synthesis happens here;
+    # the back-end runs through the batch engine below).
+    circuits = []
     if args.expressions:
         from .frontend import synthesize_expressions
 
-        cascade = synthesize_expressions(args.expressions, name="expr")
-        result = compile_circuit(
-            cascade,
-            args.device,
-            optimize=not args.no_optimize,
-            verify=verify,
-            placement=args.placement,
-            mcx_mode=args.mcx_mode,
-        )
+        circuits.append(synthesize_expressions(args.expressions, name="expr"))
     elif args.hex_name:
         if args.inputs is None:
             print("error: --hex requires --inputs", file=sys.stderr)
             return 2
-        result = compile_classical_function(
-            args.hex_name,
-            args.device,
-            num_inputs=args.inputs,
-            optimize=not args.no_optimize,
-            verify=verify,
-            placement=args.placement,
-            mcx_mode=args.mcx_mode,
+        from .frontend.cascade import synthesize_truth_table
+        from .frontend.truth_table import TruthTable
+
+        table = TruthTable.from_hex(args.hex_name, args.inputs)
+        circuits.append(
+            synthesize_truth_table(table, name=f"#{args.hex_name}")
         )
-    elif args.input:
-        circuit = read_circuit(args.input)
-        result = compile_circuit(
-            circuit,
-            args.device,
-            optimize=not args.no_optimize,
-            verify=verify,
-            placement=args.placement,
-            mcx_mode=args.mcx_mode,
-        )
+    elif args.inputs_files:
+        circuits.extend(read_circuit(path) for path in args.inputs_files)
     else:
         print("error: provide a circuit file or --hex/--inputs", file=sys.stderr)
         return 2
 
+    from .batch import CompilationCache, compile_many
+
+    cache = (
+        CompilationCache(directory=args.cache_dir) if args.cache_dir else None
+    )
+    report = compile_many(
+        [(circuit, args.device, options) for circuit in circuits],
+        workers=args.workers,
+        cache=cache,
+    )
+
+    if len(report) == 1:
+        entry = report[0]
+        if not entry.ok:
+            _reraise(entry.error)
+        return _emit_single(entry.result, args.output)
+    return _emit_batch(report, args.output, cache)
+
+
+def _reraise(error) -> None:
+    """Surface a captured job error with the CLI's historical exit codes."""
+    if error.not_synthesizable:
+        raise NotSynthesizableError(error.message)
+    raise ReproError(f"{error.exception_type}: {error.message}")
+
+
+def _emit_single(result, output: Optional[str]) -> int:
     print(f"unoptimized : {result.unoptimized_metrics} (T/gates/cost)",
           file=sys.stderr)
     print(f"optimized   : {result.optimized_metrics}", file=sys.stderr)
@@ -170,14 +197,51 @@ def cmd_compile(args) -> int:
     print(f"time        : {result.synthesis_seconds * 1e3:.1f} ms",
           file=sys.stderr)
 
-    text = _render(result.optimized, args.output)
-    if args.output:
-        with open(args.output, "w") as handle:
+    text = _render(result.optimized, output)
+    if output:
+        with open(output, "w") as handle:
             handle.write(text)
-        print(f"wrote {args.output}", file=sys.stderr)
+        print(f"wrote {output}", file=sys.stderr)
     else:
         print(text)
     return 0
+
+
+def _emit_batch(report, output: Optional[str], cache) -> int:
+    """Summarize a multi-circuit batch; write one QASM file per input
+    when ``output`` names a directory."""
+    import os
+
+    if output is not None and not os.path.isdir(output):
+        print("error: with several inputs -o must be a directory",
+              file=sys.stderr)
+        return 2
+    width = max(len(e.job.circuit.name or "circuit") for e in report)
+    failures = 0
+    for entry in report:
+        name = entry.job.circuit.name or "circuit"
+        if entry.ok:
+            result = entry.result
+            cached = " (cached)" if entry.from_cache else ""
+            print(
+                f"{name:<{width}}  {result.unoptimized_metrics}  ->  "
+                f"{result.optimized_metrics}  "
+                f"[{result.synthesis_seconds * 1e3:.1f} ms]{cached}",
+                file=sys.stderr,
+            )
+            if output:
+                stem = os.path.splitext(os.path.basename(name))[0] or "circuit"
+                path = os.path.join(output, f"{stem}.qasm")
+                with open(path, "w") as handle:
+                    handle.write(_render(result.optimized, path))
+                print(f"  wrote {path}", file=sys.stderr)
+        else:
+            failures += 1
+            kind = "N/A" if entry.error.not_synthesizable else "error"
+            print(f"{name:<{width}}  {kind}: {entry.error.message}",
+                  file=sys.stderr)
+    print(f"batch       : {report.summary()}", file=sys.stderr)
+    return 1 if failures == len(report) else 0
 
 
 def _render(circuit, output_path: Optional[str]) -> str:

@@ -14,6 +14,7 @@ and structural queries used by the optimizer.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .exceptions import CircuitError
@@ -33,15 +34,35 @@ class QuantumCircuit:
         self.num_qubits = int(num_qubits)
         self.name = name
         self._gates: List[Gate] = []
+        self._derived: Dict[str, object] = {}
         for gate in gates:
             self.append(gate)
+
+    @classmethod
+    def _trusted(
+        cls, num_qubits: int, gates: Iterable[Gate], name: str = ""
+    ) -> "QuantumCircuit":
+        """Internal fast constructor for gates already known to fit.
+
+        Skips per-gate operand validation — callers must guarantee every
+        gate's qubits lie below ``num_qubits``.  Used on rebuild-heavy
+        paths (copies, slices, optimizer sweeps) where the gates came out
+        of an already-validated circuit of the same (or smaller) width.
+        """
+        circuit = cls.__new__(cls)
+        circuit.num_qubits = num_qubits
+        circuit.name = name
+        circuit._gates = list(gates)
+        circuit._derived = {}
+        return circuit
 
     # -- construction --------------------------------------------------------
 
     def append(self, gate: Gate) -> "QuantumCircuit":
         """Append ``gate``, validating that its operands fit this circuit.
 
-        Returns ``self`` so calls can be chained.
+        Returns ``self`` so calls can be chained.  Invalidates every
+        cached derived metric (depth, histogram, fingerprint, ...).
         """
         if not isinstance(gate, Gate):
             raise CircuitError(f"expected Gate, got {type(gate).__name__}")
@@ -50,6 +71,8 @@ class QuantumCircuit:
                 f"gate {gate} exceeds circuit width {self.num_qubits}"
             )
         self._gates.append(gate)
+        if self._derived:
+            self._derived.clear()
         return self
 
     def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
@@ -63,14 +86,15 @@ class QuantumCircuit:
 
         The result's width is the maximum of the two widths.
         """
-        result = QuantumCircuit(max(self.num_qubits, other.num_qubits), name=self.name)
-        result.extend(self._gates)
-        result.extend(other._gates)
-        return result
+        return QuantumCircuit._trusted(
+            max(self.num_qubits, other.num_qubits),
+            self._gates + other._gates,
+            name=self.name,
+        )
 
     def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
         """Return a shallow copy (gates are immutable so sharing is safe)."""
-        return QuantumCircuit(
+        return QuantumCircuit._trusted(
             self.num_qubits, self._gates, name=self.name if name is None else name
         )
 
@@ -81,7 +105,9 @@ class QuantumCircuit:
         the physical-reversibility property of Section 2.3.
         """
         inverted = [gate.inverse() for gate in reversed(self._gates)]
-        return QuantumCircuit(self.num_qubits, inverted, name=f"{self.name}_dg")
+        return QuantumCircuit._trusted(
+            self.num_qubits, inverted, name=f"{self.name}_dg"
+        )
 
     def remapped(self, mapping: Dict[int, int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
         """Return a copy with qubit indices renamed through ``mapping``.
@@ -107,7 +133,7 @@ class QuantumCircuit:
         """Return a copy embedded in a circuit of at least ``num_qubits``."""
         if num_qubits < self.num_qubits:
             raise CircuitError("widened() cannot shrink a circuit")
-        return QuantumCircuit(num_qubits, self._gates, name=self.name)
+        return QuantumCircuit._trusted(num_qubits, self._gates, name=self.name)
 
     # -- sequence protocol ----------------------------------------------------
 
@@ -119,7 +145,9 @@ class QuantumCircuit:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return QuantumCircuit(self.num_qubits, self._gates[index], name=self.name)
+            return QuantumCircuit._trusted(
+                self.num_qubits, self._gates[index], name=self.name
+            )
         return self._gates[index]
 
     def __eq__(self, other) -> bool:
@@ -140,11 +168,26 @@ class QuantumCircuit:
         return tuple(self._gates)
 
     # -- metrics ---------------------------------------------------------------
+    #
+    # Derived metrics (histogram, depth, fingerprint, ...) are cached in
+    # ``self._derived`` and invalidated whenever :meth:`append` mutates the
+    # gate list — the optimizer evaluates the cost function on the same
+    # circuit many times per round, so recomputation dominates without it.
+
+    def _histogram(self) -> Dict[str, int]:
+        """Cached gate-name histogram.  Internal: callers must not mutate."""
+        histogram = self._derived.get("histogram")
+        if histogram is None:
+            histogram = {}
+            for gate in self._gates:
+                histogram[gate.name] = histogram.get(gate.name, 0) + 1
+            self._derived["histogram"] = histogram
+        return histogram
 
     def count(self, *names: str) -> int:
         """Number of gates whose name is in ``names``."""
-        wanted = set(names)
-        return sum(1 for gate in self._gates if gate.name in wanted)
+        histogram = self._histogram()
+        return sum(histogram.get(name, 0) for name in names)
 
     @property
     def t_count(self) -> int:
@@ -162,11 +205,8 @@ class QuantumCircuit:
         return len(self._gates)
 
     def gate_histogram(self) -> Dict[str, int]:
-        """Mapping of gate name to occurrence count."""
-        histogram: Dict[str, int] = {}
-        for gate in self._gates:
-            histogram[gate.name] = histogram.get(gate.name, 0) + 1
-        return histogram
+        """Mapping of gate name to occurrence count (a fresh copy)."""
+        return dict(self._histogram())
 
     @property
     def used_qubits(self) -> Tuple[int, ...]:
@@ -192,6 +232,9 @@ class QuantumCircuit:
 
     def depth(self) -> int:
         """Circuit depth: longest chain of gates sharing qubits."""
+        cached = self._derived.get("depth")
+        if cached is not None:
+            return cached
         level: Dict[int, int] = {}
         depth = 0
         for gate in self._gates:
@@ -200,6 +243,7 @@ class QuantumCircuit:
             for q in gate.qubits:
                 level[q] = finish
             depth = max(depth, finish)
+        self._derived["depth"] = depth
         return depth
 
     def t_depth(self) -> int:
@@ -209,6 +253,9 @@ class QuantumCircuit:
         and T† gates advance a wire's stage counter; all other gates
         merely synchronize the stages of the wires they touch.
         """
+        cached = self._derived.get("t_depth")
+        if cached is not None:
+            return cached
         level: Dict[int, int] = {}
         t_depth = 0
         for gate in self._gates:
@@ -217,7 +264,37 @@ class QuantumCircuit:
             for q in gate.qubits:
                 level[q] = finish
             t_depth = max(t_depth, finish)
+        self._derived["t_depth"] = t_depth
         return t_depth
+
+    # -- content addressing -------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this circuit (hex SHA-256).
+
+        Covers the width and the exact gate cascade — names, operand
+        order, and full-precision parameters — so any gate edit changes
+        the fingerprint.  The circuit *name* is deliberately excluded:
+        two identically-built circuits fingerprint the same regardless of
+        labeling.  This is the content-addressing key of the batch
+        compilation cache (:mod:`repro.batch`).
+        """
+        cached = self._derived.get("fingerprint")
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        digest.update(f"q{self.num_qubits}".encode())
+        for gate in self._gates:
+            digest.update(
+                "|{}:{}:{}".format(
+                    gate.name,
+                    ",".join(map(str, gate.qubits)),
+                    ",".join(repr(p) for p in gate.params),
+                ).encode()
+            )
+        fingerprint = digest.hexdigest()
+        self._derived["fingerprint"] = fingerprint
+        return fingerprint
 
     # -- dense matrix -----------------------------------------------------------
 

@@ -44,15 +44,21 @@ class CostFunction:
     custom: Optional[Callable[[QuantumCircuit], float]] = None
 
     def evaluate(self, circuit: QuantumCircuit) -> float:
-        """Quantum cost of ``circuit`` under this function."""
+        """Quantum cost of ``circuit`` under this function.
+
+        Linear costs are computed from the circuit's cached gate
+        histogram — O(distinct gate names) instead of O(gates) — since
+        the optimizer re-evaluates the cost after every rewrite round.
+        """
         if self.custom is not None:
             return float(self.custom(circuit))
         cost = self.base_weight * circuit.gate_volume
         if self.extra_weights:
-            for gate in circuit:
-                surcharge = self.extra_weights.get(gate.name)
-                if surcharge:
-                    cost += surcharge
+            histogram = circuit._histogram()
+            for name, surcharge in self.extra_weights.items():
+                occurrences = histogram.get(name)
+                if occurrences and surcharge:
+                    cost += surcharge * occurrences
         return cost
 
     def __call__(self, circuit: QuantumCircuit) -> float:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Tuple
 
 import numpy as np
@@ -246,12 +247,24 @@ class Gate:
             )
         if self.name == "MCX" and len(self.qubits) < 2:
             raise CircuitError("MCX needs at least one control and a target")
-        if len(set(self.qubits)) != len(self.qubits):
+        support = frozenset(self.qubits)
+        if len(support) != len(self.qubits):
             raise CircuitError(f"duplicate operands in {self.name}{self.qubits}")
         if any(q < 0 for q in self.qubits):
             raise CircuitError(f"negative qubit index in {self.name}{self.qubits}")
+        # Hash and qubit support are consulted millions of times per
+        # compile (memo lookups, template scans); precompute them once.
+        object.__setattr__(self, "_support", support)
+        object.__setattr__(
+            self, "_hash", hash((self.name, self.qubits, self.params))
+        )
 
     # -- structural helpers -------------------------------------------------
+
+    @property
+    def support(self) -> frozenset:
+        """The gate's qubit indices as a (precomputed) frozenset."""
+        return self._support
 
     @property
     def num_qubits(self) -> int:
@@ -304,33 +317,11 @@ class Gate:
         """True if ``self . other == identity`` acting on the same operands.
 
         ``CZ`` and ``SWAP`` are symmetric so operand order is ignored for
-        them; Toffoli/MCX controls are an unordered set.
+        them; Toffoli/MCX controls are an unordered set.  Verdicts are
+        memoized per gate pair (gates are immutable), which keeps the
+        optimizer's cancellation sweeps cheap on repetitive cascades.
         """
-        if self.name in ROTATION_GATES:
-            qubits_match = (
-                set(other.qubits) == set(self.qubits)
-                if self.name == "RXX"  # the XX interaction is symmetric
-                else other.qubits == self.qubits
-            )
-            return (
-                other.name == self.name
-                and qubits_match
-                and all(
-                    abs(a + b) < 1e-12 for a, b in zip(self.params, other.params)
-                )
-            )
-        if INVERSE_NAME[self.name] != other.name:
-            return False
-        if other.name in ROTATION_GATES:
-            return False
-        if self.name in ("CZ", "SWAP"):
-            return set(self.qubits) == set(other.qubits)
-        if self.name in ("TOFFOLI", "MCX"):
-            return (
-                self.target == other.target
-                and set(self.controls) == set(other.controls)
-            )
-        return self.qubits == other.qubits
+        return _inverse_verdict(self, other)
 
     def commutes_with(self, other: "Gate") -> bool:
         """Conservative commutation test used by the local optimizer.
@@ -343,35 +334,10 @@ class Gate:
           commutes with it (phases pass through controls);
         * X on the *target* of a CNOT/Toffoli/MCX commutes with it.
 
-        A ``False`` answer means "unknown", which is always safe.
+        A ``False`` answer means "unknown", which is always safe.  Verdicts
+        are memoized per gate pair (see :func:`_commute_verdict`).
         """
-        shared = set(self.qubits) & set(other.qubits)
-        if not shared:
-            return True
-        if self.is_diagonal and other.is_diagonal:
-            return True
-        for first, second in ((self, other), (other, self)):
-            if first.num_qubits == 1:
-                qubit = first.qubits[0]
-                if second.name in ("CNOT", "TOFFOLI", "MCX"):
-                    if first.is_diagonal and qubit in second.controls:
-                        return True
-                    if first.name == "X" and qubit == second.target:
-                        return True
-                if second.name == "CZ" and first.is_diagonal:
-                    return True
-        if (
-            self.name in ("CNOT", "TOFFOLI", "MCX")
-            and other.name in ("CNOT", "TOFFOLI", "MCX")
-        ):
-            # Controlled-X gates commute when neither target lies in the
-            # other's controls (shared controls and shared targets are fine).
-            if (
-                self.target not in other.controls
-                and other.target not in self.controls
-            ):
-                return True
-        return False
+        return _commute_verdict(self, other)
 
     def __str__(self) -> str:
         operands = ", ".join(f"q{q}" for q in self.qubits)
@@ -381,69 +347,182 @@ class Gate:
         return f"{self.name}({operands})"
 
 
+def _gate_hash(self: Gate) -> int:
+    return self._hash
+
+
+def _gate_eq(self: Gate, other) -> bool:
+    if self is other:
+        return True
+    if other.__class__ is not Gate:
+        return NotImplemented
+    return (
+        self._hash == other._hash
+        and self.name == other.name
+        and self.qubits == other.qubits
+        and self.params == other.params
+    )
+
+
+# Replace the dataclass-generated __hash__/__eq__: the generated versions
+# rebuild and hash the full field tuple on every call, and profiling shows
+# they dominate compile time (every memo lookup hashes two gates).  The
+# semantics are identical; the hash is just precomputed.
+Gate.__hash__ = _gate_hash
+Gate.__eq__ = _gate_eq
+
+
+# -- memoized pair verdicts --------------------------------------------------
+#
+# The local optimizer asks the same (gate, gate) questions millions of
+# times per compile (every cancellation walk re-tests the same nearby
+# pairs after each removal).  Gates are immutable and hashable, so the
+# verdicts are safely memoized process-wide.
+
+
+@lru_cache(maxsize=1 << 18)
+def _inverse_verdict(gate: Gate, other: Gate) -> bool:
+    """Memoized body of :meth:`Gate.is_inverse_of`."""
+    if gate.name in ROTATION_GATES:
+        qubits_match = (
+            set(other.qubits) == set(gate.qubits)
+            if gate.name == "RXX"  # the XX interaction is symmetric
+            else other.qubits == gate.qubits
+        )
+        return (
+            other.name == gate.name
+            and qubits_match
+            and all(
+                abs(a + b) < 1e-12 for a, b in zip(gate.params, other.params)
+            )
+        )
+    if INVERSE_NAME[gate.name] != other.name:
+        return False
+    if other.name in ROTATION_GATES:
+        return False
+    if gate.name in ("CZ", "SWAP"):
+        return set(gate.qubits) == set(other.qubits)
+    if gate.name in ("TOFFOLI", "MCX"):
+        return (
+            gate.target == other.target
+            and set(gate.controls) == set(other.controls)
+        )
+    return gate.qubits == other.qubits
+
+
+@lru_cache(maxsize=1 << 18)
+def _commute_verdict(gate: Gate, other: Gate) -> bool:
+    """Memoized body of :meth:`Gate.commutes_with`."""
+    shared = set(gate.qubits) & set(other.qubits)
+    if not shared:
+        return True
+    if gate.is_diagonal and other.is_diagonal:
+        return True
+    for first, second in ((gate, other), (other, gate)):
+        if first.num_qubits == 1:
+            qubit = first.qubits[0]
+            if second.name in ("CNOT", "TOFFOLI", "MCX"):
+                if first.is_diagonal and qubit in second.controls:
+                    return True
+                if first.name == "X" and qubit == second.target:
+                    return True
+            if second.name == "CZ" and first.is_diagonal:
+                return True
+    if (
+        gate.name in ("CNOT", "TOFFOLI", "MCX")
+        and other.name in ("CNOT", "TOFFOLI", "MCX")
+    ):
+        # Controlled-X gates commute when neither target lies in the
+        # other's controls (shared controls and shared targets are fine).
+        if (
+            gate.target not in other.controls
+            and other.target not in gate.controls
+        ):
+            return True
+    return False
+
+
 # -- convenience constructors ----------------------------------------------
+#
+# Gates are immutable, so the constructors intern their results: template
+# sweeps build the same comparison gates (``H(q)``, ``CNOT(c, t)``, ...)
+# hundreds of thousands of times per compile, and construction dominates
+# without interning (every ``Gate()`` call re-runs operand validation).
 
 
+@lru_cache(maxsize=65536)
 def X(q: int) -> Gate:
     """Pauli-X (NOT) on qubit ``q``."""
     return Gate("X", (q,))
 
 
+@lru_cache(maxsize=65536)
 def Y(q: int) -> Gate:
     """Pauli-Y on qubit ``q``."""
     return Gate("Y", (q,))
 
 
+@lru_cache(maxsize=65536)
 def Z(q: int) -> Gate:
     """Pauli-Z on qubit ``q``."""
     return Gate("Z", (q,))
 
 
+@lru_cache(maxsize=65536)
 def H(q: int) -> Gate:
     """Hadamard on qubit ``q``."""
     return Gate("H", (q,))
 
 
+@lru_cache(maxsize=65536)
 def S(q: int) -> Gate:
     """Phase gate S on qubit ``q``."""
     return Gate("S", (q,))
 
 
+@lru_cache(maxsize=65536)
 def Sdg(q: int) -> Gate:
     """Adjoint phase gate S† on qubit ``q``."""
     return Gate("SDG", (q,))
 
 
+@lru_cache(maxsize=65536)
 def T(q: int) -> Gate:
     """π/8 gate T on qubit ``q``."""
     return Gate("T", (q,))
 
 
+@lru_cache(maxsize=65536)
 def Tdg(q: int) -> Gate:
     """Adjoint π/8 gate T† on qubit ``q``."""
     return Gate("TDG", (q,))
 
 
+@lru_cache(maxsize=65536)
 def I(q: int) -> Gate:  # noqa: E743 - name matches the operator
     """Identity on qubit ``q``."""
     return Gate("I", (q,))
 
 
+@lru_cache(maxsize=65536)
 def CNOT(control: int, target: int) -> Gate:
     """Controlled-X with ``control`` controlling ``target``."""
     return Gate("CNOT", (control, target))
 
 
+@lru_cache(maxsize=65536)
 def CZ(a: int, b: int) -> Gate:
     """Controlled-Z (symmetric) on qubits ``a`` and ``b``."""
     return Gate("CZ", (a, b))
 
 
+@lru_cache(maxsize=65536)
 def SWAP(a: int, b: int) -> Gate:
     """SWAP of qubits ``a`` and ``b``."""
     return Gate("SWAP", (a, b))
 
 
+@lru_cache(maxsize=65536)
 def TOFFOLI(c1: int, c2: int, target: int) -> Gate:
     """Toffoli (CCX) with controls ``c1``, ``c2`` and target ``target``."""
     return Gate("TOFFOLI", (c1, c2, target))
@@ -458,6 +537,21 @@ def MCX(*qubits: int) -> Gate:
     if len(qubits) == 3:
         return Gate("TOFFOLI", qubits)
     return Gate("MCX", qubits)
+
+
+@lru_cache(maxsize=1 << 17)
+def intern_gate(
+    name: str, qubits: Tuple[int, ...], params: Tuple[float, ...] = ()
+) -> Gate:
+    """A canonical shared :class:`Gate` instance for ``(name, qubits,
+    params)``.
+
+    Bulk constructors (the QASM reader, the cache deserializer) see the
+    same few hundred distinct gates repeated thousands of times; interning
+    them skips re-validation and re-hashing, and makes the pairwise
+    verdict caches hit on pointer-equal keys.
+    """
+    return Gate(name, qubits, params)
 
 
 def RZ(theta: float, q: int) -> Gate:

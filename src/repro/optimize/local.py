@@ -54,12 +54,16 @@ class LocalOptimizer:
         max_rounds: int = 50,
         enable_templates: bool = True,
         gate_set=None,
+        lookback_window: Optional[int] = None,
     ):
         self.cost_function = cost_function
         self.coupling_map = coupling_map
         self.max_rounds = max_rounds
         self.enable_templates = enable_templates
         self.gate_set = set(gate_set) if gate_set is not None else None
+        #: Commutation-walk bound for cancellation sweeps; ``None`` uses
+        #: :data:`repro.optimize.cancellation.LOOKBACK_WINDOW`.
+        self.lookback_window = lookback_window
         self.last_report: Optional[OptimizationReport] = None
 
     def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
@@ -69,7 +73,7 @@ class LocalOptimizer:
         trace = [best_cost]
         rounds = 0
         for rounds in range(1, self.max_rounds + 1):
-            candidate = remove_identities(best)
+            candidate = remove_identities(best, self.lookback_window)
             candidate = merge_phases(candidate, self.gate_set)
             if self.enable_templates:
                 candidate = apply_templates(
@@ -77,7 +81,7 @@ class LocalOptimizer:
                 )
                 # Templates can expose fresh inverse pairs; clean them now
                 # so the cost comparison sees the full benefit.
-                candidate = remove_identities(candidate)
+                candidate = remove_identities(candidate, self.lookback_window)
             cost = self.cost_function(candidate)
             trace.append(cost)
             if cost < best_cost:

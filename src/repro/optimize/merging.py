@@ -71,5 +71,7 @@ def merge_phases(circuit: QuantumCircuit, gate_set=None) -> QuantumCircuit:
     while True:
         merged = merge_phase_runs(gates, gate_set)
         if merged == gates:
-            return QuantumCircuit(circuit.num_qubits, merged, name=circuit.name)
+            return QuantumCircuit._trusted(
+                circuit.num_qubits, merged, name=circuit.name
+            )
         gates = merged

@@ -45,7 +45,7 @@ def _next_on_qubits(gates: Sequence[Gate], start: int, qubits: set) -> Optional[
     (searching at most :data:`LOOKAHEAD_WINDOW` gates ahead)."""
     limit = min(len(gates), start + 1 + LOOKAHEAD_WINDOW)
     for j in range(start + 1, limit):
-        if set(gates[j].qubits) & qubits:
+        if not qubits.isdisjoint(gates[j].support):
             return j
     return None
 
@@ -90,7 +90,7 @@ def _prev_on_qubits(gates: Sequence[Gate], start: int, qubits: set) -> Optional[
     (searching at most :data:`LOOKAHEAD_WINDOW` gates back)."""
     floor = max(-1, start - 1 - LOOKAHEAD_WINDOW)
     for j in range(start - 1, floor, -1):
-        if set(gates[j].qubits) & qubits:
+        if not qubits.isdisjoint(gates[j].support):
             return j
     return None
 
@@ -200,4 +200,4 @@ def apply_templates(
         # Resume slightly earlier: the rewrite may enable a new match that
         # starts just before the replaced partition.
         index = max(0, min(consumed) - LOOKAHEAD_WINDOW)
-    return QuantumCircuit(circuit.num_qubits, gates, name=circuit.name)
+    return QuantumCircuit._trusted(circuit.num_qubits, gates, name=circuit.name)

@@ -43,6 +43,14 @@ class QMDDManager:
         self._gate_cache: Dict[Tuple, Edge] = {}
         self._identity_cache: Dict[int, Edge] = {}
         self._apply_cache: Dict[Tuple, Edge] = {}
+        #: Per-cache hit/miss counters so cache efficacy is measurable
+        #: (reported by :meth:`stats` and ``BENCH_runtime.json``).
+        self.cache_hits: Dict[str, int] = {
+            "mul": 0, "add": 0, "gate": 0, "apply": 0,
+        }
+        self.cache_misses: Dict[str, int] = {
+            "mul": 0, "add": 0, "gate": 0, "apply": 0,
+        }
         self._zero_edge = Edge(self.terminal, self.values.lookup(0j))
         self._one_edge = Edge(self.terminal, self.values.lookup(1 + 0j))
 
@@ -117,8 +125,11 @@ class QMDDManager:
         key = (gate.name, gate.qubits, gate.params)
         cached = self._gate_cache.get(key)
         if cached is None:
+            self.cache_misses["gate"] += 1
             cached = self._build_gate(gate)
             self._gate_cache[key] = cached
+        else:
+            self.cache_hits["gate"] += 1
         return cached
 
     def _build_gate(self, gate: Gate) -> Edge:
@@ -204,7 +215,9 @@ class QMDDManager:
         key = (id(a), id(b))
         cached = self._mul_cache.get(key)
         if cached is not None:
+            self.cache_hits["mul"] += 1
             return cached
+        self.cache_misses["mul"] += 1
         quadrants: List[Edge] = []
         for i in (0, 1):
             for j in (0, 1):
@@ -236,7 +249,9 @@ class QMDDManager:
         key = (id(a), id(b), ratio)
         cached = self._add_cache.get(key)
         if cached is not None:
+            self.cache_hits["add"] += 1
             return cached
+        self.cache_misses["add"] += 1
         quadrants = [
             self.add(a.edges[i], b.edges[i].scaled(ratio)) for i in range(4)
         ]
@@ -266,6 +281,7 @@ class QMDDManager:
         if op_key is None:
             op_key = ("1q", u00, u01, u10, u11, qubit)
         cache = self._apply_cache
+        hits, misses = self.cache_hits, self.cache_misses
 
         def rec(e: Edge) -> Edge:
             if e.weight == 0:
@@ -273,7 +289,10 @@ class QMDDManager:
             node = e.node
             key = (op_key, id(node))
             cached = cache.get(key)
-            if cached is None:
+            if cached is not None:
+                hits["apply"] += 1
+            else:
+                misses["apply"] += 1
                 e0, e1, e2, e3 = node.edges
                 if node.level == qubit:
                     quadrants = (
@@ -294,6 +313,7 @@ class QMDDManager:
         """Zero every matrix row whose ``qubit`` bit differs from ``bit``."""
         op_key = ("proj", qubit, bit)
         cache = self._apply_cache
+        hits, misses = self.cache_hits, self.cache_misses
 
         def rec(e: Edge) -> Edge:
             if e.weight == 0:
@@ -301,7 +321,10 @@ class QMDDManager:
             node = e.node
             key = (op_key, id(node))
             cached = cache.get(key)
-            if cached is None:
+            if cached is not None:
+                hits["apply"] += 1
+            else:
+                misses["apply"] += 1
                 e0, e1, e2, e3 = node.edges
                 if node.level == qubit:
                     if bit == 0:
@@ -324,6 +347,7 @@ class QMDDManager:
         cache = self._apply_cache
         outer = min(control, target)
         x_key = ("1q", 0.0, 1.0, 1.0, 0.0, target)
+        hits, misses = self.cache_hits, self.cache_misses
 
         def rec(e: Edge) -> Edge:
             if e.weight == 0:
@@ -331,7 +355,10 @@ class QMDDManager:
             node = e.node
             key = (op_key, id(node))
             cached = cache.get(key)
-            if cached is None:
+            if cached is not None:
+                hits["apply"] += 1
+            else:
+                misses["apply"] += 1
                 e0, e1, e2, e3 = node.edges
                 if node.level == outer:
                     if outer == control:
@@ -428,10 +455,24 @@ class QMDDManager:
         return matrix * edge.weight
 
     def stats(self) -> Dict[str, int]:
-        """Table sizes, for diagnostics and the scalability benchmarks."""
-        return {
+        """Table sizes and cache efficacy, for diagnostics and benchmarks."""
+        stats = {
             "unique_nodes": len(self._unique),
             "mul_cache": len(self._mul_cache),
             "add_cache": len(self._add_cache),
             "values": len(self.values),
         }
+        for name in ("mul", "add", "gate", "apply"):
+            hits = self.cache_hits[name]
+            misses = self.cache_misses[name]
+            stats[f"{name}_hits"] = hits
+            stats[f"{name}_misses"] = misses
+        return stats
+
+    def cache_hit_rates(self) -> Dict[str, float]:
+        """Hit rate per operation cache (0.0 where never consulted)."""
+        rates = {}
+        for name in ("mul", "add", "gate", "apply"):
+            total = self.cache_hits[name] + self.cache_misses[name]
+            rates[name] = self.cache_hits[name] / total if total else 0.0
+        return rates

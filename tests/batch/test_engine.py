@@ -1,0 +1,185 @@
+"""Batch compilation engine: ordering, parallelism, error capture."""
+
+import pytest
+
+from repro import (
+    CNOT,
+    H,
+    QuantumCircuit,
+    S,
+    T,
+    TOFFOLI,
+    X,
+    compile_circuit,
+    compile_many,
+    get_device,
+)
+from repro.batch import BatchReport, CompilationCache, CompileJob
+from repro.core.cost import CostFunction
+from repro.core.exceptions import ReproError
+from repro.io import to_qasm
+
+
+def small_circuits():
+    return [
+        QuantumCircuit(2, [H(0), CNOT(0, 1)], name="bell"),
+        QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx"),
+        QuantumCircuit(2, [T(0), S(1), CNOT(1, 0)], name="misc"),
+        QuantumCircuit(1, [X(0), H(0)], name="xh"),
+    ]
+
+
+OPTIONS = {"verify": False}
+
+
+class TestJobNormalization:
+    def test_tuples_and_jobs_accepted(self):
+        circuit = QuantumCircuit(1, [X(0)], name="x")
+        report = compile_many(
+            [
+                (circuit, "ibmqx4"),
+                (circuit, get_device("ibmqx4"), OPTIONS),
+                CompileJob.make(circuit, "ibmqx4", OPTIONS),
+            ]
+        )
+        assert report.ok
+        assert len(report) == 3
+
+    def test_unknown_option_rejected(self):
+        circuit = QuantumCircuit(1, [X(0)])
+        with pytest.raises(ReproError, match="unknown compile option"):
+            CompileJob.make(circuit, "ibmqx4", {"optimise": True})
+
+    def test_bad_job_shape_rejected(self):
+        with pytest.raises(ReproError, match="jobs must be"):
+            compile_many(["not a job"])
+
+    def test_label_defaults_to_name_at_device(self):
+        circuit = QuantumCircuit(1, [X(0)], name="x")
+        job = CompileJob.make(circuit, "ibmqx4")
+        assert job.label == "x@ibmqx4"
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ReproError, match="workers"):
+            compile_many([], workers=0)
+
+
+class TestSerialSemantics:
+    def test_matches_compile_circuit(self):
+        device = get_device("ibmqx4")
+        circuits = small_circuits()
+        report = compile_many(
+            [(c, device, OPTIONS) for c in circuits], workers=1
+        )
+        for circuit, entry in zip(circuits, report):
+            direct = compile_circuit(circuit, device, verify=False)
+            assert to_qasm(entry.result.optimized) == to_qasm(direct.optimized)
+            assert entry.result.optimized_metrics == direct.optimized_metrics
+
+    def test_deterministic_submission_order(self):
+        device = get_device("ibmqx4")
+        circuits = small_circuits()
+        report = compile_many(
+            [(c, device, OPTIONS) for c in circuits], workers=1
+        )
+        assert [entry.job.circuit.name for entry in report] == [
+            c.name for c in circuits
+        ]
+        assert [entry.index for entry in report] == list(range(len(circuits)))
+
+
+class TestParallelSemantics:
+    def test_parallel_byte_identical_to_serial(self):
+        device = get_device("ibmqx4")
+        circuits = small_circuits()
+        jobs = [(c, device, OPTIONS) for c in circuits]
+        serial = compile_many(jobs, workers=1)
+        parallel = compile_many(jobs, workers=2)
+        assert parallel.workers == 2
+        for left, right in zip(serial, parallel):
+            assert to_qasm(left.result.optimized) == to_qasm(
+                right.result.optimized
+            )
+            assert to_qasm(left.result.unoptimized) == to_qasm(
+                right.result.unoptimized
+            )
+            assert (
+                left.result.optimized_metrics == right.result.optimized_metrics
+            )
+
+    def test_parallel_preserves_order_and_errors(self):
+        device = get_device("ibmqx4")
+        wide = QuantumCircuit(16, [X(0)], name="wide")  # > 5 qubits: N/A
+        circuits = small_circuits()
+        jobs = [(c, device, OPTIONS) for c in circuits[:2]]
+        jobs.append((wide, device, OPTIONS))
+        jobs += [(c, device, OPTIONS) for c in circuits[2:]]
+        report = compile_many(jobs, workers=2)
+        assert [e.job.circuit.name for e in report] == [
+            "bell",
+            "ccx",
+            "wide",
+            "misc",
+            "xh",
+        ]
+        assert not report[2].ok
+        assert report[2].error.not_synthesizable
+        assert all(e.ok for i, e in enumerate(report) if i != 2)
+
+    def test_unpicklable_job_falls_back_to_serial(self):
+        device = get_device("ibmqx4")
+        opaque = CostFunction(custom=lambda c: float(len(c)))
+        circuits = small_circuits()[:2]
+        jobs = [
+            (circuits[0], device, OPTIONS),
+            (circuits[1], device, dict(OPTIONS, cost_function=opaque)),
+        ]
+        report = compile_many(jobs, workers=2)
+        assert report.ok
+        assert report.serial_fallbacks == 1
+
+
+class TestErrorCapture:
+    def test_not_synthesizable_is_structured(self):
+        wide = QuantumCircuit(16, [X(0)], name="wide")
+        report = compile_many([(wide, "ibmqx4", OPTIONS)])
+        entry = report[0]
+        assert not entry.ok
+        assert entry.error.not_synthesizable
+        assert entry.error.exception_type == "NotSynthesizableError"
+        assert entry.error.message
+        with pytest.raises(ReproError, match="wide@ibmqx4"):
+            entry.unwrap()
+
+    def test_one_failure_does_not_mask_others(self):
+        device = get_device("ibmqx4")
+        good = QuantumCircuit(2, [H(0), CNOT(0, 1)], name="good")
+        bad = QuantumCircuit(16, [X(0)], name="bad")
+        report = compile_many(
+            [(bad, device, OPTIONS), (good, device, OPTIONS)]
+        )
+        assert not report.ok
+        assert len(report.errors()) == 1
+        assert len(report.successes()) == 1
+        assert report.successes()[0].job.circuit.name == "good"
+
+
+class TestReport:
+    def test_summary_mentions_counts(self):
+        circuit = QuantumCircuit(1, [X(0)], name="x")
+        report = compile_many([(circuit, "ibmqx4", OPTIONS)])
+        assert isinstance(report, BatchReport)
+        summary = report.summary()
+        assert "1 jobs" in summary
+        assert "0 failed" in summary
+        assert "workers=1" in summary
+
+    def test_cache_hits_counted(self):
+        cache = CompilationCache()
+        circuit = QuantumCircuit(2, [H(0), CNOT(0, 1)], name="bell")
+        jobs = [(circuit, "ibmqx4", OPTIONS)]
+        first = compile_many(jobs, cache=cache)
+        second = compile_many(jobs, cache=cache)
+        assert first.cache_hits == 0
+        assert second.cache_hits == 1
+        assert second[0].from_cache

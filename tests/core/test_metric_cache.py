@@ -1,0 +1,75 @@
+"""Cached derived circuit metrics must invalidate on mutation."""
+
+from repro.core import CNOT, H, QuantumCircuit, T, Tdg, X
+
+
+def build():
+    return QuantumCircuit(2, [H(0), T(0), CNOT(0, 1)], name="c")
+
+
+class TestInvalidation:
+    def test_append_updates_every_metric(self):
+        circuit = build()
+        # Populate all caches first.
+        assert circuit.gate_volume == 3
+        assert circuit.t_count == 1
+        assert circuit.depth() == 3
+        assert circuit.t_depth() == 1
+        before = circuit.fingerprint()
+
+        circuit.append(Tdg(1))
+
+        assert circuit.gate_volume == 4
+        assert circuit.t_count == 2
+        assert circuit.depth() == 4  # qubit 1 is busy until the CNOT layer
+        assert circuit.t_depth() == 2
+        assert circuit.fingerprint() != before
+
+    def test_extend_updates_every_metric(self):
+        circuit = build()
+        assert circuit.count("H") == 1
+        assert circuit.depth() == 3
+        before = circuit.fingerprint()
+
+        circuit.extend([H(0), X(1)])
+
+        assert circuit.count("H") == 2
+        assert circuit.count("X") == 1
+        assert circuit.gate_volume == 5
+        assert circuit.depth() == 4
+        assert circuit.fingerprint() != before
+
+    def test_histogram_copy_does_not_leak_cache(self):
+        circuit = build()
+        histogram = circuit.gate_histogram()
+        histogram["H"] = 99  # mutating the copy must not poison the cache
+        assert circuit.gate_histogram()["H"] == 1
+        assert circuit.count("H") == 1
+
+    def test_repeated_reads_are_consistent(self):
+        circuit = build()
+        assert circuit.depth() == circuit.depth()
+        assert circuit.fingerprint() == circuit.fingerprint()
+        assert circuit.gate_histogram() == circuit.gate_histogram()
+
+
+class TestDerivedConstructors:
+    """Circuits built via the trusted fast path still report correctly."""
+
+    def test_copy_compose_inverse_slice(self):
+        circuit = build()
+        assert circuit.copy().gate_volume == 3
+        assert circuit.compose(build()).gate_volume == 6
+        assert circuit.inverse().t_count == 1  # t -> tdg, still a T gate
+        assert circuit[0:2].gate_volume == 2
+        assert circuit.widened(4).num_qubits == 4
+        assert circuit.widened(4).gate_volume == 3
+
+    def test_mutating_a_copy_leaves_original_cached_metrics(self):
+        original = build()
+        assert original.gate_volume == 3
+        clone = original.copy()
+        clone.append(X(0))
+        assert clone.gate_volume == 4
+        assert original.gate_volume == 3
+        assert original.fingerprint() != clone.fingerprint()

@@ -1,0 +1,53 @@
+"""QMDD cache hit/miss instrumentation."""
+
+from repro import CNOT, H, QMDDManager, QuantumCircuit, T
+
+COUNTER_NAMES = ("mul", "add", "gate", "apply")
+
+
+def build_twice():
+    manager = QMDDManager(3)
+    circuit = QuantumCircuit(
+        3, [H(0), T(0), CNOT(0, 1), CNOT(1, 2), T(2), CNOT(0, 1)]
+    )
+    manager.circuit_edge(circuit)
+    manager.circuit_edge(circuit)
+    return manager
+
+
+class TestCounters:
+    def test_fresh_manager_starts_at_zero(self):
+        manager = QMDDManager(2)
+        for name in COUNTER_NAMES:
+            assert manager.cache_hits[name] == 0
+            assert manager.cache_misses[name] == 0
+            assert manager.cache_hit_rates()[name] == 0.0
+
+    def test_stats_expose_every_counter(self):
+        stats = QMDDManager(2).stats()
+        for name in COUNTER_NAMES:
+            assert f"{name}_hits" in stats
+            assert f"{name}_misses" in stats
+
+    def test_gate_cache_hits_on_repeated_gate(self):
+        manager = QMDDManager(2)
+        manager.gate_edge(H(0))
+        assert manager.cache_misses["gate"] == 1
+        assert manager.cache_hits["gate"] == 0
+        manager.gate_edge(H(0))
+        assert manager.cache_hits["gate"] == 1
+
+    def test_repeated_circuit_build_hits_caches(self):
+        manager = build_twice()
+        rates = manager.cache_hit_rates()
+        # The second identical build re-derives nothing new: the apply
+        # traversals come straight from the per-operation caches.
+        assert rates["apply"] > 0.0
+        for name in COUNTER_NAMES:
+            assert 0.0 <= rates[name] <= 1.0
+
+    def test_counters_are_monotonic(self):
+        manager = build_twice()
+        before = dict(manager.cache_hits)
+        manager.gate_edge(H(0))
+        assert manager.cache_hits["gate"] >= before["gate"]
