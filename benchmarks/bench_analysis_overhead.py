@@ -1,0 +1,99 @@
+"""Stage-contract analysis must stay effectively free in default mode.
+
+Compiles a Table-3-style grid (single-target gates x IBM devices) twice
+— once with the stage contracts on (the default) and once with
+``analyze=False`` — and asserts the analysis adds less than 5% to
+compile wall-clock.  Each configuration is timed min-of-3 to shed
+scheduler noise; for sub-millisecond grids a small absolute epsilon
+applies instead (relative overhead is meaningless at that scale).
+
+The measured overhead is recorded into ``BENCH_runtime.json`` under the
+``analysis_overhead`` suite, giving future PRs a trajectory for the
+analyzer hot path.
+"""
+
+import time
+
+from harness import RUNTIME
+from repro.benchlib import single_target
+from repro.compiler import compile_circuit
+from repro.devices import PAPER_DEVICES
+
+#: Wall-clock fraction the default-mode analyzers may add.
+MAX_OVERHEAD = 0.05
+
+#: Grids faster than this are judged by absolute slack instead: timer
+#: granularity and allocator noise dominate below a few milliseconds.
+ABSOLUTE_EPSILON_SECONDS = 0.050
+
+#: Interleaved (off, on) measurement pairs; min-of-N per side rejects
+#: scheduler noise, and interleaving cancels slow machine-load drift
+#: that back-to-back blocks would attribute to one side.
+REPEATS = 5
+
+
+def _grid_jobs():
+    from repro.core.exceptions import NotSynthesizableError
+
+    jobs = []
+    for name, qubits in single_target.PAPER_STG_BENCHMARKS[:6]:
+        circuit = single_target.build_benchmark(name, qubits)
+        for device in PAPER_DEVICES:
+            if circuit.num_qubits > device.num_qubits:
+                continue
+            try:  # drop the paper's N/A cells (e.g. full-width MCX)
+                compile_circuit(circuit, device, verify=False)
+            except NotSynthesizableError:
+                continue
+            jobs.append((circuit, device))
+    return jobs
+
+
+def _time_pass(jobs, analyze):
+    started = time.perf_counter()
+    for circuit, device in jobs:
+        compile_circuit(circuit, device, verify=False, analyze=analyze)
+    return time.perf_counter() - started
+
+
+def _time_grid(jobs):
+    """Interleaved min-of-N for both configurations."""
+    without = with_analysis = None
+    for _ in range(REPEATS):
+        off = _time_pass(jobs, analyze=False)
+        on = _time_pass(jobs, analyze=True)
+        without = off if without is None else min(without, off)
+        with_analysis = (
+            on if with_analysis is None else min(with_analysis, on)
+        )
+    return without, with_analysis
+
+
+def test_analysis_overhead_under_five_percent():
+    jobs = _grid_jobs()  # building the grid also warms every memo cache
+    assert jobs, "benchmark grid is empty"
+
+    without, with_analysis = _time_grid(jobs)
+    overhead = with_analysis - without
+    relative = overhead / without if without > 0 else 0.0
+
+    RUNTIME["analysis_overhead"] = {
+        "cells": len(jobs),
+        "repeats": REPEATS,
+        "seconds_without_analysis": round(without, 6),
+        "seconds_with_analysis": round(with_analysis, 6),
+        "overhead_seconds": round(overhead, 6),
+        "overhead_relative": round(relative, 6),
+    }
+    print(
+        f"\nanalysis overhead: {without * 1e3:.1f} ms -> "
+        f"{with_analysis * 1e3:.1f} ms over {len(jobs)} cells "
+        f"({relative * 100:+.2f}%)"
+    )
+
+    assert (
+        relative < MAX_OVERHEAD or overhead < ABSOLUTE_EPSILON_SECONDS
+    ), (
+        f"default-mode analysis added {relative * 100:.1f}% "
+        f"({overhead * 1e3:.1f} ms) to the grid compile"
+    )

@@ -31,8 +31,10 @@ from .core import (
     CZ,
     CircuitError,
     CircuitMetrics,
+    ContractViolation,
     CostFunction,
     DeviceError,
+    InvalidGateError,
     Gate,
     H,
     I,
@@ -70,6 +72,13 @@ from .qmdd import QMDDManager, check_equivalence
 from .verify import require_equivalent, verify_equivalent
 from .frontend import TruthTable, synthesize_truth_table, single_target_gate
 from .io import read_circuit
+from .analysis import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    StageContracts,
+    lint_circuit,
+)
 from .compiler import CompilationResult, compile_circuit, compile_classical_function
 from .batch import BatchReport, CompilationCache, CompileJob, compile_many
 from .drawing import draw_circuit
@@ -104,11 +113,19 @@ __all__ = [
     "ReproError",
     "ParseError",
     "CircuitError",
+    "InvalidGateError",
     "DeviceError",
     "SynthesisError",
+    "ContractViolation",
     "NotSynthesizableError",
     "VerificationError",
     "QMDDError",
+    # analysis
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "StageContracts",
+    "lint_circuit",
     # devices
     "CouplingMap",
     "Device",

@@ -1,0 +1,111 @@
+"""Static analysis over the compiler IR: linting and stage contracts.
+
+The paper's back-end guarantees are *statically checkable invariants* —
+every CNOT on a directed coupling edge after CTR/reversal, decomposed
+cascades restricted to the native {1-qubit, CNOT} library, Barenco
+dirty ancillas restored.  This subsystem machine-enforces them:
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` model
+  (stable ``REPROxxx`` codes, severity, gate/qubit/file location, fix
+  hint) and :class:`DiagnosticReport` collections with JSON round-trip.
+* :mod:`repro.analysis.registry` — the pluggable :class:`Analyzer`
+  registry and :func:`run_analyzers` front door.
+* :mod:`repro.analysis.analyzers` — the built-in suite (well-formedness,
+  coupling legality, gate-set conformance, ancilla restoration,
+  identity windows).
+* :mod:`repro.analysis.contracts` — :class:`StageContracts`, the
+  per-stage enforcement the compiler threads through its pipeline
+  (strict mode raises :class:`ContractViolation`; default mode records
+  onto ``CompilationResult.diagnostics``).
+
+Quick use::
+
+    from repro.analysis import lint_circuit
+
+    report = lint_circuit(circuit, device=get_device("ibmqx4"))
+    print(report.render_text())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..devices.device import Device
+from .diagnostics import (
+    CODE_CATALOG,
+    ContractViolation,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+)
+from .registry import (
+    AnalysisContext,
+    Analyzer,
+    available_analyzers,
+    get_analyzer,
+    register_analyzer,
+    run_analyzers,
+)
+from .analyzers import (
+    AncillaRestoreAnalyzer,
+    CouplingAnalyzer,
+    GateSetAnalyzer,
+    IdentityWindowAnalyzer,
+    WellFormednessAnalyzer,
+)
+from .contracts import STAGE_ANALYZERS, StageContracts
+
+#: Analyzers run by :func:`lint_circuit` (and ``repro lint``) when no
+#: explicit selection is given; device-requiring analyzers are skipped
+#: automatically without a device.
+DEFAULT_LINT_ANALYZERS = (
+    "well-formed",
+    "coupling",
+    "gate-set",
+    "identity-window",
+)
+
+
+def lint_circuit(
+    circuit: QuantumCircuit,
+    device: Optional[Device] = None,
+    names: Optional[Sequence[str]] = None,
+) -> DiagnosticReport:
+    """Run the lint analyzer suite over one circuit.
+
+    With a ``device``, coupling-map legality and native-gate-set
+    conformance are checked too — the static half of what the QMDD
+    verifier establishes dynamically.
+    """
+    selected = list(names) if names is not None else list(DEFAULT_LINT_ANALYZERS)
+    if device is None:
+        selected = [
+            name for name in selected
+            if not get_analyzer(name).requires_device
+        ]
+    return run_analyzers(circuit, device=device, names=selected, stage="lint")
+
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ContractViolation",
+    "CODE_CATALOG",
+    "AnalysisContext",
+    "Analyzer",
+    "register_analyzer",
+    "get_analyzer",
+    "available_analyzers",
+    "run_analyzers",
+    "WellFormednessAnalyzer",
+    "CouplingAnalyzer",
+    "GateSetAnalyzer",
+    "AncillaRestoreAnalyzer",
+    "IdentityWindowAnalyzer",
+    "StageContracts",
+    "STAGE_ANALYZERS",
+    "DEFAULT_LINT_ANALYZERS",
+    "lint_circuit",
+]

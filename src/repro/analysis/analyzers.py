@@ -1,0 +1,547 @@
+"""The built-in analyzer suite.
+
+Each analyzer machine-enforces one of the back-end's statically
+checkable invariants:
+
+* :class:`WellFormednessAnalyzer` — the IR-level structure every stage
+  assumes (operands in range, distinct, known operators).
+* :class:`CouplingAnalyzer` — after CTR/reversal (paper Figs. 4-6) every
+  CNOT must sit on a *directed* edge of the device coupling map.
+* :class:`GateSetAnalyzer` — after library expansion/rebasing every gate
+  must be in the target's native library.
+* :class:`AncillaRestoreAnalyzer` — dirty ancillas borrowed by the
+  Barenco Lemma 7.2/7.3 lowerings must be restored to their initial
+  (arbitrary) values.
+* :class:`IdentityWindowAnalyzer` — inverse pairs separated only by
+  commuting gates are identity windows the optimizer should have
+  canceled; finding one after optimization flags a missed reduction.
+
+All analyzers are registered under short stable names and run through
+:func:`repro.analysis.run_analyzers` or the pipeline stage contracts
+(:mod:`repro.analysis.contracts`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List
+
+from ..core.gates import (
+    ALL_GATES,
+    GATE_ARITY,
+    Gate,
+    INVERSE_NAME,
+    PARAM_COUNT,
+)
+from .diagnostics import Diagnostic
+from .registry import AnalysisContext, Analyzer, register_analyzer
+
+__all__ = [
+    "WellFormednessAnalyzer",
+    "CouplingAnalyzer",
+    "GateSetAnalyzer",
+    "AncillaRestoreAnalyzer",
+    "IdentityWindowAnalyzer",
+]
+
+#: Gates with classical (permutation) semantics the ancilla checker can
+#: simulate bitwise.
+_CLASSICAL_GATES = frozenset({"I", "X", "CNOT", "TOFFOLI", "MCX", "SWAP"})
+
+#: Default number of sampled basis states for the ancilla-restore check.
+_ANCILLA_SAMPLES = 16
+
+#: Default commutation-walk bound of the identity-window scan.  Kept
+#: below the optimizer's cancellation window so a clean optimizer output
+#: is also clean here.
+_IDENTITY_LOOKBACK = 16
+
+
+def _structural_max_qubit(gate: Gate) -> int:
+    """Highest operand index if ``gate`` is structurally valid, else -1.
+
+    "Structurally valid" covers every width-independent well-formedness
+    rule: known operator, distinct non-negative operands, correct arity
+    and parameter count.  The caller supplies the width comparison.
+    """
+    name = gate.name
+    qubits = gate.qubits
+    n_qubits = len(qubits)
+    if (
+        name in ALL_GATES
+        and n_qubits > 0
+        and len(gate._support) == n_qubits
+        and min(qubits) >= 0
+        and GATE_ARITY.get(name, n_qubits) == n_qubits
+        and PARAM_COUNT.get(name, 0) == len(gate.params)
+    ):
+        return max(qubits)
+    return -1
+
+
+#: gate -> :func:`_structural_max_qubit` verdict.  Gates are immutable
+#: and interned, so this stays within the interning pool's footprint.
+_WELL_FORMED_MEMO: Dict[Gate, int] = {}
+
+
+@register_analyzer
+class WellFormednessAnalyzer(Analyzer):
+    """IR structure: operand bounds, distinctness, known operators.
+
+    :class:`~repro.core.gates.Gate` validates most of this at
+    construction time (REPRO101/102 are unreachable through the public
+    constructors), but circuits rebuilt through trusted fast paths —
+    cache deserialization, optimizer sweeps, hand-built test fixtures —
+    bypass that; this analyzer is the safety net behind them.
+    """
+
+    name = "well-formed"
+
+    def analyze(self, context: AnalysisContext) -> Iterator[Diagnostic]:
+        circuit = context.circuit
+        if circuit.num_qubits == 0 or len(circuit) == 0:
+            yield self.diagnostic(
+                "REPRO103",
+                f"circuit {circuit.name or '(unnamed)'} is "
+                + ("zero-width" if circuit.num_qubits == 0 else "empty"),
+                hint="nothing to compile; check the front-end input",
+            )
+        # Hot path: stage contracts run this over every intermediate
+        # circuit, and virtually every gate is valid.  Structural
+        # validity is width-independent, so it is memoized per (interned,
+        # immutable) gate — the steady state is one dict probe plus a
+        # bounds compare per gate; only offenders fall through to the
+        # detailed checks below.
+        width = circuit.num_qubits
+        memo = _WELL_FORMED_MEMO
+        for index, gate in enumerate(circuit):
+            highest = memo.get(gate)
+            if highest is None:
+                highest = _structural_max_qubit(gate)
+                memo[gate] = highest
+            if 0 <= highest < width:
+                continue
+            if gate.name not in ALL_GATES:
+                yield self.diagnostic(
+                    "REPRO104",
+                    f"unknown gate name {gate.name!r}",
+                    gate_index=index,
+                    hint="the IR understands only repro.core.gates.ALL_GATES",
+                )
+                continue
+            if len(set(gate.qubits)) != len(gate.qubits):
+                yield self.diagnostic(
+                    "REPRO102",
+                    f"duplicate operands in {gate}",
+                    gate_index=index,
+                    qubits=gate.qubits,
+                    hint="a gate's control and target wires must be distinct",
+                )
+            out_of_range = [
+                q for q in gate.qubits if q < 0 or q >= circuit.num_qubits
+            ]
+            if out_of_range:
+                yield self.diagnostic(
+                    "REPRO101",
+                    f"{gate} uses qubit(s) "
+                    f"{', '.join(f'q{q}' for q in out_of_range)} outside "
+                    f"width {circuit.num_qubits}",
+                    gate_index=index,
+                    qubits=tuple(out_of_range),
+                    hint="widen the circuit or renumber the gate operands",
+                )
+            arity = GATE_ARITY.get(gate.name)
+            if arity is not None and len(gate.qubits) != arity:
+                yield self.diagnostic(
+                    "REPRO105",
+                    f"{gate.name} expects {arity} operand(s), got "
+                    f"{len(gate.qubits)}",
+                    gate_index=index,
+                    qubits=gate.qubits,
+                )
+            expected_params = PARAM_COUNT.get(gate.name, 0)
+            if len(gate.params) != expected_params:
+                yield self.diagnostic(
+                    "REPRO105",
+                    f"{gate.name} expects {expected_params} parameter(s), "
+                    f"got {len(gate.params)}",
+                    gate_index=index,
+                    qubits=gate.qubits,
+                )
+
+
+@register_analyzer
+class CouplingAnalyzer(Analyzer):
+    """Coupling-map legality of every two-qubit interaction.
+
+    After CNOT legalization (orientation reversal, Fig. 6, and CTR
+    rerouting, Figs. 3-5) every CNOT must lie on a *directed* edge of
+    the device coupling map, and every RXX on a coupled ion pair.
+    """
+
+    name = "coupling"
+    requires_device = True
+
+    def analyze(self, context: AnalysisContext) -> Iterator[Diagnostic]:
+        device = context.device
+        coupling_map = device.coupling_map
+        num_qubits = device.num_qubits
+        # Legality verdicts are memoized on the coupling map itself:
+        # gates are interned and immutable, so after warm-up the hot path
+        # is one dict probe per gate.  Only legal verdicts are cached —
+        # offenders (rare) always take the diagnostic slow path.
+        memo = getattr(coupling_map, "_legal_gate_memo", None)
+        if memo is None:
+            memo = {}
+            setattr(coupling_map, "_legal_gate_memo", memo)
+        # ``directed_edges`` is the same frozenset ``allows`` consults,
+        # fetched once instead of through a method call per gate.
+        # All-to-all maps (the simulator) allow any in-range pair,
+        # flagged by ``edges = None``.
+        edges = (
+            None if coupling_map.all_to_all else coupling_map.directed_edges
+        )
+        for index, gate in enumerate(context.circuit):
+            if gate in memo:
+                continue
+            # First sight: in-range operands and (for CNOTs) a directed
+            # coupling edge — the common case after legalization.
+            qubits = gate.qubits
+            if max(qubits) < num_qubits:
+                if edges is None:  # all-to-all: any in-range pair is legal
+                    if min(qubits) >= 0:
+                        memo[gate] = True
+                        continue
+                else:
+                    name = gate.name
+                    if name == "CNOT":
+                        if qubits in edges:
+                            memo[gate] = True
+                            continue
+                    elif name != "RXX":
+                        memo[gate] = True
+                        continue
+                    elif qubits in edges or (qubits[1], qubits[0]) in edges:
+                        memo[gate] = True
+                        continue
+            high = [q for q in gate.qubits if q >= device.num_qubits]
+            if high:
+                yield self.diagnostic(
+                    "REPRO203",
+                    f"{gate} uses qubit(s) "
+                    f"{', '.join(f'q{q}' for q in high)} beyond "
+                    f"{device.name}'s {device.num_qubits} qubits",
+                    gate_index=index,
+                    qubits=tuple(high),
+                    hint="re-place the circuit onto the device",
+                )
+                continue
+            if gate.name == "CNOT":
+                control, target = gate.qubits
+                if not coupling_map.allows(control, target):
+                    if coupling_map.allows(target, control):
+                        hint = (
+                            "only the reversed orientation is coupled; "
+                            "conjugate with Hadamards (paper Fig. 6)"
+                        )
+                    else:
+                        hint = (
+                            "no coupling in either direction; reroute with "
+                            "CTR (paper Figs. 3-5)"
+                        )
+                    yield self.diagnostic(
+                        "REPRO201",
+                        f"CNOT(q{control}, q{target}) is not a directed "
+                        f"edge of {device.name}",
+                        gate_index=index,
+                        qubits=gate.qubits,
+                        hint=hint,
+                    )
+            elif gate.name == "RXX":
+                a, b = gate.qubits
+                if not coupling_map.coupled(a, b):
+                    yield self.diagnostic(
+                        "REPRO202",
+                        f"RXX(q{a}, q{b}) acts on uncoupled qubits of "
+                        f"{device.name}",
+                        gate_index=index,
+                        qubits=gate.qubits,
+                        hint="route the interaction onto a coupled pair",
+                    )
+
+
+#: Decomposition hints for common non-native gates.
+_GATE_SET_HINTS: Dict[str, str] = {
+    "TOFFOLI": "expand via the Nielsen & Chuang Toffoli network "
+    "(repro.backend.toffoli)",
+    "MCX": "lower via Barenco V-chains (repro.backend.mcx)",
+    "CZ": "expand to H-CNOT-H (repro.backend.toffoli.expand_non_native)",
+    "SWAP": "expand to three CNOTs (repro.backend.toffoli)",
+    "CNOT": "rebase to the device's native entangler "
+    "(repro.backend.rebase)",
+}
+
+
+@register_analyzer
+class GateSetAnalyzer(Analyzer):
+    """Native gate-set conformance for the target's rebase level.
+
+    A fully mapped circuit may only use the device's technology library
+    — the transmon {1-qubit, CNOT} set for IBM targets, {RX, RY, RZ,
+    RXX} after the trapped-ion rebase.
+    """
+
+    name = "gate-set"
+    requires_device = True
+
+    def analyze(self, context: AnalysisContext) -> Iterator[Diagnostic]:
+        device = context.device
+        verdicts: Dict[str, bool] = {}  # per-name memo for the scan
+        for index, gate in enumerate(context.circuit):
+            supported = verdicts.get(gate.name)
+            if supported is None:
+                supported = device.supports_gate(gate.name)
+                verdicts[gate.name] = supported
+            if not supported:
+                hint = _GATE_SET_HINTS.get(
+                    gate.name, "decompose into the device's native library"
+                )
+                yield self.diagnostic(
+                    "REPRO211",
+                    f"{gate} is not in {device.name}'s native gate set",
+                    gate_index=index,
+                    qubits=gate.qubits,
+                    hint=hint,
+                )
+
+
+@register_analyzer
+class AncillaRestoreAnalyzer(Analyzer):
+    """Dirty-ancilla restoration across Barenco V-chains (Lemma 7.2/7.3).
+
+    The MCX lowering borrows idle device wires in an *arbitrary* state
+    and promises to restore them.  For classical reversible cascades
+    (NOT/CNOT/Toffoli/MCX/SWAP) the promise is checked exactly by
+    bitwise simulation of sampled basis states: every wire outside
+    ``context.active_qubits`` must map back to its input value.  The
+    sample always includes the all-zeros and all-ones states plus
+    deterministic pseudo-random states, so a verdict is reproducible.
+
+    Circuits containing non-classical gates on borrowed wires cannot be
+    checked this cheaply and are skipped.
+    """
+
+    name = "ancilla-restore"
+
+    def analyze(self, context: AnalysisContext) -> Iterator[Diagnostic]:
+        circuit = context.circuit
+        if context.active_qubits is None:
+            return
+        ancillas = sorted(
+            set(circuit.used_qubits) - set(context.active_qubits)
+        )
+        if not ancillas:
+            return
+        gates = list(circuit)
+        ancilla_set = set(ancillas)
+        if any(
+            gate.name not in _CLASSICAL_GATES
+            and not ancilla_set.isdisjoint(gate.support)
+            for gate in gates
+        ):
+            return  # non-classical gate touches a borrowed wire: skip
+        if not all(gate.name in _CLASSICAL_GATES for gate in gates):
+            # Classical gates on ancillas but quantum gates elsewhere:
+            # basis-state simulation is unsound (controls may be in
+            # superposition), so stay silent rather than guess.
+            return
+
+        width = circuit.num_qubits
+        samples = int(context.options.get("ancilla_samples", _ANCILLA_SAMPLES))
+        rng = random.Random(0xA11C)
+        states = {0, (1 << width) - 1}
+        while len(states) < min(samples, 2 ** width):
+            states.add(rng.getrandbits(width))
+        broken: Dict[int, int] = {}  # ancilla -> witness input state
+        for state in sorted(states):
+            final = _simulate_classical(gates, state, width)
+            for ancilla in ancillas:
+                if ancilla in broken:
+                    continue
+                bit = 1 << (width - 1 - ancilla)
+                if (final ^ state) & bit:
+                    broken[ancilla] = state
+        for ancilla in ancillas:
+            if ancilla in broken:
+                yield self.diagnostic(
+                    "REPRO301",
+                    f"borrowed dirty ancilla q{ancilla} is not restored "
+                    "(witness basis state "
+                    f"|{broken[ancilla]:0{width}b}>)",
+                    qubits=(ancilla,),
+                    hint="the Barenco compute ladder must be uncomputed; "
+                    "check the V-chain's second D-U sweep",
+                )
+
+
+def _simulate_classical(gates: List[Gate], state: int, width: int) -> int:
+    """Apply a classical reversible cascade to one basis state.
+
+    Bit convention matches the IR: qubit 0 is the most significant bit.
+    """
+    for gate in gates:
+        name = gate.name
+        if name == "I":
+            continue
+        if name == "X":
+            state ^= 1 << (width - 1 - gate.qubits[0])
+        elif name == "SWAP":
+            a, b = gate.qubits
+            bit_a = (state >> (width - 1 - a)) & 1
+            bit_b = (state >> (width - 1 - b)) & 1
+            if bit_a != bit_b:
+                state ^= (1 << (width - 1 - a)) | (1 << (width - 1 - b))
+        else:  # CNOT / TOFFOLI / MCX
+            if all(
+                (state >> (width - 1 - control)) & 1
+                for control in gate.qubits[:-1]
+            ):
+                state ^= 1 << (width - 1 - gate.qubits[-1])
+    return state
+
+
+@register_analyzer
+class IdentityWindowAnalyzer(Analyzer):
+    """Identity windows: inverse pairs separated by commuting gates.
+
+    Reuses the memoized ``commutes_with`` / ``is_inverse_of`` verdicts
+    (:mod:`repro.core.gates`): for every gate a bounded backward walk
+    skips provably commuting gates; meeting the gate's own inverse means
+    the pair composes to identity — a reduction the local optimizer
+    should have taken, reported as a warning.
+    """
+
+    name = "identity-window"
+
+    def analyze(self, context: AnalysisContext) -> Iterator[Diagnostic]:
+        gates = list(context.circuit)
+        lookback = int(context.options.get("lookback", _IDENTITY_LOOKBACK))
+        reported = set()
+        # Per-qubit chains of gate indices let the backward walk jump
+        # straight between gates sharing support: disjoint gates in
+        # between (which always commute) are never even visited, keeping
+        # the scan linear on wide circuits.
+        chains: Dict[int, List[int]] = {}
+        inverse_of = INVERSE_NAME
+        chain_of = chains.get
+        for index, gate in enumerate(gates):
+            qubits = gate.qubits
+            # Nearest previous gate sharing a wire, found without any
+            # allocation: in the common case it neither inverts nor
+            # commutes with ``gate`` and the scan ends right here.  Only
+            # a commuting neighbor (rare) opens the full cursor walk.
+            nearest = -1
+            for q in qubits:
+                chain = chain_of(q)
+                if chain:
+                    tail = chain[-1]
+                    if tail > nearest:
+                        nearest = tail
+            if nearest >= 0:
+                support = gate._support
+                # Necessary conditions for an inverse partner, checked
+                # inline before the (memoized but costlier) exact verdict.
+                partner_name = inverse_of.get(gate.name, gate.name)
+                other = gates[nearest]
+                if (
+                    other.name == partner_name
+                    and other._support == support
+                    and gate.is_inverse_of(other)
+                ):
+                    if nearest not in reported and index not in reported:
+                        reported.update((nearest, index))
+                        yield self.diagnostic(
+                            "REPRO401",
+                            f"gates {nearest} and {index} "
+                            f"({other} / {gate}) form an identity window",
+                            gate_index=index,
+                            qubits=qubits,
+                            hint="cancel the pair (repro.optimize."
+                            "cancellation.remove_identities)",
+                        )
+                elif lookback > 1 and gate.commutes_with(other):
+                    result = self._walk(
+                        gates, index, gate, partner_name, nearest,
+                        chains, lookback, reported,
+                    )
+                    if result is not None:
+                        yield result
+            for q in qubits:
+                chain = chain_of(q)
+                if chain is None:
+                    chains[q] = [index]
+                else:
+                    chain.append(index)
+
+    def _walk(
+        self,
+        gates: List[Gate],
+        index: int,
+        gate: Gate,
+        partner_name: str,
+        nearest: int,
+        chains: Dict[int, List[int]],
+        lookback: int,
+        reported: set,
+    ):
+        """Continue the backward commutation walk past ``nearest``.
+
+        ``gate`` is already known to commute with ``gates[nearest]``;
+        walk earlier gates sharing support (via the per-qubit chains)
+        until an inverse partner, a blocker, or the lookback bound.
+        Returns the diagnostic to report, or ``None``.
+        """
+        support = gate._support
+        cursors = []
+        for q in gate.qubits:
+            chain = chains.get(q)
+            if chain:
+                position = len(chain) - 1
+                while position >= 0 and chain[position] >= nearest:
+                    position -= 1
+                if position >= 0:
+                    cursors.append([chain, position])
+        steps = 1  # the commuting neighbor already consumed one step
+        while steps < lookback:
+            j = -1
+            for chain, position in cursors:
+                if position >= 0 and chain[position] > j:
+                    j = chain[position]
+            if j < 0:
+                break
+            other = gates[j]
+            if (
+                other.name == partner_name
+                and other._support == support
+                and gate.is_inverse_of(other)
+            ):
+                if j not in reported and index not in reported:
+                    reported.update((j, index))
+                    return self.diagnostic(
+                        "REPRO401",
+                        f"gates {j} and {index} ({other} / {gate}) "
+                        "form an identity window",
+                        gate_index=index,
+                        qubits=gate.qubits,
+                        hint="cancel the pair (repro.optimize."
+                        "cancellation.remove_identities)",
+                    )
+                break
+            if not gate.commutes_with(other):
+                break
+            steps += 1
+            for cursor in cursors:
+                chain, position = cursor
+                if position >= 0 and chain[position] == j:
+                    cursor[1] = position - 1
+        return None

@@ -1,0 +1,133 @@
+"""Pipeline stage contracts: analyzer suites bound to compiler stages.
+
+The compiler (:func:`repro.compiler.compile_circuit`) threads one
+:class:`StageContracts` recorder through its pipeline.  After each stage
+the recorder runs the analyzers contracted for that stage and either
+*records* the findings (default mode — they end up on
+``CompilationResult.diagnostics``) or *raises*
+:class:`~repro.core.exceptions.ContractViolation` (strict mode), turning
+a silent miscompile into a located, coded failure at the exact stage
+that produced it.
+
+Stage -> analyzer contracts:
+
+====================  ====================================================
+``input``             well-formed
+``lowered``           well-formed, ancilla-restore (Barenco borrows)
+``mapped``            well-formed, coupling, gate-set
+``optimized``         coupling, gate-set
+====================  ====================================================
+
+plus the cost-monotonicity guard (:meth:`StageContracts.check_cost`)
+between the mapped and optimized stages.
+
+The advisory identity-window scan is deliberately *not* contracted here:
+it warns about reductions the optimizer missed, which duplicates the
+optimizer's own cancellation sweep on every compile.  It runs in the
+offline lint suite instead (:func:`repro.analysis.lint_circuit`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import ContractViolation
+from ..devices.device import Device
+from .diagnostics import Diagnostic, DiagnosticReport
+from .registry import run_analyzers
+
+# Import for side effect: registers the built-in analyzer suite.
+from . import analyzers as _builtin  # noqa: F401
+
+__all__ = ["StageContracts", "STAGE_ANALYZERS", "ContractViolation"]
+
+#: stage name -> analyzer names contracted at that stage.
+STAGE_ANALYZERS: Dict[str, Sequence[str]] = {
+    "input": ("well-formed",),
+    "lowered": ("well-formed", "ancilla-restore"),
+    "mapped": ("well-formed", "coupling", "gate-set"),
+    "optimized": ("coupling", "gate-set"),
+}
+
+
+class StageContracts:
+    """Accumulates stage diagnostics for one compiler invocation.
+
+    ``strict=True`` raises :class:`ContractViolation` the moment a stage
+    produces an error-severity diagnostic; ``strict=False`` records
+    everything and lets the caller attach the report to its result.
+    """
+
+    def __init__(self, device: Optional[Device] = None, strict: bool = False):
+        self.device = device
+        self.strict = strict
+        self.report = DiagnosticReport()
+
+    def check(
+        self,
+        stage: str,
+        circuit: QuantumCircuit,
+        device: Optional[Device] = None,
+        active_qubits: Optional[Iterable[int]] = None,
+        names: Optional[Sequence[str]] = None,
+    ) -> DiagnosticReport:
+        """Run the analyzers contracted for ``stage`` over ``circuit``.
+
+        Returns the stage's own report (also merged into
+        :attr:`report`); raises in strict mode on error findings.
+        """
+        contracted = names if names is not None else STAGE_ANALYZERS.get(stage)
+        if contracted is None:
+            return DiagnosticReport()
+        stage_report = run_analyzers(
+            circuit,
+            device=device if device is not None else self.device,
+            names=contracted,
+            stage=stage,
+            active_qubits=active_qubits,
+        )
+        self.report.extend(stage_report)
+        self._enforce(stage, stage_report)
+        return stage_report
+
+    def check_cost(
+        self, stage: str, before: float, after: float, tolerance: float = 1e-9
+    ) -> DiagnosticReport:
+        """Cost-monotonicity guard between two pipeline stages.
+
+        The optimizer contract is "never accept a costlier circuit"
+        (:class:`repro.optimize.LocalOptimizer` compares costs before
+        accepting a round), so ``after > before`` signals a broken or
+        hostile optimization stage.
+        """
+        stage_report = DiagnosticReport()
+        if after > before + tolerance:
+            stage_report.append(
+                Diagnostic.make(
+                    "REPRO501",
+                    f"stage {stage!r} increased the cost function from "
+                    f"{before:g} to {after:g}",
+                    stage=stage,
+                    hint="the optimizer must return the cheaper of "
+                    "(input, candidate); see LocalOptimizer.run",
+                )
+            )
+            self.report.extend(stage_report)
+            self._enforce(stage, stage_report)
+        return stage_report
+
+    def _enforce(self, stage: str, stage_report: DiagnosticReport) -> None:
+        if not (self.strict and stage_report.has_errors):
+            return
+        errors = stage_report.errors()
+        headline = "; ".join(
+            f"{d.code}: {d.message}" for d in errors[:3]
+        )
+        if len(errors) > 3:
+            headline += f"; ... {len(errors) - 3} more"
+        raise ContractViolation(
+            f"stage contract {stage!r} violated: {headline}",
+            diagnostics=stage_report,
+            stage=stage,
+        )

@@ -1,0 +1,286 @@
+"""The diagnostic model of the static-analysis subsystem.
+
+A :class:`Diagnostic` is one located, coded finding about a circuit or a
+source file: a stable code (``REPRO101``, ``REPRO201``, ...), a severity,
+an optional gate index / qubit set / file location, and a fix hint.
+Diagnostics are what the pipeline stage contracts record on
+:class:`~repro.compiler.CompilationResult`, what ``repro lint`` prints,
+and what strict mode raises inside a
+:class:`~repro.core.exceptions.ContractViolation`.
+
+The code space is partitioned by subsystem (see ``docs/diagnostics.md``
+for the full catalog with examples and fixes):
+
+* ``REPRO1xx`` — circuit well-formedness (IR-level structure)
+* ``REPRO2xx`` — device legality (coupling map, native gate set)
+* ``REPRO3xx`` — ancilla discipline (Barenco dirty-ancilla restoration)
+* ``REPRO4xx`` — missed-optimization warnings (identity windows)
+* ``REPRO5xx`` — pipeline stage contracts (cost monotonicity)
+* ``REPRO6xx`` — parse-level diagnostics (front-end file formats)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import ContractViolation
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ContractViolation",
+    "CODE_CATALOG",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break a hard invariant (the circuit is wrong or
+    unexecutable); ``WARNING`` findings flag suspicious-but-legal
+    structure (e.g. an identity window the optimizer missed); ``INFO``
+    is purely advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: code -> (default severity, one-line meaning).  The single source of
+#: truth for the catalog in ``docs/diagnostics.md``.
+CODE_CATALOG: Dict[str, Tuple[Severity, str]] = {
+    # -- 1xx: circuit well-formedness ------------------------------------
+    "REPRO101": (Severity.ERROR, "gate operand outside the circuit width"),
+    "REPRO102": (Severity.ERROR, "duplicate operands in one gate"),
+    "REPRO103": (Severity.WARNING, "zero-width or empty circuit"),
+    "REPRO104": (Severity.ERROR, "unknown gate name in the IR"),
+    "REPRO105": (Severity.ERROR, "gate operand/parameter arity mismatch"),
+    # -- 2xx: device legality --------------------------------------------
+    "REPRO201": (Severity.ERROR, "CNOT not on a directed coupling edge"),
+    "REPRO202": (Severity.ERROR, "two-qubit interaction on uncoupled qubits"),
+    "REPRO203": (Severity.ERROR, "gate operand outside the device"),
+    "REPRO211": (Severity.ERROR, "gate not in the device's native library"),
+    # -- 3xx: ancilla discipline ----------------------------------------
+    "REPRO301": (Severity.ERROR, "borrowed dirty ancilla not restored"),
+    # -- 4xx: missed optimizations --------------------------------------
+    "REPRO401": (Severity.WARNING, "identity window (cancelable inverse pair)"),
+    # -- 5xx: pipeline contracts ----------------------------------------
+    "REPRO501": (Severity.ERROR, "optimization stage increased the cost"),
+    # -- 6xx: parse-level ------------------------------------------------
+    "REPRO600": (Severity.ERROR, "generic parse failure"),
+    "REPRO601": (Severity.ERROR, "undefined register/wire/variable"),
+    "REPRO602": (Severity.ERROR, "redefinition of register/wire/variable"),
+    "REPRO603": (Severity.ERROR, "unsupported gate or mnemonic"),
+    "REPRO604": (Severity.ERROR, "malformed statement"),
+    "REPRO605": (Severity.ERROR, "bad literal (angle, cube, count)"),
+    "REPRO606": (Severity.ERROR, "declaration/width mismatch"),
+    "REPRO607": (Severity.ERROR, "invalid gate operands"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One located, coded finding.
+
+    ``gate_index`` locates IR-level findings inside a cascade;
+    ``filename``/``line`` locate parse-level findings inside a source
+    file.  Either (or both) may be absent.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    gate_index: Optional[int] = None
+    qubits: Tuple[int, ...] = ()
+    stage: str = ""
+    hint: str = ""
+    filename: Optional[str] = None
+    line: Optional[int] = None
+
+    @classmethod
+    def make(cls, code: str, message: str, **kwargs) -> "Diagnostic":
+        """Build a diagnostic with the catalog's default severity for
+        ``code`` (overridable via ``severity=``)."""
+        severity = kwargs.pop("severity", None)
+        if severity is None:
+            severity, _ = CODE_CATALOG.get(code, (Severity.ERROR, ""))
+        return cls(code=code, severity=severity, message=message, **kwargs)
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def location(self) -> str:
+        """A compact human-readable location string (may be empty)."""
+        parts: List[str] = []
+        if self.filename is not None:
+            parts.append(
+                f"{self.filename}:{self.line}" if self.line is not None
+                else self.filename
+            )
+        elif self.line is not None:
+            parts.append(f"line {self.line}")
+        if self.gate_index is not None:
+            parts.append(f"gate {self.gate_index}")
+        if self.qubits:
+            parts.append("q" + ",".join(str(q) for q in self.qubits))
+        return " ".join(parts)
+
+    def render(self) -> str:
+        """One text line: ``CODE severity [location] message (hint)``."""
+        pieces = [self.code, str(self.severity)]
+        location = self.location()
+        if location:
+            pieces.append(f"[{location}]")
+        pieces.append(self.message)
+        text = " ".join(pieces)
+        if self.hint:
+            text += f"  (fix: {self.hint})"
+        return text
+
+    def __str__(self) -> str:
+        return self.render()
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_payload(self) -> Dict:
+        """Encode as JSON-safe primitives (inverse of :meth:`from_payload`)."""
+        payload: Dict = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.gate_index is not None:
+            payload["gate_index"] = self.gate_index
+        if self.qubits:
+            payload["qubits"] = list(self.qubits)
+        if self.stage:
+            payload["stage"] = self.stage
+        if self.hint:
+            payload["hint"] = self.hint
+        if self.filename is not None:
+            payload["filename"] = self.filename
+        if self.line is not None:
+            payload["line"] = self.line
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "Diagnostic":
+        """Rebuild a diagnostic encoded by :meth:`to_payload`."""
+        return cls(
+            code=payload["code"],
+            severity=Severity(payload["severity"]),
+            message=payload["message"],
+            gate_index=payload.get("gate_index"),
+            qubits=tuple(payload.get("qubits", ())),
+            stage=payload.get("stage", ""),
+            hint=payload.get("hint", ""),
+            filename=payload.get("filename"),
+            line=payload.get("line"),
+        )
+
+
+class DiagnosticReport:
+    """An ordered collection of diagnostics with filtering and rendering.
+
+    This is the currency between the analyzers, the pipeline stage
+    contracts, the batch engine (which serializes reports through
+    :mod:`repro.batch.serialize`) and the ``repro lint`` CLI.
+    """
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self._diagnostics: List[Diagnostic] = list(diagnostics)
+
+    # -- collection protocol ----------------------------------------------
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __getitem__(self, index: int) -> Diagnostic:
+        return self._diagnostics[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._diagnostics)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DiagnosticReport):
+            return NotImplemented
+        return self._diagnostics == other._diagnostics
+
+    def append(self, diagnostic: Diagnostic) -> None:
+        self._diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self._diagnostics.extend(diagnostics)
+
+    # -- filtering ---------------------------------------------------------
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self._diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self._diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.is_error for d in self._diagnostics)
+
+    def with_code(self, code: str) -> List[Diagnostic]:
+        """All diagnostics carrying the given stable code."""
+        return [d for d in self._diagnostics if d.code == code]
+
+    def codes(self) -> List[str]:
+        """The distinct codes present, in first-appearance order."""
+        seen: List[str] = []
+        for diagnostic in self._diagnostics:
+            if diagnostic.code not in seen:
+                seen.append(diagnostic.code)
+        return seen
+
+    def for_stage(self, stage: str) -> "DiagnosticReport":
+        return DiagnosticReport(
+            d for d in self._diagnostics if d.stage == stage
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def summary(self) -> str:
+        """``"2 errors, 1 warning"`` style counts."""
+        errors, warnings = len(self.errors()), len(self.warnings())
+        info = len(self._diagnostics) - errors - warnings
+        parts = []
+        if errors:
+            parts.append(f"{errors} error{'s' if errors != 1 else ''}")
+        if warnings:
+            parts.append(f"{warnings} warning{'s' if warnings != 1 else ''}")
+        if info:
+            parts.append(f"{info} info")
+        return ", ".join(parts) if parts else "clean"
+
+    def render_text(self) -> str:
+        """One line per diagnostic, then the summary."""
+        lines = [d.render() for d in self._diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return f"<DiagnosticReport: {self.summary()}>"
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_payload(self) -> List[Dict]:
+        return [d.to_payload() for d in self._diagnostics]
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[Dict]) -> "DiagnosticReport":
+        return cls(Diagnostic.from_payload(entry) for entry in payload)

@@ -1,0 +1,165 @@
+"""The pluggable analyzer registry.
+
+An :class:`Analyzer` inspects one circuit (plus optional device and
+stage metadata bundled in an :class:`AnalysisContext`) and yields
+:class:`~repro.analysis.diagnostics.Diagnostic` findings.  Analyzers are
+registered by name — the built-in suite lives in
+:mod:`repro.analysis.analyzers` — and user code can add its own::
+
+    from repro.analysis import Analyzer, register_analyzer
+
+    @register_analyzer
+    class NoSwapAnalyzer(Analyzer):
+        name = "no-swap"
+
+        def analyze(self, context):
+            for index, gate in enumerate(context.circuit):
+                if gate.name == "SWAP":
+                    yield self.diagnostic(
+                        "REPRO104", "SWAP forbidden by local policy",
+                        gate_index=index, qubits=gate.qubits,
+                    )
+
+:func:`run_analyzers` is the front door: it resolves names, skips
+device-requiring analyzers when no device is given, and returns one
+merged :class:`~repro.analysis.diagnostics.DiagnosticReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import ReproError
+from ..devices.device import Device
+from .diagnostics import Diagnostic, DiagnosticReport
+
+__all__ = [
+    "AnalysisContext",
+    "Analyzer",
+    "register_analyzer",
+    "get_analyzer",
+    "available_analyzers",
+    "run_analyzers",
+]
+
+
+@dataclass
+class AnalysisContext:
+    """Everything an analyzer may consult about the circuit under test.
+
+    ``active_qubits`` marks the wires the *source* computation owns; any
+    other wire the circuit touches is a borrowed (dirty) ancilla — the
+    contract checked by the ancilla-restore analyzer.  ``options`` is an
+    open bag for analyzer-specific knobs (e.g. ``lookback`` for the
+    identity-window scan).
+    """
+
+    circuit: QuantumCircuit
+    device: Optional[Device] = None
+    stage: str = ""
+    active_qubits: Optional[frozenset] = None
+    options: Dict = field(default_factory=dict)
+
+
+class Analyzer:
+    """Base class for static circuit analyzers.
+
+    Subclasses set ``name`` (the registry key) and implement
+    :meth:`analyze`; ``requires_device = True`` makes
+    :func:`run_analyzers` skip the analyzer when no device is in the
+    context instead of failing.
+    """
+
+    #: Registry key; must be unique among registered analyzers.
+    name: str = ""
+
+    #: Skip this analyzer when the context carries no device.
+    requires_device: bool = False
+
+    def analyze(self, context: AnalysisContext) -> Iterable[Diagnostic]:
+        """Yield diagnostics about ``context.circuit``."""
+        raise NotImplementedError
+
+    def diagnostic(self, code: str, message: str, **kwargs) -> Diagnostic:
+        """Convenience: a catalog-severity diagnostic stamped with the
+        context stage (pass ``stage=`` explicitly to override)."""
+        return Diagnostic.make(code, message, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"<analyzer {self.name!r}>"
+
+
+_REGISTRY: Dict[str, Analyzer] = {}
+
+
+def register_analyzer(
+    analyzer: Union[Analyzer, Type[Analyzer]], overwrite: bool = False
+) -> Union[Analyzer, Type[Analyzer]]:
+    """Register an analyzer (instance or class) by its ``name``.
+
+    Usable as a class decorator; returns the argument unchanged so the
+    class/instance stays importable.
+    """
+    instance = analyzer() if isinstance(analyzer, type) else analyzer
+    if not instance.name:
+        raise ReproError("analyzer must define a non-empty name")
+    if instance.name in _REGISTRY and not overwrite:
+        raise ReproError(f"analyzer {instance.name!r} already registered")
+    _REGISTRY[instance.name] = instance
+    return analyzer
+
+
+def get_analyzer(name: str) -> Analyzer:
+    """Look up a registered analyzer by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise ReproError(f"unknown analyzer {name!r}; known: {known}")
+
+
+def available_analyzers() -> List[str]:
+    """Names of all registered analyzers, sorted."""
+    return sorted(_REGISTRY)
+
+
+def run_analyzers(
+    circuit: QuantumCircuit,
+    device: Optional[Device] = None,
+    names: Optional[Sequence[str]] = None,
+    stage: str = "",
+    active_qubits: Optional[Iterable[int]] = None,
+    options: Optional[Dict] = None,
+) -> DiagnosticReport:
+    """Run the named analyzers (default: all applicable) over ``circuit``.
+
+    Analyzers with ``requires_device`` are skipped silently when
+    ``device`` is None.  Findings are stamped with ``stage`` when the
+    analyzer left it blank, so reports merged across stages stay
+    attributable.
+    """
+    context = AnalysisContext(
+        circuit=circuit,
+        device=device,
+        stage=stage,
+        active_qubits=(
+            frozenset(active_qubits) if active_qubits is not None else None
+        ),
+        options=dict(options or {}),
+    )
+    selected = (
+        [get_analyzer(name) for name in names]
+        if names is not None
+        else [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    )
+    report = DiagnosticReport()
+    for analyzer in selected:
+        if analyzer.requires_device and device is None:
+            continue
+        for diagnostic in analyzer.analyze(context):
+            if stage and not diagnostic.stage:
+                diagnostic = replace(diagnostic, stage=stage)
+            report.append(diagnostic)
+    return report

@@ -22,10 +22,10 @@ of the three must be orientation-reversed, so a SWAP costs at most
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from ..core.exceptions import SynthesisError
-from ..core.gates import CNOT, Gate
+from ..core.gates import Gate
 from ..devices.coupling import CouplingMap
 from .reversal import orient_cnot
 

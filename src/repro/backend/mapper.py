@@ -22,11 +22,10 @@ optimizer (:mod:`repro.optimize`) then produces the optimized mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import NotSynthesizableError, SynthesisError
-from ..core.gates import Gate
 from ..devices.device import Device
 from .ctr import cnot_with_ctr
 from .mcx import mcx_to_toffoli
@@ -115,14 +114,26 @@ def map_circuit(
     device: Device,
     placement: Optional[Dict[int, int]] = None,
     mcx_mode: str = "barenco",
+    contracts=None,
 ) -> QuantumCircuit:
     """Run the full Section 4 mapping pipeline; returns the unoptimized
-    technology-dependent circuit on ``device.num_qubits`` wires."""
+    technology-dependent circuit on ``device.num_qubits`` wires.
+
+    ``contracts`` is an optional
+    :class:`repro.analysis.contracts.StageContracts` recorder; when
+    given, the post-lowering stage contract (Barenco dirty-ancilla
+    restoration) runs on the lowered cascade with the placed circuit's
+    wires marked active.
+    """
     if placement is None:
         placement = identity_placement(circuit, device)
     _validate_placement(placement, circuit, device)
     placed = circuit.remapped(placement, num_qubits=device.num_qubits)
     lowered = lower_mcx_for_device(placed, device, mcx_mode=mcx_mode)
+    if contracts is not None:
+        contracts.check(
+            "lowered", lowered, active_qubits=placed.used_qubits
+        )
     expanded = expand_to_library(lowered)
     legal = legalize_cnots(expanded, device)
     if not device.supports_gate("CNOT"):

@@ -54,8 +54,8 @@ def mcx_to_toffoli(
         return _split(controls, target, ancillas[0])
     raise NotSynthesizableError(
         f"T_{k + 1} gate (X with {k} controls) needs at least one spare "
-        f"qubit on the device to decompose into Toffoli gates (Barenco "
-        f"Lemma 7.3); none available"
+        "qubit on the device to decompose into Toffoli gates (Barenco "
+        "Lemma 7.3); none available"
     )
 
 

@@ -23,7 +23,7 @@ number of SWAPs CTR will insert each way.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import NotSynthesizableError, SynthesisError

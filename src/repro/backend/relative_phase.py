@@ -94,7 +94,7 @@ def mcx_relative_phase(
         if not ancillas:
             raise NotSynthesizableError(
                 f"T_{k + 1} gate (X with {k} controls) needs at least one "
-                f"spare qubit on the device; none available"
+                "spare qubit on the device; none available"
             )
         # Ancilla-starved: fall back to the exact Barenco split (its
         # halves recurse through mcx_to_toffoli, still exact).

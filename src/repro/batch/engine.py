@@ -30,9 +30,20 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..compiler import CompilationResult, compile_circuit
+
+if TYPE_CHECKING:
+    from ..analysis.diagnostics import Diagnostic
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import ReproError
 from ..devices.device import Device, get_device
@@ -48,6 +59,8 @@ _KNOWN_OPTIONS = frozenset(
         "cost_function",
         "verify_samples",
         "mcx_mode",
+        "analyze",
+        "strict",
     }
 )
 
@@ -186,6 +199,17 @@ class BatchReport:
     def cache_hits(self) -> int:
         return sum(1 for entry in self.results if entry.from_cache)
 
+    def diagnostics(self) -> List[Tuple[str, "Diagnostic"]]:
+        """All stage-contract findings across the batch, as
+        ``(job label, diagnostic)`` pairs in submission order."""
+        found: List[Tuple[str, "Diagnostic"]] = []
+        for entry in self.results:
+            if entry.result is None:
+                continue
+            for diagnostic in entry.result.diagnostics:
+                found.append((entry.job.label, diagnostic))
+        return found
+
     def summary(self) -> str:
         parts = [
             f"{len(self.results)} jobs",
@@ -194,6 +218,9 @@ class BatchReport:
             f"workers={self.workers}",
             f"{self.wall_seconds:.2f}s",
         ]
+        flagged = self.diagnostics()
+        if flagged:
+            parts.insert(2, f"{len(flagged)} diagnostics")
         return ", ".join(parts)
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..analysis.diagnostics import DiagnosticReport
 from ..compiler import CompilationResult
 from ..core.circuit import QuantumCircuit
 from ..core.cost import CircuitMetrics
@@ -24,7 +25,8 @@ from ..verify.equivalence import VerificationReport
 
 #: Schema version of cache payloads.  Bump on any incompatible change so
 #: stale cache files read as misses instead of mis-deserializing.
-PAYLOAD_VERSION = 1
+#: v2: added the ``diagnostics`` list (stage-contract findings).
+PAYLOAD_VERSION = 2
 
 
 def circuit_to_payload(circuit: QuantumCircuit) -> Dict:
@@ -86,6 +88,7 @@ def result_to_payload(result: CompilationResult) -> Dict:
         "verification": verification,
         "synthesis_seconds": result.synthesis_seconds,
         "placement": {str(k): v for k, v in result.placement.items()},
+        "diagnostics": result.diagnostics.to_payload(),
     }
 
 
@@ -111,4 +114,7 @@ def result_from_payload(payload: Dict) -> Optional[CompilationResult]:
         verification=verification,
         synthesis_seconds=payload["synthesis_seconds"],
         placement={int(k): v for k, v in payload.get("placement", {}).items()},
+        diagnostics=DiagnosticReport.from_payload(
+            payload.get("diagnostics", ())
+        ),
     )

@@ -25,7 +25,7 @@ originals.  Genuine ``.real`` files can be dropped in through
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..core.circuit import QuantumCircuit
 from ..core.gates import CNOT, Gate, MCX, TOFFOLI, X

@@ -65,6 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--mcx-mode", default="barenco",
                              choices=["barenco", "relative_phase"],
                              help="generalized-Toffoli lowering strategy")
+    compile_cmd.add_argument("--strict", action="store_true",
+                             help="fail the compile on any stage-contract "
+                                  "diagnostic (see `repro lint`)")
     compile_cmd.add_argument("--workers", type=int, default=1,
                              help="worker processes for batch compilation "
                                   "(default 1 = serial)")
@@ -72,6 +75,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="enable the persistent compilation cache "
                                   "in this directory (e.g. .repro_cache)")
     compile_cmd.set_defaults(handler=cmd_compile)
+
+    lint = commands.add_parser(
+        "lint", help="statically analyze circuit files (no compilation)"
+    )
+    lint.add_argument("inputs", nargs="+", metavar="input",
+                      help="circuit or function file(s) "
+                           "(.qasm/.qc/.real/.pla)")
+    lint.add_argument("--device", default=None,
+                      help="also check coupling-map legality and native "
+                           "gate-set conformance for this device")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings, not just errors")
+    lint.add_argument("--format", dest="output_format", default="text",
+                      choices=["text", "json"],
+                      help="diagnostic output format (default text)")
+    lint.set_defaults(handler=cmd_lint)
 
     draw = commands.add_parser("draw", help="render a circuit file as ASCII art")
     draw.add_argument("input", help="circuit file (.qasm/.qc/.real)")
@@ -133,6 +152,7 @@ def cmd_compile(args) -> int:
         "verify": verify,
         "placement": args.placement,
         "mcx_mode": args.mcx_mode,
+        "strict": args.strict,
     }
 
     # Collect the circuits to compile (front-end synthesis happens here;
@@ -196,6 +216,10 @@ def _emit_single(result, output: Optional[str]) -> int:
               file=sys.stderr)
     print(f"time        : {result.synthesis_seconds * 1e3:.1f} ms",
           file=sys.stderr)
+    if result.diagnostics:
+        print(f"diagnostics : {result.diagnostics.summary()}", file=sys.stderr)
+        for diagnostic in result.diagnostics:
+            print(f"  {diagnostic.render()}", file=sys.stderr)
 
     text = _render(result.optimized, output)
     if output:
@@ -240,6 +264,8 @@ def _emit_batch(report, output: Optional[str], cache) -> int:
             kind = "N/A" if entry.error.not_synthesizable else "error"
             print(f"{name:<{width}}  {kind}: {entry.error.message}",
                   file=sys.stderr)
+    for label, diagnostic in report.diagnostics():
+        print(f"  {label}: {diagnostic.render()}", file=sys.stderr)
     print(f"batch       : {report.summary()}", file=sys.stderr)
     return 1 if failures == len(report) else 0
 
@@ -250,6 +276,76 @@ def _render(circuit, output_path: Optional[str]) -> str:
     if output_path and output_path.endswith(".real"):
         return to_real(circuit)
     return to_qasm(circuit)
+
+
+def cmd_lint(args) -> int:
+    """Run the static analyzer suite over circuit files; no compilation.
+
+    Exit codes: 0 clean (or warnings without ``--strict``), 1 when any
+    error-severity diagnostic is found (or any finding with ``--strict``),
+    2 on usage problems (unknown device, unreadable file).
+    """
+    import json
+
+    from .analysis import DiagnosticReport, lint_circuit
+    from .core.exceptions import ParseError
+
+    try:
+        device = get_device(args.device) if args.device else None
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    documents = []
+    errors = warnings = 0
+    for path in args.inputs:
+        try:
+            circuit = _load_lintable(path)
+            report = lint_circuit(circuit, device=device)
+        except ParseError as error:
+            report = DiagnosticReport([error.diagnostic])
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        errors += len(report.errors())
+        warnings += len(report.warnings())
+        documents.append({
+            "file": path,
+            "diagnostics": report.to_payload(),
+            "summary": report.summary(),
+        })
+        if args.output_format == "text":
+            status = report.summary() if report else "clean"
+            print(f"{path}: {status}")
+            for diagnostic in report:
+                print(f"  {diagnostic.render()}")
+    if args.output_format == "json":
+        print(json.dumps(
+            {
+                "files": documents,
+                "errors": errors,
+                "warnings": warnings,
+            },
+            indent=2,
+        ))
+    elif len(args.inputs) > 1:
+        print(f"total: {errors} error(s), {warnings} warning(s)")
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
+def _load_lintable(path: str):
+    """Read any lintable input: circuit formats directly, ``.pla``/
+    ``.esop`` switching functions through the front-end cascade."""
+    import os
+
+    ext = os.path.splitext(path)[1].lower()
+    if ext in (".pla", ".esop"):
+        from .frontend.cascade import cascade_from_cubes
+        from .io import read_pla
+
+        return cascade_from_cubes(read_pla(path), name=path)
+    return read_circuit(path)
 
 
 def cmd_draw(args) -> int:

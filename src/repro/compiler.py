@@ -13,12 +13,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
+from .analysis.contracts import StageContracts
+from .analysis.diagnostics import DiagnosticReport
 from .core.circuit import QuantumCircuit
 from .core.cost import CircuitMetrics, CostFunction
 from .devices.device import Device, get_device
-from .backend.mapper import check_conformance, identity_placement, map_circuit
+from .backend.mapper import identity_placement, map_circuit
 from .optimize.local import LocalOptimizer
-from .verify.equivalence import VerificationReport, require_equivalent, verify_equivalent
+from .verify.equivalence import VerificationReport, require_equivalent
 from .frontend.truth_table import TruthTable
 from .frontend.cascade import synthesize_truth_table
 from .core.exceptions import SynthesisError
@@ -37,6 +39,9 @@ class CompilationResult:
     verification: Optional[VerificationReport]
     synthesis_seconds: float
     placement: Dict[int, int] = field(default_factory=dict)
+    #: Stage-contract findings recorded during this compile (empty when
+    #: everything conformed or analysis was disabled).
+    diagnostics: DiagnosticReport = field(default_factory=DiagnosticReport)
 
     @property
     def percent_cost_decrease(self) -> float:
@@ -61,10 +66,11 @@ class CompilationResult:
             if self.verification is None
             else f"verified[{self.verification.method}]"
         )
+        extra = f", {self.diagnostics.summary()}" if self.diagnostics else ""
         return (
             f"<compiled {self.original.name or 'circuit'} -> {self.device.name}: "
             f"unopt {self.unoptimized_metrics}, opt {self.optimized_metrics}, "
-            f"{verified}, {self.synthesis_seconds * 1e3:.1f} ms>"
+            f"{verified}, {self.synthesis_seconds * 1e3:.1f} ms{extra}>"
         )
 
 
@@ -77,6 +83,8 @@ def compile_circuit(
     cost_function: Optional[CostFunction] = None,
     verify_samples: int = 32,
     mcx_mode: str = "barenco",
+    analyze: bool = True,
+    strict: bool = False,
 ) -> CompilationResult:
     """Compile a technology-independent circuit for ``device``.
 
@@ -90,10 +98,25 @@ def compile_circuit(
     (``"identity"``, ``"greedy"``, ``"refined"`` — see
     :mod:`repro.backend.placement`), or None for the paper's default
     identity placement.
+
+    ``analyze`` runs the static stage contracts
+    (:mod:`repro.analysis.contracts`) after each pipeline stage: coupling
+    legality and native-gate-set conformance post-mapping and
+    post-optimization, Barenco ancilla restoration post-lowering, and
+    the cost-monotonicity guard across the optimizer.  In the default
+    mode findings are recorded on ``CompilationResult.diagnostics``;
+    with ``strict=True`` any error-severity finding raises
+    :class:`~repro.core.exceptions.ContractViolation` at the offending
+    stage, before verification runs.
     """
     if isinstance(device, str):
         device = get_device(device)
     cost = cost_function or device.cost_function
+    contracts = (
+        StageContracts(device=device, strict=strict)
+        if analyze or strict
+        else None
+    )
 
     start = time.perf_counter()
     if placement is None:
@@ -102,7 +125,13 @@ def compile_circuit(
         from .backend.placement import choose_placement
 
         placement = choose_placement(circuit, device, strategy=placement)
-    unoptimized = map_circuit(circuit, device, placement, mcx_mode=mcx_mode)
+    if contracts is not None:
+        contracts.check("input", circuit)
+    unoptimized = map_circuit(
+        circuit, device, placement, mcx_mode=mcx_mode, contracts=contracts
+    )
+    if contracts is not None:
+        contracts.check("mapped", unoptimized, device=device)
     if optimize:
         optimizer = LocalOptimizer(
             cost, device.coupling_map, gate_set=device.gate_set
@@ -112,12 +141,14 @@ def compile_circuit(
         optimized = unoptimized
     elapsed = time.perf_counter() - start
 
-    violations = check_conformance(optimized, device)
-    if violations:
-        raise SynthesisError(
-            f"internal error: mapped circuit violates {device.name}: "
-            + "; ".join(violations[:3])
-        )
+    unoptimized_metrics = CircuitMetrics.of(unoptimized, cost)
+    optimized_metrics = CircuitMetrics.of(optimized, cost)
+    if contracts is not None:
+        contracts.check("optimized", optimized, device=device)
+        if optimize:
+            contracts.check_cost(
+                "optimized", unoptimized_metrics.cost, optimized_metrics.cost
+            )
 
     report: Optional[VerificationReport] = None
     if verify:
@@ -136,11 +167,14 @@ def compile_circuit(
         device=device,
         unoptimized=unoptimized,
         optimized=optimized,
-        unoptimized_metrics=CircuitMetrics.of(unoptimized, cost),
-        optimized_metrics=CircuitMetrics.of(optimized, cost),
+        unoptimized_metrics=unoptimized_metrics,
+        optimized_metrics=optimized_metrics,
         verification=report,
         synthesis_seconds=elapsed,
         placement=placement,
+        diagnostics=(
+            contracts.report if contracts is not None else DiagnosticReport()
+        ),
     )
 
 

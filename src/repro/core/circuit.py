@@ -15,12 +15,11 @@ and structural queries used by the optimizer.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .exceptions import CircuitError
 from .gates import (
     Gate,
-    SINGLE_QUBIT_GATES,
     gate_matrix,
 )
 

@@ -13,10 +13,14 @@ class ReproError(Exception):
 class ParseError(ReproError):
     """A circuit or function specification could not be parsed.
 
-    Carries optional ``filename`` and ``line`` attributes for diagnostics.
+    Carries optional ``filename`` and ``line`` attributes plus a stable
+    diagnostic ``code`` (``REPRO6xx``, see ``docs/diagnostics.md``), so
+    tooling can surface parse failures as located diagnostics instead of
+    bare tracebacks.
     """
 
-    def __init__(self, message, filename=None, line=None):
+    def __init__(self, message, filename=None, line=None, code=None):
+        bare = message
         location = ""
         if filename is not None:
             location = f"{filename}:"
@@ -27,11 +31,41 @@ class ParseError(ReproError):
         super().__init__(message)
         self.filename = filename
         self.line = line
+        self.code = code or "REPRO600"
+        self.bare_message = bare
+
+    @property
+    def diagnostic(self):
+        """This parse failure as a :class:`repro.analysis.Diagnostic`."""
+        from ..analysis.diagnostics import Diagnostic, Severity
+
+        return Diagnostic(
+            code=self.code,
+            severity=Severity.ERROR,
+            message=self.bare_message,
+            stage="parse",
+            filename=self.filename,
+            line=self.line,
+        )
 
 
 class CircuitError(ReproError):
     """An invalid circuit construction was attempted (bad qubit index,
     duplicate operands, unknown gate, ...)."""
+
+
+class InvalidGateError(CircuitError):
+    """A :class:`~repro.core.gates.Gate` was constructed with malformed
+    operands: duplicate qubits, negative indices, wrong arity, or an
+    unknown operator name.
+
+    Carries the matching stable diagnostic ``code`` (``REPRO1xx``) so
+    front-ends can map construction failures onto located diagnostics.
+    """
+
+    def __init__(self, message, code="REPRO102"):
+        super().__init__(message)
+        self.code = code
 
 
 class DeviceError(ReproError):
@@ -40,6 +74,22 @@ class DeviceError(ReproError):
 
 class SynthesisError(ReproError):
     """The back-end failed to synthesize a technology-dependent circuit."""
+
+
+class ContractViolation(SynthesisError):
+    """A pipeline stage contract failed in strict mode: the circuit
+    leaving a compiler stage breaks one of the statically checkable
+    invariants (coupling legality, native gate set, ancilla restoration,
+    cost monotonicity, ...).
+
+    Carries the offending :class:`~repro.analysis.DiagnosticReport` on
+    ``diagnostics`` and the stage name on ``stage``.
+    """
+
+    def __init__(self, message, diagnostics=None, stage=""):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+        self.stage = stage
 
 
 class NotSynthesizableError(SynthesisError):

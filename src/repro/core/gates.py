@@ -33,7 +33,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from .exceptions import CircuitError
+from .exceptions import CircuitError, InvalidGateError
 
 # ---------------------------------------------------------------------------
 # Gate names
@@ -231,33 +231,67 @@ class Gate:
 
     def __post_init__(self):
         if self.name not in ALL_GATES:
-            raise CircuitError(f"unknown gate name: {self.name!r}")
+            raise InvalidGateError(
+                f"unknown gate name: {self.name!r}", code="REPRO104"
+            )
         object.__setattr__(self, "qubits", tuple(self.qubits))
         object.__setattr__(self, "params", tuple(float(p) for p in self.params))
         arity = GATE_ARITY.get(self.name)
         if arity is not None and len(self.qubits) != arity:
-            raise CircuitError(
-                f"{self.name} expects {arity} operand(s), got {len(self.qubits)}"
+            raise InvalidGateError(
+                f"{self.name} expects {arity} operand(s), got {len(self.qubits)}",
+                code="REPRO105",
             )
         expected_params = PARAM_COUNT.get(self.name, 0)
         if len(self.params) != expected_params:
-            raise CircuitError(
+            raise InvalidGateError(
                 f"{self.name} expects {expected_params} parameter(s), got "
-                f"{len(self.params)}"
+                f"{len(self.params)}",
+                code="REPRO105",
             )
         if self.name == "MCX" and len(self.qubits) < 2:
-            raise CircuitError("MCX needs at least one control and a target")
+            raise InvalidGateError(
+                "MCX needs at least one control and a target", code="REPRO105"
+            )
         support = frozenset(self.qubits)
         if len(support) != len(self.qubits):
-            raise CircuitError(f"duplicate operands in {self.name}{self.qubits}")
+            raise InvalidGateError(
+                f"duplicate operands in {self.name}{self.qubits}",
+                code="REPRO102",
+            )
         if any(q < 0 for q in self.qubits):
-            raise CircuitError(f"negative qubit index in {self.name}{self.qubits}")
+            raise InvalidGateError(
+                f"negative qubit index in {self.name}{self.qubits}",
+                code="REPRO101",
+            )
         # Hash and qubit support are consulted millions of times per
         # compile (memo lookups, template scans); precompute them once.
         object.__setattr__(self, "_support", support)
         object.__setattr__(
             self, "_hash", hash((self.name, self.qubits, self.params))
         )
+
+    @classmethod
+    def _trusted(
+        cls,
+        name: str,
+        qubits: Tuple[int, ...],
+        params: Tuple[float, ...] = (),
+    ) -> "Gate":
+        """Build a gate from operands already known valid, skipping
+        ``__post_init__`` validation.
+
+        Internal fast path for derivations from validated gates (e.g.
+        :meth:`inverse`): the operands are the same tuple an existing
+        gate already carries, so re-validating them buys nothing.
+        """
+        gate = object.__new__(cls)
+        object.__setattr__(gate, "name", name)
+        object.__setattr__(gate, "qubits", qubits)
+        object.__setattr__(gate, "params", params)
+        object.__setattr__(gate, "_support", frozenset(qubits))
+        object.__setattr__(gate, "_hash", hash((name, qubits, params)))
+        return gate
 
     # -- structural helpers -------------------------------------------------
 
@@ -310,8 +344,10 @@ class Gate:
 
         Rotations invert by negating their angle."""
         if self.name in ROTATION_GATES:
-            return Gate(self.name, self.qubits, tuple(-p for p in self.params))
-        return Gate(INVERSE_NAME[self.name], self.qubits)
+            return Gate._trusted(
+                self.name, self.qubits, tuple(-p for p in self.params)
+            )
+        return Gate._trusted(INVERSE_NAME[self.name], self.qubits)
 
     def is_inverse_of(self, other: "Gate") -> bool:
         """True if ``self . other == identity`` acting on the same operands.

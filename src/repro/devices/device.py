@@ -9,8 +9,8 @@ also maintains the tool's *device registry* so that new topologies can be
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
 
 from ..core.cost import CostFunction, TRANSMON_COST
 from ..core.exceptions import DeviceError

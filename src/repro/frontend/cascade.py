@@ -17,7 +17,7 @@ repeated NOT pairs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import SynthesisError

@@ -34,12 +34,18 @@ class Cube:
         self.literals = tuple(literals)
 
     @classmethod
-    def from_string(cls, text: str) -> "Cube":
+    def from_string(
+        cls, text: str, filename: Optional[str] = None,
+        line: Optional[int] = None,
+    ) -> "Cube":
         mapping = {"0": 0, "1": 1, "-": None, "~": None}
         try:
             return cls(tuple(mapping[ch] for ch in text))
         except KeyError as exc:
-            raise ParseError(f"bad cube character {exc.args[0]!r} in {text!r}")
+            raise ParseError(
+                f"bad cube character {exc.args[0]!r} in {text!r}",
+                filename, line, code="REPRO605",
+            )
 
     @property
     def num_vars(self) -> int:
@@ -87,7 +93,7 @@ class CubeList:
         """Append a cube feeding the outputs set in ``output_mask``
         (bit 0 = output 0)."""
         if cube.num_vars != self.num_inputs:
-            raise ParseError("cube width mismatch")
+            raise ParseError("cube width mismatch", code="REPRO606")
         self.rows.append((cube, output_mask))
 
     def evaluate(self, assignment: int) -> int:
@@ -126,10 +132,12 @@ def parse_pla(text: str, filename: Optional[str] = None) -> CubeList:
                         f"{directive} expects an integer, got {rest!r}",
                         filename,
                         line_no,
+                        code="REPRO605",
                     )
                 if count < 0:
                     raise ParseError(
-                        f"{directive} must be non-negative", filename, line_no
+                        f"{directive} must be non-negative", filename,
+                        line_no, code="REPRO605",
                     )
                 if directive == ".i":
                     num_inputs = count
@@ -142,26 +150,31 @@ def parse_pla(text: str, filename: Optional[str] = None) -> CubeList:
             continue
         parts = line.split()
         if len(parts) != 2:
-            raise ParseError(f"bad PLA row {line!r}", filename, line_no)
+            raise ParseError(f"bad PLA row {line!r}", filename, line_no,
+                             code="REPRO604")
         if num_inputs is None or num_outputs is None:
-            raise ParseError(".i/.o must precede cube rows", filename, line_no)
-        cube = Cube.from_string(parts[0])
+            raise ParseError(".i/.o must precede cube rows", filename, line_no,
+                             code="REPRO604")
+        cube = Cube.from_string(parts[0], filename, line_no)
         if cube.num_vars != num_inputs:
             raise ParseError(
                 f"cube {parts[0]!r} has {cube.num_vars} literals, expected "
                 f"{num_inputs}",
                 filename,
                 line_no,
+                code="REPRO606",
             )
         mask = 0
         for position, ch in enumerate(parts[1]):
             if ch == "1":
                 mask |= 1 << position
             elif ch not in "0-~":
-                raise ParseError(f"bad output character {ch!r}", filename, line_no)
+                raise ParseError(f"bad output character {ch!r}", filename,
+                                 line_no, code="REPRO605")
         rows.append((cube, mask))
     if num_inputs is None or num_outputs is None:
-        raise ParseError("missing .i/.o declarations", filename)
+        raise ParseError("missing .i/.o declarations", filename,
+                         code="REPRO606")
     cubelist = CubeList(num_inputs, num_outputs, rows)
     # Non-ESOP PLAs are sums of cubes; we accept them only when the cubes
     # are pairwise disjoint per output (then OR == XOR and ESOP semantics
@@ -181,6 +194,7 @@ def _require_disjoint(cubelist: CubeList, filename) -> None:
                         "PLA is not .type esop and cubes overlap; minimize "
                         "to an ESOP (or disjoint SOP) first",
                         filename,
+                        code="REPRO606",
                     )
 
 

@@ -28,7 +28,7 @@ def _build_gate(name, operands, params, filename, line_no):
     try:
         return Gate(name, tuple(operands), tuple(params))
     except CircuitError as error:
-        raise ParseError(str(error), filename, line_no)
+        raise ParseError(str(error), filename, line_no, code="REPRO607")
 
 #: QASM gate name -> IR gate name.
 _QASM_TO_IR = {
@@ -67,7 +67,8 @@ def _eval_angle(text: str, filename, line_no) -> float:
     try:
         tree = ast.parse(text.strip(), mode="eval")
     except SyntaxError:
-        raise ParseError(f"bad angle expression {text!r}", filename, line_no)
+        raise ParseError(f"bad angle expression {text!r}", filename, line_no,
+                         code="REPRO605")
 
     def walk(node):
         if isinstance(node, ast.Expression):
@@ -90,7 +91,8 @@ def _eval_angle(text: str, filename, line_no) -> float:
             if isinstance(node.op, ast.Mult):
                 return left * right
             return left / right
-        raise ParseError(f"unsupported angle expression {text!r}", filename, line_no)
+        raise ParseError(f"unsupported angle expression {text!r}", filename,
+                             line_no, code="REPRO605")
 
     return walk(tree)
 
@@ -108,14 +110,17 @@ def parse_qasm(text: str, name: str = "", filename: Optional[str] = None) -> Qua
     def qubit_of(token: str, line_no: int) -> int:
         match = _TOKEN_RE.fullmatch(token.strip())
         if not match:
-            raise ParseError(f"bad qubit reference {token!r}", filename, line_no)
+            raise ParseError(f"bad qubit reference {token!r}", filename, line_no,
+                             code="REPRO604")
         reg, index = match.group(1), int(match.group(2))
         if reg not in registers:
-            raise ParseError(f"unknown register {reg!r}", filename, line_no)
+            raise ParseError(f"unknown register {reg!r}", filename, line_no,
+                             code="REPRO601")
         offset, size = registers[reg]
         if index >= size:
             raise ParseError(
-                f"index {index} out of range for register {reg!r}", filename, line_no
+                f"index {index} out of range for register {reg!r}", filename,
+                line_no, code="REPRO601",
             )
         return offset + index
 
@@ -134,8 +139,12 @@ def parse_qasm(text: str, name: str = "", filename: Optional[str] = None) -> Qua
             if lowered.startswith("qreg"):
                 match = _TOKEN_RE.search(statement)
                 if not match:
-                    raise ParseError("bad qreg declaration", filename, line_no)
+                    raise ParseError("bad qreg declaration", filename, line_no,
+                                     code="REPRO604")
                 reg, size = match.group(1), int(match.group(2))
+                if reg in registers:
+                    raise ParseError(f"register {reg!r} redefined", filename,
+                                     line_no, code="REPRO602")
                 registers[reg] = (total_qubits, size)
                 total_qubits += size
                 continue
@@ -146,7 +155,8 @@ def parse_qasm(text: str, name: str = "", filename: Optional[str] = None) -> Qua
                 operand_text = call.group(3)
                 if not operand_text.strip():
                     raise ParseError(
-                        f"gate {mnemonic!r} missing operands", filename, line_no
+                        f"gate {mnemonic!r} missing operands", filename,
+                        line_no, code="REPRO604",
                     )
                 operands = [qubit_of(tok, line_no) for tok in operand_text.split(",")]
                 gates.append(
@@ -159,9 +169,11 @@ def parse_qasm(text: str, name: str = "", filename: Optional[str] = None) -> Qua
             parts = statement.split(None, 1)
             mnemonic = parts[0].lower()
             if mnemonic not in _QASM_TO_IR:
-                raise ParseError(f"unsupported gate {mnemonic!r}", filename, line_no)
+                raise ParseError(f"unsupported gate {mnemonic!r}", filename, line_no,
+                                 code="REPRO603")
             if len(parts) < 2:
-                raise ParseError(f"gate {mnemonic!r} missing operands", filename, line_no)
+                raise ParseError(f"gate {mnemonic!r} missing operands", filename,
+                                 line_no, code="REPRO604")
             operands = [qubit_of(tok, line_no) for tok in parts[1].split(",")]
             gates.append(_build_gate(_QASM_TO_IR[mnemonic], operands, (),
                                      filename, line_no))
@@ -205,7 +217,7 @@ def to_qasm(
         if mnemonic is None:
             raise ParseError(
                 f"gate {gate.name} has no OpenQASM 2.0 representation; "
-                f"decompose it first"
+                "decompose it first"
             )
         lines.append(f"{mnemonic} {operands};")
     if include_measure:

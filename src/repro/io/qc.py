@@ -64,8 +64,10 @@ def parse_qc(text: str, name: str = "", filename: Optional[str] = None) -> Quant
             directive, _, rest = line.partition(" ")
             if directive.lower() == ".v":
                 for token in rest.split():
-                    if token not in wires:
-                        wires[token] = len(wires)
+                    if token in wires:
+                        raise ParseError(f"wire {token!r} redeclared",
+                                         filename, line_no, code="REPRO602")
+                    wires[token] = len(wires)
             # .i/.o/.c/.ol declare port roles; wire order comes from .v
             continue
         if not in_body:
@@ -76,7 +78,8 @@ def parse_qc(text: str, name: str = "", filename: Optional[str] = None) -> Quant
         indices = []
         for token in operands:
             if token not in wires:
-                raise ParseError(f"unknown wire {token!r}", filename, line_no)
+                raise ParseError(f"unknown wire {token!r}", filename, line_no,
+                                 code="REPRO601")
             indices.append(wires[token])
         _dispatch(mnemonic, indices, gates, filename, line_no)
     circuit = QuantumCircuit(len(wires), name=name)
@@ -91,16 +94,19 @@ def _dispatch(mnemonic, indices, gates, filename, line_no):
         if mnemonic in _SINGLE:
             if len(indices) != 1:
                 raise ParseError(
-                    f"{mnemonic} expects one wire, got {len(indices)}", filename, line_no
+                    f"{mnemonic} expects one wire, got {len(indices)}",
+                    filename, line_no, code="REPRO604",
                 )
             gates.append(Gate(_SINGLE[mnemonic], tuple(indices)))
         elif mnemonic == "cnot":
             if len(indices) != 2:
-                raise ParseError("cnot expects two wires", filename, line_no)
+                raise ParseError("cnot expects two wires", filename, line_no,
+                                 code="REPRO604")
             gates.append(Gate("CNOT", tuple(indices)))
         elif mnemonic == "swap":
             if len(indices) != 2:
-                raise ParseError("swap expects two wires", filename, line_no)
+                raise ParseError("swap expects two wires", filename, line_no,
+                                 code="REPRO604")
             gates.append(Gate("SWAP", tuple(indices)))
         elif mnemonic == "tof" or re.fullmatch(r"t\d+", mnemonic):
             expected = int(mnemonic[1:]) if mnemonic != "tof" else len(indices)
@@ -109,15 +115,17 @@ def _dispatch(mnemonic, indices, gates, filename, line_no):
                     f"{mnemonic} expects {expected} wires, got {len(indices)}",
                     filename,
                     line_no,
+                    code="REPRO604",
                 )
             if len(indices) == 1:
                 gates.append(Gate("X", tuple(indices)))
             else:
                 gates.append(MCX(*indices))
         else:
-            raise ParseError(f"unsupported mnemonic {mnemonic!r}", filename, line_no)
+            raise ParseError(f"unsupported mnemonic {mnemonic!r}", filename,
+                             line_no, code="REPRO603")
     except CircuitError as error:
-        raise ParseError(str(error), filename, line_no)
+        raise ParseError(str(error), filename, line_no, code="REPRO607")
 
 
 def read_qc(path: str, name: str = "") -> QuantumCircuit:

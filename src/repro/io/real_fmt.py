@@ -45,10 +45,17 @@ def parse_real(text: str, name: str = "", filename: Optional[str] = None) -> Qua
             continue
         lowered = line.lower()
         if lowered.startswith(".numvars"):
-            declared = int(line.split()[1])
+            fields = line.split()
+            if len(fields) != 2 or not fields[1].isdigit():
+                raise ParseError(".numvars expects one integer", filename,
+                                 line_no, code="REPRO605")
+            declared = int(fields[1])
             continue
         if lowered.startswith(".variables"):
             for token in line.split()[1:]:
+                if token in index_of:
+                    raise ParseError(f"variable {token!r} redeclared",
+                                     filename, line_no, code="REPRO602")
                 index_of[token] = len(variables)
                 variables.append(token)
             continue
@@ -68,7 +75,8 @@ def parse_real(text: str, name: str = "", filename: Optional[str] = None) -> Qua
         positive, negative = _operands(operand_tokens, index_of, filename, line_no)
         if len(set(positive)) != len(positive):
             raise ParseError(
-                f"duplicate operands in {mnemonic}", filename, line_no
+                f"duplicate operands in {mnemonic}", filename, line_no,
+                code="REPRO607",
             )
 
         match = re.fullmatch(r"t(\d+)", mnemonic)
@@ -76,7 +84,8 @@ def parse_real(text: str, name: str = "", filename: Optional[str] = None) -> Qua
             expected = int(match.group(1))
             if len(operand_tokens) != expected:
                 raise ParseError(
-                    f"{mnemonic} expects {expected} operands", filename, line_no
+                    f"{mnemonic} expects {expected} operands", filename,
+                    line_no, code="REPRO604",
                 )
             lines_all = positive  # in declaration order: controls..., target
             gates.extend(X(q) for q in negative)
@@ -91,7 +100,8 @@ def parse_real(text: str, name: str = "", filename: Optional[str] = None) -> Qua
             expected = int(match.group(1))
             if len(operand_tokens) != expected or expected < 2:
                 raise ParseError(
-                    f"{mnemonic} expects {expected} operands", filename, line_no
+                    f"{mnemonic} expects {expected} operands", filename,
+                    line_no, code="REPRO604",
                 )
             controls = positive[:-2]
             a, b = positive[-2:]
@@ -99,11 +109,13 @@ def parse_real(text: str, name: str = "", filename: Optional[str] = None) -> Qua
             gates.extend(_fredkin(controls, a, b))
             gates.extend(X(q) for q in negative)
             continue
-        raise ParseError(f"unsupported .real gate {mnemonic!r}", filename, line_no)
+        raise ParseError(f"unsupported .real gate {mnemonic!r}", filename,
+                         line_no, code="REPRO603")
 
     if declared is not None and declared != len(variables):
         raise ParseError(
-            f".numvars {declared} but {len(variables)} variables declared", filename
+            f".numvars {declared} but {len(variables)} variables declared",
+            filename, code="REPRO606",
         )
     circuit = QuantumCircuit(len(variables), name=name)
     circuit.extend(gates)
@@ -120,7 +132,8 @@ def _operands(
         negative = token.startswith("-")
         label = token[1:] if negative else token
         if label not in index_of:
-            raise ParseError(f"unknown variable {label!r}", filename, line_no)
+            raise ParseError(f"unknown variable {label!r}", filename, line_no,
+                             code="REPRO601")
         index = index_of[label]
         ordered.append(index)
         if negative:

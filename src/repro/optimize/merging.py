@@ -14,7 +14,7 @@ All merges are phase-exact, so they preserve equivalence in the strict
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from ..core.circuit import QuantumCircuit
 from ..core.gates import Gate

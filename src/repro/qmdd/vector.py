@@ -18,7 +18,7 @@ below the target).  Everything in the gate IR is covered through
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import QMDDError

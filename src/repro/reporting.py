@@ -7,7 +7,7 @@ optimized mappings per device, and percent-decrease summaries.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from .core.cost import CircuitMetrics
 

@@ -18,8 +18,6 @@ for each design and testing for equivalence" (Section 5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 import numpy as np
 
 from ..core.circuit import QuantumCircuit

@@ -9,7 +9,7 @@ permutations for the front-end's correctness checks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import CircuitError

@@ -11,7 +11,7 @@ matching :mod:`repro.core.gates` and the QMDD variable order.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

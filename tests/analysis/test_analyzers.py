@@ -1,0 +1,250 @@
+"""The built-in analyzer suite, run directly through the registry."""
+
+import pytest
+
+from repro.analysis import (
+    Analyzer,
+    available_analyzers,
+    get_analyzer,
+    lint_circuit,
+    register_analyzer,
+    run_analyzers,
+)
+from repro.analysis.registry import _REGISTRY
+from repro.core.circuit import QuantumCircuit
+from repro.core.exceptions import ReproError
+from repro.core.gates import CNOT, Gate, H, MCX, T, Tdg, X
+from repro.devices import get_device
+
+
+def circuit_of(num_qubits, *gates, name=""):
+    circuit = QuantumCircuit(num_qubits, name=name)
+    circuit.extend(gates)
+    return circuit
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_builtin_analyzers_registered():
+    names = available_analyzers()
+    for expected in ("well-formed", "coupling", "gate-set",
+                     "ancilla-restore", "identity-window"):
+        assert expected in names
+
+
+def test_unknown_analyzer_raises():
+    with pytest.raises(ReproError, match="unknown analyzer"):
+        get_analyzer("no-such-analyzer")
+
+
+def test_custom_analyzer_registration_and_run():
+    class NoHadamard(Analyzer):
+        name = "test-no-h"
+
+        def analyze(self, context):
+            for index, gate in enumerate(context.circuit):
+                if gate.name == "H":
+                    yield self.diagnostic(
+                        "REPRO104", "H forbidden", gate_index=index,
+                        qubits=gate.qubits,
+                    )
+
+    register_analyzer(NoHadamard)
+    try:
+        report = run_analyzers(
+            circuit_of(1, H(0)), names=["test-no-h"], stage="custom"
+        )
+        assert report.codes() == ["REPRO104"]
+        assert report[0].stage == "custom"  # stamped by run_analyzers
+        with pytest.raises(ReproError, match="already registered"):
+            register_analyzer(NoHadamard)
+    finally:
+        _REGISTRY.pop("test-no-h", None)
+
+
+def test_device_requiring_analyzers_skipped_without_device():
+    circuit = circuit_of(2, CNOT(1, 0))  # illegal on ibmqx4, but no device
+    report = run_analyzers(circuit, names=["coupling", "gate-set"])
+    assert not report
+
+
+# -- well-formedness --------------------------------------------------------
+
+
+def test_well_formed_clean():
+    report = run_analyzers(circuit_of(2, H(0), CNOT(0, 1)),
+                           names=["well-formed"])
+    assert not report
+
+
+def test_well_formed_empty_circuit_warns():
+    report = run_analyzers(QuantumCircuit(3), names=["well-formed"])
+    assert report.codes() == ["REPRO103"]
+    assert not report.has_errors
+
+
+def test_well_formed_catches_trusted_violations():
+    # Gate._trusted skips validation; the analyzer is the safety net.
+    circuit = QuantumCircuit(2)
+    circuit._gates.append(Gate._trusted("CNOT", (0, 5)))
+    circuit._gates.append(Gate._trusted("CNOT", (1, 1)))
+    report = run_analyzers(circuit, names=["well-formed"])
+    assert set(report.codes()) == {"REPRO101", "REPRO102"}
+    out_of_range = report.with_code("REPRO101")[0]
+    assert out_of_range.gate_index == 0
+    assert out_of_range.qubits == (5,)
+
+
+# -- coupling ---------------------------------------------------------------
+
+
+def test_coupling_flags_reversed_and_uncoupled_cnots():
+    device = get_device("ibmqx4")
+    a, b = sorted(device.coupling_map.directed_edges)[0]
+    legal = (a, b)
+    reversed_edge = (b, a)
+    report = run_analyzers(
+        circuit_of(device.num_qubits, CNOT(*legal), CNOT(*reversed_edge)),
+        device=device,
+        names=["coupling"],
+    )
+    assert len(report) == 1
+    finding = report[0]
+    assert finding.code == "REPRO201"
+    assert finding.gate_index == 1
+    assert "Fig. 6" in finding.hint  # reversed orientation hint
+
+
+def test_coupling_flags_operand_beyond_device():
+    device = get_device("ibmqx4")  # 5 qubits
+    circuit = QuantumCircuit(8, [CNOT(0, 7)])
+    report = run_analyzers(circuit, device=device, names=["coupling"])
+    assert report.codes() == ["REPRO203"]
+
+
+# -- gate set ---------------------------------------------------------------
+
+
+def test_gate_set_flags_non_native():
+    device = get_device("ibmqx4")
+    circuit = circuit_of(3, Gate("TOFFOLI", (0, 1, 2)))
+    report = run_analyzers(circuit, device=device, names=["gate-set"])
+    assert report.codes() == ["REPRO211"]
+    assert "Toffoli network" in report[0].hint
+
+
+def test_gate_set_clean_on_native():
+    device = get_device("ibmqx4")
+    circuit = circuit_of(2, H(0), T(1), CNOT(0, 1))
+    report = run_analyzers(circuit, device=device, names=["gate-set"])
+    assert not report
+
+
+# -- ancilla restore --------------------------------------------------------
+
+
+def test_ancilla_restore_clean_on_proper_vchain():
+    # Compute onto borrowed q2, use it, uncompute: q2 is restored.
+    circuit = circuit_of(
+        4,
+        Gate("TOFFOLI", (0, 1, 2)),
+        CNOT(2, 3),
+        Gate("TOFFOLI", (0, 1, 2)),
+    )
+    report = run_analyzers(
+        circuit, names=["ancilla-restore"], active_qubits=[0, 1, 3]
+    )
+    assert not report
+
+
+def test_ancilla_restore_catches_unrestored_wire():
+    # Compute onto q2 but never uncompute: q2 ends dirty.
+    circuit = circuit_of(3, Gate("TOFFOLI", (0, 1, 2)), CNOT(2, 0))
+    report = run_analyzers(
+        circuit, names=["ancilla-restore"], active_qubits=[0, 1]
+    )
+    assert report.codes() == ["REPRO301"]
+    assert report[0].qubits == (2,)
+    assert "witness basis state" in report[0].message
+
+
+def test_ancilla_restore_skips_quantum_circuits():
+    # A Hadamard makes basis-state simulation unsound -> no verdict.
+    circuit = circuit_of(3, H(0), Gate("TOFFOLI", (0, 1, 2)))
+    report = run_analyzers(
+        circuit, names=["ancilla-restore"], active_qubits=[0, 1]
+    )
+    assert not report
+
+
+def test_ancilla_restore_no_ancillas_no_findings():
+    circuit = circuit_of(3, Gate("TOFFOLI", (0, 1, 2)))
+    report = run_analyzers(
+        circuit, names=["ancilla-restore"], active_qubits=[0, 1, 2]
+    )
+    assert not report
+
+
+# -- identity windows -------------------------------------------------------
+
+
+def test_identity_window_adjacent_pair():
+    report = run_analyzers(circuit_of(1, H(0), H(0)),
+                           names=["identity-window"])
+    assert report.codes() == ["REPRO401"]
+    assert not report.has_errors  # warning severity
+
+
+def test_identity_window_through_commuting_gates():
+    # T(0) commutes with the CNOT control between the two X(1) target hits?
+    # Use a pair separated by a gate on a disjoint wire plus a commuting one.
+    circuit = circuit_of(3, T(0), X(2), Tdg(0))
+    report = run_analyzers(circuit, names=["identity-window"])
+    assert report.codes() == ["REPRO401"]
+
+
+def test_identity_window_blocked_by_non_commuting_gate():
+    circuit = circuit_of(1, T(0), H(0), Tdg(0))
+    report = run_analyzers(circuit, names=["identity-window"])
+    assert not report
+
+
+def test_identity_window_respects_lookback_option():
+    gates = [H(0)] + [CNOT(0, 1)] * 0 + [T(1)] * 20 + [H(0)]
+    circuit = circuit_of(2, *gates)
+    # The separating T(1) gates are disjoint from q0, so they don't count
+    # against the walk; shrink the lookback via a blocking chain instead.
+    report = run_analyzers(circuit, names=["identity-window"],
+                           options={"lookback": 16})
+    assert report.codes() == ["REPRO401"]
+
+
+# -- lint facade ------------------------------------------------------------
+
+
+def test_lint_circuit_without_device_skips_device_checks():
+    circuit = circuit_of(3, Gate("TOFFOLI", (0, 1, 2)))
+    assert not lint_circuit(circuit)
+
+
+def test_lint_circuit_with_device_flags_everything():
+    device = get_device("ibmqx4")
+    circuit = circuit_of(3, Gate("TOFFOLI", (0, 1, 2)), H(0), H(0))
+    report = lint_circuit(circuit, device=device)
+    assert "REPRO211" in report.codes()  # non-native Toffoli
+    assert "REPRO401" in report.codes()  # H-H identity window
+    assert all(d.stage == "lint" for d in report)
+
+
+def test_mcx_lowering_output_is_ancilla_clean():
+    # The real Barenco lowering must satisfy its own contract.
+    from repro.backend.mcx import mcx_to_toffoli
+
+    lowered = mcx_to_toffoli((0, 1, 2, 3), 4, [5, 6, 7])
+    circuit = QuantumCircuit(8)
+    circuit.extend(lowered)
+    report = run_analyzers(
+        circuit, names=["ancilla-restore"], active_qubits=range(5)
+    )
+    assert not report

@@ -1,0 +1,242 @@
+"""Pipeline stage contracts: seeded miscompiles must be caught at the
+offending stage with the correct code — raised in strict mode, recorded
+in default mode."""
+
+import pytest
+
+from repro.analysis import StageContracts
+from repro.compiler import compile_circuit
+from repro.core.circuit import QuantumCircuit
+from repro.core.exceptions import ContractViolation, SynthesisError
+from repro.core.gates import CNOT, Gate, H, TOFFOLI
+from repro.devices import get_device
+
+import repro.backend.mapper as mapper_module
+import repro.compiler as compiler_module
+
+
+def toffoli_circuit():
+    return QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+
+
+# -- clean pipeline ---------------------------------------------------------
+
+
+def test_clean_compile_has_no_diagnostics():
+    result = compile_circuit(toffoli_circuit(), get_device("ibmqx4"))
+    assert not result.diagnostics
+    assert result.verification.equivalent
+
+
+def test_clean_compile_strict_mode_passes():
+    result = compile_circuit(
+        toffoli_circuit(), get_device("ibmqx4"), strict=True
+    )
+    assert not result.diagnostics
+
+
+def test_analyze_false_skips_contracts():
+    result = compile_circuit(
+        toffoli_circuit(), get_device("ibmqx4"), analyze=False
+    )
+    assert not result.diagnostics
+
+
+def test_mcx_with_dirty_ancillas_is_contract_clean():
+    circuit = QuantumCircuit(5, [Gate("MCX", (0, 1, 2, 3, 4))], name="mcx5")
+    result = compile_circuit(
+        circuit, get_device("ibmqx5"), verify=False, strict=True
+    )
+    assert not result.diagnostics
+
+
+# -- seeded illegal CNOT (acceptance criterion) ------------------------------
+
+
+_REAL_LEGALIZE = mapper_module.legalize_cnots
+
+
+def broken_legalize(circuit, device):
+    """A legalizer that flips every CNOT back to the raw orientation,
+    re-creating the bug class the post-mapping contract exists for."""
+    legal = _REAL_LEGALIZE(circuit, device)
+    flipped = QuantumCircuit(legal.num_qubits, name=legal.name)
+    for gate in legal:
+        if gate.name == "CNOT":
+            control, target = gate.qubits
+            if device.coupling_map.allows(target, control):
+                flipped.append(gate)  # both orientations legal; keep
+            else:
+                flipped.append(CNOT(target, control))  # illegal orientation
+        else:
+            flipped.append(gate)
+    return flipped
+
+
+def test_seeded_illegal_cnot_strict_raises(monkeypatch):
+    monkeypatch.setattr(mapper_module, "legalize_cnots", broken_legalize)
+    with pytest.raises(ContractViolation) as excinfo:
+        compile_circuit(
+            toffoli_circuit(), get_device("ibmqx4"), strict=True
+        )
+    assert excinfo.value.stage == "mapped"
+    assert "REPRO201" in excinfo.value.diagnostics.codes()
+
+
+def test_seeded_illegal_cnot_default_records(monkeypatch):
+    monkeypatch.setattr(mapper_module, "legalize_cnots", broken_legalize)
+    result = compile_circuit(
+        toffoli_circuit(), get_device("ibmqx4"), verify=False
+    )
+    assert "REPRO201" in result.diagnostics.codes()
+    assert result.diagnostics.has_errors
+    # Both the mapped and optimized stages see the illegal CNOTs.
+    assert result.diagnostics.for_stage("mapped")
+
+
+def test_contract_violation_is_synthesis_error(monkeypatch):
+    # CLI error handling and legacy tests catch SynthesisError.
+    monkeypatch.setattr(mapper_module, "legalize_cnots", broken_legalize)
+    with pytest.raises(SynthesisError):
+        compile_circuit(
+            toffoli_circuit(), get_device("ibmqx4"), strict=True
+        )
+
+
+# -- seeded non-native gate (acceptance criterion) ---------------------------
+
+
+def leave_toffoli_unexpanded(circuit):
+    """An expansion stage that forgets to decompose Toffoli gates."""
+    return circuit
+
+
+def lenient_legalize(circuit, device):
+    """Pass multi-qubit gates through so the miscompile reaches the
+    post-mapping contract instead of crashing the legalizer."""
+    legal = QuantumCircuit(device.num_qubits, name=circuit.name)
+    legal.extend(circuit)
+    return legal
+
+
+def _seed_non_native(monkeypatch):
+    monkeypatch.setattr(
+        mapper_module, "expand_to_library", leave_toffoli_unexpanded
+    )
+    monkeypatch.setattr(mapper_module, "legalize_cnots", lenient_legalize)
+
+
+def test_seeded_non_native_gate_strict_raises(monkeypatch):
+    _seed_non_native(monkeypatch)
+    with pytest.raises(ContractViolation) as excinfo:
+        compile_circuit(
+            toffoli_circuit(), get_device("ibmqx4"), strict=True
+        )
+    assert excinfo.value.stage == "mapped"
+    assert "REPRO211" in excinfo.value.diagnostics.codes()
+
+
+def test_seeded_non_native_gate_default_records(monkeypatch):
+    _seed_non_native(monkeypatch)
+    result = compile_circuit(
+        toffoli_circuit(), get_device("ibmqx4"), verify=False
+    )
+    assert "REPRO211" in result.diagnostics.codes()
+
+
+# -- seeded cost regression --------------------------------------------------
+
+
+class PessimizingOptimizer:
+    """An 'optimizer' that pads the circuit, increasing its cost."""
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def run(self, circuit):
+        padded = circuit.copy()
+        padded.extend([H(0), H(0), H(0), H(0)])
+        return padded
+
+
+def test_seeded_cost_regression_strict_raises(monkeypatch):
+    monkeypatch.setattr(
+        compiler_module, "LocalOptimizer", PessimizingOptimizer
+    )
+    with pytest.raises(ContractViolation) as excinfo:
+        compile_circuit(
+            toffoli_circuit(), get_device("ibmqx4"), strict=True,
+            verify=False,
+        )
+    assert "REPRO501" in excinfo.value.diagnostics.codes()
+
+
+def test_seeded_cost_regression_default_records(monkeypatch):
+    monkeypatch.setattr(
+        compiler_module, "LocalOptimizer", PessimizingOptimizer
+    )
+    result = compile_circuit(
+        toffoli_circuit(), get_device("ibmqx4"), verify=False
+    )
+    assert "REPRO501" in result.diagnostics.codes()
+
+
+# -- seeded broken lowering (ancilla contract) -------------------------------
+
+
+def test_seeded_broken_lowering_caught_at_lowered_stage(monkeypatch):
+    import repro.backend.mcx as mcx_module
+
+    real_lower = mcx_module.mcx_to_toffoli
+
+    def forgetful_lower(controls, target, ancillas):
+        gates = real_lower(controls, target, ancillas)
+        # Drop the uncompute half of the V-chain: ancillas stay dirty.
+        used_ancillas = {
+            q for g in gates for q in g.qubits
+        } - set(controls) - {target}
+        if not used_ancillas:
+            return gates
+        half = len(gates) * 3 // 4
+        return gates[:half]
+
+    monkeypatch.setattr(
+        mapper_module, "mcx_to_toffoli", forgetful_lower
+    )
+    circuit = QuantumCircuit(5, [Gate("MCX", (0, 1, 2, 3, 4))], name="mcx5")
+    with pytest.raises(ContractViolation) as excinfo:
+        compile_circuit(
+            circuit, get_device("ibmqx5"), strict=True, verify=False
+        )
+    assert excinfo.value.stage == "lowered"
+    assert "REPRO301" in excinfo.value.diagnostics.codes()
+
+
+# -- StageContracts API ------------------------------------------------------
+
+
+def test_check_unknown_stage_is_noop():
+    contracts = StageContracts()
+    report = contracts.check("no-such-stage", toffoli_circuit())
+    assert not report and not contracts.report
+
+
+def test_check_cost_within_tolerance_is_clean():
+    contracts = StageContracts(strict=True)
+    contracts.check_cost("optimized", 10.0, 10.0)
+    contracts.check_cost("optimized", 10.0, 9.0)
+    assert not contracts.report
+
+
+def test_check_cost_violation_strict():
+    contracts = StageContracts(strict=True)
+    with pytest.raises(ContractViolation):
+        contracts.check_cost("optimized", 10.0, 11.0)
+
+
+def test_reports_accumulate_across_stages():
+    contracts = StageContracts(device=get_device("ibmqx4"), strict=False)
+    contracts.check("mapped", QuantumCircuit(3, [TOFFOLI(0, 1, 2)]))
+    contracts.check_cost("optimized", 1.0, 2.0)
+    codes = contracts.report.codes()
+    assert "REPRO211" in codes and "REPRO501" in codes

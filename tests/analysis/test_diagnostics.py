@@ -1,0 +1,102 @@
+"""Diagnostic model: codes, severity, rendering, JSON round-trip."""
+
+import pytest
+
+from repro.analysis import CODE_CATALOG, Diagnostic, DiagnosticReport, Severity
+
+
+def test_make_uses_catalog_severity():
+    error = Diagnostic.make("REPRO201", "bad CNOT")
+    warning = Diagnostic.make("REPRO401", "identity window")
+    assert error.severity is Severity.ERROR
+    assert warning.severity is Severity.WARNING
+
+
+def test_make_severity_override():
+    d = Diagnostic.make("REPRO201", "downgraded", severity=Severity.WARNING)
+    assert d.severity is Severity.WARNING
+
+
+def test_unknown_code_defaults_to_error():
+    d = Diagnostic.make("REPRO999", "custom analyzer finding")
+    assert d.severity is Severity.ERROR
+
+
+def test_catalog_codes_are_well_formed():
+    for code, (severity, meaning) in CODE_CATALOG.items():
+        assert code.startswith("REPRO") and code[5:].isdigit()
+        assert isinstance(severity, Severity)
+        assert meaning
+
+
+def test_render_includes_code_location_and_hint():
+    d = Diagnostic.make(
+        "REPRO201", "CNOT(q0, q1) illegal", gate_index=3, qubits=(0, 1),
+        hint="reverse it",
+    )
+    text = d.render()
+    assert "REPRO201" in text
+    assert "gate 3" in text
+    assert "q0,1" in text
+    assert "(fix: reverse it)" in text
+
+
+def test_render_file_location():
+    d = Diagnostic.make("REPRO601", "unknown register", filename="a.qasm",
+                        line=7)
+    assert "[a.qasm:7]" in d.render()
+
+
+def test_diagnostic_payload_round_trip():
+    d = Diagnostic.make(
+        "REPRO301", "ancilla q5 dirty", gate_index=12, qubits=(5,),
+        stage="lowered", hint="uncompute the V-chain",
+    )
+    assert Diagnostic.from_payload(d.to_payload()) == d
+
+
+def test_report_filters_and_summary():
+    report = DiagnosticReport([
+        Diagnostic.make("REPRO201", "e1"),
+        Diagnostic.make("REPRO401", "w1"),
+        Diagnostic.make("REPRO201", "e2"),
+    ])
+    assert len(report) == 3
+    assert report.has_errors
+    assert len(report.errors()) == 2
+    assert len(report.warnings()) == 1
+    assert report.codes() == ["REPRO201", "REPRO401"]
+    assert len(report.with_code("REPRO201")) == 2
+    assert report.summary() == "2 errors, 1 warning"
+
+
+def test_empty_report_is_falsy_and_clean():
+    report = DiagnosticReport()
+    assert not report
+    assert not report.has_errors
+    assert report.summary() == "clean"
+
+
+def test_report_payload_round_trip():
+    report = DiagnosticReport([
+        Diagnostic.make("REPRO201", "e1", gate_index=0, qubits=(1, 2),
+                        stage="mapped"),
+        Diagnostic.make("REPRO605", "bad cube", filename="f.pla", line=3),
+    ])
+    rebuilt = DiagnosticReport.from_payload(report.to_payload())
+    assert rebuilt == report
+    assert rebuilt.to_payload() == report.to_payload()
+
+
+def test_for_stage_filter():
+    report = DiagnosticReport([
+        Diagnostic.make("REPRO201", "a", stage="mapped"),
+        Diagnostic.make("REPRO211", "b", stage="optimized"),
+    ])
+    assert [d.code for d in report.for_stage("mapped")] == ["REPRO201"]
+
+
+def test_diagnostics_are_immutable():
+    d = Diagnostic.make("REPRO101", "x")
+    with pytest.raises(AttributeError):
+        d.code = "REPRO102"

@@ -1,0 +1,135 @@
+"""The ``repro lint`` subcommand and ``repro compile --strict``."""
+
+import json
+
+import pytest
+
+from repro.analysis import DiagnosticReport
+from repro.cli import main
+
+BELL_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0], q[1];
+"""
+
+TOFFOLI_QC = """.v a b c
+BEGIN
+H c
+t3 a b c
+H c
+END
+"""
+
+MAJORITY_REAL = """.version 2.0
+.numvars 4
+.variables a b c d
+.begin
+t3 a b d
+t3 a c d
+t3 b c d
+.end
+"""
+
+PARITY_PLA = """.i 3
+.o 1
+.type esop
+1-- 1
+-1- 1
+--1 1
+.e
+"""
+
+FILES = {
+    "bell.qasm": BELL_QASM,
+    "toffoli.qc": TOFFOLI_QC,
+    "majority.real": MAJORITY_REAL,
+    "parity.pla": PARITY_PLA,
+}
+
+
+@pytest.fixture
+def examples(tmp_path):
+    paths = {}
+    for name, text in FILES.items():
+        path = tmp_path / name
+        path.write_text(text)
+        paths[name] = str(path)
+    return paths
+
+
+def test_lint_clean_file_exits_zero(examples, capsys):
+    assert main(["lint", examples["bell.qasm"]]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_lint_all_formats_parse(examples, capsys):
+    code = main(["lint"] + [examples[n] for n in sorted(FILES)])
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in FILES:
+        assert name in out
+
+
+def test_lint_with_device_flags_raw_circuits(examples, capsys):
+    # A raw .qc Toffoli is not executable on ibmqx4 as-is.
+    code = main(["lint", examples["toffoli.qc"], "--device", "ibmqx4"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REPRO211" in out
+
+
+def test_lint_json_round_trips_every_format(examples, capsys):
+    code = main(
+        ["lint", "--format", "json", "--device", "ibmqx4"]
+        + [examples[n] for n in sorted(FILES)]
+    )
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert len(document["files"]) == len(FILES)
+    for entry in document["files"]:
+        rebuilt = DiagnosticReport.from_payload(entry["diagnostics"])
+        assert rebuilt.to_payload() == entry["diagnostics"]
+    assert document["errors"] > 0
+
+
+def test_lint_parse_error_reported_as_diagnostic(tmp_path, capsys):
+    bad = tmp_path / "bad.qasm"
+    bad.write_text("OPENQASM 2.0;\nqreg q[2];\ncx q[0], r[1];\n")
+    code = main(["lint", "--format", "json", str(bad)])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    [entry] = document["files"]
+    [diagnostic] = entry["diagnostics"]
+    assert diagnostic["code"] == "REPRO601"
+    assert diagnostic["filename"] == str(bad)
+    assert diagnostic["line"] == 3
+
+
+def test_lint_unknown_device_is_usage_error(examples, capsys):
+    assert main(["lint", examples["bell.qasm"], "--device", "nope"]) == 2
+
+
+def test_lint_missing_file_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "absent.qasm")]) == 2
+
+
+def test_lint_strict_fails_on_warnings(tmp_path, capsys):
+    source = tmp_path / "hh.qasm"
+    source.write_text(
+        'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nh q[0];\nh q[0];\n'
+    )
+    assert main(["lint", str(source)]) == 0  # warning only
+    assert main(["lint", "--strict", str(source)]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO401" in out
+
+
+def test_compile_strict_flag_accepted(examples, capsys):
+    code = main([
+        "compile", examples["bell.qasm"], "--device", "ibmqx4",
+        "--strict", "--verify", "none",
+    ])
+    assert code == 0

@@ -1,0 +1,80 @@
+"""Diagnostics must survive the batch cache's JSON round-trip (payload v2)."""
+
+from repro.analysis import Diagnostic, DiagnosticReport
+from repro.batch.serialize import (
+    PAYLOAD_VERSION,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.compiler import compile_circuit
+from repro.core.circuit import QuantumCircuit
+from repro.core.gates import TOFFOLI
+from repro.devices import get_device
+
+
+def _result():
+    circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+    return compile_circuit(circuit, get_device("ibmqx4"), verify=False)
+
+
+def test_payload_version_is_two():
+    assert PAYLOAD_VERSION == 2
+
+
+def test_round_trip_empty_diagnostics():
+    result = _result()
+    rebuilt = result_from_payload(result_to_payload(result))
+    assert rebuilt is not None
+    assert rebuilt.diagnostics == DiagnosticReport()
+
+
+def test_round_trip_preserves_diagnostics():
+    result = _result()
+    result.diagnostics.append(
+        Diagnostic.make(
+            "REPRO201", "CNOT(q0, q1) illegal", gate_index=4,
+            qubits=(0, 1), stage="mapped", hint="reverse it",
+        )
+    )
+    result.diagnostics.append(
+        Diagnostic.make("REPRO401", "identity window", stage="optimized"),
+    )
+    rebuilt = result_from_payload(result_to_payload(result))
+    assert rebuilt.diagnostics == result.diagnostics
+    assert rebuilt.diagnostics.codes() == ["REPRO201", "REPRO401"]
+
+
+def test_version_one_payload_reads_as_miss():
+    payload = result_to_payload(_result())
+    payload["version"] = 1
+    assert result_from_payload(payload) is None
+
+
+def test_batch_options_accept_strict_and_analyze():
+    from repro.batch.engine import CompileJob
+
+    circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+    job = CompileJob.make(
+        circuit, "ibmqx4",
+        {"verify": False, "strict": True, "analyze": True},
+    )
+    result = job.run()
+    assert not result.diagnostics
+
+
+def test_batch_report_surfaces_diagnostics(monkeypatch):
+    import repro.backend.mapper as mapper_module
+    from repro.batch import compile_many
+    from tests.analysis.test_contracts import broken_legalize
+
+    monkeypatch.setattr(mapper_module, "legalize_cnots", broken_legalize)
+    circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+    report = compile_many(
+        [(circuit, "ibmqx4", {"verify": False})], workers=1
+    )
+    flagged = report.diagnostics()
+    assert flagged
+    label, diagnostic = flagged[0]
+    assert label == "ccx@ibmqx4"
+    assert diagnostic.code == "REPRO201"
+    assert "diagnostics" in report.summary()

@@ -1,0 +1,191 @@
+"""Parser error paths: malformed inputs must raise located ParseErrors
+carrying stable REPRO6xx diagnostic codes."""
+
+import pytest
+
+from repro.core.exceptions import ParseError
+from repro.io.pla import parse_pla
+from repro.io.qasm import parse_qasm
+from repro.io.qc import parse_qc
+from repro.io.real_fmt import parse_real
+
+
+def raises_code(parse, text, code, line=None):
+    with pytest.raises(ParseError) as excinfo:
+        parse(text, filename="test-input")
+    error = excinfo.value
+    assert error.code == code, (
+        f"expected {code}, got {error.code}: {error}"
+    )
+    assert error.filename == "test-input"
+    if line is not None:
+        assert error.line == line
+    diagnostic = error.diagnostic
+    assert diagnostic.code == code
+    assert diagnostic.stage == "parse"
+    assert diagnostic.filename == "test-input"
+    return error
+
+
+# -- QASM --------------------------------------------------------------------
+
+
+def test_qasm_unknown_register():
+    raises_code(parse_qasm, "qreg q[2];\ncx q[0], r[1];", "REPRO601", line=2)
+
+
+def test_qasm_index_out_of_range():
+    raises_code(parse_qasm, "qreg q[2];\nh q[5];", "REPRO601", line=2)
+
+
+def test_qasm_register_redefinition():
+    raises_code(parse_qasm, "qreg q[2];\nqreg q[3];", "REPRO602", line=2)
+
+
+def test_qasm_unsupported_gate():
+    raises_code(parse_qasm, "qreg q[2];\nfoo q[0];", "REPRO603", line=2)
+
+
+def test_qasm_missing_operands():
+    raises_code(parse_qasm, "qreg q[2];\nh", "REPRO604", line=2)
+
+
+def test_qasm_bad_qubit_reference():
+    raises_code(parse_qasm, "qreg q[2];\nh nonsense;", "REPRO604", line=2)
+
+
+def test_qasm_bad_angle():
+    raises_code(parse_qasm, "qreg q[1];\nrz(huh) q[0];", "REPRO605", line=2)
+
+
+def test_qasm_duplicate_operands():
+    raises_code(parse_qasm, "qreg q[2];\ncx q[0], q[0];", "REPRO607", line=2)
+
+
+# -- .qc ---------------------------------------------------------------------
+
+
+def test_qc_unknown_wire():
+    raises_code(parse_qc, ".v a b\nBEGIN\ncnot a z\nEND", "REPRO601", line=3)
+
+
+def test_qc_redeclared_wire():
+    raises_code(parse_qc, ".v a b a\nBEGIN\nEND", "REPRO602", line=1)
+
+
+def test_qc_unsupported_mnemonic():
+    raises_code(parse_qc, ".v a\nBEGIN\nqqq a\nEND", "REPRO603", line=3)
+
+
+def test_qc_wrong_arity():
+    raises_code(parse_qc, ".v a b\nBEGIN\ncnot a\nEND", "REPRO604", line=3)
+
+
+def test_qc_duplicate_operands():
+    raises_code(parse_qc, ".v a b\nBEGIN\ncnot a a\nEND", "REPRO607", line=3)
+
+
+# -- .real -------------------------------------------------------------------
+
+
+def test_real_unknown_variable():
+    raises_code(
+        parse_real, ".numvars 2\n.variables a b\n.begin\nt2 a z\n.end",
+        "REPRO601", line=4,
+    )
+
+
+def test_real_redeclared_variable():
+    raises_code(
+        parse_real, ".numvars 2\n.variables a a\n.begin\n.end",
+        "REPRO602", line=2,
+    )
+
+
+def test_real_unsupported_gate():
+    raises_code(
+        parse_real, ".numvars 2\n.variables a b\n.begin\nv a b\n.end",
+        "REPRO603", line=4,
+    )
+
+
+def test_real_wrong_arity():
+    raises_code(
+        parse_real, ".numvars 2\n.variables a b\n.begin\nt3 a b\n.end",
+        "REPRO604", line=4,
+    )
+
+
+def test_real_bad_numvars_literal():
+    raises_code(parse_real, ".numvars many\n.begin\n.end", "REPRO605", line=1)
+
+
+def test_real_numvars_mismatch():
+    raises_code(
+        parse_real, ".numvars 3\n.variables a b\n.begin\n.end", "REPRO606"
+    )
+
+
+def test_real_duplicate_operands():
+    raises_code(
+        parse_real, ".numvars 2\n.variables a b\n.begin\nt2 a a\n.end",
+        "REPRO607", line=4,
+    )
+
+
+# -- PLA ---------------------------------------------------------------------
+
+
+def test_pla_bad_row():
+    raises_code(parse_pla, ".i 2\n.o 1\n1 0 1\n.e", "REPRO604", line=3)
+
+
+def test_pla_rows_before_declarations():
+    raises_code(parse_pla, ".i 2\n10 1\n.e", "REPRO604", line=2)
+
+
+def test_pla_bad_cube_character():
+    raises_code(
+        parse_pla, ".i 2\n.o 1\n.type esop\n1x 1\n.e", "REPRO605", line=4
+    )
+
+
+def test_pla_bad_output_character():
+    raises_code(
+        parse_pla, ".i 2\n.o 1\n.type esop\n10 z\n.e", "REPRO605", line=4
+    )
+
+
+def test_pla_bad_count_literal():
+    raises_code(parse_pla, ".i two\n.o 1\n.e", "REPRO605", line=1)
+
+
+def test_pla_cube_width_mismatch():
+    raises_code(
+        parse_pla, ".i 3\n.o 1\n.type esop\n10 1\n.e", "REPRO606", line=4
+    )
+
+
+def test_pla_missing_declarations():
+    raises_code(parse_pla, ".type esop\n.e", "REPRO606")
+
+
+def test_pla_overlapping_sop_cubes():
+    raises_code(parse_pla, ".i 2\n.o 1\n1- 1\n-1 1\n.e", "REPRO606")
+
+
+# -- diagnostic conversion ---------------------------------------------------
+
+
+def test_parse_error_without_code_defaults_generic():
+    error = ParseError("boom", filename="f", line=1)
+    assert error.code == "REPRO600"
+    assert error.diagnostic.code == "REPRO600"
+
+
+def test_bare_message_excludes_location():
+    error = ParseError("boom", filename="f.qasm", line=3)
+    assert str(error) == "f.qasm:3: boom"
+    assert error.bare_message == "boom"
+    assert error.diagnostic.message == "boom"
+    assert "f.qasm" in error.diagnostic.location()
