@@ -54,6 +54,7 @@ from .analyzers import (
     IdentityWindowAnalyzer,
     WellFormednessAnalyzer,
 )
+from .batch_health import batch_health_report
 from .contracts import STAGE_ANALYZERS, StageContracts
 
 #: Analyzers run by :func:`lint_circuit` (and ``repro lint``) when no
@@ -107,5 +108,6 @@ __all__ = [
     "StageContracts",
     "STAGE_ANALYZERS",
     "DEFAULT_LINT_ANALYZERS",
+    "batch_health_report",
     "lint_circuit",
 ]

@@ -1,0 +1,78 @@
+"""Batch-execution health as located diagnostics (``REPRO7xx``).
+
+The batch engine's fault tolerance (timeouts, retries, broken-pool
+recovery — :mod:`repro.batch.engine`) keeps a batch *completing*, but a
+completing batch that quietly retried half its jobs is still a sick
+batch.  This analyzer turns a :class:`~repro.batch.BatchReport`'s
+execution telemetry into the same coded-diagnostic currency the static
+analyzers use, so ``repro compile`` surfaces execution-health findings
+next to stage-contract findings and dashboards can alert on stable
+codes instead of parsing log text.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .diagnostics import Diagnostic, DiagnosticReport
+
+if TYPE_CHECKING:
+    from ..batch.engine import BatchReport
+
+__all__ = ["batch_health_report"]
+
+
+def batch_health_report(report: "BatchReport") -> DiagnosticReport:
+    """Execution-health findings for one batch run.
+
+    Per-job findings (in submission order): ``REPRO701`` for a job whose
+    final outcome was a wall-clock timeout, ``REPRO702`` for a job that
+    needed retries (even if it ultimately succeeded), ``REPRO703`` for a
+    job lost to a worker crash.  Batch-level findings: ``REPRO704`` when
+    pool recovery was exhausted and execution degraded to serial,
+    ``REPRO705`` when the batch was interrupted mid-run.
+    """
+    found = []
+    for entry in report:
+        label = entry.job.label
+        if entry.timed_out:
+            found.append(Diagnostic.make(
+                "REPRO701",
+                f"job {label!r} exceeded its wall-clock timeout "
+                f"after {entry.attempts} attempt(s)",
+                stage="batch",
+                hint="raise the timeout or split the job",
+            ))
+        elif entry.error is not None and (
+            entry.error.exception_type == "WorkerCrashError"
+        ):
+            found.append(Diagnostic.make(
+                "REPRO703",
+                f"worker process crashed while running job {label!r}",
+                stage="batch",
+                hint="check worker memory limits and native extensions",
+            ))
+        if entry.retried and entry.ok:
+            found.append(Diagnostic.make(
+                "REPRO702",
+                f"job {label!r} succeeded only on attempt "
+                f"{entry.attempts}",
+                stage="batch",
+                hint="investigate transient worker faults",
+            ))
+    if report.degraded_serial:
+        found.append(Diagnostic.make(
+            "REPRO704",
+            f"pool recovery exhausted after {report.pool_restarts} "
+            "restart(s); remaining jobs ran serially in the coordinator",
+            stage="batch",
+            hint="a job may be repeatedly killing workers",
+        ))
+    if report.interrupted:
+        found.append(Diagnostic.make(
+            "REPRO705",
+            "batch interrupted before completion; unfinished jobs carry "
+            "KeyboardInterrupt errors",
+            stage="batch",
+        ))
+    return DiagnosticReport(found)

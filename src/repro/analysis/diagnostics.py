@@ -17,6 +17,7 @@ for the full catalog with examples and fixes):
 * ``REPRO4xx`` — missed-optimization warnings (identity windows)
 * ``REPRO5xx`` — pipeline stage contracts (cost monotonicity)
 * ``REPRO6xx`` — parse-level diagnostics (front-end file formats)
+* ``REPRO7xx`` — batch-execution health and differential fuzzing
 """
 
 from __future__ import annotations
@@ -82,6 +83,13 @@ CODE_CATALOG: Dict[str, Tuple[Severity, str]] = {
     "REPRO605": (Severity.ERROR, "bad literal (angle, cube, count)"),
     "REPRO606": (Severity.ERROR, "declaration/width mismatch"),
     "REPRO607": (Severity.ERROR, "invalid gate operands"),
+    # -- 7xx: batch-execution health and fuzzing -------------------------
+    "REPRO701": (Severity.WARNING, "job exceeded its wall-clock timeout"),
+    "REPRO702": (Severity.WARNING, "job succeeded only after transient-failure retries"),
+    "REPRO703": (Severity.ERROR, "worker process crashed while running the job"),
+    "REPRO704": (Severity.WARNING, "batch degraded to serial execution"),
+    "REPRO705": (Severity.WARNING, "batch interrupted before completion"),
+    "REPRO710": (Severity.ERROR, "compiled output failed the differential fuzz oracle"),
 }
 
 

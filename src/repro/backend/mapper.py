@@ -21,6 +21,7 @@ optimizer (:mod:`repro.optimize`) then produces the optimized mapping.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -142,7 +143,37 @@ def map_circuit(
         from .rebase import rebase_to_ion
 
         legal = rebase_to_ion(legal)
+    if os.environ.get("REPRO_FAULT_INJECT"):
+        from ..batch import faults
+
+        if faults.fire("mapper", circuit.name or ""):
+            legal = _inject_miscompile(legal)
     return legal
+
+
+def _inject_miscompile(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Deterministically corrupt a mapped circuit by dropping its last
+    entangling gate (falling back to the last gate of any arity).
+
+    Only reachable through the ``miscompile`` action of the
+    ``REPRO_FAULT_INJECT`` hook (:mod:`repro.batch.faults`): the seeded
+    mapper bug that proves the differential fuzz harness's QMDD oracle
+    actually catches miscompiles and that the shrinker can reduce them.
+    """
+    victim = None
+    for index in range(len(circuit) - 1, -1, -1):
+        if circuit[index].num_qubits >= 2:
+            victim = index
+            break
+    if victim is None and len(circuit):
+        victim = len(circuit) - 1
+    if victim is None:
+        return circuit
+    gates = list(circuit.gates)
+    del gates[victim]
+    return QuantumCircuit._trusted(
+        circuit.num_qubits, gates, name=circuit.name
+    )
 
 
 def _validate_placement(

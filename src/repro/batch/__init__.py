@@ -28,6 +28,7 @@ from .cache import (
     job_cache_key,
 )
 from .engine import (
+    TRANSIENT_ERROR_TYPES,
     BatchReport,
     CompileJob,
     JobError,
@@ -49,6 +50,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "JobError",
     "JobResult",
+    "TRANSIENT_ERROR_TYPES",
     "circuit_from_payload",
     "circuit_to_payload",
     "compile_many",

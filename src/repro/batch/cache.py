@@ -26,9 +26,11 @@ a second benchmark run starts warm.
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import json
 import os
+import time
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -40,6 +42,22 @@ from .serialize import result_from_payload, result_to_payload
 
 #: Default on-disk store location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Age beyond which an orphaned ``*.tmp.<pid>`` file is removed even if
+#: its pid appears alive (pid reuse makes liveness alone unreliable).
+STALE_TEMP_SECONDS = 3600.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; unknown/forbidden pids read as alive
+    so the sweep stays conservative."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OverflowError, OSError):
+        return True
+    return True
 
 
 def cost_function_identity(cost_function: Optional[CostFunction]) -> Optional[str]:
@@ -126,6 +144,7 @@ class CompilationCache:
         self.memory_hits = 0
         self.disk_hits = 0
         self.stores = 0
+        self.temp_files_swept = self._sweep_stale_temps()
 
     # -- lookup ------------------------------------------------------------
 
@@ -175,6 +194,45 @@ class CompilationCache:
 
     # -- disk tier ---------------------------------------------------------
 
+    def _sweep_stale_temps(self) -> int:
+        """Remove orphaned ``<key>.json.tmp.<pid>`` files left behind by
+        a process that crashed mid-write (the ``os.replace`` in
+        :meth:`_disk_put` never ran).
+
+        A temp file is stale when its writer pid is dead, or when it is
+        older than :data:`STALE_TEMP_SECONDS` (pid reuse guard).  The
+        sweep is concurrency-safe: a racing writer's fresh temp file has
+        a live pid and recent mtime so it is left alone, and racing
+        sweepers tolerate files vanishing underneath them.
+        """
+        if not self.directory or not os.path.isdir(self.directory):
+            return 0
+        removed = 0
+        own_pid = os.getpid()
+        now = time.time()
+        pattern = os.path.join(glob.escape(self.directory), "*", "*.tmp.*")
+        for path in glob.glob(pattern):
+            suffix = path.rsplit(".tmp.", 1)[-1]
+            try:
+                pid = int(suffix)
+            except ValueError:
+                pid = None
+            try:
+                age = now - os.stat(path).st_mtime
+            except OSError:
+                continue  # vanished under a concurrent sweeper
+            stale = age > STALE_TEMP_SECONDS or (
+                pid is not None and pid != own_pid and not _pid_alive(pid)
+            )
+            if not stale:
+                continue
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass  # already reclaimed by a concurrent sweeper
+        return removed
+
     def _path(self, key: str) -> str:
         directory = self.directory or ""
         return os.path.join(directory, key[:2], f"{key}.json")
@@ -222,4 +280,5 @@ class CompilationCache:
             "hit_rate": round(self.hit_rate, 4),
             "memory_entries": len(self._memory),
             "disk_enabled": bool(self.directory),
+            "temp_files_swept": self.temp_files_swept,
         }

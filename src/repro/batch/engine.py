@@ -17,6 +17,32 @@ across a :class:`concurrent.futures.ProcessPoolExecutor`:
   :class:`~repro.batch.cache.CompilationCache` and repeated cells are
   served without compiling (see :mod:`repro.batch.cache` for the key).
 
+Fault tolerance (the batch is a long-running production surface, so a
+single sick job must never lose the rest):
+
+* **Per-job wall-clock timeouts** — ``timeout=seconds`` arms a
+  ``SIGALRM``-based guard around each job *inside the worker*, so a
+  runaway compilation raises
+  :class:`~repro.core.exceptions.JobTimeoutError` instead of stalling
+  the batch.  A coordinator-side backstop reclaims the pool when a
+  worker is hard-hung (stuck in a signal-proof state) and requeues the
+  unstarted jobs.
+* **Bounded retry with backoff** — transient failures (timeouts, worker
+  crashes, :class:`~repro.core.exceptions.TransientJobError`) are
+  retried up to ``retries`` times with exponential backoff; genuine
+  compile errors are recorded immediately, never retried.
+* **Broken-pool recovery** — a dying worker (``BrokenProcessPool``)
+  used to abort the whole batch; now the pool is rebuilt, surviving
+  jobs are requeued, and after ``max_pool_restarts`` rebuilds the
+  engine degrades gracefully to serial in-process execution so the
+  batch always completes with per-job outcomes.
+* **Interrupt flush** — Ctrl-C during a batch fills the unfinished
+  slots with ``KeyboardInterrupt`` job errors and returns the partial
+  report (``BatchReport.interrupted``) instead of losing completed work.
+* **Deterministic fault injection** — the ``REPRO_FAULT_INJECT``
+  environment hook (:mod:`repro.batch.faults`) kills, hangs or flakes
+  workers on demand so every recovery path above is itself tested.
+
 The coordinating process owns the cache; worker processes only ever
 compile.  Fresh results are cached on the way back, so a second call
 with the same jobs is pure cache hits.
@@ -26,9 +52,13 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
+import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -45,8 +75,9 @@ from ..compiler import CompilationResult, compile_circuit
 if TYPE_CHECKING:
     from ..analysis.diagnostics import Diagnostic
 from ..core.circuit import QuantumCircuit
-from ..core.exceptions import ReproError
+from ..core.exceptions import JobTimeoutError, ReproError
 from ..devices.device import Device, get_device
+from . import faults
 from .cache import CompilationCache, job_cache_key
 
 #: Options accepted by :func:`repro.compiler.compile_circuit`, the only
@@ -61,6 +92,18 @@ _KNOWN_OPTIONS = frozenset(
         "mcx_mode",
         "analyze",
         "strict",
+    }
+)
+
+#: Exception type names the engine treats as transient (retryable).
+TRANSIENT_ERROR_TYPES = frozenset(
+    {
+        "JobTimeoutError",
+        "WorkerCrashError",
+        "TransientJobError",
+        "FaultInjectedError",
+        "BrokenProcessPool",
+        "OSError",
     }
 )
 
@@ -136,6 +179,16 @@ class JobError:
         or otherwise not mappable) as opposed to genuine failures."""
         return self.exception_type == "NotSynthesizableError"
 
+    @property
+    def transient(self) -> bool:
+        """True when this failure class is retryable (timeout, worker
+        crash, injected flakiness) rather than a deterministic error."""
+        return self.exception_type in TRANSIENT_ERROR_TYPES
+
+    @property
+    def timed_out(self) -> bool:
+        return self.exception_type == "JobTimeoutError"
+
     def __str__(self) -> str:
         return f"{self.exception_type}: {self.message}"
 
@@ -150,10 +203,19 @@ class JobResult:
     error: Optional[JobError] = None
     from_cache: bool = False
     seconds: float = 0.0
+    #: Execution attempts consumed (1 = first try succeeded or failed
+    #: non-transiently; >1 = the job was retried).
+    attempts: int = 1
+    #: True when the final outcome was a wall-clock timeout.
+    timed_out: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
 
     def unwrap(self) -> CompilationResult:
         """The result, raising a ``ReproError`` if the job failed."""
@@ -174,6 +236,18 @@ class BatchReport:
     cache_stats: Optional[Dict] = None
     serial_fallbacks: int = 0
     chunk_size: int = 0
+    #: Total retry executions across the batch (0 = no transient faults).
+    retry_count: int = 0
+    #: Jobs whose final outcome was a wall-clock timeout.
+    timeout_count: int = 0
+    #: Times a broken worker pool was rebuilt mid-batch.
+    pool_restarts: int = 0
+    #: True when pool recovery was exhausted and the remaining jobs ran
+    #: serially in the coordinating process.
+    degraded_serial: bool = False
+    #: True when the batch was interrupted (Ctrl-C); completed slots are
+    #: real results, unfinished slots carry ``KeyboardInterrupt`` errors.
+    interrupted: bool = False
     extra: Dict = field(default_factory=dict)
 
     def __iter__(self):
@@ -195,6 +269,12 @@ class BatchReport:
     def errors(self) -> List[JobResult]:
         return [entry for entry in self.results if not entry.ok]
 
+    def timeouts(self) -> List[JobResult]:
+        return [entry for entry in self.results if entry.timed_out]
+
+    def retried(self) -> List[JobResult]:
+        return [entry for entry in self.results if entry.retried]
+
     @property
     def cache_hits(self) -> int:
         return sum(1 for entry in self.results if entry.from_cache)
@@ -210,6 +290,14 @@ class BatchReport:
                 found.append((entry.job.label, diagnostic))
         return found
 
+    def health(self) -> "DiagnosticReport":
+        """Batch-execution health findings (timeouts, retries, crashes,
+        degradation) as located diagnostics — see
+        :func:`repro.analysis.batch_health.batch_health_report`."""
+        from ..analysis.batch_health import batch_health_report
+
+        return batch_health_report(self)
+
     def summary(self) -> str:
         parts = [
             f"{len(self.results)} jobs",
@@ -221,7 +309,21 @@ class BatchReport:
         flagged = self.diagnostics()
         if flagged:
             parts.insert(2, f"{len(flagged)} diagnostics")
+        if self.retry_count:
+            parts.append(f"{self.retry_count} retries")
+        if self.timeout_count:
+            parts.append(f"{self.timeout_count} timeouts")
+        if self.pool_restarts:
+            parts.append(f"{self.pool_restarts} pool restarts")
+        if self.degraded_serial:
+            parts.append("degraded to serial")
+        if self.interrupted:
+            parts.append("INTERRUPTED")
         return ", ".join(parts)
+
+
+if TYPE_CHECKING:
+    from ..analysis.diagnostics import DiagnosticReport
 
 
 JobLike = Union[
@@ -247,16 +349,54 @@ def _normalize(jobs: Iterable[JobLike]) -> List[CompileJob]:
     return normalized
 
 
+@contextmanager
+def _alarm_guard(timeout: Optional[float], label: str):
+    """Raise :class:`JobTimeoutError` if the body runs past ``timeout``.
+
+    Uses ``SIGALRM`` (POSIX, main thread only) — exact wall-clock
+    enforcement measured where the job actually runs, immune to pool
+    queueing delays.  Silently unenforced where unavailable (Windows,
+    non-main threads); the coordinator backstop still applies.
+    """
+    usable = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeoutError(
+            f"job {label!r} exceeded {timeout:g}s wall-clock timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def _execute_packed(packed: bytes) -> List[Tuple[int, str, bytes]]:
     """Worker entry point: run a pickled chunk of (index, job) pairs.
 
     Every outcome — success or failure — is pickled *individually* so a
-    single unpicklable result cannot poison the whole chunk.
+    single unpicklable result cannot poison the whole chunk.  The
+    per-job timeout is enforced here, in the worker, via the alarm
+    guard.
     """
+    timeout, entries = pickle.loads(packed)
     out: List[Tuple[int, str, bytes]] = []
-    for index, job in pickle.loads(packed):
+    for index, job in entries:
         try:
-            result = job.run()
+            with _alarm_guard(timeout, job.label):
+                faults.fire("worker", job.label)
+                result = job.run()
             out.append((index, "ok", pickle.dumps(result)))
         except BaseException as error:  # captured, never crashes the pool
             out.append(
@@ -271,11 +411,122 @@ def default_worker_count() -> int:
     return min(os.cpu_count() or 1, 8)
 
 
+@dataclass
+class _Pending:
+    """Coordinator-side state of one not-yet-recorded job."""
+
+    index: int
+    job: CompileJob
+    key: Optional[str]
+    #: Transient failures consumed so far (retry budget accounting).
+    failures: int = 0
+
+
+class _Batch:
+    """One :func:`compile_many` invocation's mutable coordinator state."""
+
+    def __init__(
+        self,
+        job_list: List[CompileJob],
+        cache: Optional[CompilationCache],
+        timeout: Optional[float],
+        retries: int,
+        retry_backoff: float,
+    ):
+        self.job_list = job_list
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.results: List[Optional[JobResult]] = [None] * len(job_list)
+        self.retry_count = 0
+        self.timeout_count = 0
+        self.pool_restarts = 0
+        self.degraded_serial = False
+        self.interrupted = False
+
+    # -- recording ---------------------------------------------------------
+
+    def record_ok(
+        self, entry: _Pending, result: CompilationResult, seconds: float
+    ) -> None:
+        if self.cache is not None:
+            self.cache.put(entry.key, result)
+        self.results[entry.index] = JobResult(
+            index=entry.index,
+            job=entry.job,
+            result=result,
+            seconds=seconds,
+            attempts=entry.failures + 1,
+        )
+
+    def record_error(self, entry: _Pending, error: JobError) -> None:
+        timed_out = error.timed_out
+        if timed_out:
+            self.timeout_count += 1
+        # `failures` already counts the final failed attempt (charged by
+        # should_retry before landing here); the floor covers the rare
+        # dispatch-side failures recorded without a retry decision.
+        self.results[entry.index] = JobResult(
+            index=entry.index,
+            job=entry.job,
+            error=error,
+            attempts=max(1, entry.failures),
+            timed_out=timed_out,
+        )
+
+    def should_retry(self, entry: _Pending, error: JobError) -> bool:
+        """Consume one transient failure; True when the job has retry
+        budget left and the failure class is retryable."""
+        entry.failures += 1
+        if error.transient and entry.failures <= self.retries:
+            self.retry_count += 1
+            return True
+        return False
+
+    def backoff(self, entry: _Pending) -> None:
+        if self.retry_backoff > 0:
+            time.sleep(self.retry_backoff * (2 ** min(entry.failures - 1, 6)))
+
+    # -- serial execution --------------------------------------------------
+
+    def run_serial(self, entries: List[_Pending]) -> None:
+        """Execute ``entries`` in-process, honoring timeout and retries.
+
+        ``KeyboardInterrupt`` propagates to :func:`compile_many`'s
+        interrupt handler; everything else is captured per job.
+        """
+        for entry in entries:
+            while True:
+                started = time.perf_counter()
+                try:
+                    with _alarm_guard(self.timeout, entry.job.label):
+                        faults.fire("serial", entry.job.label)
+                        result = entry.job.run()
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as error:
+                    captured = JobError.from_exception(error)
+                    if self.should_retry(entry, captured):
+                        self.backoff(entry)
+                        continue
+                    self.record_error(entry, captured)
+                else:
+                    self.record_ok(
+                        entry, result, time.perf_counter() - started
+                    )
+                break
+
+
 def compile_many(
     jobs: Iterable[JobLike],
     workers: Optional[int] = 1,
     cache: Optional[CompilationCache] = None,
     chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    retry_backoff: float = 0.05,
+    max_pool_restarts: int = 2,
 ) -> BatchReport:
     """Compile every job, optionally in parallel, with per-job errors.
 
@@ -283,6 +534,13 @@ def compile_many(
     ``workers=None`` picks :func:`default_worker_count`.  Results are
     returned in submission order.  With a ``cache``, previously-compiled
     cells are served without compiling and fresh results are stored back.
+
+    ``timeout`` bounds each job's wall-clock seconds (``None`` = no
+    bound; forces chunk size 1 so one slow job cannot hide others'
+    deadlines).  Transient failures are retried up to ``retries`` times
+    with exponential ``retry_backoff``.  A broken worker pool is rebuilt
+    up to ``max_pool_restarts`` times before the engine degrades to
+    serial execution; the batch always returns a complete report.
     """
     started = time.perf_counter()
     job_list = _normalize(jobs)
@@ -290,25 +548,29 @@ def compile_many(
         workers = default_worker_count()
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
+    if timeout is not None and timeout <= 0:
+        raise ReproError(f"timeout must be positive, got {timeout}")
+    if retries < 0:
+        raise ReproError(f"retries must be >= 0, got {retries}")
 
-    results: List[Optional[JobResult]] = [None] * len(job_list)
-    pending: List[Tuple[int, CompileJob, Optional[str]]] = []
+    state = _Batch(job_list, cache, timeout, retries, retry_backoff)
+    pending: List[_Pending] = []
     for index, job in enumerate(job_list):
         key = job.cache_key() if cache is not None else None
         cached = cache.get(key) if cache is not None else None
         if cached is not None:
-            results[index] = JobResult(
+            state.results[index] = JobResult(
                 index=index, job=job, result=cached, from_cache=True
             )
         else:
-            pending.append((index, job, key))
+            pending.append(_Pending(index=index, job=job, key=key))
 
     serial_fallbacks = 0
-    parallel: List[Tuple[int, CompileJob, Optional[str]]] = []
-    serial: List[Tuple[int, CompileJob, Optional[str]]] = []
+    parallel: List[_Pending] = []
+    serial: List[_Pending] = []
     if workers > 1 and len(pending) > 1:
         for entry in pending:
-            if _picklable(entry[1]):
+            if _picklable(entry.job):
                 parallel.append(entry)
             else:
                 serial.append(entry)
@@ -317,64 +579,258 @@ def compile_many(
         serial = pending
 
     used_chunk = 0
-    if parallel:
-        used_chunk = chunk_size or max(1, len(parallel) // (workers * 4) or 1)
-        chunks = [
-            parallel[i : i + used_chunk]
-            for i in range(0, len(parallel), used_chunk)
-        ]
-        key_of = {index: key for index, _, key in parallel}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            packed = [
-                pickle.dumps([(index, job) for index, job, _ in chunk])
-                for chunk in chunks
-            ]
-            for chunk_out in pool.map(_execute_packed, packed):
-                for index, status, payload in chunk_out:
-                    job = job_list[index]
-                    if status == "ok":
-                        result = pickle.loads(payload)
-                        if cache is not None:
-                            cache.put(key_of[index], result)
-                        results[index] = JobResult(
-                            index=index,
-                            job=job,
-                            result=result,
-                            seconds=result.synthesis_seconds,
-                        )
-                    else:
-                        results[index] = JobResult(
-                            index=index, job=job, error=pickle.loads(payload)
-                        )
-
-    for index, job, key in serial:
-        cell_started = time.perf_counter()
-        try:
-            result = job.run()
-        except BaseException as error:
-            results[index] = JobResult(
-                index=index, job=job, error=JobError.from_exception(error)
+    try:
+        if parallel:
+            used_chunk = _pick_chunk_size(
+                chunk_size, len(parallel), workers, timeout
             )
-        else:
-            if cache is not None:
-                cache.put(key, result)
-            results[index] = JobResult(
-                index=index,
-                job=job,
-                result=result,
-                seconds=time.perf_counter() - cell_started,
+            leftovers = _run_pool_rounds(
+                state, parallel, workers, used_chunk, max_pool_restarts
             )
+            if leftovers:
+                state.degraded_serial = True
+                serial = serial + leftovers
+        state.run_serial(serial)
+    except KeyboardInterrupt:
+        state.interrupted = True
+        interrupt_error = JobError(
+            exception_type="KeyboardInterrupt",
+            message="batch interrupted before this job completed",
+        )
+        for index, job in enumerate(job_list):
+            if state.results[index] is None:
+                state.results[index] = JobResult(
+                    index=index, job=job, error=interrupt_error
+                )
 
-    if any(entry is None for entry in results):
+    if any(entry is None for entry in state.results):
         raise ReproError("internal error: batch left unfilled job slots")
     return BatchReport(
-        results=results,
+        results=state.results,
         workers=workers,
         wall_seconds=time.perf_counter() - started,
         cache_stats=cache.stats() if cache is not None else None,
         serial_fallbacks=serial_fallbacks,
         chunk_size=used_chunk,
+        retry_count=state.retry_count,
+        timeout_count=state.timeout_count,
+        pool_restarts=state.pool_restarts,
+        degraded_serial=state.degraded_serial,
+        interrupted=state.interrupted,
     )
+
+
+def _pick_chunk_size(
+    chunk_size: Optional[int],
+    job_count: int,
+    workers: int,
+    timeout: Optional[float],
+) -> int:
+    """Adaptive chunking, except under a timeout where chunks must be
+    single jobs (a chunk's deadline is only meaningful per job)."""
+    if timeout is not None:
+        return 1
+    return chunk_size or max(1, job_count // (workers * 4) or 1)
+
+
+def _run_pool_rounds(
+    state: _Batch,
+    entries: List[_Pending],
+    workers: int,
+    chunk_size: int,
+    max_pool_restarts: int,
+) -> List[_Pending]:
+    """Drive pool execution rounds until every entry is recorded or
+    deferred.  Returns entries that must finish serially (pool recovery
+    exhausted, or a job suspected of repeatedly killing workers)."""
+    queue: List[_Pending] = list(entries)
+    leftovers: List[_Pending] = []
+    while queue:
+        if state.pool_restarts > max_pool_restarts:
+            leftovers.extend(queue)
+            return leftovers
+        round_entries, queue = queue, []
+        requeue, deferred = _run_one_pool(
+            state, round_entries, workers, chunk_size
+        )
+        leftovers.extend(deferred)
+        if requeue:
+            # All requeued entries just consumed a transient failure;
+            # back off once per round, scaled to the worst offender.
+            state.backoff(max(requeue, key=lambda e: e.failures))
+            queue = requeue
+    return leftovers
+
+
+def _run_one_pool(
+    state: _Batch,
+    entries: List[_Pending],
+    workers: int,
+    chunk_size: int,
+) -> Tuple[List[_Pending], List[_Pending]]:
+    """Execute ``entries`` on one pool instance.
+
+    Returns ``(requeue, deferred)``: jobs to retry on a fresh pool and
+    jobs that must not return to a pool (crash budget exhausted — they
+    finish serially so a poison job cannot keep killing workers while
+    innocents starve).
+    """
+    by_index = {entry.index: entry for entry in entries}
+    chunks = [
+        entries[i : i + chunk_size]
+        for i in range(0, len(entries), chunk_size)
+    ]
+    requeue: List[_Pending] = []
+    deferred: List[_Pending] = []
+    broken = False
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        future_map = {}
+        for chunk in chunks:
+            packed = pickle.dumps(
+                (state.timeout, [(e.index, e.job) for e in chunk])
+            )
+            future_map[pool.submit(_execute_packed, packed)] = chunk
+        outstanding = set(future_map)
+        while outstanding:
+            budget = None
+            if state.timeout is not None:
+                # Worker-side alarms fire at `timeout`; give them
+                # headroom before declaring the pool hard-hung.
+                budget = state.timeout + max(1.0, state.timeout)
+            done, _ = wait(
+                outstanding, timeout=budget, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # No worker made progress past every alarm deadline:
+                # hard hang.  Reclaim the pool; unstarted jobs requeue
+                # blame-free, running jobs are charged a timeout.
+                _reclaim_hung_pool(
+                    state, pool, outstanding, future_map, requeue
+                )
+                state.pool_restarts += 1
+                return requeue, deferred
+            for future in done:
+                outstanding.discard(future)
+                chunk = future_map.pop(future)
+                try:
+                    chunk_out = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    _charge_crash(state, chunk, requeue, deferred)
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as error:
+                    # Dispatch-side failure (e.g. result unpicklable at
+                    # the chunk level): deterministic, record as-is.
+                    captured = JobError.from_exception(error)
+                    for entry in chunk:
+                        state.record_error(entry, captured)
+                else:
+                    for index, status, payload in chunk_out:
+                        entry = by_index[index]
+                        if status == "ok":
+                            result = pickle.loads(payload)
+                            state.record_ok(
+                                entry, result, result.synthesis_seconds
+                            )
+                            continue
+                        captured = pickle.loads(payload)
+                        if state.should_retry(entry, captured):
+                            requeue.append(entry)
+                        else:
+                            state.record_error(entry, captured)
+            if broken:
+                # The pool poisons every remaining future once a worker
+                # dies; drain them as crash victims and rebuild.
+                for future in outstanding:
+                    chunk = future_map.pop(future)
+                    if future.cancel():
+                        requeue.extend(chunk)  # never started: blame-free
+                        continue
+                    try:
+                        chunk_out = future.result(timeout=5.0)
+                    except Exception:
+                        _charge_crash(state, chunk, requeue, deferred)
+                        continue
+                    # Raced to completion before the pool broke.
+                    for index, status, payload in chunk_out:
+                        entry = by_index[index]
+                        if status == "ok":
+                            result = pickle.loads(payload)
+                            state.record_ok(
+                                entry, result, result.synthesis_seconds
+                            )
+                        else:
+                            captured = pickle.loads(payload)
+                            if state.should_retry(entry, captured):
+                                requeue.append(entry)
+                            else:
+                                state.record_error(entry, captured)
+                outstanding.clear()
+                state.pool_restarts += 1
+        return requeue, deferred
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _charge_crash(
+    state: _Batch,
+    chunk: List[_Pending],
+    requeue: List[_Pending],
+    deferred: List[_Pending],
+) -> None:
+    """A chunk was in flight when its worker died: charge each job one
+    transient failure.  Within budget → retry on a fresh pool; beyond →
+    defer to serial execution (the job may be the killer; rerunning it
+    in a pool would just murder another worker)."""
+    crash = JobError(
+        exception_type="WorkerCrashError",
+        message="worker process died while this job was in flight",
+    )
+    for entry in chunk:
+        if state.should_retry(entry, crash):
+            requeue.append(entry)
+        else:
+            deferred.append(entry)
+
+
+def _reclaim_hung_pool(
+    state: _Batch,
+    pool: ProcessPoolExecutor,
+    outstanding,
+    future_map,
+    requeue: List[_Pending],
+) -> None:
+    """Forcefully recover from a hard-hung pool (workers stuck where
+    even ``SIGALRM`` cannot reach).  Cancellable futures requeue
+    blame-free; the rest are charged a timeout."""
+    timeout_error = JobError(
+        exception_type="JobTimeoutError",
+        message=(
+            "worker hard-hung past the job timeout; "
+            "pool reclaimed by the coordinator"
+        ),
+    )
+    for future in list(outstanding):
+        chunk = future_map.pop(future)
+        if future.cancel():
+            requeue.extend(chunk)
+            continue
+        for entry in chunk:
+            if state.should_retry(entry, timeout_error):
+                requeue.append(entry)
+            else:
+                state.record_error(entry, timeout_error)
+    outstanding.clear()
+    # Terminate the stuck worker processes so shutdown cannot block.
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _picklable(job: CompileJob) -> bool:

@@ -1,0 +1,213 @@
+"""Deterministic fault injection for the batch engine's recovery paths.
+
+Fault tolerance that is never exercised is fault tolerance that does not
+work.  This module lets tests (and cautious operators) inject worker
+faults *deterministically* through the environment, so the engine's
+timeout, retry, broken-pool and serial-degradation paths are themselves
+under test — the same philosophy as the compiler's own sabotage suite
+(``tests/integration/test_failure_injection.py``), one layer up.
+
+``REPRO_FAULT_INJECT`` holds a comma-separated list of fault specs::
+
+    action:target[:limit]
+
+* ``action`` — what to do when the fault fires:
+
+  - ``kill``       exit the worker process immediately (``os._exit``);
+                   in a serial/coordinator context this degrades to
+                   raising :class:`FaultInjectedError` instead, so an
+                   injected fault can never take down the coordinator.
+  - ``hang``       sleep far past any timeout (interruptible by the
+                   worker's alarm guard — exercises the *soft* timeout).
+  - ``hang-hard``  block ``SIGALRM`` first, then sleep — the alarm guard
+                   cannot fire, exercising the coordinator's hard-hang
+                   backstop (pool reclaim).
+  - ``flaky``      raise :class:`TransientJobError` (exercises retry).
+  - ``interrupt``  raise ``KeyboardInterrupt`` (exercises Ctrl-C flush).
+  - ``miscompile`` corrupt the mapper's output (drop the last CNOT) —
+                   fired from :mod:`repro.backend.mapper`, this is the
+                   seeded miscompile the differential fuzz harness must
+                   catch and shrink.
+
+* ``target`` — substring matched against the fault point's label (a job
+  label such as ``bell@ibmqx4`` or a circuit name); ``*`` matches every
+  label.
+
+* ``limit`` — optional maximum number of firings.  Enforcing a limit
+  across *processes* needs shared state: set
+  ``REPRO_FAULT_INJECT_STATE`` to a directory and each firing claims one
+  slot file atomically (``O_CREAT | O_EXCL``), so "kill the worker once,
+  then succeed on retry" is expressible.  Without a state directory a
+  limited spec counts firings per process.
+
+Faults fire at named *points*: ``worker`` (inside a pool worker, before
+the job runs), ``serial`` (the coordinator's in-process execution path)
+and ``mapper`` (inside ``map_circuit``).  Process-lethal actions only
+act literally at the ``worker`` point.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.exceptions import FaultInjectedError, ReproError
+
+#: Environment variable holding the fault spec list.
+FAULT_ENV = "REPRO_FAULT_INJECT"
+#: Environment variable naming the shared firing-state directory.
+FAULT_STATE_ENV = "REPRO_FAULT_INJECT_STATE"
+
+_ACTIONS = frozenset(
+    {"kill", "hang", "hang-hard", "flaky", "interrupt", "miscompile"}
+)
+
+#: Exit status of a worker deliberately killed by a ``kill`` fault, so a
+#: test failure log is unambiguous about who pulled the trigger.
+KILL_EXIT_STATUS = 86
+
+#: Per-process firing counts for limited specs without a state directory.
+_LOCAL_FIRINGS: Dict[str, int] = {}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``action:target[:limit]`` clause."""
+
+    action: str
+    target: str
+    limit: Optional[int] = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.action}:{self.target}"
+
+    def matches(self, label: str) -> bool:
+        return self.target == "*" or self.target in label
+
+
+def parse_specs(text: str) -> List[FaultSpec]:
+    """Parse a ``REPRO_FAULT_INJECT`` value; raises on malformed specs
+    (silently ignoring a typo'd fault would un-test the recovery path)."""
+    specs: List[FaultSpec] = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        if len(parts) == 2:
+            action, target = parts
+            limit = None
+        elif len(parts) == 3:
+            action, target = parts[:2]
+            try:
+                limit = int(parts[2])
+            except ValueError:
+                raise ReproError(f"bad fault-injection limit in {clause!r}")
+            if limit < 1:
+                raise ReproError(f"fault-injection limit must be >= 1: {clause!r}")
+        else:
+            raise ReproError(
+                f"bad fault-injection spec {clause!r} "
+                "(expected action:target[:limit])"
+            )
+        if action not in _ACTIONS:
+            raise ReproError(
+                f"unknown fault-injection action {action!r} "
+                f"(known: {', '.join(sorted(_ACTIONS))})"
+            )
+        specs.append(FaultSpec(action=action, target=target, limit=limit))
+    return specs
+
+
+def active_specs() -> List[FaultSpec]:
+    """The currently configured fault specs (empty when inactive)."""
+    text = os.environ.get(FAULT_ENV, "")
+    if not text:
+        return []
+    return parse_specs(text)
+
+
+def injection_active() -> bool:
+    return bool(os.environ.get(FAULT_ENV))
+
+
+def _claim_firing(spec: FaultSpec) -> bool:
+    """Atomically claim one firing slot for a limited spec.
+
+    Returns False when the spec's fuse is blown (limit exhausted).
+    Unlimited specs always fire.
+    """
+    if spec.limit is None:
+        return True
+    state_dir = os.environ.get(FAULT_STATE_ENV)
+    if not state_dir:
+        count = _LOCAL_FIRINGS.get(spec.key, 0)
+        if count >= spec.limit:
+            return False
+        _LOCAL_FIRINGS[spec.key] = count + 1
+        return True
+    os.makedirs(state_dir, exist_ok=True)
+    slug = spec.key.replace("*", "any").replace("/", "_").replace(":", "_")
+    for slot in range(spec.limit):
+        path = os.path.join(state_dir, f"{slug}.{slot}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.write(fd, str(os.getpid()).encode())
+        os.close(fd)
+        return True
+    return False
+
+
+def fire(point: str, label: str) -> bool:
+    """Fire any matching fault at ``point`` for ``label``.
+
+    Returns True when a ``miscompile`` fault matched (the caller — the
+    mapper — performs the corruption itself); other actions either raise
+    or never return.  No-op (False) when injection is inactive or no
+    spec matches.
+    """
+    if not injection_active():
+        return False
+    for spec in active_specs():
+        if spec.action == "miscompile":
+            if point != "mapper" or not spec.matches(label):
+                continue
+        elif point == "mapper" or not spec.matches(label):
+            continue
+        if not _claim_firing(spec):
+            continue
+        if spec.action == "miscompile":
+            return True
+        _act(spec, point, label)
+    return False
+
+
+def _act(spec: FaultSpec, point: str, label: str) -> None:
+    if spec.action == "kill":
+        if point == "worker":
+            os._exit(KILL_EXIT_STATUS)
+        raise FaultInjectedError(
+            f"injected kill fault for {label!r} (serial context)"
+        )
+    if spec.action == "hang":
+        time.sleep(3600)
+        raise FaultInjectedError(f"injected hang for {label!r} returned")
+    if spec.action == "hang-hard":
+        if point == "worker" and hasattr(signal, "pthread_sigmask"):
+            signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+            time.sleep(3600)
+            raise FaultInjectedError(f"injected hard hang for {label!r} returned")
+        raise FaultInjectedError(
+            f"injected hard hang for {label!r} (serial context)"
+        )
+    if spec.action == "flaky":
+        raise FaultInjectedError(f"injected transient failure for {label!r}")
+    if spec.action == "interrupt":
+        raise KeyboardInterrupt(f"injected interrupt for {label!r}")
+    raise ReproError(f"unhandled fault action {spec.action!r}")

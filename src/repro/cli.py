@@ -7,8 +7,13 @@ The paper describes a *prototype tool*; this CLI is its front door::
     repro compile adder.qc --device ibmqx5 -o adder_qx5.qasm
     repro compile --hex 033f --inputs 4 --device ibmqx3
     repro verify original.qc mapped.qasm   # formal equivalence check
+    repro fuzz --seed 2019 --iterations 100  # differential fuzzing
+    repro fuzz --replay tests/corpus         # regression corpus
 
 Also runnable as ``python -m repro ...``.
+
+Ctrl-C anywhere exits with status 130; during a batch compile the
+completed results are flushed first (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -74,7 +79,45 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--cache-dir", default=None,
                              help="enable the persistent compilation cache "
                                   "in this directory (e.g. .repro_cache)")
+    compile_cmd.add_argument("--timeout", type=float, default=None,
+                             help="per-job wall-clock timeout in seconds "
+                                  "(default: none)")
+    compile_cmd.add_argument("--retries", type=int, default=1,
+                             help="retry budget for transient job failures "
+                                  "(timeouts, worker crashes; default 1)")
     compile_cmd.set_defaults(handler=cmd_compile)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differentially fuzz the compiler against the QMDD "
+                     "oracle (see docs/robustness.md)"
+    )
+    fuzz.add_argument("--seed", type=int, default=2019,
+                      help="campaign seed (same seed = same cases)")
+    fuzz.add_argument("--iterations", type=int, default=50,
+                      help="number of generated cases (default 50)")
+    fuzz.add_argument("--budget-seconds", type=float, default=None,
+                      help="stop after this much wall-clock time even if "
+                           "iterations remain")
+    fuzz.add_argument("--max-qubits", type=int, default=5,
+                      help="generated circuit width bound (default 5)")
+    fuzz.add_argument("--max-gates", type=int, default=12,
+                      help="generated cascade length bound (default 12)")
+    fuzz.add_argument("--device", action="append", dest="fuzz_devices",
+                      help="restrict the device grid (repeatable; default: "
+                           "linear5, t5, tokyo20)")
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the compile fan-out")
+    fuzz.add_argument("--timeout", type=float, default=30.0,
+                      help="per-case compile timeout in seconds (default 30)")
+    fuzz.add_argument("--corpus-dir", default=None,
+                      help="save shrunk findings to this regression corpus "
+                           "directory (e.g. tests/corpus)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report findings without minimizing them")
+    fuzz.add_argument("--replay", metavar="DIR", default=None,
+                      help="replay a regression corpus instead of fuzzing; "
+                           "exits 1 if any entry still fails")
+    fuzz.set_defaults(handler=cmd_fuzz)
 
     lint = commands.add_parser(
         "lint", help="statically analyze circuit files (no compilation)"
@@ -188,7 +231,16 @@ def cmd_compile(args) -> int:
         [(circuit, args.device, options) for circuit in circuits],
         workers=args.workers,
         cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
     )
+
+    if report.interrupted:
+        # Ctrl-C mid-batch: flush whatever finished, then exit 130 like
+        # any interrupted Unix tool (128 + SIGINT).
+        _emit_batch(report, args.output if len(report) > 1 else None, cache)
+        print("interrupted: completed results flushed", file=sys.stderr)
+        return 130
 
     if len(report) == 1:
         entry = report[0]
@@ -266,6 +318,8 @@ def _emit_batch(report, output: Optional[str], cache) -> int:
                   file=sys.stderr)
     for label, diagnostic in report.diagnostics():
         print(f"  {label}: {diagnostic.render()}", file=sys.stderr)
+    for diagnostic in report.health():
+        print(f"  {diagnostic.render()}", file=sys.stderr)
     print(f"batch       : {report.summary()}", file=sys.stderr)
     return 1 if failures == len(report) else 0
 
@@ -348,6 +402,65 @@ def _load_lintable(path: str):
     return read_circuit(path)
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing front-end: campaign mode by default,
+    ``--replay DIR`` to re-check a saved regression corpus.
+
+    Exit codes: 0 clean, 1 on findings (or still-failing corpus
+    entries), 130 when interrupted.
+    """
+    from .fuzz import (
+        FuzzConfig,
+        entry_from_finding,
+        replay_corpus,
+        run_fuzz,
+        save_entry,
+    )
+
+    if args.replay:
+        outcomes = replay_corpus(args.replay)
+        if not outcomes:
+            print(f"corpus {args.replay}: no entries", file=sys.stderr)
+            return 0
+        failures = 0
+        for outcome in outcomes:
+            if not outcome.passed:
+                failures += 1
+            print(outcome.describe())
+        print(
+            f"replayed {len(outcomes)} entries, {failures} still failing",
+            file=sys.stderr,
+        )
+        return 1 if failures else 0
+
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        budget_seconds=args.budget_seconds,
+        max_qubits=args.max_qubits,
+        max_gates=args.max_gates,
+        devices=list(args.fuzz_devices) if args.fuzz_devices else None,
+        workers=args.workers,
+        timeout=args.timeout,
+    )
+    report = run_fuzz(
+        config,
+        on_event=lambda message: print(message, file=sys.stderr),
+        shrink=not args.no_shrink,
+    )
+    for finding in report.findings:
+        print(finding.describe())
+        for gate in finding.minimal_circuit:
+            print(f"    {gate}")
+    if args.corpus_dir:
+        for finding in report.findings:
+            path = save_entry(args.corpus_dir, entry_from_finding(finding))
+            print(f"saved {path}", file=sys.stderr)
+    if report.interrupted:
+        return 130
+    return 0 if report.ok else 1
+
+
 def cmd_draw(args) -> int:
     from .drawing import draw_circuit
 
@@ -374,6 +487,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        # Batch paths flush completed work and return 130 themselves;
+        # this is the backstop for every other command.
+        print("interrupted", file=sys.stderr)
+        return 130
     except NotSynthesizableError as error:
         print(f"N/A: {error}", file=sys.stderr)
         return 3

@@ -102,6 +102,40 @@ class NotSynthesizableError(SynthesisError):
     """
 
 
+class JobTimeoutError(ReproError):
+    """A batch job exceeded its per-job wall-clock timeout.
+
+    Raised inside the worker (via the alarm guard) or synthesized by the
+    batch coordinator when a hard-hung worker had to be reclaimed.
+    Timeouts are *transient* for retry purposes: the job may be retried
+    up to the batch's retry budget before the error is recorded.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died (killed, OOM, segfault) while a batch job
+    was in flight.  Synthesized by the batch coordinator from a
+    ``BrokenProcessPool``; the job itself never got to raise anything.
+    """
+
+
+class TransientJobError(ReproError):
+    """A batch job failed for a reason expected to clear on retry
+    (resource exhaustion, injected flakiness).  The batch engine retries
+    these with backoff before recording a :class:`~repro.batch.JobError`.
+    """
+
+
+class FaultInjectedError(TransientJobError):
+    """A deterministic fault fired via the ``REPRO_FAULT_INJECT`` hook.
+
+    Used by the robustness test-bed (see :mod:`repro.batch.faults`) when
+    the requested fault cannot be realized literally — e.g. a ``kill``
+    fault firing in the coordinating process raises instead of calling
+    ``os._exit``.
+    """
+
+
 class VerificationError(ReproError):
     """Formal equivalence checking *failed*: the mapped circuit does not
     implement the same function as its technology-independent source."""

@@ -1,0 +1,74 @@
+"""Differential fuzzing of the compiler against its own QMDD oracle.
+
+The robustness layer's offensive half: seeded random ESOP functions and
+reversible cascades are compiled across a grid of coupling topologies
+and cost functions, every output is checked against its source with the
+QMDD equivalence oracle (sampled for wide cases), and any mismatch is
+shrunk to a minimal failing cascade and banked in a replayable
+regression corpus.
+
+Quick use::
+
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(seed=2019, iterations=100)
+    for finding in report.findings:
+        print(finding.describe())
+
+CLI: ``repro fuzz --seed 2019 --iterations 100`` (and
+``repro fuzz --replay tests/corpus`` to re-check the corpus).
+"""
+
+from .generators import (
+    generate_case,
+    random_cascade,
+    random_cube_list,
+    random_esop_cascade,
+)
+from .shrink import ShrinkResult, remove_qubit, shrink_case
+from .harness import (
+    COST_VARIANTS,
+    FUZZ_DEVICES,
+    FuzzConfig,
+    FuzzFinding,
+    FuzzReport,
+    build_fuzz_device,
+    oracle_check,
+    run_fuzz,
+)
+from .corpus import (
+    CORPUS_VERSION,
+    CorpusEntry,
+    ReplayOutcome,
+    entry_from_finding,
+    load_corpus,
+    replay_corpus,
+    replay_entry,
+    save_entry,
+)
+
+__all__ = [
+    "COST_VARIANTS",
+    "CORPUS_VERSION",
+    "CorpusEntry",
+    "FUZZ_DEVICES",
+    "FuzzConfig",
+    "FuzzFinding",
+    "FuzzReport",
+    "ReplayOutcome",
+    "ShrinkResult",
+    "build_fuzz_device",
+    "entry_from_finding",
+    "generate_case",
+    "load_corpus",
+    "oracle_check",
+    "random_cascade",
+    "random_cube_list",
+    "random_esop_cascade",
+    "remove_qubit",
+    "replay_corpus",
+    "replay_entry",
+    "run_fuzz",
+    "save_entry",
+    "shrink_case",
+]

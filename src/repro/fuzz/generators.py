@@ -1,0 +1,140 @@
+"""Seeded random inputs for the differential fuzz harness.
+
+Two generator families, mirroring the tool's two front doors:
+
+* **Reversible cascades** — random NOT/CNOT/Toffoli/MCX gate lists, the
+  IR every back-end stage must map and optimize correctly.  These are
+  classical-reversible by construction, so the QMDD oracle stays cheap
+  and a mismatch is always a compiler bug, never numerics.
+* **ESOP functions** — random cube lists fed through the Fazel-Thornton
+  cascade generator (:mod:`repro.frontend.cascade`), exercising the
+  polarity-tracking front-end path the fixed benchmark tables barely
+  vary.
+
+Everything is driven by an explicit ``random.Random`` (or an integer
+seed): the same seed always yields the same circuit, which is what makes
+a fuzz failure replayable and shrinkable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import ReproError
+from ..core.gates import CNOT, MCX, TOFFOLI, Gate, X
+from ..frontend.cascade import cascade_from_cubes
+from ..io.pla import Cube, CubeList
+
+__all__ = [
+    "random_cascade",
+    "random_cube_list",
+    "random_esop_cascade",
+    "generate_case",
+]
+
+
+def _rng(seed: Union[int, random.Random]) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_cascade(
+    seed: Union[int, random.Random],
+    num_qubits: int,
+    num_gates: int,
+    max_controls: int = 3,
+    name: str = "",
+) -> QuantumCircuit:
+    """A random NOT/CNOT/Toffoli/MCX cascade on ``num_qubits`` wires.
+
+    Gate arities are capped by the available width; ``max_controls``
+    bounds MCX control counts (wide MCX gates explode the mapped size
+    and slow the oracle without finding different bugs).
+    """
+    if num_qubits < 1:
+        raise ReproError("random_cascade needs at least one qubit")
+    rng = _rng(seed)
+    gates: List[Gate] = []
+    for _ in range(num_gates):
+        arity_cap = min(num_qubits, max_controls + 1)
+        arity = rng.randint(1, arity_cap)
+        wires = rng.sample(range(num_qubits), arity)
+        if arity == 1:
+            gates.append(X(wires[0]))
+        elif arity == 2:
+            gates.append(CNOT(wires[0], wires[1]))
+        elif arity == 3:
+            gates.append(TOFFOLI(wires[0], wires[1], wires[2]))
+        else:
+            gates.append(MCX(*wires))
+    return QuantumCircuit(num_qubits, gates, name=name or "fuzz-cascade")
+
+
+def random_cube_list(
+    seed: Union[int, random.Random],
+    num_inputs: int,
+    num_outputs: int,
+    num_cubes: int,
+) -> CubeList:
+    """A random (multi-output) ESOP cube list.
+
+    Literal polarity per variable is uniform over {positive, negative,
+    don't-care}; each cube toggles a random non-empty output subset.
+    Duplicate cubes are fine — ESOP semantics XOR them away, which is
+    itself a path worth fuzzing.
+    """
+    rng = _rng(seed)
+    cubes = CubeList(num_inputs, num_outputs, [])
+    for _ in range(num_cubes):
+        literals = tuple(
+            rng.choice((None, 0, 1)) for _ in range(num_inputs)
+        )
+        mask = rng.randint(1, (1 << num_outputs) - 1)
+        cubes.add(Cube(literals), mask)
+    return cubes
+
+
+def random_esop_cascade(
+    seed: Union[int, random.Random],
+    num_inputs: int,
+    num_outputs: int,
+    num_cubes: int,
+    name: str = "",
+) -> QuantumCircuit:
+    """A reversible cascade synthesized from a random ESOP, on
+    ``num_inputs + num_outputs`` wires."""
+    rng = _rng(seed)
+    cubes = random_cube_list(rng, num_inputs, num_outputs, num_cubes)
+    circuit = cascade_from_cubes(cubes, name=name or "fuzz-esop")
+    return circuit
+
+
+def generate_case(
+    case_seed: int,
+    max_qubits: int = 5,
+    max_gates: int = 12,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """One deterministic fuzz input from a single integer seed.
+
+    Picks the family (cascade vs ESOP), the width and the size from the
+    seed itself, so a corpus entry can be regenerated from nothing but
+    ``case_seed`` and the two bounds.
+    """
+    rng = random.Random(case_seed)
+    label = name or f"fuzz-{case_seed}"
+    if rng.random() < 0.6:
+        num_qubits = rng.randint(2, max(2, max_qubits))
+        num_gates = rng.randint(1, max(1, max_gates))
+        return random_cascade(rng, num_qubits, num_gates, name=label)
+    num_outputs = rng.randint(1, 2)
+    num_inputs = rng.randint(
+        1, max(1, min(3, max_qubits - num_outputs))
+    )
+    num_cubes = rng.randint(1, max(1, max_gates // 2))
+    return random_esop_cascade(
+        rng, num_inputs, num_outputs, num_cubes, name=label
+    )

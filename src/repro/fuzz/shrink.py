@@ -1,0 +1,150 @@
+"""Greedy minimization of failing fuzz cases.
+
+A raw fuzz failure is rarely a good bug report: a 12-gate cascade hides
+which gate actually tickles the miscompile.  The shrinker reduces a
+failing circuit to a (locally) minimal one that *still fails the same
+way*, using the classic delta-debugging moves in greedy form:
+
+* **Gate deletion** — drop one gate at a time, keeping any deletion
+  after which the failure predicate still holds.
+* **Qubit deletion** — drop one wire (and every gate touching it),
+  compacting the remaining wires, again keeping what still fails.
+
+Both passes repeat to a fixed point, so the result is 1-minimal under
+the move set: removing any single remaining gate or wire makes the bug
+disappear.  The predicate is evaluated by *recompiling* the candidate,
+so shrinking is deterministic whenever the failure is — which seeded
+generation and the seeded oracle guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import Gate
+
+__all__ = ["shrink_case", "remove_qubit", "ShrinkResult"]
+
+#: Failure predicate: True when the candidate circuit still reproduces
+#: the original failure (same oracle mismatch / same exception class).
+FailsPredicate = Callable[[QuantumCircuit], bool]
+
+
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        original_gates: int,
+        evaluations: int,
+        exhausted_budget: bool,
+    ):
+        self.circuit = circuit
+        self.original_gates = original_gates
+        self.evaluations = evaluations
+        self.exhausted_budget = exhausted_budget
+
+    @property
+    def shrunk_gates(self) -> int:
+        return len(self.circuit)
+
+    def __repr__(self) -> str:
+        return (
+            f"<shrunk {self.original_gates} -> {self.shrunk_gates} gates "
+            f"({self.evaluations} evaluations)>"
+        )
+
+
+def remove_qubit(
+    circuit: QuantumCircuit, qubit: int
+) -> Optional[QuantumCircuit]:
+    """``circuit`` without wire ``qubit``: every gate touching it is
+    dropped and higher wires shift down.  ``None`` when the removal is
+    degenerate (last wire)."""
+    if circuit.num_qubits <= 1 or not (0 <= qubit < circuit.num_qubits):
+        return None
+    kept = [gate for gate in circuit if qubit not in gate.support]
+    mapping = {
+        q: (q if q < qubit else q - 1)
+        for q in range(circuit.num_qubits)
+        if q != qubit
+    }
+    narrowed = QuantumCircuit(
+        circuit.num_qubits - 1, name=circuit.name
+    )
+    for gate in kept:
+        narrowed.append(Gate(
+            gate.name,
+            tuple(mapping[q] for q in gate.qubits),
+            gate.params,
+        ))
+    return narrowed
+
+
+def shrink_case(
+    circuit: QuantumCircuit,
+    still_fails: FailsPredicate,
+    max_seconds: Optional[float] = None,
+    max_evaluations: Optional[int] = None,
+) -> ShrinkResult:
+    """Greedily minimize ``circuit`` under ``still_fails``.
+
+    ``still_fails(circuit)`` must be True on entry (the caller observed
+    the failure); candidates for which the predicate raises are treated
+    as not-failing.  ``max_seconds`` / ``max_evaluations`` bound the
+    work — when exhausted, the best reduction so far is returned with
+    ``exhausted_budget=True``.
+    """
+    started = time.perf_counter()
+    evaluations = 0
+    original_gates = len(circuit)
+
+    def budget_left() -> bool:
+        if max_seconds is not None:
+            if time.perf_counter() - started > max_seconds:
+                return False
+        if max_evaluations is not None and evaluations >= max_evaluations:
+            return False
+        return True
+
+    def check(candidate: QuantumCircuit) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        try:
+            return bool(still_fails(candidate))
+        except Exception:
+            return False
+
+    current = circuit
+    changed = True
+    while changed and budget_left():
+        changed = False
+        # Gate deletion, last-to-first so indices stay valid as we drop.
+        index = len(current) - 1
+        while index >= 0 and budget_left():
+            gates = list(current.gates)
+            del gates[index]
+            candidate = QuantumCircuit._trusted(
+                current.num_qubits, gates, name=current.name
+            )
+            if check(candidate):
+                current = candidate
+                changed = True
+            index -= 1
+        # Qubit deletion (drops whole wires the failure does not need).
+        for qubit in range(current.num_qubits - 1, -1, -1):
+            if not budget_left():
+                break
+            candidate = remove_qubit(current, qubit)
+            if candidate is not None and check(candidate):
+                current = candidate
+                changed = True
+    return ShrinkResult(
+        circuit=current,
+        original_gates=original_gates,
+        evaluations=evaluations,
+        exhausted_budget=not budget_left(),
+    )

@@ -190,3 +190,77 @@ class TestValidation:
     def test_max_entries_must_be_positive(self):
         with pytest.raises(ValueError):
             CompilationCache(max_entries=0)
+
+
+class TestStaleTempSweep:
+    """Opening a cache sweeps ``*.tmp.<pid>`` orphans left by crashed
+    writers — dead-pid files immediately, any temp file past the age
+    cutoff — while live writers' fresh files are left alone."""
+
+    @staticmethod
+    def _plant_temp(directory, name, age_seconds=0.0):
+        import os
+        import time
+
+        bucket = os.path.join(directory, "ab")
+        os.makedirs(bucket, exist_ok=True)
+        path = os.path.join(bucket, name)
+        with open(path, "w") as handle:
+            handle.write("{}")
+        if age_seconds:
+            old = time.time() - age_seconds
+            os.utime(path, (old, old))
+        return path
+
+    @staticmethod
+    def _dead_pid():
+        import multiprocessing
+
+        process = multiprocessing.Process(target=int)
+        process.start()
+        process.join()
+        return process.pid
+
+    def test_dead_pid_temp_removed(self, tmp_path):
+        import os
+
+        path = self._plant_temp(
+            str(tmp_path), f"abcd.json.tmp.{self._dead_pid()}"
+        )
+        cache = CompilationCache(directory=str(tmp_path))
+        assert not os.path.exists(path)
+        assert cache.temp_files_swept == 1
+        assert cache.stats()["temp_files_swept"] == 1
+
+    def test_ancient_temp_removed_even_if_pid_alive(self, tmp_path):
+        import os
+
+        path = self._plant_temp(
+            str(tmp_path), f"abcd.json.tmp.{os.getpid()}",
+            age_seconds=7200.0,
+        )
+        cache = CompilationCache(directory=str(tmp_path))
+        assert not os.path.exists(path)
+        assert cache.temp_files_swept == 1
+
+    def test_fresh_live_writer_temp_kept(self, tmp_path):
+        import os
+
+        path = self._plant_temp(
+            str(tmp_path), f"abcd.json.tmp.{os.getpid()}"
+        )
+        cache = CompilationCache(directory=str(tmp_path))
+        assert os.path.exists(path)
+        assert cache.temp_files_swept == 0
+
+    def test_real_entries_survive_the_sweep(self, tmp_path):
+        cache = CompilationCache(directory=str(tmp_path))
+        job = CompileJob.make(bell(), get_device("ibmqx4"), OPTIONS)
+        cache.put(job.cache_key(), job.run())
+        self._plant_temp(str(tmp_path), f"dead.json.tmp.{self._dead_pid()}")
+        reopened = CompilationCache(directory=str(tmp_path))
+        assert reopened.temp_files_swept == 1
+        assert reopened.get(job.cache_key()) is not None
+
+    def test_memory_only_cache_sweeps_nothing(self):
+        assert CompilationCache().temp_files_swept == 0

@@ -1,0 +1,230 @@
+"""Batch-engine fault tolerance, driven by deterministic fault injection.
+
+Every recovery path in :mod:`repro.batch.engine` is exercised here via
+the ``REPRO_FAULT_INJECT`` hook (:mod:`repro.batch.faults`): worker
+kills, soft and signal-proof hangs, transient flakiness, and Ctrl-C.
+The invariant under test throughout: **the batch always returns a
+complete report** — every submitted job gets a slot with either a
+result or a structured per-job error, no matter what died along the way.
+"""
+
+import pytest
+
+from repro import CNOT, H, QuantumCircuit, T, TOFFOLI, X, compile_many
+from repro.batch import faults
+from repro.core.exceptions import ReproError
+
+OPTIONS = {"verify": False}
+
+
+def jobs(*names):
+    built = {
+        "bell": QuantumCircuit(2, [H(0), CNOT(0, 1)], name="bell"),
+        "ccx": QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx"),
+        "misc": QuantumCircuit(2, [T(0), CNOT(1, 0)], name="misc"),
+        "xh": QuantumCircuit(1, [X(0), H(0)], name="xh"),
+    }
+    return [(built[name], "ibmqx4", OPTIONS) for name in names]
+
+
+@pytest.fixture
+def inject(monkeypatch, tmp_path):
+    """Arm a fault spec with a fresh cross-process state directory, so
+    limited specs count firings correctly regardless of test order."""
+
+    def arm(spec):
+        monkeypatch.setenv(faults.FAULT_ENV, spec)
+        monkeypatch.setenv(faults.FAULT_STATE_ENV, str(tmp_path / "fuse"))
+
+    return arm
+
+
+class TestSpecParsing:
+    def test_basic_and_limited(self):
+        specs = faults.parse_specs("kill:bell, hang:*:3")
+        assert specs[0] == faults.FaultSpec("kill", "bell", None)
+        assert specs[1] == faults.FaultSpec("hang", "*", 3)
+
+    def test_wildcard_and_substring_match(self):
+        spec = faults.FaultSpec("kill", "bell")
+        assert spec.matches("bell@ibmqx4")
+        assert not spec.matches("ccx@ibmqx4")
+        assert faults.FaultSpec("kill", "*").matches("anything")
+
+    @pytest.mark.parametrize("bad", [
+        "explode:bell",        # unknown action
+        "kill",                # missing target
+        "kill:bell:zero",      # non-integer limit
+        "kill:bell:0",         # limit < 1
+        "kill:bell:1:extra",   # too many fields
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ReproError):
+            faults.parse_specs(bad)
+
+    def test_inactive_is_noop(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+        assert faults.fire("worker", "bell@ibmqx4") is False
+
+
+class TestKilledWorker:
+    def test_single_kill_recovers_by_retry(self, inject):
+        """A worker murdered once mid-batch: the pool is rebuilt, the
+        in-flight jobs are retried, and the report is complete with
+        every job succeeding."""
+        inject("kill:bell:1")
+        report = compile_many(jobs("bell", "ccx", "misc", "xh"), workers=2)
+        assert len(report) == 4
+        assert report.ok, [str(e.error) for e in report.errors()]
+        assert report.pool_restarts >= 1
+        assert report.retry_count >= 1
+        assert any(entry.retried for entry in report)
+
+    def test_persistent_killer_is_contained(self, inject):
+        """A job that kills every worker it touches exhausts its crash
+        budget, is deferred to serial execution (where the kill degrades
+        to a catchable error), and cannot take the innocents with it."""
+        inject("kill:ccx")
+        report = compile_many(
+            jobs("bell", "ccx", "misc", "xh"), workers=2, chunk_size=1
+        )
+        assert len(report) == 4
+        by_name = {entry.job.circuit.name: entry for entry in report}
+        assert not by_name["ccx"].ok
+        assert by_name["ccx"].error.exception_type in (
+            "FaultInjectedError", "WorkerCrashError"
+        )
+        for name in ("bell", "misc", "xh"):
+            assert by_name[name].ok, str(by_name[name].error)
+
+
+class TestTimeouts:
+    def test_serial_hang_times_out(self, inject):
+        inject("hang:ccx")
+        report = compile_many(
+            jobs("bell", "ccx", "misc"), workers=1, timeout=1.0, retries=0
+        )
+        assert len(report) == 3
+        by_name = {entry.job.circuit.name: entry for entry in report}
+        assert by_name["ccx"].timed_out
+        assert by_name["ccx"].error.exception_type == "JobTimeoutError"
+        assert by_name["bell"].ok and by_name["misc"].ok
+        assert report.timeout_count == 1
+        assert len(report.timeouts()) == 1
+
+    def test_pool_hang_times_out_in_worker(self, inject):
+        """The soft hang is interrupted by the worker-side alarm guard —
+        the pool never needs reclaiming."""
+        inject("hang:ccx")
+        report = compile_many(
+            jobs("bell", "ccx", "misc"), workers=2, timeout=1.0, retries=0
+        )
+        assert len(report) == 3
+        by_name = {entry.job.circuit.name: entry for entry in report}
+        assert by_name["ccx"].timed_out
+        assert by_name["bell"].ok and by_name["misc"].ok
+
+    def test_hard_hang_reclaimed_by_coordinator(self, inject):
+        """A worker stuck with SIGALRM blocked cannot be saved by its
+        own alarm; the coordinator backstop must reclaim the pool and
+        still return a complete report."""
+        inject("hang-hard:ccx")
+        report = compile_many(
+            jobs("bell", "ccx"), workers=2, timeout=0.5, retries=0
+        )
+        assert len(report) == 2
+        by_name = {entry.job.circuit.name: entry for entry in report}
+        assert not by_name["ccx"].ok
+        assert by_name["ccx"].error.exception_type == "JobTimeoutError"
+
+    def test_timeout_forces_unit_chunks(self, inject):
+        inject("hang:ccx")
+        report = compile_many(
+            jobs("bell", "ccx", "misc", "xh"), workers=2,
+            timeout=1.0, retries=0,
+        )
+        assert report.chunk_size == 1
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ReproError, match="timeout"):
+            compile_many(jobs("bell"), timeout=0.0)
+
+    def test_invalid_retries_rejected(self):
+        with pytest.raises(ReproError, match="retries"):
+            compile_many(jobs("bell"), retries=-1)
+
+
+class TestRetries:
+    def test_flaky_job_succeeds_on_retry(self, inject):
+        inject("flaky:misc:1")
+        report = compile_many(jobs("bell", "misc"), workers=1, retries=1)
+        assert report.ok
+        by_name = {entry.job.circuit.name: entry for entry in report}
+        assert by_name["misc"].attempts == 2
+        assert by_name["misc"].retried
+        assert by_name["bell"].attempts == 1
+        assert report.retry_count == 1
+        assert report.retried() == [by_name["misc"]]
+
+    def test_retries_zero_records_first_failure(self, inject):
+        inject("flaky:misc:1")
+        report = compile_many(jobs("misc"), workers=1, retries=0)
+        assert not report.ok
+        assert report[0].error.exception_type == "FaultInjectedError"
+        assert report[0].error.transient
+
+    def test_budget_exhaustion_records_error(self, inject):
+        inject("flaky:misc")  # unlimited: every attempt flakes
+        report = compile_many(jobs("misc"), workers=1, retries=2)
+        assert not report.ok
+        assert report[0].attempts == 3  # initial + 2 retries
+        assert report.retry_count == 2
+
+    def test_deterministic_errors_never_retried(self):
+        wide = QuantumCircuit(30, [CNOT(0, 29)], name="wide")
+        report = compile_many(
+            [(wide, "ibmqx4", OPTIONS)], workers=1, retries=3
+        )
+        assert not report.ok
+        assert report[0].attempts == 1
+        assert report[0].error.not_synthesizable
+        assert not report[0].error.transient
+
+
+class TestInterrupt:
+    def test_interrupt_flushes_completed_results(self, inject):
+        """Ctrl-C mid-batch: completed slots keep their results, the
+        rest carry KeyboardInterrupt job errors, and the report says
+        interrupted — nothing is lost, nothing raises."""
+        inject("interrupt:misc:1")
+        report = compile_many(jobs("bell", "misc", "xh"), workers=1)
+        assert report.interrupted
+        assert len(report) == 3
+        by_name = {entry.job.circuit.name: entry for entry in report}
+        assert by_name["bell"].ok  # ran before the interrupt
+        for name in ("misc", "xh"):
+            assert not by_name[name].ok
+            assert by_name[name].error.exception_type == "KeyboardInterrupt"
+        assert "INTERRUPTED" in report.summary()
+
+
+class TestHealthReport:
+    def test_health_diagnostics_for_timeout_and_retry(self, inject):
+        inject("hang:ccx,flaky:misc:1")
+        report = compile_many(
+            jobs("bell", "ccx", "misc"), workers=1, timeout=1.0, retries=1
+        )
+        codes = {diagnostic.code for diagnostic in report.health()}
+        assert "REPRO701" in codes  # ccx timed out (after one retry)
+        assert "REPRO702" in codes  # misc needed a retry
+
+    def test_clean_batch_has_clean_health(self):
+        report = compile_many(jobs("bell", "xh"), workers=1)
+        assert len(report.health()) == 0
+
+    def test_summary_mentions_fault_counters(self, inject):
+        inject("hang:ccx")
+        report = compile_many(
+            jobs("bell", "ccx"), workers=1, timeout=1.0, retries=0
+        )
+        assert "1 timeouts" in report.summary()

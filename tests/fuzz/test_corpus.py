@@ -1,0 +1,143 @@
+"""The regression corpus: round trips, replay, and the committed set."""
+
+import json
+import os
+
+import pytest
+
+from repro.batch import faults
+from repro.core import CNOT, QuantumCircuit, TOFFOLI, X
+from repro.core.exceptions import ReproError
+from repro.fuzz import (
+    CORPUS_VERSION,
+    CorpusEntry,
+    load_corpus,
+    replay_corpus,
+    replay_entry,
+    run_fuzz,
+    save_entry,
+    entry_from_finding,
+)
+
+COMMITTED_CORPUS = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+
+def sample_entry():
+    return CorpusEntry(
+        kind="miscompile",
+        device="linear5",
+        options={"cost": "default", "mcx_mode": "barenco",
+                 "placement": "identity"},
+        circuit=QuantumCircuit(2, [CNOT(0, 1)], name="sample"),
+        case_seed=1234,
+        detail="oracle mismatch (test fixture)",
+        original_gates=7,
+    )
+
+
+class TestEntryIdentity:
+    def test_content_addressed(self):
+        assert sample_entry().entry_id == sample_entry().entry_id
+        assert len(sample_entry().entry_id) == 16
+
+    def test_id_changes_with_circuit(self):
+        other = sample_entry()
+        other.circuit = QuantumCircuit(2, [X(0)], name="sample")
+        assert other.entry_id != sample_entry().entry_id
+
+    def test_id_changes_with_device(self):
+        other = sample_entry()
+        other.device = "t5"
+        assert other.entry_id != sample_entry().entry_id
+
+    def test_id_ignores_provenance(self):
+        other = sample_entry()
+        other.case_seed = 999
+        other.detail = "different story"
+        assert other.entry_id == sample_entry().entry_id
+
+
+class TestRoundTrip:
+    def test_payload_round_trip(self):
+        entry = sample_entry()
+        clone = CorpusEntry.from_payload(entry.to_payload())
+        assert clone.entry_id == entry.entry_id
+        assert clone.circuit.fingerprint() == entry.circuit.fingerprint()
+        assert clone.options == entry.options
+        assert clone.case_seed == 1234
+
+    def test_version_mismatch_rejected(self):
+        payload = sample_entry().to_payload()
+        payload["version"] = CORPUS_VERSION + 1
+        with pytest.raises(ReproError, match="version"):
+            CorpusEntry.from_payload(payload)
+
+    def test_save_is_idempotent_and_atomic(self, tmp_path):
+        entry = sample_entry()
+        first = save_entry(str(tmp_path), entry)
+        second = save_entry(str(tmp_path), entry)
+        assert first == second
+        assert sorted(os.listdir(tmp_path)) == [f"{entry.entry_id}.json"]
+        with open(first) as handle:
+            payload = json.load(handle)
+        assert payload["id"] == entry.entry_id
+
+    def test_load_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(str(tmp_path / "nowhere")) == []
+
+    def test_load_rejects_garbage(self, tmp_path):
+        with open(tmp_path / "bad.json", "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(ReproError, match="unreadable"):
+            load_corpus(str(tmp_path))
+
+
+class TestReplay:
+    def test_clean_entry_passes(self):
+        outcome = replay_entry(sample_entry())
+        assert outcome.passed, outcome.detail
+        assert "equivalent" in outcome.detail
+
+    def test_injected_bug_detected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(faults.FAULT_ENV, "miscompile:sample")
+        monkeypatch.setenv(faults.FAULT_STATE_ENV, str(tmp_path / "fuse"))
+        outcome = replay_entry(sample_entry())
+        assert not outcome.passed
+        assert "STILL FAILING" in outcome.describe()
+
+    def test_findings_round_trip_through_corpus(self, monkeypatch, tmp_path):
+        """Fuzz under injection, save the shrunk findings, then replay
+        them with the injection off: every historical bug reads as
+        fixed."""
+        monkeypatch.setenv(faults.FAULT_ENV, "miscompile:fuzz")
+        report = run_fuzz(seed=7, iterations=3)
+        assert report.findings
+        corpus_dir = str(tmp_path / "corpus")
+        for finding in report.findings:
+            save_entry(corpus_dir, entry_from_finding(finding))
+        monkeypatch.delenv(faults.FAULT_ENV)
+        outcomes = replay_corpus(corpus_dir)
+        assert len(outcomes) == len(
+            {entry_from_finding(f).entry_id for f in report.findings}
+        )
+        assert all(outcome.passed for outcome in outcomes)
+
+
+class TestCommittedCorpus:
+    """The corpus under ``tests/corpus/`` is part of tier 1: every entry
+    is a historically-failing minimal case that must stay fixed."""
+
+    def test_corpus_exists(self):
+        assert load_corpus(COMMITTED_CORPUS), (
+            "tests/corpus/ must ship at least one regression entry"
+        )
+
+    def test_all_entries_replay_clean(self):
+        outcomes = replay_corpus(COMMITTED_CORPUS)
+        failing = [o.describe() for o in outcomes if not o.passed]
+        assert not failing, f"regressions: {failing}"
+
+    def test_entries_are_minimal(self):
+        for entry in load_corpus(COMMITTED_CORPUS):
+            assert len(entry.circuit) <= 8
+            assert entry.original_gates >= len(entry.circuit)

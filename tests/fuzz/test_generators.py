@@ -1,0 +1,101 @@
+"""Seeded fuzz generators: determinism, validity, bounds."""
+
+import pytest
+
+from repro.core.exceptions import ReproError
+from repro.fuzz import (
+    generate_case,
+    random_cascade,
+    random_cube_list,
+    random_esop_cascade,
+)
+
+CASCADE_GATES = {"X", "CNOT", "TOFFOLI", "MCX"}
+
+
+class TestRandomCascade:
+    def test_same_seed_same_circuit(self):
+        first = random_cascade(42, num_qubits=4, num_gates=10)
+        second = random_cascade(42, num_qubits=4, num_gates=10)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_different_seeds_differ(self):
+        prints = {
+            random_cascade(seed, num_qubits=4, num_gates=10).fingerprint()
+            for seed in range(8)
+        }
+        assert len(prints) > 1
+
+    def test_structure_is_valid(self):
+        circuit = random_cascade(7, num_qubits=5, num_gates=20)
+        assert circuit.num_qubits == 5
+        assert len(circuit) == 20
+        for gate in circuit:
+            assert gate.name in CASCADE_GATES
+            assert len(set(gate.qubits)) == len(gate.qubits)  # distinct wires
+            assert all(0 <= q < 5 for q in gate.qubits)
+
+    def test_max_controls_caps_arity(self):
+        circuit = random_cascade(3, num_qubits=8, num_gates=50, max_controls=2)
+        assert max(len(gate.qubits) for gate in circuit) <= 3
+
+    def test_single_qubit_width(self):
+        circuit = random_cascade(1, num_qubits=1, num_gates=5)
+        assert all(gate.name == "X" for gate in circuit)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ReproError):
+            random_cascade(1, num_qubits=0, num_gates=5)
+
+
+class TestRandomCubeList:
+    def test_deterministic(self):
+        first = random_cube_list(11, num_inputs=3, num_outputs=2, num_cubes=6)
+        second = random_cube_list(11, num_inputs=3, num_outputs=2, num_cubes=6)
+        assert first.rows == second.rows
+
+    def test_shape(self):
+        cubes = random_cube_list(5, num_inputs=4, num_outputs=2, num_cubes=7)
+        assert cubes.num_inputs == 4
+        assert cubes.num_outputs == 2
+        assert len(cubes.rows) == 7
+
+    def test_masks_nonzero(self):
+        cubes = random_cube_list(9, num_inputs=2, num_outputs=2, num_cubes=20)
+        for _, mask in cubes.rows:
+            assert 1 <= mask <= 3
+
+
+class TestGenerateCase:
+    def test_deterministic_from_seed_alone(self):
+        first = generate_case(123456)
+        second = generate_case(123456)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.name == second.name == "fuzz-123456"
+
+    def test_respects_width_bound(self):
+        for seed in range(30):
+            circuit = generate_case(seed, max_qubits=4, max_gates=6)
+            assert 1 <= circuit.num_qubits <= 5  # ESOP adds output wires
+            assert len(circuit) >= 1
+
+    def test_covers_both_families(self):
+        names = set()
+        for seed in range(40):
+            circuit = generate_case(seed)
+            gate_names = {gate.name for gate in circuit}
+            if gate_names <= CASCADE_GATES:
+                names.add("cascade-like")
+            else:
+                names.add("other")
+        # Both cascades and ESOP-synthesized circuits appear (ESOP output
+        # is also X/CNOT/Toffoli-shaped, so just assert non-triviality
+        # via distinct structures instead).
+        prints = {generate_case(seed).fingerprint() for seed in range(40)}
+        assert len(prints) >= 30
+
+    def test_esop_cascade_deterministic(self):
+        first = random_esop_cascade(77, num_inputs=3, num_outputs=1, num_cubes=4)
+        second = random_esop_cascade(77, num_inputs=3, num_outputs=1, num_cubes=4)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.num_qubits == 4  # inputs + outputs

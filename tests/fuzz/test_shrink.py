@@ -1,0 +1,89 @@
+"""The greedy shrinker: minimality, determinism, budget discipline."""
+
+from repro.core import CNOT, H, QuantumCircuit, T, TOFFOLI, X
+from repro.fuzz import remove_qubit, shrink_case
+
+
+def noisy_toffoli():
+    """An 11-gate circuit whose 'bug' is simply containing a Toffoli."""
+    return QuantumCircuit(5, [
+        H(0), X(1), CNOT(0, 1), T(2), X(3),
+        TOFFOLI(0, 1, 2),
+        CNOT(3, 4), H(4), X(0), T(1), CNOT(2, 3),
+    ], name="noisy")
+
+
+def has_toffoli(circuit):
+    return any(gate.name == "TOFFOLI" for gate in circuit)
+
+
+class TestShrinkCase:
+    def test_shrinks_to_single_gate(self):
+        result = shrink_case(noisy_toffoli(), has_toffoli)
+        assert result.shrunk_gates == 1
+        assert result.circuit.gates[0].name == "TOFFOLI"
+        assert result.original_gates == 11
+
+    def test_shrunk_case_still_fails(self):
+        result = shrink_case(noisy_toffoli(), has_toffoli)
+        assert has_toffoli(result.circuit)
+
+    def test_qubit_deletion_narrows_width(self):
+        result = shrink_case(noisy_toffoli(), has_toffoli)
+        # Only the Toffoli's three wires are needed.
+        assert result.circuit.num_qubits == 3
+
+    def test_deterministic(self):
+        first = shrink_case(noisy_toffoli(), has_toffoli)
+        second = shrink_case(noisy_toffoli(), has_toffoli)
+        assert first.circuit.fingerprint() == second.circuit.fingerprint()
+        assert first.evaluations == second.evaluations
+
+    def test_evaluation_budget_respected(self):
+        result = shrink_case(
+            noisy_toffoli(), has_toffoli, max_evaluations=3
+        )
+        assert result.evaluations <= 3
+        assert result.exhausted_budget
+        assert has_toffoli(result.circuit)  # best-so-far still fails
+
+    def test_predicate_exception_treated_as_not_failing(self):
+        def fragile(circuit):
+            if len(circuit) < 11:
+                raise RuntimeError("boom")
+            return True
+
+        result = shrink_case(noisy_toffoli(), fragile)
+        # No deletion survives the raising predicate: original returned.
+        assert result.shrunk_gates == 11
+
+    def test_unshrinkable_returns_original(self):
+        single = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="minimal")
+        result = shrink_case(single, has_toffoli)
+        assert result.shrunk_gates == 1
+        assert result.circuit.num_qubits == 3
+
+
+class TestRemoveQubit:
+    def test_drops_gates_and_compacts_wires(self):
+        circuit = QuantumCircuit(3, [X(0), CNOT(1, 2), H(1)])
+        narrowed = remove_qubit(circuit, 0)
+        assert narrowed.num_qubits == 2
+        assert [gate.name for gate in narrowed] == ["CNOT", "H"]
+        assert narrowed.gates[0].qubits == (0, 1)  # shifted down
+        assert narrowed.gates[1].qubits == (0,)
+
+    def test_removing_touched_wire_drops_its_gates(self):
+        circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2), X(2)])
+        narrowed = remove_qubit(circuit, 1)
+        assert narrowed.num_qubits == 2
+        assert [gate.name for gate in narrowed] == ["X"]
+        assert narrowed.gates[0].qubits == (1,)
+
+    def test_last_wire_is_not_removable(self):
+        assert remove_qubit(QuantumCircuit(1, [X(0)]), 0) is None
+
+    def test_out_of_range_is_none(self):
+        circuit = QuantumCircuit(2, [X(0)])
+        assert remove_qubit(circuit, 5) is None
+        assert remove_qubit(circuit, -1) is None

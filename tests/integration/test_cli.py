@@ -164,3 +164,75 @@ class TestExpressionCompile:
     def test_bad_expression_errors(self, capsys):
         assert main(["compile", "--expr", "a &&& b", "--device", "simulator"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "2019", "--iterations", "4"]) == 0
+        assert "fuzz done" in capsys.readouterr().err
+
+    def test_findings_exit_one_and_fill_corpus(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        corpus = str(tmp_path / "corpus")
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "miscompile:fuzz")
+        code = main([
+            "fuzz", "--seed", "7", "--iterations", "3",
+            "--corpus-dir", corpus,
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "miscompile" in captured.out
+        assert os.listdir(corpus)
+        # Replay without the injection: historical bugs read as fixed.
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        assert main(["fuzz", "--replay", corpus]) == 0
+        assert "0 still failing" in capsys.readouterr().err
+
+    def test_replay_empty_corpus(self, tmp_path, capsys):
+        assert main(["fuzz", "--replay", str(tmp_path)]) == 0
+        assert "no entries" in capsys.readouterr().err
+
+    def test_device_restriction(self, capsys):
+        code = main([
+            "fuzz", "--seed", "3", "--iterations", "2",
+            "--device", "linear5",
+        ])
+        assert code == 0
+
+
+class TestInterruptHandling:
+    def test_batch_compile_flushes_and_exits_130(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        """Ctrl-C mid-batch: completed results are still reported and
+        the exit status is 130, not a raw traceback."""
+        from repro.core import CNOT, H
+        first = str(tmp_path / "bell.qc")
+        write_qc(QuantumCircuit(2, [H(0), CNOT(0, 1)], name="bell"), first)
+        second = str(tmp_path / "ccx.qc")
+        write_qc(QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx"), second)
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "interrupt:ccx:1")
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT_STATE", str(tmp_path / "fuse")
+        )
+        code = main(["compile", first, second, "--device", "ibmqx4"])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupted" in captured.err
+        assert "bell" in captured.err  # the completed job was flushed
+
+    def test_main_backstop_catches_interrupt(self, monkeypatch, capsys):
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli.cmd_devices", interrupted)
+        assert main(["devices"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_compile_timeout_flag_accepted(self, toffoli_file, capsys):
+        code = main([
+            "compile", toffoli_file, "--device", "ibmqx4",
+            "--timeout", "30", "--retries", "2",
+        ])
+        assert code == 0
