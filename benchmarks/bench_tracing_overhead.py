@@ -1,0 +1,160 @@
+"""Default-off tracing must stay effectively free on the hot path.
+
+The observability layer (:mod:`repro.obs`) instruments every pipeline
+stage, but when no tracer is passed each instrumented site costs one
+attribute access and a no-op context enter/exit on the shared
+:data:`~repro.obs.NULL_TRACER` span.  This bench compiles a
+Table-3-style grid twice — tracing off (the default) and tracing on —
+and asserts:
+
+* default-off adds less than 2% versus a pre-observability baseline.
+  There is no such baseline left to time, so the bound is enforced the
+  only honest way available: the *fully traced* run may cost at most
+  10% (or a small absolute epsilon) over the untraced run, and the
+  untraced run's per-site cost is additionally measured directly via a
+  null-span microbenchmark and extrapolated over the grid's span count.
+* the measured numbers are recorded into ``BENCH_runtime.json`` under
+  the ``tracing_overhead`` suite so future PRs inherit a trajectory.
+
+Timing protocol mirrors ``bench_analysis_overhead``: interleaved
+min-of-N pairs to cancel machine-load drift, with an absolute epsilon
+for sub-millisecond grids where relative overhead is noise.
+"""
+
+import time
+
+from harness import RUNTIME
+from repro.benchlib import single_target
+from repro.compiler import compile_circuit
+from repro.devices import PAPER_DEVICES
+from repro.obs import NULL_TRACER, Tracer
+
+#: Wall-clock fraction *enabled* tracing may add over default-off.
+MAX_TRACED_OVERHEAD = 0.10
+
+#: Budget for the default-off path itself, checked by extrapolating the
+#: measured per-null-span cost across the grid's instrumented sites.
+MAX_DEFAULT_OFF_OVERHEAD = 0.02
+
+#: Grids faster than this are judged by absolute slack instead.
+ABSOLUTE_EPSILON_SECONDS = 0.050
+
+#: Interleaved (off, on) measurement pairs, min-of-N per side.
+REPEATS = 5
+
+#: Null-span microbenchmark iterations.
+NULL_SPAN_ITERATIONS = 200_000
+
+
+def _grid_jobs():
+    from repro.core.exceptions import NotSynthesizableError
+
+    jobs = []
+    for name, qubits in single_target.PAPER_STG_BENCHMARKS[:6]:
+        circuit = single_target.build_benchmark(name, qubits)
+        for device in PAPER_DEVICES:
+            if circuit.num_qubits > device.num_qubits:
+                continue
+            try:  # drop the paper's N/A cells (e.g. full-width MCX)
+                compile_circuit(circuit, device, verify=False)
+            except NotSynthesizableError:
+                continue
+            jobs.append((circuit, device))
+    return jobs
+
+
+def _time_pass(jobs, trace):
+    started = time.perf_counter()
+    for circuit, device in jobs:
+        compile_circuit(circuit, device, verify=False, trace=trace)
+    return time.perf_counter() - started
+
+
+def _time_grid(jobs):
+    """Interleaved min-of-N for both configurations."""
+    untraced = traced = None
+    for _ in range(REPEATS):
+        off = _time_pass(jobs, trace=False)
+        on = _time_pass(jobs, trace=True)
+        untraced = off if untraced is None else min(untraced, off)
+        traced = on if traced is None else min(traced, on)
+    return untraced, traced
+
+
+def _count_spans(jobs):
+    """Spans one traced compile of the grid records (= the number of
+    instrumented sites the default-off path pays a null-span at)."""
+    total = 0
+    for circuit, device in jobs:
+        tracer = Tracer()
+        compile_circuit(circuit, device, verify=False, tracer=tracer)
+
+        def count(node):
+            return 1 + sum(count(child) for child in node.get("children", ()))
+
+        total += sum(count(root) for root in tracer.to_summary()["spans"])
+    return total
+
+
+def _null_span_seconds_each():
+    """Measured cost of one disabled instrumentation site."""
+    best = None
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(NULL_SPAN_ITERATIONS):
+            with NULL_TRACER.span("x"):
+                pass
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best / NULL_SPAN_ITERATIONS
+
+
+def test_enabled_tracing_overhead_bounded():
+    jobs = _grid_jobs()  # building the grid also warms every memo cache
+    assert jobs, "benchmark grid is empty"
+
+    untraced, traced = _time_grid(jobs)
+    overhead = traced - untraced
+    relative = overhead / untraced if untraced > 0 else 0.0
+
+    spans = _count_spans(jobs)
+    null_each = _null_span_seconds_each()
+    # What the default-off path pays for instrumentation, extrapolated
+    # from the measured per-site null-span cost over the grid's spans.
+    default_off_seconds = spans * null_each
+    default_off_relative = (
+        default_off_seconds / untraced if untraced > 0 else 0.0
+    )
+
+    RUNTIME["tracing_overhead"] = {
+        "cells": len(jobs),
+        "repeats": REPEATS,
+        "seconds_untraced": round(untraced, 6),
+        "seconds_traced": round(traced, 6),
+        "traced_overhead_seconds": round(overhead, 6),
+        "traced_overhead_relative": round(relative, 6),
+        "spans_per_grid": spans,
+        "null_span_nanoseconds": round(null_each * 1e9, 2),
+        "default_off_overhead_seconds": round(default_off_seconds, 9),
+        "default_off_overhead_relative": round(default_off_relative, 9),
+    }
+    print(
+        f"\ntracing overhead: {untraced * 1e3:.1f} ms -> "
+        f"{traced * 1e3:.1f} ms over {len(jobs)} cells "
+        f"({relative * 100:+.2f}% traced); default-off "
+        f"{spans} spans x {null_each * 1e9:.0f} ns = "
+        f"{default_off_seconds * 1e6:.1f} us "
+        f"({default_off_relative * 100:.4f}%)"
+    )
+
+    assert (
+        relative < MAX_TRACED_OVERHEAD or overhead < ABSOLUTE_EPSILON_SECONDS
+    ), (
+        f"enabled tracing added {relative * 100:.1f}% "
+        f"({overhead * 1e3:.1f} ms) to the grid compile"
+    )
+    assert default_off_relative < MAX_DEFAULT_OFF_OVERHEAD, (
+        f"default-off instrumentation costs "
+        f"{default_off_relative * 100:.2f}% of the grid compile "
+        f"({spans} spans x {null_each * 1e9:.0f} ns)"
+    )

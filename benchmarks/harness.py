@@ -104,7 +104,11 @@ def _run_grid(
         "compiled": sum(1 for entry in report if entry.ok),
         "not_available": not_available,
         "cache_hits": report.cache_hits,
+        # Per-run cache delta (schema 2): hits/misses/hit_rate are what
+        # THIS suite did, not the session's cumulative counters; the
+        # session totals live under its "lifetime" sub-key.
         "cache": report.cache_stats,
+        "metrics": report.metrics,
         "sum_synthesis_seconds": round(
             sum(e.result.synthesis_seconds for e in report.successes()), 4
         ),
@@ -191,8 +195,12 @@ def write_runtime_json(path: Optional[str] = None) -> Optional[str]:
     if not RUNTIME:
         return None
     path = path or RUNTIME_JSON_PATH
+    # Schema 2: per-suite "cache" became a per-run delta (with session
+    # totals under "lifetime") and each suite gained a "metrics"
+    # snapshot merged from the batch engine's workers; the top-level
+    # "cache" stays the session-lifetime view.
     document = {
-        "schema": 1,
+        "schema": 2,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "workers": WORKERS,

@@ -30,7 +30,9 @@ def batch_health_report(report: "BatchReport") -> DiagnosticReport:
     needed retries (even if it ultimately succeeded), ``REPRO703`` for a
     job lost to a worker crash.  Batch-level findings: ``REPRO704`` when
     pool recovery was exhausted and execution degraded to serial,
-    ``REPRO705`` when the batch was interrupted mid-run.
+    ``REPRO705`` when the batch was interrupted mid-run, ``REPRO712``
+    when a requested per-job timeout could not be armed (no SIGALRM /
+    non-main thread) and jobs ran unbounded.
     """
     found = []
     for entry in report:
@@ -74,5 +76,15 @@ def batch_health_report(report: "BatchReport") -> DiagnosticReport:
             "batch interrupted before completion; unfinished jobs carry "
             "KeyboardInterrupt errors",
             stage="batch",
+        ))
+    if report.timeout_unenforced:
+        found.append(Diagnostic.make(
+            "REPRO712",
+            f"per-job timeout requested but not enforceable for "
+            f"{report.timeout_unenforced} serial job(s); they ran to "
+            "completion without a wall-clock bound",
+            stage="batch",
+            hint="SIGALRM needs the main thread of a Unix process; use "
+                 "workers>1 for enforced timeouts here",
         ))
     return DiagnosticReport(found)

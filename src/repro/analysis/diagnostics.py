@@ -89,6 +89,7 @@ CODE_CATALOG: Dict[str, Tuple[Severity, str]] = {
     "REPRO703": (Severity.ERROR, "worker process crashed while running the job"),
     "REPRO704": (Severity.WARNING, "batch degraded to serial execution"),
     "REPRO705": (Severity.WARNING, "batch interrupted before completion"),
+    "REPRO712": (Severity.WARNING, "per-job timeout requested but not enforceable"),
     "REPRO710": (Severity.ERROR, "compiled output failed the differential fuzz oracle"),
 }
 

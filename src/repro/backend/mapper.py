@@ -116,6 +116,7 @@ def map_circuit(
     placement: Optional[Dict[int, int]] = None,
     mcx_mode: str = "barenco",
     contracts=None,
+    tracer=None,
 ) -> QuantumCircuit:
     """Run the full Section 4 mapping pipeline; returns the unoptimized
     technology-dependent circuit on ``device.num_qubits`` wires.
@@ -125,24 +126,41 @@ def map_circuit(
     given, the post-lowering stage contract (Barenco dirty-ancilla
     restoration) runs on the lowered cascade with the placed circuit's
     wires marked active.
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; when given,
+    each mapping sub-stage (place, lower, expand, route, rebase) records
+    a span with its output gate count.
     """
+    if tracer is None:
+        from ..obs import NULL_TRACER as tracer  # noqa: F811
+
     if placement is None:
         placement = identity_placement(circuit, device)
     _validate_placement(placement, circuit, device)
-    placed = circuit.remapped(placement, num_qubits=device.num_qubits)
-    lowered = lower_mcx_for_device(placed, device, mcx_mode=mcx_mode)
+    with tracer.span("map.place"):
+        placed = circuit.remapped(placement, num_qubits=device.num_qubits)
+    with tracer.span("map.lower", mcx_mode=mcx_mode) as span:
+        lowered = lower_mcx_for_device(placed, device, mcx_mode=mcx_mode)
+        span.set(gates=len(lowered))
     if contracts is not None:
-        contracts.check(
-            "lowered", lowered, active_qubits=placed.used_qubits
-        )
-    expanded = expand_to_library(lowered)
-    legal = legalize_cnots(expanded, device)
+        with tracer.span("analyze.lowered"):
+            contracts.check(
+                "lowered", lowered, active_qubits=placed.used_qubits
+            )
+    with tracer.span("map.expand") as span:
+        expanded = expand_to_library(lowered)
+        span.set(gates=len(expanded))
+    with tracer.span("map.route") as span:
+        legal = legalize_cnots(expanded, device)
+        span.set(gates=len(legal))
     if not device.supports_gate("CNOT"):
         # Non-transmon technology target (e.g. trapped-ion): rebase the
         # mapped 1q+CNOT circuit into the device's native library.
         from .rebase import rebase_to_ion
 
-        legal = rebase_to_ion(legal)
+        with tracer.span("map.rebase") as span:
+            legal = rebase_to_ion(legal)
+            span.set(gates=len(legal))
     if os.environ.get("REPRO_FAULT_INJECT"):
         from ..batch import faults
 

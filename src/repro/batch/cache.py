@@ -129,22 +129,34 @@ class CompilationCache:
     temp-file rename so concurrent coordinators at worst recompute.
     """
 
+    #: Disk stores between amortized eviction sweeps (when
+    #: ``max_disk_entries`` is set).
+    _EVICT_EVERY = 32
+
     def __init__(
         self,
         max_entries: int = 512,
         directory: Optional[str] = None,
+        max_disk_entries: Optional[int] = None,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise ValueError("max_disk_entries must be positive")
         self.max_entries = max_entries
         self.directory = directory
+        self.max_disk_entries = max_disk_entries
         self._memory: "OrderedDict[str, CompilationResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.memory_hits = 0
         self.disk_hits = 0
         self.stores = 0
+        self.disk_writes = 0
+        self.disk_evictions = 0
         self.temp_files_swept = self._sweep_stale_temps()
+        if self.max_disk_entries is not None:
+            self._evict_disk()
 
     # -- lookup ------------------------------------------------------------
 
@@ -258,8 +270,40 @@ class CompilationCache:
             with open(temp, "w") as handle:
                 json.dump(result_to_payload(result), handle)
             os.replace(temp, path)
+            self.disk_writes += 1
         except OSError:
-            pass  # a full/read-only disk degrades to memory-only caching
+            return  # a full/read-only disk degrades to memory-only caching
+        if (
+            self.max_disk_entries is not None
+            and self.disk_writes % self._EVICT_EVERY == 0
+        ):
+            self._evict_disk()
+
+    def _disk_paths(self) -> list:
+        if not self.directory or not os.path.isdir(self.directory):
+            return []
+        pattern = os.path.join(glob.escape(self.directory), "*", "*.json")
+        return glob.glob(pattern)
+
+    def _evict_disk(self) -> None:
+        """Trim the disk tier to ``max_disk_entries``, oldest-mtime
+        first (amortized: runs every :data:`_EVICT_EVERY` stores, plus
+        once at open)."""
+        paths = self._disk_paths()
+        excess = len(paths) - (self.max_disk_entries or 0)
+        if excess <= 0:
+            return
+        def mtime(path):
+            try:
+                return os.stat(path).st_mtime
+            except OSError:
+                return 0.0
+        for path in sorted(paths, key=mtime)[:excess]:
+            try:
+                os.remove(path)
+                self.disk_evictions += 1
+            except OSError:
+                pass  # concurrent eviction/read; the tier stays usable
 
     # -- reporting ---------------------------------------------------------
 
@@ -269,8 +313,29 @@ class CompilationCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    #: The monotonically-accumulating keys of :meth:`stats` — the ones
+    #: :meth:`stats_delta` subtracts.  Everything else is a level or a
+    #: configuration flag and passes through from the later snapshot.
+    COUNTER_KEYS = (
+        "hits",
+        "misses",
+        "memory_hits",
+        "disk_hits",
+        "stores",
+        "disk_writes",
+        "disk_evictions",
+    )
+
     def stats(self) -> Dict[str, object]:
-        """Counters snapshot for logs and ``BENCH_runtime.json``."""
+        """Lifetime counters snapshot for logs and ``BENCH_runtime.json``.
+
+        ``disk_enabled`` reports the *configured* state (a directory was
+        given), independent of whether the lazily-created directory
+        exists yet; ``disk_opened`` reports whether it actually exists
+        on disk right now.  For a single batch's share of these
+        counters, use :meth:`stats_delta` (what
+        :attr:`repro.batch.BatchReport.cache_stats` reports).
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -280,5 +345,35 @@ class CompilationCache:
             "hit_rate": round(self.hit_rate, 4),
             "memory_entries": len(self._memory),
             "disk_enabled": bool(self.directory),
+            "disk_opened": bool(
+                self.directory and os.path.isdir(self.directory)
+            ),
+            "disk_entries": len(self._disk_paths()),
+            "disk_writes": self.disk_writes,
+            "disk_evictions": self.disk_evictions,
             "temp_files_swept": self.temp_files_swept,
+            "orphans_swept": self.temp_files_swept,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Alias of :meth:`stats` (the JSON-facing name)."""
+        return self.stats()
+
+    @classmethod
+    def stats_delta(
+        cls, before: Optional[Dict], after: Dict
+    ) -> Dict[str, object]:
+        """What one run contributed: counter keys are subtracted
+        (``after - before``), levels and flags pass through from
+        ``after``, and ``hit_rate`` is recomputed over the delta — so a
+        warm second batch honestly reports its own 100% hit rate instead
+        of averaging against history."""
+        delta = dict(after)
+        if before:
+            for key in cls.COUNTER_KEYS:
+                delta[key] = after.get(key, 0) - before.get(key, 0)
+        lookups = delta.get("hits", 0) + delta.get("misses", 0)
+        delta["hit_rate"] = (
+            round(delta.get("hits", 0) / lookups, 4) if lookups else 0.0
+        )
+        return delta

@@ -77,6 +77,7 @@ if TYPE_CHECKING:
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import JobTimeoutError, ReproError
 from ..devices.device import Device, get_device
+from ..obs import MetricsRegistry, get_metrics
 from . import faults
 from .cache import CompilationCache, job_cache_key
 
@@ -92,6 +93,7 @@ _KNOWN_OPTIONS = frozenset(
         "mcx_mode",
         "analyze",
         "strict",
+        "trace",
     }
 )
 
@@ -233,7 +235,18 @@ class BatchReport:
     results: List[JobResult]
     workers: int
     wall_seconds: float
+    #: *This run's* cache contribution: counter keys (hits, misses,
+    #: stores, ...) are deltas over the batch, ``hit_rate`` is computed
+    #: over those deltas, and the cache's cumulative counters ride along
+    #: under ``"lifetime"``.  Earlier versions reported the raw lifetime
+    #: counters here, which made a warm run on a long-lived cache look
+    #: like a 0% hit rate.
     cache_stats: Optional[Dict] = None
+    #: Merged metrics snapshot (``{"counters": ..., "gauges": ...}``)
+    #: across every job in the batch — including worker-process deltas
+    #: shipped back with each result (QMDD table stats, optimizer
+    #: rounds, timeout-degrade tallies).
+    metrics: Dict = field(default_factory=dict)
     serial_fallbacks: int = 0
     chunk_size: int = 0
     #: Total retry executions across the batch (0 = no transient faults).
@@ -248,6 +261,11 @@ class BatchReport:
     #: True when the batch was interrupted (Ctrl-C); completed slots are
     #: real results, unfinished slots carry ``KeyboardInterrupt`` errors.
     interrupted: bool = False
+    #: Jobs that ran with a requested timeout the platform could not
+    #: enforce (no ``SIGALRM``, or serial execution off the main
+    #: thread) — they degraded to unbounded execution with a
+    #: ``REPRO712`` warning instead of failing with ``ValueError``.
+    timeout_unenforced: int = 0
     extra: Dict = field(default_factory=dict)
 
     def __iter__(self):
@@ -313,6 +331,10 @@ class BatchReport:
             parts.append(f"{self.retry_count} retries")
         if self.timeout_count:
             parts.append(f"{self.timeout_count} timeouts")
+        if self.timeout_unenforced:
+            parts.append(
+                f"{self.timeout_unenforced} timeout(s) unenforced"
+            )
         if self.pool_restarts:
             parts.append(f"{self.pool_restarts} pool restarts")
         if self.degraded_serial:
@@ -355,26 +377,47 @@ def _alarm_guard(timeout: Optional[float], label: str):
 
     Uses ``SIGALRM`` (POSIX, main thread only) — exact wall-clock
     enforcement measured where the job actually runs, immune to pool
-    queueing delays.  Silently unenforced where unavailable (Windows,
-    non-main threads); the coordinator backstop still applies.
+    queueing delays.  Where the alarm cannot be armed (Windows, a
+    coordinator running serial jobs on a non-main thread, or a platform
+    whose ``signal.signal`` refuses the handler), the guard **degrades
+    to no-timeout and accounts for it**: the ``batch.timeout_unenforced``
+    metric is incremented, which surfaces as
+    :attr:`BatchReport.timeout_unenforced` and a ``REPRO712`` warning
+    diagnostic in :meth:`BatchReport.health` — never a raised
+    ``ValueError`` killing the job.  The coordinator's hard-hang
+    backstop still applies either way.
     """
-    usable = (
-        timeout is not None
-        and timeout > 0
-        and hasattr(signal, "setitimer")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
+    if timeout is None or timeout <= 0:
         yield
         return
+    armed = False
+    previous = None
+    if (
+        hasattr(signal, "SIGALRM")
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        def _on_alarm(signum, frame):
+            raise JobTimeoutError(
+                f"job {label!r} exceeded {timeout:g}s wall-clock timeout"
+            )
 
-    def _on_alarm(signum, frame):
-        raise JobTimeoutError(
-            f"job {label!r} exceeded {timeout:g}s wall-clock timeout"
-        )
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+            armed = True
+        except (ValueError, OSError, AttributeError):
+            # signal.signal raced a thread check / platform refused the
+            # itimer: restore what we can and fall through to degraded.
+            if previous is not None:
+                try:
+                    signal.signal(signal.SIGALRM, previous)
+                except (ValueError, OSError):
+                    pass
+    if not armed:
+        get_metrics().inc("batch.timeout_unenforced")
+        yield
+        return
     try:
         yield
     finally:
@@ -382,26 +425,35 @@ def _alarm_guard(timeout: Optional[float], label: str):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _execute_packed(packed: bytes) -> List[Tuple[int, str, bytes]]:
+def _execute_packed(packed: bytes) -> List[Tuple[int, str, bytes, Dict]]:
     """Worker entry point: run a pickled chunk of (index, job) pairs.
 
     Every outcome — success or failure — is pickled *individually* so a
     single unpicklable result cannot poison the whole chunk.  The
     per-job timeout is enforced here, in the worker, via the alarm
     guard.
+
+    Each outcome carries the worker's **metrics delta** for that job — a
+    before/after snapshot difference of the worker-process registry
+    (QMDD table stats, optimizer rounds, timeout-degrade tallies, ...).
+    The coordinator merges these into :attr:`BatchReport.metrics`;
+    without the shipping step every worker-side counter dies with its
+    process and the batch reports zeros.
     """
     timeout, entries = pickle.loads(packed)
-    out: List[Tuple[int, str, bytes]] = []
+    registry = get_metrics()
+    out: List[Tuple[int, str, bytes, Dict]] = []
     for index, job in entries:
+        before = registry.snapshot()
         try:
             with _alarm_guard(timeout, job.label):
                 faults.fire("worker", job.label)
                 result = job.run()
-            out.append((index, "ok", pickle.dumps(result)))
+            payload = ("ok", pickle.dumps(result))
         except BaseException as error:  # captured, never crashes the pool
-            out.append(
-                (index, "error", pickle.dumps(JobError.from_exception(error)))
-            )
+            payload = ("error", pickle.dumps(JobError.from_exception(error)))
+        delta = MetricsRegistry.delta(before, registry.snapshot())
+        out.append((index, payload[0], payload[1], delta))
     return out
 
 
@@ -444,12 +496,20 @@ class _Batch:
         self.pool_restarts = 0
         self.degraded_serial = False
         self.interrupted = False
+        #: Merged per-job metrics deltas (worker snapshots shipped back
+        #: with each result, serial deltas captured in-process).
+        self.metrics = MetricsRegistry()
 
     # -- recording ---------------------------------------------------------
 
     def record_ok(
-        self, entry: _Pending, result: CompilationResult, seconds: float
+        self,
+        entry: _Pending,
+        result: CompilationResult,
+        seconds: float,
+        metrics_delta: Optional[Dict] = None,
     ) -> None:
+        self.metrics.merge(metrics_delta)
         if self.cache is not None:
             self.cache.put(entry.key, result)
         self.results[entry.index] = JobResult(
@@ -460,7 +520,13 @@ class _Batch:
             attempts=entry.failures + 1,
         )
 
-    def record_error(self, entry: _Pending, error: JobError) -> None:
+    def record_error(
+        self,
+        entry: _Pending,
+        error: JobError,
+        metrics_delta: Optional[Dict] = None,
+    ) -> None:
+        self.metrics.merge(metrics_delta)
         timed_out = error.timed_out
         if timed_out:
             self.timeout_count += 1
@@ -496,9 +562,11 @@ class _Batch:
         ``KeyboardInterrupt`` propagates to :func:`compile_many`'s
         interrupt handler; everything else is captured per job.
         """
+        registry = get_metrics()
         for entry in entries:
             while True:
                 started = time.perf_counter()
+                before = registry.snapshot()
                 try:
                     with _alarm_guard(self.timeout, entry.job.label):
                         faults.fire("serial", entry.job.label)
@@ -506,14 +574,19 @@ class _Batch:
                 except KeyboardInterrupt:
                     raise
                 except BaseException as error:
+                    delta = MetricsRegistry.delta(before, registry.snapshot())
                     captured = JobError.from_exception(error)
                     if self.should_retry(entry, captured):
+                        self.metrics.merge(delta)
                         self.backoff(entry)
                         continue
-                    self.record_error(entry, captured)
+                    self.record_error(entry, captured, delta)
                 else:
                     self.record_ok(
-                        entry, result, time.perf_counter() - started
+                        entry,
+                        result,
+                        time.perf_counter() - started,
+                        MetricsRegistry.delta(before, registry.snapshot()),
                     )
                 break
 
@@ -554,6 +627,7 @@ def compile_many(
         raise ReproError(f"retries must be >= 0, got {retries}")
 
     state = _Batch(job_list, cache, timeout, retries, retry_backoff)
+    cache_before = cache.stats() if cache is not None else None
     pending: List[_Pending] = []
     for index, job in enumerate(job_list):
         key = job.cache_key() if cache is not None else None
@@ -605,11 +679,19 @@ def compile_many(
 
     if any(entry is None for entry in state.results):
         raise ReproError("internal error: batch left unfilled job slots")
+    cache_stats = None
+    if cache is not None:
+        lifetime = cache.stats()
+        cache_stats = CompilationCache.stats_delta(cache_before, lifetime)
+        cache_stats["lifetime"] = lifetime
+        for name in CompilationCache.COUNTER_KEYS:
+            state.metrics.inc(f"cache.{name}", cache_stats.get(name, 0))
     return BatchReport(
         results=state.results,
         workers=workers,
         wall_seconds=time.perf_counter() - started,
-        cache_stats=cache.stats() if cache is not None else None,
+        cache_stats=cache_stats,
+        metrics=state.metrics.snapshot(),
         serial_fallbacks=serial_fallbacks,
         chunk_size=used_chunk,
         retry_count=state.retry_count,
@@ -617,6 +699,9 @@ def compile_many(
         pool_restarts=state.pool_restarts,
         degraded_serial=state.degraded_serial,
         interrupted=state.interrupted,
+        timeout_unenforced=int(
+            state.metrics.counter("batch.timeout_unenforced")
+        ),
     )
 
 
@@ -727,19 +812,23 @@ def _run_one_pool(
                     for entry in chunk:
                         state.record_error(entry, captured)
                 else:
-                    for index, status, payload in chunk_out:
+                    for index, status, payload, metrics_delta in chunk_out:
                         entry = by_index[index]
                         if status == "ok":
                             result = pickle.loads(payload)
                             state.record_ok(
-                                entry, result, result.synthesis_seconds
+                                entry,
+                                result,
+                                result.synthesis_seconds,
+                                metrics_delta,
                             )
                             continue
                         captured = pickle.loads(payload)
                         if state.should_retry(entry, captured):
+                            state.metrics.merge(metrics_delta)
                             requeue.append(entry)
                         else:
-                            state.record_error(entry, captured)
+                            state.record_error(entry, captured, metrics_delta)
             if broken:
                 # The pool poisons every remaining future once a worker
                 # dies; drain them as crash victims and rebuild.
@@ -754,19 +843,25 @@ def _run_one_pool(
                         _charge_crash(state, chunk, requeue, deferred)
                         continue
                     # Raced to completion before the pool broke.
-                    for index, status, payload in chunk_out:
+                    for index, status, payload, metrics_delta in chunk_out:
                         entry = by_index[index]
                         if status == "ok":
                             result = pickle.loads(payload)
                             state.record_ok(
-                                entry, result, result.synthesis_seconds
+                                entry,
+                                result,
+                                result.synthesis_seconds,
+                                metrics_delta,
                             )
                         else:
                             captured = pickle.loads(payload)
                             if state.should_retry(entry, captured):
+                                state.metrics.merge(metrics_delta)
                                 requeue.append(entry)
                             else:
-                                state.record_error(entry, captured)
+                                state.record_error(
+                                    entry, captured, metrics_delta
+                                )
                 outstanding.clear()
                 state.pool_restarts += 1
         return requeue, deferred

@@ -26,7 +26,9 @@ from ..verify.equivalence import VerificationReport
 #: Schema version of cache payloads.  Bump on any incompatible change so
 #: stale cache files read as misses instead of mis-deserializing.
 #: v2: added the ``diagnostics`` list (stage-contract findings).
-PAYLOAD_VERSION = 2
+#: v3: added the optional ``trace`` span summary (see
+#: :mod:`repro.obs.trace`), so a profiled compile survives the cache.
+PAYLOAD_VERSION = 3
 
 
 def circuit_to_payload(circuit: QuantumCircuit) -> Dict:
@@ -89,6 +91,7 @@ def result_to_payload(result: CompilationResult) -> Dict:
         "synthesis_seconds": result.synthesis_seconds,
         "placement": {str(k): v for k, v in result.placement.items()},
         "diagnostics": result.diagnostics.to_payload(),
+        "trace": result.trace,
     }
 
 
@@ -117,4 +120,5 @@ def result_from_payload(payload: Dict) -> Optional[CompilationResult]:
         diagnostics=DiagnosticReport.from_payload(
             payload.get("diagnostics", ())
         ),
+        trace=payload.get("trace"),
     )

@@ -85,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--retries", type=int, default=1,
                              help="retry budget for transient job failures "
                                   "(timeouts, worker crashes; default 1)")
+    compile_cmd.add_argument("--profile", action="store_true",
+                             help="record per-stage spans and print a "
+                                  "wall-time table plus the optimizer's "
+                                  "per-iteration cost trajectory")
+    compile_cmd.add_argument("--trace-out", dest="trace_out", metavar="FILE",
+                             default=None,
+                             help="write recorded spans as a Chrome "
+                                  "trace_event file (load in chrome://tracing "
+                                  "or Perfetto); implies tracing")
     compile_cmd.set_defaults(handler=cmd_compile)
 
     fuzz = commands.add_parser(
@@ -190,12 +199,14 @@ def cmd_info(args) -> int:
 
 def cmd_compile(args) -> int:
     verify = False if args.verify == "none" else args.verify
+    tracing = bool(args.profile or args.trace_out)
     options = {
         "optimize": not args.no_optimize,
         "verify": verify,
         "placement": args.placement,
         "mcx_mode": args.mcx_mode,
         "strict": args.strict,
+        "trace": tracing,
     }
 
     # Collect the circuits to compile (front-end synthesis happens here;
@@ -246,8 +257,14 @@ def cmd_compile(args) -> int:
         entry = report[0]
         if not entry.ok:
             _reraise(entry.error)
-        return _emit_single(entry.result, args.output)
-    return _emit_batch(report, args.output, cache)
+        status = _emit_single(entry.result, args.output)
+        if tracing:
+            _emit_observability(report, args.profile, args.trace_out)
+        return status
+    status = _emit_batch(report, args.output, cache)
+    if tracing:
+        _emit_observability(report, args.profile, args.trace_out)
+    return status
 
 
 def _reraise(error) -> None:
@@ -322,6 +339,90 @@ def _emit_batch(report, output: Optional[str], cache) -> int:
         print(f"  {diagnostic.render()}", file=sys.stderr)
     print(f"batch       : {report.summary()}", file=sys.stderr)
     return 1 if failures == len(report) else 0
+
+
+def _emit_observability(report, profile: bool, trace_out: Optional[str]) -> None:
+    """Render the ``--profile`` tables and/or the ``--trace-out`` Chrome
+    trace for every traced result in ``report``.
+
+    A cached hit may carry no trace (the stored compile ran without
+    tracing); those entries are reported as such, not silently skipped.
+    """
+    from .obs import write_chrome_trace
+
+    if profile:
+        for entry in report:
+            if not entry.ok:
+                continue
+            if not (entry.result.trace and entry.result.trace.get("spans")):
+                print(
+                    f"profile [{entry.job.label}]: no trace recorded "
+                    "(cached result from an unprofiled compile)",
+                    file=sys.stderr,
+                )
+                continue
+            _print_profile(entry.job.label, entry.result.trace)
+        if report.metrics.get("counters") or report.metrics.get("gauges"):
+            _print_metrics(report.metrics)
+    if trace_out:
+        traced = [
+            (entry.job.label, entry.result.trace)
+            for entry in report
+            if entry.ok and entry.result.trace
+            and entry.result.trace.get("spans")
+        ]
+        if traced:
+            count = write_chrome_trace(
+                trace_out,
+                [trace for _, trace in traced],
+                labels=[label for label, _ in traced],
+            )
+            print(f"wrote {trace_out} ({count} trace events)", file=sys.stderr)
+        else:
+            print(f"no traces recorded; {trace_out} not written",
+                  file=sys.stderr)
+
+
+def _print_profile(label: str, trace) -> None:
+    """One entry's stage table and optimizer cost trajectory."""
+    from .obs import optimizer_trajectory, stage_rows
+
+    print(f"profile [{label}]:", file=sys.stderr)
+    print(f"  {'stage':<30} {'ms':>9}  {'share':>6}", file=sys.stderr)
+    for row in stage_rows(trace):
+        name = "  " * row["depth"] + row["name"]
+        attrs = " ".join(
+            f"{key}={value}" for key, value in row["attrs"].items()
+        )
+        print(
+            f"  {name:<30} {row['seconds'] * 1e3:>9.2f}  "
+            f"{row['share'] * 100:>5.1f}%" + (f"  {attrs}" if attrs else ""),
+            file=sys.stderr,
+        )
+    rounds = optimizer_trajectory(trace)
+    if rounds:
+        print("  optimizer trajectory:", file=sys.stderr)
+        for step in rounds:
+            verdict = "accepted" if step.get("accepted") else "rejected"
+            print(
+                f"    round {step.get('round', '?')}: "
+                f"cost {step.get('cost_before', '?')} -> "
+                f"{step.get('cost_after', '?')}  "
+                f"gates {step.get('gates_before', '?')} -> "
+                f"{step.get('gates_after', '?')}  "
+                f"[{step['seconds'] * 1e3:.2f} ms, {verdict}]",
+                file=sys.stderr,
+            )
+
+
+def _print_metrics(snapshot) -> None:
+    """The batch's merged metrics registry, counters then gauges."""
+    print("metrics:", file=sys.stderr)
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
+        print(f"  {name:<30} {rendered}", file=sys.stderr)
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        print(f"  {name:<30} {value} (gauge)", file=sys.stderr)
 
 
 def _render(circuit, output_path: Optional[str]) -> str:
@@ -452,6 +553,10 @@ def cmd_fuzz(args) -> int:
         print(finding.describe())
         for gate in finding.minimal_circuit:
             print(f"    {gate}")
+    if report.timing_line():
+        print(f"timing: {report.timing_line()}", file=sys.stderr)
+    if report.metrics.get("counters") or report.metrics.get("gauges"):
+        _print_metrics(report.metrics)
     if args.corpus_dir:
         for finding in report.findings:
             path = save_entry(args.corpus_dir, entry_from_finding(finding))

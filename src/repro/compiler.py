@@ -19,6 +19,7 @@ from .core.circuit import QuantumCircuit
 from .core.cost import CircuitMetrics, CostFunction
 from .devices.device import Device, get_device
 from .backend.mapper import identity_placement, map_circuit
+from .obs import NULL_TRACER, Tracer, get_metrics
 from .optimize.local import LocalOptimizer
 from .verify.equivalence import VerificationReport, require_equivalent
 from .frontend.truth_table import TruthTable
@@ -42,6 +43,12 @@ class CompilationResult:
     #: Stage-contract findings recorded during this compile (empty when
     #: everything conformed or analysis was disabled).
     diagnostics: DiagnosticReport = field(default_factory=DiagnosticReport)
+    #: Per-stage trace summary (see :mod:`repro.obs.trace`), present when
+    #: the compile ran with ``trace=True`` or an explicit tracer.  A
+    #: JSON-safe nested-span document; render with
+    #: :func:`repro.obs.stage_rows` or export with
+    #: :func:`repro.obs.write_chrome_trace`.
+    trace: Optional[Dict] = None
 
     @property
     def percent_cost_decrease(self) -> float:
@@ -85,6 +92,8 @@ def compile_circuit(
     mcx_mode: str = "barenco",
     analyze: bool = True,
     strict: bool = False,
+    trace: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> CompilationResult:
     """Compile a technology-independent circuit for ``device``.
 
@@ -108,6 +117,12 @@ def compile_circuit(
     with ``strict=True`` any error-severity finding raises
     :class:`~repro.core.exceptions.ContractViolation` at the offending
     stage, before verification runs.
+
+    ``trace=True`` (or an explicit ``tracer``) records nested per-stage
+    spans — placement, lowering, routing, each optimizer fixpoint
+    iteration with its cost delta, verification — and attaches the
+    summary to :attr:`CompilationResult.trace`.  Tracing is default-off
+    and its disabled cost is a few no-op calls per compile.
     """
     if isinstance(device, str):
         device = get_device(device)
@@ -117,51 +132,98 @@ def compile_circuit(
         if analyze or strict
         else None
     )
+    if tracer is None and trace:
+        tracer = Tracer()
+    t = tracer if tracer is not None else NULL_TRACER
 
     start = time.perf_counter()
-    if placement is None:
-        placement = identity_placement(circuit, device)
-    elif isinstance(placement, str):
-        from .backend.placement import choose_placement
+    with t.span(
+        "compile",
+        circuit=circuit.name or "circuit",
+        device=device.name,
+        gates_in=len(circuit),
+    ) as root:
+        with t.span("placement"):
+            if placement is None:
+                placement = identity_placement(circuit, device)
+            elif isinstance(placement, str):
+                from .backend.placement import choose_placement
 
-        placement = choose_placement(circuit, device, strategy=placement)
-    if contracts is not None:
-        contracts.check("input", circuit)
-    unoptimized = map_circuit(
-        circuit, device, placement, mcx_mode=mcx_mode, contracts=contracts
-    )
-    if contracts is not None:
-        contracts.check("mapped", unoptimized, device=device)
-    if optimize:
-        optimizer = LocalOptimizer(
-            cost, device.coupling_map, gate_set=device.gate_set
-        )
-        optimized = optimizer.run(unoptimized)
-    else:
-        optimized = unoptimized
-    elapsed = time.perf_counter() - start
-
-    unoptimized_metrics = CircuitMetrics.of(unoptimized, cost)
-    optimized_metrics = CircuitMetrics.of(optimized, cost)
-    if contracts is not None:
-        contracts.check("optimized", optimized, device=device)
-        if optimize:
-            contracts.check_cost(
-                "optimized", unoptimized_metrics.cost, optimized_metrics.cost
+                placement = choose_placement(
+                    circuit, device, strategy=placement
+                )
+        if contracts is not None:
+            with t.span("analyze.input"):
+                contracts.check("input", circuit)
+        with t.span("map") as map_span:
+            unoptimized = map_circuit(
+                circuit,
+                device,
+                placement,
+                mcx_mode=mcx_mode,
+                contracts=contracts,
+                tracer=tracer,
             )
+            map_span.set(gates_out=len(unoptimized))
+        if contracts is not None:
+            with t.span("analyze.mapped"):
+                contracts.check("mapped", unoptimized, device=device)
+        if optimize:
+            optimizer = LocalOptimizer(
+                cost,
+                device.coupling_map,
+                gate_set=device.gate_set,
+                tracer=tracer,
+            )
+            with t.span("optimize") as opt_span:
+                optimized = optimizer.run(unoptimized)
+                opt_report = getattr(optimizer, "last_report", None)
+                if opt_report is not None:
+                    opt_span.set(
+                        rounds=opt_report.rounds,
+                        cost_before=opt_report.initial_cost,
+                        cost_after=opt_report.final_cost,
+                    )
+        else:
+            optimized = unoptimized
+        elapsed = time.perf_counter() - start
 
-    report: Optional[VerificationReport] = None
-    if verify:
-        method = verify if isinstance(verify, str) else "auto"
-        source = circuit.remapped(placement, num_qubits=device.num_qubits)
-        # Rebased technology targets (no native CNOT, e.g. trapped-ion)
-        # equal their sources only up to a global phase per entangler.
-        phase_free = not device.supports_gate("CNOT")
-        report = require_equivalent(
-            source, optimized, method=method, samples=verify_samples,
-            up_to_global_phase=phase_free,
-        )
+        with t.span("metrics"):
+            unoptimized_metrics = CircuitMetrics.of(unoptimized, cost)
+            optimized_metrics = CircuitMetrics.of(optimized, cost)
+        if contracts is not None:
+            with t.span("analyze.optimized"):
+                contracts.check("optimized", optimized, device=device)
+                if optimize:
+                    contracts.check_cost(
+                        "optimized",
+                        unoptimized_metrics.cost,
+                        optimized_metrics.cost,
+                    )
 
+        report: Optional[VerificationReport] = None
+        if verify:
+            method = verify if isinstance(verify, str) else "auto"
+            with t.span("verify") as verify_span:
+                source = circuit.remapped(
+                    placement, num_qubits=device.num_qubits
+                )
+                # Rebased technology targets (no native CNOT, e.g.
+                # trapped-ion) equal their sources only up to a global
+                # phase per entangler.
+                phase_free = not device.supports_gate("CNOT")
+                report = require_equivalent(
+                    source, optimized, method=method, samples=verify_samples,
+                    up_to_global_phase=phase_free,
+                )
+                verify_span.set(
+                    method=report.method, equivalent=report.equivalent
+                )
+        root.set(gates_out=len(optimized))
+
+    metrics = get_metrics()
+    metrics.inc("compile.calls")
+    metrics.inc("compile.seconds", elapsed)
     return CompilationResult(
         original=circuit,
         device=device,
@@ -175,6 +237,7 @@ def compile_circuit(
         diagnostics=(
             contracts.report if contracts is not None else DiagnosticReport()
         ),
+        trace=tracer.to_summary() if tracer is not None else None,
     )
 
 

@@ -33,6 +33,7 @@ from ..core.cost import TRANSMON_COST, CostFunction
 from ..devices.builders import grid_device, linear_device
 from ..devices.coupling import CouplingMap
 from ..devices.device import Device
+from ..obs import MetricsRegistry, get_metrics
 from ..verify.equivalence import verify_equivalent
 from .generators import generate_case
 from .shrink import ShrinkResult, shrink_case
@@ -207,10 +208,25 @@ class FuzzReport:
     findings: List[FuzzFinding] = field(default_factory=list)
     wall_seconds: float = 0.0
     interrupted: bool = False
+    #: Wall seconds per campaign phase (generate / compile / oracle /
+    #: shrink), in execution order.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Merged metrics snapshot: batch-engine deltas (including what pool
+    #: workers shipped back) plus the harness's own oracle/shrink work.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.findings
+
+    def timing_line(self) -> str:
+        """The per-phase wall-time budget as one readable line."""
+        if not self.phase_seconds:
+            return ""
+        return ", ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in self.phase_seconds.items()
+        )
 
     def summary(self) -> str:
         parts = [
@@ -347,6 +363,13 @@ def run_fuzz(
     master = random.Random(config.seed)
     device_names = list(config.devices or sorted(FUZZ_DEVICES))
     devices = {name: build_fuzz_device(name) for name in device_names}
+    registry = MetricsRegistry()
+
+    def charge(phase: str, since: float) -> None:
+        report.phase_seconds[phase] = (
+            report.phase_seconds.get(phase, 0.0)
+            + (time.perf_counter() - since)
+        )
 
     def out_of_budget() -> bool:
         if report.cases_run >= config.iterations:
@@ -358,6 +381,7 @@ def run_fuzz(
     try:
         while not out_of_budget():
             batch: List[Dict] = []
+            generate_started = time.perf_counter()
             while len(batch) < config.batch_size and not out_of_budget():
                 case_seed = master.randrange(2**32)
                 circuit = generate_case(
@@ -380,6 +404,7 @@ def run_fuzz(
                     "named_options": named,
                 })
                 report.cases_run += 1
+            charge("generate", generate_started)
             if not batch:
                 break
             jobs = [
@@ -391,28 +416,45 @@ def run_fuzz(
                 )
                 for case in batch
             ]
+            compile_started = time.perf_counter()
             batch_report = compile_many(
                 jobs,
                 workers=config.workers,
                 timeout=config.timeout,
             )
+            charge("compile", compile_started)
+            registry.merge(batch_report.metrics)
             report.compiles += len(batch_report)
             if batch_report.interrupted:
                 report.interrupted = True
             for case, entry in zip(batch, batch_report):
+                # Oracle checks and shrinking run in this process; their
+                # verify/qmdd counters land in the process-global
+                # registry, so capture them as a delta.
+                local_before = get_metrics().snapshot()
+                oracle_started = time.perf_counter()
                 finding = _judge(case, entry, config, report, emit)
+                charge("oracle", oracle_started)
                 if finding is not None:
                     if shrink:
+                        shrink_started = time.perf_counter()
                         _shrink_finding(
                             finding, devices[case["device_name"]], config
                         )
+                        charge("shrink", shrink_started)
                     report.findings.append(finding)
                     emit(f"FINDING {finding.describe()}")
+                registry.merge(
+                    MetricsRegistry.delta(
+                        local_before, get_metrics().snapshot()
+                    )
+                )
             if report.interrupted:
                 break
     except KeyboardInterrupt:
         report.interrupted = True
     report.wall_seconds = time.perf_counter() - started
+    report.metrics = registry.snapshot()
     emit(f"fuzz done: {report.summary()}")
     return report
 

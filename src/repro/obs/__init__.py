@@ -1,0 +1,44 @@
+"""Observability: stage tracing and the unified metrics registry.
+
+The pipeline is judged by per-stage numbers (the paper's Tables 3–8 and
+its Section 5 runtime claims), so the pipeline must be able to *show*
+its per-stage numbers.  This package provides the two primitives and the
+rest of the system threads them through:
+
+* :class:`Tracer` / :class:`Span` — nested wall-clock spans over the
+  compile pipeline, exportable as a JSON summary or a Chrome
+  ``trace_event`` file (``repro compile --profile`` / ``--trace-out``);
+* :class:`MetricsRegistry` — named counters and gauges with
+  snapshot/merge semantics that survive process-pool boundaries (the
+  batch engine ships each worker's delta back with the job result and
+  merges at the coordinator).
+
+See ``docs/observability.md`` for the span model, the metric-name
+catalog, and the Chrome-trace howto.
+"""
+
+from .metrics import MetricsRegistry, Snapshot, get_metrics
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    optimizer_trajectory,
+    stage_rows,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Snapshot",
+    "get_metrics",
+    "Tracer",
+    "Span",
+    "NullTracer",
+    "NULL_TRACER",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "stage_rows",
+    "optimizer_trajectory",
+]

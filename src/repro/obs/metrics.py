@@ -1,0 +1,138 @@
+"""Process-local metrics registry with snapshot/merge semantics.
+
+The pipeline's counters used to live in scattered ad-hoc attributes —
+QMDD :meth:`~repro.qmdd.manager.QMDDManager.stats`, the compilation
+cache's hit/miss integers, the batch engine's retry/timeout tallies —
+each with its own reporting path, and none of them surviving a trip
+through a ``ProcessPoolExecutor`` worker.  :class:`MetricsRegistry`
+unifies them behind one API:
+
+* **counters** are monotonically-accumulating numbers (calls, hits,
+  seconds); merging two snapshots *adds* them;
+* **gauges** are point-in-time levels (table sizes, cache entries);
+  merging keeps the *maximum* (the interesting statistic for "how big
+  did the unique table get across workers").
+
+Process-safety model: every process owns one registry
+(:func:`get_metrics`).  A worker takes a :meth:`snapshot` before a job
+and a :func:`delta <MetricsRegistry.delta>` after it, ships the delta
+back inside the job result, and the coordinator :meth:`merge`\\ s it —
+counters survive process boundaries *by construction* instead of being
+silently dropped.  Snapshots are plain JSON-safe dicts, so they also
+pickle cheaply and land in ``BENCH_runtime.json`` unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Union
+
+Number = Union[int, float]
+
+#: Snapshot shape: ``{"counters": {name: number}, "gauges": {name: number}}``.
+Snapshot = Dict[str, Dict[str, Number]]
+
+
+class MetricsRegistry:
+    """A named set of counters and gauges with snapshot/merge support.
+
+    Thread-safe within one process (a lock guards every mutation); the
+    cross-process story is snapshot deltas merged at the coordinator,
+    never shared mutable state.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Number] = {}
+        self._gauges: Dict[str, Number] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins locally)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_max(self, name: str, value: Number) -> None:
+        """Raise gauge ``name`` to ``value`` if it is higher."""
+        with self._lock:
+            current = self._gauges.get(name)
+            if current is None or value > current:
+                self._gauges[name] = value
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str, default: Number = 0) -> Number:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def get_gauge(self, name: str, default: Number = 0) -> Number:
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """A JSON-safe copy of every counter and gauge."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+            }
+
+    def merge(self, snapshot: Optional[Snapshot]) -> None:
+        """Fold a snapshot (typically a worker's delta) into this
+        registry: counters add, gauges keep the maximum."""
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                current = self._gauges.get(name)
+                if current is None or value > current:
+                    self._gauges[name] = value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+
+    @staticmethod
+    def delta(before: Snapshot, after: Snapshot) -> Snapshot:
+        """What happened between two snapshots of the *same* registry:
+        counter differences (zero-change entries dropped) plus the later
+        gauge values."""
+        counters: Dict[str, Number] = {}
+        earlier = before.get("counters", {})
+        for name, value in after.get("counters", {}).items():
+            change = value - earlier.get(name, 0)
+            if change:
+                counters[name] = change
+        return {
+            "counters": counters,
+            "gauges": dict(after.get("gauges", {})),
+        }
+
+
+#: The per-process registry.  Workers inherit a fresh one on fork/spawn
+#: (module state is per-process), which is exactly what the delta
+#: protocol wants: a worker's registry only ever contains its own work.
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """This process's registry (one per process, created at import)."""
+    return _GLOBAL

@@ -1,0 +1,281 @@
+"""Nested-span tracing for the compilation pipeline.
+
+A :class:`Tracer` records a tree of timed spans — one per pipeline
+stage (place → lower → expand → route → optimize → verify), with
+per-fixpoint-iteration spans inside the optimizer carrying cost and
+gate-count deltas.  Spans nest lexically via ``with``::
+
+    tracer = Tracer()
+    with tracer.span("compile", device="ibmqx4"):
+        with tracer.span("map"):
+            ...
+        with tracer.span("optimize") as span:
+            span.set(rounds=3)
+
+Two exports:
+
+* :meth:`Tracer.to_summary` — a JSON-safe nested dict (stored on
+  :attr:`repro.compiler.CompilationResult.trace`, serialized through the
+  batch cache, rendered by ``repro compile --profile``);
+* :func:`chrome_trace_events` — the same tree as Chrome ``trace_event``
+  complete events, loadable in ``chrome://tracing`` / Perfetto
+  (``repro compile --trace-out trace.json``).
+
+Tracing is **default-off**: pipeline entry points take
+``tracer=None`` and substitute :data:`NULL_TRACER`, whose ``span`` is a
+constant no-op object — the disabled cost is one attribute access and a
+no-op context enter/exit per instrumented site.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "stage_rows",
+    "optimizer_trajectory",
+]
+
+
+class Span:
+    """One timed, attributed region of the pipeline.
+
+    ``start``/``end`` are ``time.perf_counter`` values relative to the
+    owning tracer's origin, in seconds.  A span is its own context
+    manager; entering pushes it on the tracer's stack so inner spans
+    become children.
+    """
+
+    __slots__ = ("name", "start", "end", "attrs", "children", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict):
+        self._tracer = tracer
+        self.name = name
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.attrs = attrs
+        self.children: List["Span"] = []
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        end = self.end if self.end is not None else self._tracer._now()
+        return end - self.start
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop(self, failed=exc_type is not None)
+        return False
+
+    def to_summary(self) -> Dict:
+        """JSON-safe encoding of this span and its subtree."""
+        node: Dict = {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+        }
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
+        if self.children:
+            node["children"] = [child.to_summary() for child in self.children]
+        return node
+
+
+class Tracer:
+    """Records a forest of nested spans with a per-tracer time origin."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new span; use as ``with tracer.span("stage") as s:``."""
+        return Span(self, name, attrs)
+
+    def _push(self, span: Span) -> None:
+        span.start = self._now()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span, failed: bool = False) -> None:
+        span.end = self._now()
+        if failed:
+            span.attrs.setdefault("error", True)
+        # Tolerate out-of-order exits (an exception unwinding through
+        # several spans closes them inside-out, which is the same order).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end is None:
+                dangling.end = span.end
+        if self._stack:
+            self._stack.pop()
+
+    def to_summary(self) -> Dict:
+        """The whole recorded forest as one JSON-safe document."""
+        return {
+            "version": 1,
+            "spans": [span.to_summary() for span in self.roots],
+        }
+
+
+class _NullSpan:
+    """The do-nothing span: context manager and attribute sink."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer stand-in when tracing is off; every span is the shared
+    no-op span, so the disabled hot-path cost is a single call."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def to_summary(self) -> Dict:
+        return {"version": 1, "spans": []}
+
+
+#: Shared disabled tracer; ``tracer or NULL_TRACER`` is the idiom at
+#: every instrumented entry point.
+NULL_TRACER = NullTracer()
+
+
+# -- Chrome trace_event export ---------------------------------------------
+
+
+def chrome_trace_events(
+    summary: Dict, pid: int = 1, tid: int = 1
+) -> List[Dict]:
+    """Flatten a :meth:`Tracer.to_summary` document into Chrome
+    ``trace_event`` *complete* events (``ph: "X"``, microsecond
+    timestamps), the format ``chrome://tracing`` and Perfetto load."""
+    events: List[Dict] = []
+
+    def walk(node: Dict) -> None:
+        event = {
+            "name": node["name"],
+            "ph": "X",
+            "ts": round(node.get("start", 0.0) * 1e6, 3),
+            "dur": round(node.get("duration", 0.0) * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if node.get("attrs"):
+            event["args"] = node["attrs"]
+        events.append(event)
+        for child in node.get("children", ()):
+            walk(child)
+
+    for root in summary.get("spans", ()):
+        walk(root)
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    summaries: Iterable[Dict],
+    labels: Optional[Iterable[str]] = None,
+) -> int:
+    """Write one or more trace summaries as a Chrome trace file (JSON
+    array of events, one ``tid`` lane per summary).  Returns the event
+    count."""
+    import json
+
+    events: List[Dict] = []
+    labels = list(labels) if labels is not None else []
+    for tid, summary in enumerate(summaries, start=1):
+        events.extend(chrome_trace_events(summary, tid=tid))
+        label = labels[tid - 1] if tid - 1 < len(labels) else ""
+        if label:
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": label},
+            })
+    with open(path, "w") as handle:
+        json.dump(events, handle, indent=1)
+    return len(events)
+
+
+# -- human-readable digests -------------------------------------------------
+
+
+def stage_rows(summary: Dict) -> List[Dict]:
+    """Per-span rows for a ``--profile`` table: depth-indented name,
+    wall milliseconds, share of the root span, and attributes."""
+    rows: List[Dict] = []
+    roots = summary.get("spans", ())
+    total = sum(node.get("duration", 0.0) for node in roots) or 1.0
+
+    def walk(node: Dict, depth: int) -> None:
+        duration = node.get("duration", 0.0)
+        rows.append({
+            "name": node["name"],
+            "depth": depth,
+            "seconds": duration,
+            "share": duration / total,
+            "attrs": node.get("attrs", {}),
+        })
+        for child in node.get("children", ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return rows
+
+
+def optimizer_trajectory(summary: Dict) -> List[Dict]:
+    """The per-fixpoint-iteration optimizer records (``optimize.round``
+    spans) in execution order, each with its cost/gate-count attrs."""
+    found: List[Dict] = []
+
+    def walk(node: Dict) -> None:
+        if node["name"] == "optimize.round":
+            entry = {"seconds": node.get("duration", 0.0)}
+            entry.update(node.get("attrs", {}))
+            found.append(entry)
+        for child in node.get("children", ()):
+            walk(child)
+
+    for root in summary.get("spans", ()):
+        walk(root)
+    return found

@@ -23,6 +23,7 @@ from typing import List, Optional
 from ..core.circuit import QuantumCircuit
 from ..core.cost import CostFunction, TRANSMON_COST
 from ..devices.coupling import CouplingMap
+from ..obs import NULL_TRACER, get_metrics
 from .cancellation import remove_identities
 from .merging import merge_phases
 from .templates import apply_templates
@@ -55,6 +56,7 @@ class LocalOptimizer:
         enable_templates: bool = True,
         gate_set=None,
         lookback_window: Optional[int] = None,
+        tracer=None,
     ):
         self.cost_function = cost_function
         self.coupling_map = coupling_map
@@ -64,26 +66,41 @@ class LocalOptimizer:
         #: Commutation-walk bound for cancellation sweeps; ``None`` uses
         #: :data:`repro.optimize.cancellation.LOOKBACK_WINDOW`.
         self.lookback_window = lookback_window
+        #: Optional :class:`repro.obs.Tracer`; when set, every fixpoint
+        #: iteration records an ``optimize.round`` span carrying the
+        #: round's cost and gate-count deltas.
+        self.tracer = tracer
         self.last_report: Optional[OptimizationReport] = None
 
     def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
         """Optimize ``circuit`` until the cost function stops decreasing."""
+        t = self.tracer if self.tracer is not None else NULL_TRACER
         best = circuit
         best_cost = self.cost_function(best)
         trace = [best_cost]
         rounds = 0
         for rounds in range(1, self.max_rounds + 1):
-            candidate = remove_identities(best, self.lookback_window)
-            candidate = merge_phases(candidate, self.gate_set)
-            if self.enable_templates:
-                candidate = apply_templates(
-                    candidate, self.coupling_map, gate_set=self.gate_set
+            with t.span("optimize.round", round=rounds) as span:
+                candidate = remove_identities(best, self.lookback_window)
+                candidate = merge_phases(candidate, self.gate_set)
+                if self.enable_templates:
+                    candidate = apply_templates(
+                        candidate, self.coupling_map, gate_set=self.gate_set
+                    )
+                    # Templates can expose fresh inverse pairs; clean them
+                    # now so the cost comparison sees the full benefit.
+                    candidate = remove_identities(
+                        candidate, self.lookback_window
+                    )
+                cost = self.cost_function(candidate)
+                trace.append(cost)
+                span.set(
+                    cost_before=best_cost,
+                    cost_after=cost,
+                    gates_before=len(best),
+                    gates_after=len(candidate),
+                    accepted=cost < best_cost,
                 )
-                # Templates can expose fresh inverse pairs; clean them now
-                # so the cost comparison sees the full benefit.
-                candidate = remove_identities(candidate, self.lookback_window)
-            cost = self.cost_function(candidate)
-            trace.append(cost)
             if cost < best_cost:
                 best, best_cost = candidate, cost
             else:
@@ -94,6 +111,10 @@ class LocalOptimizer:
             rounds=rounds,
             cost_trace=trace,
         )
+        metrics = get_metrics()
+        metrics.inc("optimizer.runs")
+        metrics.inc("optimizer.rounds", rounds)
+        metrics.inc("optimizer.cost_saved", trace[0] - best_cost)
         return best
 
 

@@ -469,6 +469,23 @@ class QMDDManager:
             stats[f"{name}_misses"] = misses
         return stats
 
+    def record_metrics(self, registry, prefix: str = "qmdd.") -> None:
+        """Fold this manager's counters into a
+        :class:`repro.obs.MetricsRegistry`: hit/miss tallies become
+        counters (summed across managers and processes), table sizes
+        become gauges (merged by maximum — "how big did the unique
+        table get").  Called by the verification facade after every
+        QMDD equivalence check so per-worker managers stop losing their
+        stats at the process boundary.
+        """
+        for name in ("mul", "add", "gate", "apply"):
+            registry.inc(f"{prefix}{name}_hits", self.cache_hits[name])
+            registry.inc(f"{prefix}{name}_misses", self.cache_misses[name])
+        registry.gauge_max(f"{prefix}unique_nodes", len(self._unique))
+        registry.gauge_max(f"{prefix}mul_cache", len(self._mul_cache))
+        registry.gauge_max(f"{prefix}add_cache", len(self._add_cache))
+        registry.gauge_max(f"{prefix}values", len(self.values))
+
     def cache_hit_rates(self) -> Dict[str, float]:
         """Hit rate per operation cache (0.0 where never consulted)."""
         rates = {}

@@ -17,12 +17,15 @@ for each design and testing for equivalence" (Section 5).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 import numpy as np
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import VerificationError
+from ..obs import get_metrics
 from ..qmdd.equivalence import check_equivalence as qmdd_check
+from ..qmdd.manager import QMDDManager
 from .sparse_sim import sampled_equivalence
 
 
@@ -63,10 +66,38 @@ def verify_equivalent(
     if method == "auto":
         method = "qmdd" if width <= qmdd_width_limit else "sampled"
 
-    if method == "qmdd":
-        result = qmdd_check(
-            original, mapped, num_qubits=width, up_to_global_phase=up_to_global_phase
+    metrics = get_metrics()
+    metrics.inc(f"verify.{method}_checks")
+    started = time.perf_counter()
+    try:
+        return _verify(
+            original, mapped, method, width,
+            up_to_global_phase=up_to_global_phase, samples=samples, seed=seed,
         )
+    finally:
+        metrics.inc("verify.seconds", time.perf_counter() - started)
+
+
+def _verify(
+    original: QuantumCircuit,
+    mapped: QuantumCircuit,
+    method: str,
+    width: int,
+    up_to_global_phase: bool,
+    samples: int,
+    seed: int,
+) -> VerificationReport:
+    if method == "qmdd":
+        manager = QMDDManager(width)
+        result = qmdd_check(
+            original, mapped, num_qubits=width,
+            up_to_global_phase=up_to_global_phase, manager=manager,
+        )
+        # Per-check managers used to take their unique-table and
+        # operation-cache stats to the grave (worst of all inside pool
+        # workers); record them in this process's registry so the batch
+        # engine can ship them back to the coordinator.
+        manager.record_metrics(get_metrics())
         equivalent = result.equivalent
         detail = (
             f"nodes={result.nodes_first}/{result.nodes_second} "

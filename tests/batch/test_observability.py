@@ -1,0 +1,161 @@
+"""Batch observability: honest cache accounting, worker metrics
+shipping, and timeout-guard degradation (REPRO712)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.batch import CompilationCache, CompileJob, compile_many
+from repro.batch.serialize import result_from_payload, result_to_payload
+from repro.compiler import compile_circuit
+from repro.core.circuit import QuantumCircuit
+from repro.core.gates import CNOT, H, T, TOFFOLI
+from repro.devices import get_device
+
+
+def _jobs(count=3, verify=False):
+    circuits = [
+        QuantumCircuit(2, [H(0), CNOT(0, 1)], name="bell"),
+        QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx"),
+        QuantumCircuit(2, [T(0), CNOT(1, 0)], name="misc"),
+    ]
+    return [
+        CompileJob.make(circuit, "ibmqx4", {"verify": verify})
+        for circuit in circuits[:count]
+    ]
+
+
+class TestHonestCacheAccounting:
+    def test_warm_parallel_rerun_reports_hits(self, tmp_path):
+        """The regression the observability layer exists to catch: a
+        second identical batch over a shared cache must report a nonzero
+        per-run hit rate, with parallel workers in play."""
+        cache = CompilationCache(directory=str(tmp_path))
+        jobs = _jobs()
+        cold = compile_many(jobs, cache=cache, workers=2)
+        assert cold.cache_stats["hits"] == 0
+        assert cold.cache_stats["misses"] == len(jobs)
+        warm = compile_many(jobs, cache=cache, workers=2)
+        assert warm.cache_stats["hits"] == len(jobs)
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["hit_rate"] == 1.0
+
+    def test_cache_stats_are_per_run_with_lifetime_attached(self, tmp_path):
+        cache = CompilationCache(directory=str(tmp_path))
+        jobs = _jobs()
+        compile_many(jobs, cache=cache, workers=1)
+        warm = compile_many(jobs, cache=cache, workers=1)
+        # The delta is this run's work; cumulative history lives under
+        # "lifetime" (the pre-fix behavior, kept for session views).
+        assert warm.cache_stats["stores"] == 0
+        lifetime = warm.cache_stats["lifetime"]
+        assert lifetime["hits"] == len(jobs)
+        assert lifetime["misses"] == len(jobs)
+        assert lifetime["hit_rate"] == pytest.approx(0.5)
+
+    def test_stats_delta_recomputes_hit_rate(self):
+        before = {"hits": 10, "misses": 10, "stores": 10}
+        after = {"hits": 14, "misses": 10, "stores": 10}
+        delta = CompilationCache.stats_delta(before, after)
+        assert delta["hits"] == 4 and delta["misses"] == 0
+        assert delta["hit_rate"] == 1.0
+
+    def test_cache_delta_feeds_batch_metrics(self, tmp_path):
+        cache = CompilationCache(directory=str(tmp_path))
+        jobs = _jobs()
+        compile_many(jobs, cache=cache, workers=1)
+        warm = compile_many(jobs, cache=cache, workers=1)
+        assert warm.metrics["counters"]["cache.hits"] == len(jobs)
+
+
+class TestCacheDiskReporting:
+    def test_disk_enabled_vs_opened(self, tmp_path):
+        lazy = CompilationCache(directory=str(tmp_path / "never_created"))
+        stats = lazy.stats()
+        assert stats["disk_enabled"] is True
+        assert stats["disk_opened"] is False
+        assert CompilationCache().stats()["disk_enabled"] is False
+        assert lazy.to_dict() == lazy.stats()
+
+    def test_open_time_eviction_trims_to_cap(self, tmp_path):
+        writer = CompilationCache(directory=str(tmp_path))
+        result = compile_circuit(
+            QuantumCircuit(2, [H(0)], name="h"), get_device("ibmqx4"),
+            verify=False,
+        )
+        for index in range(5):
+            writer.put(f"{index:064x}", result)
+        assert writer.stats()["disk_entries"] == 5
+        capped = CompilationCache(
+            directory=str(tmp_path), max_disk_entries=2
+        )
+        stats = capped.stats()
+        assert stats["disk_entries"] == 2
+        assert stats["disk_evictions"] == 3
+
+
+class TestMetricsShipping:
+    def test_worker_metrics_merge_back(self):
+        jobs = _jobs(verify="qmdd")
+        report = compile_many(jobs, workers=2)
+        counters = report.metrics["counters"]
+        # Work done inside pool workers must be visible here.
+        assert counters["compile.calls"] == len(jobs)
+        assert counters["verify.qmdd_checks"] == len(jobs)
+        assert "qmdd.unique_nodes" in report.metrics["gauges"]
+
+    def test_serial_metrics_collected(self):
+        jobs = _jobs()
+        report = compile_many(jobs, workers=1)
+        assert report.metrics["counters"]["compile.calls"] == len(jobs)
+        assert report.metrics["counters"]["optimizer.runs"] == len(jobs)
+
+
+class TestTimeoutDegradation:
+    def test_non_main_thread_degrades_instead_of_raising(self):
+        """Serial-mode SIGALRM can only be armed on the main thread; a
+        coordinator on any other thread must degrade to no-timeout and
+        account for it, never die on ValueError."""
+        jobs = _jobs(count=2)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            report = pool.submit(
+                compile_many, jobs, workers=1, timeout=30.0
+            ).result()
+        assert all(entry.ok for entry in report)
+        assert report.timeout_unenforced == len(jobs)
+        assert "timeout(s) unenforced" in report.summary()
+        assert "REPRO712" in [d.code for d in report.health()]
+
+    def test_main_thread_timeout_stays_enforced_and_clean(self):
+        report = compile_many(_jobs(count=1), workers=1, timeout=30.0)
+        assert report.timeout_unenforced == 0
+        assert "REPRO712" not in [d.code for d in report.health()]
+        assert "unenforced" not in report.summary()
+
+
+class TestTraceThroughBatch:
+    def test_trace_survives_payload_round_trip(self):
+        result = compile_circuit(
+            QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx"),
+            get_device("ibmqx4"), verify=False, trace=True,
+        )
+        assert result.trace and result.trace["spans"]
+        rebuilt = result_from_payload(result_to_payload(result))
+        assert rebuilt.trace == result.trace
+
+    def test_trace_option_accepted_by_batch(self):
+        circuit = QuantumCircuit(2, [H(0), CNOT(0, 1)], name="bell")
+        report = compile_many(
+            [(circuit, "ibmqx4", {"verify": False, "trace": True})],
+            workers=1,
+        )
+        trace = report[0].result.trace
+        assert trace["spans"][0]["name"] == "compile"
+
+    def test_trace_not_part_of_cache_key(self):
+        circuit = QuantumCircuit(2, [H(0), CNOT(0, 1)], name="bell")
+        untraced = CompileJob.make(circuit, "ibmqx4", {"verify": False})
+        traced = CompileJob.make(
+            circuit, "ibmqx4", {"verify": False, "trace": True}
+        )
+        assert untraced.cache_key() == traced.cache_key()

@@ -1,4 +1,4 @@
-"""Diagnostics must survive the batch cache's JSON round-trip (payload v2)."""
+"""Diagnostics must survive the batch cache's JSON round-trip (payload v3)."""
 
 from repro.analysis import Diagnostic, DiagnosticReport
 from repro.batch.serialize import (
@@ -17,8 +17,8 @@ def _result():
     return compile_circuit(circuit, get_device("ibmqx4"), verify=False)
 
 
-def test_payload_version_is_two():
-    assert PAYLOAD_VERSION == 2
+def test_payload_version_is_three():
+    assert PAYLOAD_VERSION == 3
 
 
 def test_round_trip_empty_diagnostics():

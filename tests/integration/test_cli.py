@@ -236,3 +236,68 @@ class TestInterruptHandling:
             "--timeout", "30", "--retries", "2",
         ])
         assert code == 0
+
+
+class TestObservability:
+    def test_profile_prints_stage_table_and_trajectory(
+        self, toffoli_file, capsys
+    ):
+        code = main([
+            "compile", toffoli_file, "--device", "ibmqx4", "--profile",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "profile [" in err
+        for stage in ("compile", "map.route", "optimize", "verify"):
+            assert stage in err
+        assert "optimizer trajectory:" in err
+        assert "round 1: cost" in err
+        assert "metrics:" in err
+        assert "compile.calls" in err
+
+    def test_trace_out_writes_chrome_trace(
+        self, toffoli_file, tmp_path, capsys
+    ):
+        import json
+
+        trace_path = str(tmp_path / "trace.json")
+        code = main([
+            "compile", toffoli_file, "--device", "ibmqx4",
+            "--trace-out", trace_path,
+        ])
+        assert code == 0
+        assert f"wrote {trace_path}" in capsys.readouterr().err
+        events = json.loads(open(trace_path).read())
+        assert events and all("ph" in event for event in events)
+        names = {event["name"] for event in events if event["ph"] == "X"}
+        assert "compile" in names and "optimize" in names
+
+    def test_profile_on_cached_unprofiled_result_is_honest(
+        self, toffoli_file, tmp_path, capsys
+    ):
+        """`trace` is deliberately not part of the cache key; a hit on a
+        result stored by an unprofiled run has no spans, and --profile
+        must say so instead of printing an empty table."""
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "compile", toffoli_file, "--device", "ibmqx4",
+            "--cache-dir", cache_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compile", toffoli_file, "--device", "ibmqx4",
+            "--cache-dir", cache_dir, "--profile",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "no trace recorded" in err
+
+    def test_fuzz_reports_timing_and_metrics(self, capsys):
+        code = main([
+            "fuzz", "--seed", "11", "--iterations", "3",
+            "--max-qubits", "3", "--max-gates", "4",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "timing: generate" in err
+        assert "metrics:" in err
+        assert "verify.qmdd_checks" in err

@@ -1,0 +1,101 @@
+"""MetricsRegistry counters/gauges, snapshot/merge, and deltas."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import MetricsRegistry, get_metrics
+
+
+def test_counters_accumulate_and_default_to_zero():
+    registry = MetricsRegistry()
+    assert registry.counter("missing") == 0
+    registry.inc("compiles")
+    registry.inc("compiles", 2)
+    registry.inc("seconds", 0.25)
+    assert registry.counter("compiles") == 3
+    assert registry.counter("seconds") == 0.25
+
+
+def test_gauges_set_and_max():
+    registry = MetricsRegistry()
+    registry.gauge("nodes", 10)
+    registry.gauge("nodes", 4)
+    assert registry.get_gauge("nodes") == 4
+    registry.gauge_max("peak", 10)
+    registry.gauge_max("peak", 4)
+    assert registry.get_gauge("peak") == 10
+
+
+def test_snapshot_merge_round_trip():
+    source = MetricsRegistry()
+    source.inc("a", 2)
+    source.gauge_max("g", 5)
+    snapshot = source.snapshot()
+    target = MetricsRegistry()
+    target.inc("a", 1)
+    target.gauge_max("g", 3)
+    target.merge(snapshot)
+    assert target.counter("a") == 3  # counters merge by addition
+    assert target.get_gauge("g") == 5  # gauges merge by max
+    # Merging a snapshot never aliases the source's internals.
+    source.inc("a", 100)
+    assert target.counter("a") == 3
+
+
+def test_snapshot_survives_json_style_round_trip():
+    import json
+
+    registry = MetricsRegistry()
+    registry.inc("x", 1.5)
+    registry.gauge("y", 7)
+    snapshot = json.loads(json.dumps(registry.snapshot()))
+    fresh = MetricsRegistry()
+    fresh.merge(snapshot)
+    assert fresh.counter("x") == 1.5
+    assert fresh.get_gauge("y") == 7
+
+
+def test_merge_tolerates_empty_and_none():
+    registry = MetricsRegistry()
+    registry.merge(None)
+    registry.merge({})
+    registry.inc("a")
+    registry.merge({"counters": {}, "gauges": {}})
+    assert registry.counter("a") == 1
+
+
+def test_delta_reports_only_what_changed():
+    registry = MetricsRegistry()
+    registry.inc("a", 2)
+    before = registry.snapshot()
+    registry.inc("a", 3)
+    registry.inc("b")
+    registry.gauge("g", 9)
+    delta = MetricsRegistry.delta(before, registry.snapshot())
+    assert delta["counters"] == {"a": 3, "b": 1}
+    assert delta["gauges"] == {"g": 9}
+
+
+def test_clear_and_truthiness():
+    registry = MetricsRegistry()
+    assert not registry and len(registry) == 0
+    registry.inc("a")
+    assert registry and len(registry) == 1
+    registry.clear()
+    assert not registry
+
+
+def test_global_registry_is_a_singleton():
+    assert get_metrics() is get_metrics()
+
+
+def test_thread_safe_increments():
+    registry = MetricsRegistry()
+
+    def bump():
+        for _ in range(1000):
+            registry.inc("n")
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        for _ in range(4):
+            pool.submit(bump)
+    assert registry.counter("n") == 4000

@@ -1,0 +1,138 @@
+"""Tracer span nesting, summaries, Chrome export, and digests."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    chrome_trace_events,
+    optimizer_trajectory,
+    stage_rows,
+    write_chrome_trace,
+)
+
+
+def test_spans_nest_lexically():
+    tracer = Tracer()
+    with tracer.span("compile"):
+        with tracer.span("map"):
+            with tracer.span("map.route"):
+                pass
+        with tracer.span("optimize"):
+            pass
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert root.name == "compile"
+    assert [child.name for child in root.children] == ["map", "optimize"]
+    assert [c.name for c in root.children[0].children] == ["map.route"]
+
+
+def test_summary_is_json_safe_and_versioned():
+    tracer = Tracer()
+    with tracer.span("compile", device="ibmqx4") as span:
+        span.set(gates=12)
+        with tracer.span("verify"):
+            pass
+    summary = tracer.to_summary()
+    assert summary["version"] == 1
+    rebuilt = json.loads(json.dumps(summary))
+    (root,) = rebuilt["spans"]
+    assert root["attrs"] == {"device": "ibmqx4", "gates": 12}
+    assert root["children"][0]["name"] == "verify"
+    assert root["duration"] >= root["children"][0]["duration"] >= 0.0
+
+
+def test_child_times_fall_within_parent():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer, = tracer.roots
+    inner, = outer.children
+    assert outer.start <= inner.start
+    assert inner.end <= outer.end
+
+
+def test_exception_closes_spans_and_marks_error():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("compile"):
+            with tracer.span("map"):
+                raise RuntimeError("boom")
+    root = tracer.roots[0]
+    assert root.end is not None
+    assert root.children[0].end is not None
+    assert root.children[0].attrs.get("error") is True
+    assert root.attrs.get("error") is True
+
+
+def test_null_tracer_is_free_and_silent():
+    tracer = NullTracer()
+    with tracer.span("anything", device="x") as span:
+        assert span.set(foo=1) is span
+    assert tracer.to_summary() == {"version": 1, "spans": []}
+    assert not NULL_TRACER.enabled
+    # The shared null span is a singleton: no per-call allocation.
+    assert tracer.span("a") is tracer.span("b")
+
+
+def test_chrome_events_flatten_tree_with_microseconds():
+    tracer = Tracer()
+    with tracer.span("compile"):
+        with tracer.span("map", gates=5):
+            pass
+    events = chrome_trace_events(tracer.to_summary(), pid=7, tid=3)
+    assert [event["name"] for event in events] == ["compile", "map"]
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["pid"] == 7 and event["tid"] == 3
+        assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+    assert events[1]["args"] == {"gates": 5}
+
+
+def test_write_chrome_trace_labels_lanes(tmp_path):
+    summaries = []
+    for _ in range(2):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            pass
+        summaries.append(tracer.to_summary())
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(str(path), summaries, labels=["a", "b"])
+    events = json.loads(path.read_text())
+    assert count == len(events) == 4  # 2 spans + 2 thread_name records
+    names = [e["args"]["name"] for e in events if e["ph"] == "M"]
+    assert names == ["a", "b"]
+    assert {e["tid"] for e in events} == {1, 2}
+
+
+def test_stage_rows_carry_depth_and_share():
+    tracer = Tracer()
+    with tracer.span("compile"):
+        with tracer.span("map"):
+            pass
+    rows = stage_rows(tracer.to_summary())
+    assert [(row["name"], row["depth"]) for row in rows] == [
+        ("compile", 0), ("map", 1),
+    ]
+    assert rows[0]["share"] == pytest.approx(1.0)
+    assert 0.0 <= rows[1]["share"] <= 1.0
+
+
+def test_optimizer_trajectory_collects_round_spans():
+    tracer = Tracer()
+    with tracer.span("compile"):
+        with tracer.span("optimize"):
+            with tracer.span("optimize.round", round=1, cost_before=10.0,
+                             cost_after=8.0, accepted=True):
+                pass
+            with tracer.span("optimize.round", round=2, cost_before=8.0,
+                             cost_after=8.0, accepted=False):
+                pass
+    rounds = optimizer_trajectory(tracer.to_summary())
+    assert [r["round"] for r in rounds] == [1, 2]
+    assert rounds[0]["accepted"] and not rounds[1]["accepted"]
+    assert all(r["seconds"] >= 0.0 for r in rounds)
