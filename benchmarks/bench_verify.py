@@ -1,0 +1,182 @@
+"""Verification fast path: miter vs two-sided equivalence (Section 4).
+
+The paper verifies every compiled specification by building both QMDDs
+and comparing canonical root pointers.  This bench times that reference
+``two_sided`` strategy against the ``miter`` fast path (inverse-first
+telescoping product over a fused <=2-wire block stream) on mapped
+Table 3 circuits, asserting:
+
+* both strategies return the same verdict on every cell, and
+* the miter is no slower overall (``REPRO_BENCH_VERIFY_MIN_SPEEDUP``
+  raises the bar; the recorded speedup on the full grid is ~3.5x), and
+* the miter's peak unique-table footprint is smaller.
+
+Each leg runs in a *fresh* manager (no pool, no warm caches) so the
+comparison isolates the strategy itself.  Results land in the
+``verify`` suite of ``BENCH_runtime.json`` (schema 3).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+from typing import Dict, List
+
+from harness import RUNTIME
+from repro import compile_circuit
+from repro.benchlib import single_target
+from repro.core.exceptions import ReproError
+from repro.devices import PAPER_DEVICES
+from repro.qmdd import QMDDManager, check_equivalence
+from repro.reporting import Table
+
+#: Mapped Table 3 cells exercised by the bench: medium-depth circuits on
+#: the wide (14-16 qubit) devices, where verification cost is visible
+#: but a CI smoke run stays in seconds.  All widths are <= 24.
+CELLS = (
+    ("000f", 5, "ibmqx3"),
+    ("001f", 6, "ibmqx3"),
+    ("0117", 6, "ibmqx5"),
+    ("033f", 5, "ibmqx5"),
+    ("00ff", 5, "ibmq_16"),
+    ("0356", 5, "ibmq_16"),
+)
+
+#: The bench fails if overall miter speedup drops below this (default:
+#: the miter must simply not be slower; the acceptance run on the full
+#: Table 3 grid measures ~3.5x).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_VERIFY_MIN_SPEEDUP", "1.0"))
+
+_DEVICES = {device.name: device for device in PAPER_DEVICES}
+
+
+def _timed_check(original, mapped, width: int, strategy: str):
+    """One equivalence check in a fresh manager; returns
+    (seconds, result, peak unique-table nodes)."""
+    manager = QMDDManager(width)
+    started = time.perf_counter()
+    result = check_equivalence(
+        original, mapped, num_qubits=width, manager=manager,
+        strategy=strategy,
+    )
+    seconds = time.perf_counter() - started
+    return seconds, result, manager.stats()["peak_unique_nodes"]
+
+
+@lru_cache(maxsize=1)
+def verify_grid() -> List[Dict]:
+    """Compile each cell and time both strategies; records the ``verify``
+    suite into the shared RUNTIME ledger (dumped to BENCH_runtime.json)."""
+    started = time.perf_counter()
+    records: List[Dict] = []
+    skipped = 0
+    for name, qubits, device_name in CELLS:
+        circuit = single_target.build_benchmark(name, qubits)
+        try:
+            compiled = compile_circuit(
+                circuit, _DEVICES[device_name], verify=False
+            )
+        except ReproError:
+            skipped += 1  # N/A cell on this device (no spare qubit)
+            continue
+        mapped = compiled.optimized
+        width = mapped.num_qubits
+        two_seconds, two_result, two_peak = _timed_check(
+            circuit, mapped, width, "two_sided"
+        )
+        miter_seconds, miter_result, miter_peak = _timed_check(
+            circuit, mapped, width, "miter"
+        )
+        records.append({
+            "cell": f"{name}@{device_name}",
+            "width": width,
+            "two_sided": {
+                "seconds": round(two_seconds, 6),
+                "equivalent": bool(two_result.equivalent),
+                "peak_unique_nodes": two_peak,
+            },
+            "miter": {
+                "seconds": round(miter_seconds, 6),
+                "equivalent": bool(miter_result.equivalent),
+                "peak_unique_nodes": miter_peak,
+                "peak_product_nodes": miter_result.peak_nodes,
+            },
+            "speedup": round(two_seconds / max(miter_seconds, 1e-9), 3),
+        })
+    two_total = sum(r["two_sided"]["seconds"] for r in records)
+    miter_total = sum(r["miter"]["seconds"] for r in records)
+    RUNTIME["verify"] = {
+        "wall_seconds": round(time.perf_counter() - started, 4),
+        "cells": len(records),
+        "not_available": skipped,
+        "two_sided_seconds": round(two_total, 4),
+        "miter_seconds": round(miter_total, 4),
+        "speedup": round(two_total / max(miter_total, 1e-9), 3),
+        "peak_unique_nodes": {
+            "two_sided": max(
+                (r["two_sided"]["peak_unique_nodes"] for r in records),
+                default=0,
+            ),
+            "miter": max(
+                (r["miter"]["peak_unique_nodes"] for r in records),
+                default=0,
+            ),
+        },
+        "benchmarks": {r["cell"]: r for r in records},
+    }
+    return records
+
+
+def test_print_verify_comparison():
+    records = verify_grid()
+    table = Table(
+        "Verification strategies — two-sided vs miter (fresh managers)",
+        ["cell", "width", "two-sided s", "miter s", "speedup",
+         "peak nodes (2s)", "peak nodes (miter)"],
+    )
+    for r in records:
+        table.add_row(
+            r["cell"], r["width"],
+            f"{r['two_sided']['seconds']:.4f}",
+            f"{r['miter']['seconds']:.4f}",
+            f"{r['speedup']:.2f}x",
+            r["two_sided"]["peak_unique_nodes"],
+            r["miter"]["peak_unique_nodes"],
+        )
+    suite = RUNTIME["verify"]
+    table.add_row(
+        "TOTAL", "-",
+        f"{suite['two_sided_seconds']:.4f}",
+        f"{suite['miter_seconds']:.4f}",
+        f"{suite['speedup']:.2f}x", "-", "-",
+    )
+    table.print()
+    assert records, "every bench cell was N/A — grid misconfigured"
+
+
+def test_verdicts_agree():
+    """Both strategies must call every compiled cell equivalent — the
+    miter is a fast path, not a different oracle."""
+    for r in verify_grid():
+        assert r["two_sided"]["equivalent"], r["cell"]
+        assert r["miter"]["equivalent"], r["cell"]
+
+
+def test_miter_is_not_slower():
+    """Overall miter wall time beats two-sided by MIN_SPEEDUP (>= 1.0:
+    never slower; the acceptance measurement on the full grid is ~3.5x)."""
+    verify_grid()
+    suite = RUNTIME["verify"]
+    assert suite["speedup"] >= MIN_SPEEDUP, (
+        f"miter speedup {suite['speedup']}x below the "
+        f"{MIN_SPEEDUP}x bar: {suite}"
+    )
+
+
+def test_miter_peak_footprint_is_smaller():
+    """The telescoping product plus GC-able single-root build must not
+    grow the unique table past the two-sided build's footprint."""
+    verify_grid()
+    peaks = RUNTIME["verify"]["peak_unique_nodes"]
+    assert peaks["miter"] < peaks["two_sided"], peaks

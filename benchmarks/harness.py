@@ -195,12 +195,15 @@ def write_runtime_json(path: Optional[str] = None) -> Optional[str]:
     if not RUNTIME:
         return None
     path = path or RUNTIME_JSON_PATH
-    # Schema 2: per-suite "cache" became a per-run delta (with session
-    # totals under "lifetime") and each suite gained a "metrics"
-    # snapshot merged from the batch engine's workers; the top-level
-    # "cache" stays the session-lifetime view.
+    # Schema 3: adds the "verify" suite (bench_verify.py) — per-cell
+    # two-sided vs miter wall times, peak unique-table nodes, and the
+    # overall speedup; its shape differs from the compile-grid suites
+    # (no batch-engine cache/metrics keys).  Schema 2 made per-suite
+    # "cache" a per-run delta (session totals under "lifetime") and
+    # added per-suite "metrics"; the top-level "cache" stays the
+    # session-lifetime view.
     document = {
-        "schema": 2,
+        "schema": 3,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "workers": WORKERS,

@@ -8,7 +8,8 @@ A cache key addresses one compilation *cell* by content, not identity:
   annotated cost function);
 * the **cost-function identity** of any explicit override;
 * every compile **option** that can change the output (optimize flag,
-  verify method, placement, MCX lowering mode, sample count).
+  verify method and strategy, placement, MCX lowering mode, sample
+  count).
 
 Two grid cells with the same key provably run the identical compilation,
 so the second one is served from cache — the paper's Tables 3 vs 4 and
@@ -117,6 +118,7 @@ def job_cache_key(
         f"placement={placement_id}",
         f"mcx_mode={options.get('mcx_mode', 'barenco')}",
         f"verify_samples={options.get('verify_samples', 32)}",
+        f"verify_strategy={options.get('verify_strategy', 'miter')}",
     )
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 

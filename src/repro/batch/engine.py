@@ -90,6 +90,7 @@ _KNOWN_OPTIONS = frozenset(
         "placement",
         "cost_function",
         "verify_samples",
+        "verify_strategy",
         "mcx_mode",
         "analyze",
         "strict",

@@ -89,6 +89,7 @@ def compile_circuit(
     placement: Union[None, str, Dict[int, int]] = None,
     cost_function: Optional[CostFunction] = None,
     verify_samples: int = 32,
+    verify_strategy: str = "miter",
     mcx_mode: str = "barenco",
     analyze: bool = True,
     strict: bool = False,
@@ -102,6 +103,9 @@ def compile_circuit(
     (``"qmdd"``, ``"dense"``, ``"sampled"``).  Verification failure raises
     :class:`~repro.core.exceptions.VerificationError` — a mapped output
     never leaves the compiler unless it provably matches its source.
+    ``verify_strategy`` picks the QMDD build: ``"miter"`` (incremental
+    product against the identity — the fast path) or ``"two_sided"``
+    (the paper's build-both-and-compare formulation).
 
     ``placement`` is an explicit logical→physical dict, a strategy name
     (``"identity"``, ``"greedy"``, ``"refined"`` — see
@@ -215,6 +219,7 @@ def compile_circuit(
                 report = require_equivalent(
                     source, optimized, method=method, samples=verify_samples,
                     up_to_global_phase=phase_free,
+                    strategy=verify_strategy,
                 )
                 verify_span.set(
                     method=report.method, equivalent=report.equivalent

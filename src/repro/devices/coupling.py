@@ -59,6 +59,18 @@ class CouplingMap:
         self._neighbors: Dict[int, Tuple[int, ...]] = {
             q: tuple(sorted(adjacent)) for q, adjacent in neighbors.items()
         }
+        # Lazy all-pairs routing tables.  Maps are immutable, so one
+        # full BFS per *source* fills that source's distance and parent
+        # rows forever: distance() is O(1) and shortest_path() is
+        # O(path) after the first query from a given source.  The CTR
+        # placement/routing scorers hammer these quadratically (every
+        # candidate pair, every gate), which used to mean one full BFS
+        # per scored pair on the 96-qubit Fig. 7 device.
+        self._distance_rows: Dict[int, Dict[int, int]] = {}
+        self._parent_rows: Dict[int, Dict[int, int]] = {}
+        #: Number of full BFS traversals run (at most one per source;
+        #: asserted by tests and reported by benchmarks).
+        self.bfs_runs = 0
 
     # -- constructors --------------------------------------------------------
 
@@ -160,38 +172,65 @@ class CouplingMap:
 
     # -- shortest paths (used by CTR) -----------------------------------------------
 
-    def shortest_path(self, source: int, destination: int) -> Optional[List[int]]:
-        """Shortest undirected path from ``source`` to ``destination``.
+    def _routing_rows(self, source: int) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """The memoized (distance row, parent row) for ``source``.
 
-        Implemented as the paper's connectivity-tree construction (Fig. 4):
-        breadth-first layers rooted at ``source``, terminating branches at
-        already-seen nodes, until ``destination`` enters the tree.  Returns
-        ``None`` when the qubits lie in different components.
+        Computed with the paper's connectivity-tree construction
+        (Fig. 4): breadth-first layers rooted at ``source``, terminating
+        branches at already-seen nodes — but run to exhaustion once and
+        cached, instead of once per destination.  Neighbor order is the
+        sorted-tuple order of ``_neighbors``, so reconstructed paths are
+        identical to what the per-query BFS used to return.
         """
-        self._check(source, destination)
-        if source == destination:
-            return [source]
+        rows = self._distance_rows.get(source)
+        if rows is not None:
+            return rows, self._parent_rows[source]
+        self.bfs_runs += 1
+        distance: Dict[int, int] = {source: 0}
         parent: Dict[int, int] = {source: source}
         frontier = deque([source])
         while frontier:
             q = frontier.popleft()
+            step = distance[q] + 1
             for adjacent in self._neighbors[q]:
                 if adjacent in parent:
                     continue  # branch terminates: node already in the tree
                 parent[adjacent] = q
-                if adjacent == destination:
-                    path = [destination]
-                    while path[-1] != source:
-                        path.append(parent[path[-1]])
-                    path.reverse()
-                    return path
+                distance[adjacent] = step
                 frontier.append(adjacent)
-        return None
+        self._distance_rows[source] = distance
+        self._parent_rows[source] = parent
+        return distance, parent
+
+    def shortest_path(self, source: int, destination: int) -> Optional[List[int]]:
+        """Shortest undirected path from ``source`` to ``destination``.
+
+        O(path length) after the first query from ``source``: paths are
+        reconstructed from the memoized per-source parent table (see
+        :meth:`_routing_rows`).  Returns ``None`` when the qubits lie in
+        different components.
+        """
+        self._check(source, destination)
+        if source == destination:
+            return [source]
+        _, parent = self._routing_rows(source)
+        if destination not in parent:
+            return None
+        path = [destination]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
 
     def distance(self, a: int, b: int) -> Optional[int]:
-        """Undirected hop distance, or None if disconnected."""
-        path = self.shortest_path(a, b)
-        return None if path is None else len(path) - 1
+        """Undirected hop distance, or None if disconnected.
+
+        O(1) after the first query from source ``a`` (one BFS fills the
+        whole distance row; maps are immutable so it never invalidates).
+        """
+        self._check(a, b)
+        distance, _ = self._routing_rows(a)
+        return distance.get(b)
 
     def cheapest_path(
         self,

@@ -187,6 +187,7 @@ def replay_entry(
         samples=config.oracle_samples,
         seed=config.seed,
         qmdd_width_limit=config.qmdd_width_limit,
+        strategy=config.verify_strategy,
     )
     if not verdict.equivalent:
         return ReplayOutcome(

@@ -146,6 +146,8 @@ class FuzzConfig:
     timeout: Optional[float] = 30.0
     oracle_samples: int = 32
     qmdd_width_limit: int = 24
+    #: QMDD build strategy for the oracle ("miter" or "two_sided").
+    verify_strategy: str = "miter"
     shrink_seconds: float = 20.0
     batch_size: int = 8
 
@@ -272,6 +274,7 @@ def oracle_check(
     samples: int = 32,
     seed: int = 2019,
     qmdd_width_limit: int = 24,
+    strategy: str = "miter",
 ):
     """The differential oracle: does the optimized output implement the
     source?  QMDD when narrow enough, seeded sampling beyond — the same
@@ -289,6 +292,7 @@ def oracle_check(
         qmdd_width_limit=qmdd_width_limit,
         samples=samples,
         seed=seed,
+        strategy=strategy,
     )
 
 
@@ -313,6 +317,7 @@ def _still_miscompiles(
             samples=config.oracle_samples,
             seed=config.seed,
             qmdd_width_limit=config.qmdd_width_limit,
+            strategy=config.verify_strategy,
         )
         return not report.equivalent
 
@@ -488,6 +493,7 @@ def _judge(
         samples=config.oracle_samples,
         seed=config.seed,
         qmdd_width_limit=config.qmdd_width_limit,
+        strategy=config.verify_strategy,
     )
     report.oracle_checks += 1
     if verdict.equivalent:

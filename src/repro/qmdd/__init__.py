@@ -7,10 +7,13 @@ from .equivalence import (
     EquivalenceResult,
     assert_equivalent,
     check_equivalence,
+    check_equivalence_miter,
     check_equivalence_up_to_diagonal,
     compare_edges,
     edge_is_diagonal,
 )
+from .fusion import FusedBlock, fuse_stream
+from .pool import ManagerPool, get_manager_pool, reset_manager_pool
 from .render import to_dot, to_text
 from .vector import VectorDDManager
 
@@ -21,12 +24,18 @@ __all__ = [
     "count_nodes",
     "ValueTable",
     "QMDDManager",
+    "ManagerPool",
+    "get_manager_pool",
+    "reset_manager_pool",
     "EquivalenceResult",
     "assert_equivalent",
     "check_equivalence",
+    "check_equivalence_miter",
     "check_equivalence_up_to_diagonal",
     "compare_edges",
     "edge_is_diagonal",
+    "FusedBlock",
+    "fuse_stream",
     "to_dot",
     "to_text",
     "VectorDDManager",

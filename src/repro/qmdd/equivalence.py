@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import QMDDError
+from .fusion import fuse_stream
 from .manager import QMDDManager
 from .structure import Edge, count_nodes
 
@@ -35,6 +36,13 @@ class EquivalenceResult:
     nodes_first: int
     nodes_second: int
     shared_root: bool
+    #: How the verdict was computed: ``"two_sided"`` (both diagrams
+    #: built and roots compared) or ``"miter"`` (one running product
+    #: tested against the identity).
+    strategy: str = "two_sided"
+    #: Peak node count of the miter product (sampled during the build;
+    #: 0 for two-sided checks).
+    peak_nodes: int = 0
 
     def __bool__(self) -> bool:
         return self.equivalent
@@ -46,6 +54,7 @@ def check_equivalence(
     num_qubits: Optional[int] = None,
     up_to_global_phase: bool = False,
     manager: Optional[QMDDManager] = None,
+    strategy: str = "two_sided",
 ) -> EquivalenceResult:
     """Build both circuits' QMDDs in one manager and compare root edges.
 
@@ -53,15 +62,112 @@ def check_equivalence(
     circuit typically uses more physical wires than its logical source;
     the extra wires must act as the identity, which this check enforces
     automatically because the source is embedded with identity on them).
+
+    ``strategy="miter"`` dispatches to :func:`check_equivalence_miter`
+    instead of the two-sided build.
     """
+    if strategy == "miter":
+        return check_equivalence_miter(
+            first, second, num_qubits=num_qubits,
+            up_to_global_phase=up_to_global_phase, manager=manager,
+        )
+    if strategy != "two_sided":
+        raise QMDDError(f"unknown equivalence strategy {strategy!r}")
     width = num_qubits or max(first.num_qubits, second.num_qubits)
     if manager is None:
         manager = QMDDManager(width)
     elif manager.num_qubits < width:
         raise QMDDError("supplied manager is narrower than the circuits")
     edge_a = manager.circuit_edge(first.widened(manager.num_qubits))
-    edge_b = manager.circuit_edge(second.widened(manager.num_qubits))
+    # The first diagram must survive any mid-build GC sweep of the
+    # second, or the pointer comparison below would see a fresh node.
+    edge_b = manager.circuit_edge(
+        second.widened(manager.num_qubits), extra_roots=(edge_a,)
+    )
     return compare_edges(manager, edge_a, edge_b, up_to_global_phase)
+
+
+#: Sample the miter product's node count every this many fused blocks
+#: (an exact per-block count would rewalk the diagram after every step).
+_MITER_PEAK_STRIDE = 4
+
+
+def check_equivalence_miter(
+    first: QuantumCircuit,
+    second: QuantumCircuit,
+    num_qubits: Optional[int] = None,
+    up_to_global_phase: bool = False,
+    manager: Optional[QMDDManager] = None,
+) -> EquivalenceResult:
+    """Miter-style incremental equivalence: one running product over the
+    concatenated stream ``first.inverse() + second``, tested against the
+    cached identity edge.
+
+    Applying the inverted original *first* makes the product telescope:
+    after the mapped prefix has reproduced the first j original gates,
+    the product is the remaining original suffix (times the routing
+    permutation), so intermediate diagrams stay near-linear in the
+    circuit width instead of tracking two full circuit DDs.
+
+    Because the miter owns the whole stream, it can preprocess it in
+    ways a per-circuit canonical build cannot: the stream is fused into
+    <=2-wire blocks (:func:`~repro.qmdd.fusion.fuse_stream`) — mapped
+    circuits decompose into long {1q, CNOT} runs per wire pair, so one
+    :meth:`~repro.qmdd.manager.QMDDManager.apply_block` traversal
+    replaces ~4-6 per-gate traversals, and blocks that compose to the
+    identity (cancellations invisible to the per-circuit peephole, e.g.
+    across the miter seam) are skipped outright.
+
+    The final comparison is the same pointer test as the two-sided
+    build: the product's root must be the identity node with weight 1
+    (or unit magnitude when checking up to a global phase).
+
+    When the manager has a ``gc_node_limit``, the unique table is swept
+    between blocks with the running product as the only live root, so a
+    deep inequivalent pair cannot grow the table without bound.
+    """
+    width = num_qubits or max(first.num_qubits, second.num_qubits)
+    if manager is None:
+        manager = QMDDManager(width)
+    elif manager.num_qubits < width:
+        raise QMDDError("supplied manager is narrower than the circuits")
+    width = manager.num_qubits
+    gates = list(first.widened(width).inverse()) + list(second.widened(width))
+    blocks = fuse_stream(gates)
+    gc_armed = manager.gc_node_limit is not None
+    total = manager.identity()
+    peak = 0
+    for index, block in enumerate(blocks):
+        if block.matrix is None:
+            total = manager.apply_gate(total, block.gate)
+        elif len(block.qubits) == 1:
+            total = manager.apply_single(total, block.matrix, block.qubits[0])
+        else:
+            total = manager.apply_block(
+                total, block.matrix, block.qubits[0], block.qubits[1]
+            )
+        if gc_armed:
+            manager.maybe_collect((total,))
+        if index % _MITER_PEAK_STRIDE == 0:
+            peak = max(peak, count_nodes(total))
+    nodes = count_nodes(total)
+    peak = max(peak, nodes)
+    identity = manager.identity()
+    shared = total.node is identity.node
+    tolerance = manager.values.tolerance
+    exact = shared and manager.values.equal(total.weight, identity.weight)
+    phase_equal = shared and abs(abs(total.weight) - 1.0) <= tolerance
+    equivalent = exact or (up_to_global_phase and phase_equal)
+    return EquivalenceResult(
+        equivalent=equivalent,
+        exact=exact,
+        phase_only=phase_equal and not exact,
+        nodes_first=nodes,
+        nodes_second=nodes,
+        shared_root=shared,
+        strategy="miter",
+        peak_nodes=peak,
+    )
 
 
 def compare_edges(

@@ -1,0 +1,165 @@
+"""Per-process pool of reusable :class:`~repro.qmdd.manager.QMDDManager`.
+
+Every QMDD equivalence check used to build a throwaway manager: fuzz
+campaigns and batch workers running hundreds of checks at the same
+register width paid to rebuild the same gate and identity diagrams each
+time, and the dead manager's unique table was pure garbage-collector
+churn.  The pool keys managers by width so consecutive checks reuse one
+manager's warm gate/identity caches, and it is the place where the
+memory bounds are switched on: pooled managers get a bounded operation
+cache (``REPRO_QMDD_CACHE_LIMIT``, default 250000 entries per cache)
+and an armed unique-table GC (``REPRO_QMDD_GC_LIMIT``, default 200000
+nodes) so a long campaign's memory stays flat where it used to grow
+without bound on deep circuits.
+
+The pool is per-process state (batch workers each get their own) and is
+LRU-bounded by distinct widths — a campaign sweeping many register
+sizes cannot accumulate managers indefinitely.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .manager import QMDDManager
+
+__all__ = [
+    "DEFAULT_GC_NODE_LIMIT",
+    "DEFAULT_OP_CACHE_LIMIT",
+    "ManagerPool",
+    "get_manager_pool",
+    "reset_manager_pool",
+]
+
+
+def _env_limit(name: str, default: int) -> Optional[int]:
+    """Read a limit from the environment; ``0`` means unbounded."""
+    raw = os.environ.get(name, "")
+    try:
+        value = int(raw) if raw else default
+    except ValueError:
+        value = default
+    return value if value > 0 else None
+
+
+#: Default per-operation-cache entry bound for pooled managers.
+DEFAULT_OP_CACHE_LIMIT = 250_000
+
+#: Default unique-table node count that triggers a GC sweep.
+DEFAULT_GC_NODE_LIMIT = 200_000
+
+
+class ManagerPool:
+    """A width-keyed LRU pool of QMDD managers.
+
+    ``acquire(width)`` returns the pooled manager for that exact width,
+    creating (and possibly evicting the least-recently-used width) as
+    needed.  Reuse means the manager's node tables persist between
+    checks; correctness is unaffected because diagrams are canonical
+    per manager, and memory is bounded by the limits above.
+    """
+
+    def __init__(
+        self,
+        max_managers: int = 8,
+        op_cache_limit: Optional[int] = None,
+        gc_node_limit: Optional[int] = None,
+        tolerance: float = 1e-9,
+    ):
+        self.max_managers = max_managers
+        self.op_cache_limit = (
+            op_cache_limit
+            if op_cache_limit is not None
+            else _env_limit("REPRO_QMDD_CACHE_LIMIT", DEFAULT_OP_CACHE_LIMIT)
+        )
+        self.gc_node_limit = (
+            gc_node_limit
+            if gc_node_limit is not None
+            else _env_limit("REPRO_QMDD_GC_LIMIT", DEFAULT_GC_NODE_LIMIT)
+        )
+        self.tolerance = tolerance
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._managers: "OrderedDict[int, QMDDManager]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._recorded: Dict[str, int] = {}
+
+    def acquire(self, width: int) -> QMDDManager:
+        """The pooled manager for ``width`` (most-recently-used last).
+
+        Before handing a reused manager back, left-over nodes from the
+        previous check (whose roots are now dead) are swept if the table
+        is over the GC limit, so one pathological check cannot bloat
+        every later one.
+        """
+        with self._lock:
+            manager = self._managers.get(width)
+            if manager is not None:
+                self.hits += 1
+                self._managers.move_to_end(width)
+            else:
+                self.misses += 1
+                manager = QMDDManager(
+                    width,
+                    tolerance=self.tolerance,
+                    op_cache_limit=self.op_cache_limit,
+                    gc_node_limit=self.gc_node_limit,
+                )
+                self._managers[width] = manager
+                while len(self._managers) > self.max_managers:
+                    self._managers.popitem(last=False)
+                    self.evictions += 1
+        manager.maybe_collect(())
+        return manager
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "managers": len(self._managers),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def record_metrics(self, registry, prefix: str = "qmdd.") -> None:
+        """Ship pool counters as deltas (same contract as
+        :meth:`QMDDManager.record_metrics`)."""
+        for name, value in (
+            ("pool_hits", self.hits),
+            ("pool_misses", self.misses),
+            ("pool_evictions", self.evictions),
+        ):
+            delta = value - self._recorded.get(name, 0)
+            if delta:
+                registry.inc(f"{prefix}{name}", delta)
+            self._recorded[name] = value
+        registry.gauge_max(f"{prefix}pool_managers", len(self._managers))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._managers.clear()
+
+
+_POOL: Optional[ManagerPool] = None
+_POOL_PID: Optional[int] = None
+
+
+def get_manager_pool() -> ManagerPool:
+    """This process's manager pool (created on first use; a forked
+    worker gets a fresh pool rather than sharing the parent's)."""
+    global _POOL, _POOL_PID
+    pid = os.getpid()
+    if _POOL is None or _POOL_PID != pid:
+        _POOL = ManagerPool()
+        _POOL_PID = pid
+    return _POOL
+
+
+def reset_manager_pool() -> None:
+    """Drop the process pool (tests and campaigns that must start cold)."""
+    global _POOL, _POOL_PID
+    _POOL = None
+    _POOL_PID = None

@@ -13,6 +13,24 @@ for each design and testing for equivalence" (Section 5).
   sample, used for very wide circuits (the 96-qubit Table 8 runs) where
   building the full QMDD is impractically slow in pure Python.
 * **auto** — qmdd below ``qmdd_width_limit`` qubits, else sampled.
+
+The qmdd method runs one of two strategies (see
+``docs/performance.md``):
+
+* **miter** (default) — apply the mapped circuit's gates followed by
+  the original's inverse onto one running product and test it against
+  the identity; for equivalent circuits the product collapses as it is
+  built, so intermediate diagrams stay small.
+* **two_sided** — the paper's original formulation: build both
+  diagrams and compare root pointers.  Kept as the fallback and as the
+  first recheck of a miter NO (the two builds take different float
+  normalization paths, so they double-check each other near tolerance
+  boundaries).
+
+QMDD managers are pooled per process and per width
+(:class:`~repro.qmdd.pool.ManagerPool`), so batch workers and fuzz
+campaigns reuse warm gate/identity caches across checks under bounded
+unique/operation tables.
 """
 
 from __future__ import annotations
@@ -26,7 +44,11 @@ from ..core.exceptions import VerificationError
 from ..obs import get_metrics
 from ..qmdd.equivalence import check_equivalence as qmdd_check
 from ..qmdd.manager import QMDDManager
+from ..qmdd.pool import get_manager_pool
 from .sparse_sim import sampled_equivalence
+
+#: QMDD strategies accepted by ``verify_equivalent(strategy=...)``.
+VERIFY_STRATEGIES = ("miter", "two_sided")
 
 
 @dataclass(frozen=True)
@@ -49,6 +71,9 @@ def verify_equivalent(
     qmdd_width_limit: int = 24,
     samples: int = 32,
     seed: int = 2019,
+    strategy: str = "miter",
+    pool: bool = True,
+    _recheck: bool = False,
 ) -> VerificationReport:
     """Check that ``mapped`` implements ``original`` (ancilla wires must
     act as identity).  Returns a report; never raises on inequivalence —
@@ -56,7 +81,16 @@ def verify_equivalent(
 
     ``seed`` drives the sampled method's basis-state choice, making wide
     verdicts reproducible (the differential fuzz harness depends on a
-    failing case replaying identically)."""
+    failing case replaying identically).
+
+    ``strategy`` selects the qmdd build (``"miter"`` or ``"two_sided"``)
+    and ``pool=False`` opts out of the per-process manager pool (used by
+    benchmarks that must measure cold builds)."""
+    if strategy not in VERIFY_STRATEGIES:
+        raise VerificationError(
+            f"unknown verification strategy {strategy!r} "
+            f"(expected one of {', '.join(VERIFY_STRATEGIES)})"
+        )
     # Wires beyond the last touched qubit are identity in both circuits, so
     # verification can run on the narrower effective register.
     touched = [q for c in (original, mapped) for q in c.used_qubits]
@@ -67,15 +101,22 @@ def verify_equivalent(
         method = "qmdd" if width <= qmdd_width_limit else "sampled"
 
     metrics = get_metrics()
-    metrics.inc(f"verify.{method}_checks")
+    # Rechecks count under their own verify.recheck.* keys: a recheck is
+    # a *consequence* of one NO verdict, not an independent check, and
+    # folding it into verify.*_checks used to dilute hit-rate dashboards.
+    counter_prefix = "verify.recheck." if _recheck else "verify."
+    metrics.inc(f"{counter_prefix}{method}_checks")
     started = time.perf_counter()
     try:
         return _verify(
             original, mapped, method, width,
             up_to_global_phase=up_to_global_phase, samples=samples, seed=seed,
+            strategy=strategy, pool=pool,
         )
     finally:
-        metrics.inc("verify.seconds", time.perf_counter() - started)
+        metrics.inc(
+            f"{counter_prefix}seconds", time.perf_counter() - started
+        )
 
 
 def _verify(
@@ -86,23 +127,50 @@ def _verify(
     up_to_global_phase: bool,
     samples: int,
     seed: int,
+    strategy: str = "miter",
+    pool: bool = True,
 ) -> VerificationReport:
     if method == "qmdd":
-        manager = QMDDManager(width)
+        metrics = get_metrics()
+        if pool:
+            manager_pool = get_manager_pool()
+            manager = manager_pool.acquire(width)
+            manager_pool.record_metrics(metrics)
+        else:
+            manager = QMDDManager(width)
         result = qmdd_check(
             original, mapped, num_qubits=width,
             up_to_global_phase=up_to_global_phase, manager=manager,
+            strategy=strategy,
         )
         # Per-check managers used to take their unique-table and
         # operation-cache stats to the grave (worst of all inside pool
         # workers); record them in this process's registry so the batch
         # engine can ship them back to the coordinator.
-        manager.record_metrics(get_metrics())
+        manager.record_metrics(metrics)
         equivalent = result.equivalent
+        peak = getattr(result, "peak_nodes", 0)
+        if peak:
+            metrics.gauge_max("verify.miter_peak_nodes", peak)
         detail = (
+            f"strategy={strategy} "
             f"nodes={result.nodes_first}/{result.nodes_second} "
             f"shared_root={result.shared_root}"
         )
+        if not equivalent and strategy == "miter":
+            # The miter and the two-sided build take different float
+            # normalization paths; a miter NO near a tolerance boundary
+            # is first re-asked with the paper's original formulation.
+            metrics.inc("verify.recheck.qmdd_checks")
+            two_sided = qmdd_check(
+                original, mapped, num_qubits=width,
+                up_to_global_phase=up_to_global_phase, manager=manager,
+                strategy="two_sided",
+            )
+            manager.record_metrics(metrics)
+            if two_sided.equivalent:
+                equivalent = True
+                detail += " (recheck:two_sided agreed equivalent)"
         if not equivalent:
             # Canonical float DDs can (rarely) produce a *false negative*
             # when two build paths normalize near a tolerance boundary —
@@ -112,12 +180,13 @@ def _verify(
                 recheck = verify_equivalent(
                     original, mapped, method="dense",
                     up_to_global_phase=up_to_global_phase,
+                    _recheck=True,
                 )
             else:
                 recheck = verify_equivalent(
                     original, mapped, method="sampled",
                     up_to_global_phase=up_to_global_phase, samples=samples,
-                    seed=seed,
+                    seed=seed, _recheck=True,
                 )
             if recheck.equivalent:
                 equivalent = True

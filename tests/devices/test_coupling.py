@@ -111,6 +111,94 @@ class TestShortestPath:
         assert len(path) == 3  # 1-2-3 or 1-0-3
 
 
+def _reference_bfs(coupling_map, source):
+    """Independent per-source BFS, the pre-memoization ground truth."""
+    from collections import deque
+
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        q = frontier.popleft()
+        for adjacent in coupling_map.neighbors(q):
+            if adjacent not in distances:
+                distances[adjacent] = distances[q] + 1
+                frontier.append(adjacent)
+    return distances
+
+
+def _library_maps():
+    from repro.devices import PAPER_DEVICES, PROPOSED96, SIMULATOR
+
+    return [d.coupling_map for d in (SIMULATOR, *PAPER_DEVICES, PROPOSED96)]
+
+
+class TestDistanceTables:
+    """Lazy all-pairs routing tables: O(1) distance, <=1 BFS per source."""
+
+    def test_distances_match_fresh_bfs_on_every_library_device(self):
+        for coupling_map in _library_maps():
+            for source in range(coupling_map.num_qubits):
+                reference = _reference_bfs(coupling_map, source)
+                for destination in range(coupling_map.num_qubits):
+                    assert coupling_map.distance(source, destination) == (
+                        reference.get(destination)
+                    ), (coupling_map.name, source, destination)
+
+    def test_at_most_one_bfs_per_source(self):
+        for coupling_map in _library_maps():
+            n = coupling_map.num_qubits
+            assert coupling_map.bfs_runs <= n  # prior tests may have run
+            fresh = type(coupling_map)(
+                n, coupling_map.as_dict(), name=coupling_map.name,
+                all_to_all=coupling_map.all_to_all,
+            )
+            for destination in range(n):
+                fresh.distance(0, destination)
+                fresh.shortest_path(0, destination)
+            assert fresh.bfs_runs == 1, coupling_map.name
+            fresh.distance(min(1, n - 1), 0)
+            assert fresh.bfs_runs <= 2, coupling_map.name
+
+    def test_paths_are_valid_and_minimal(self):
+        for coupling_map in _library_maps():
+            n = coupling_map.num_qubits
+            for source in range(min(n, 6)):
+                for destination in range(n):
+                    path = coupling_map.shortest_path(source, destination)
+                    distance = coupling_map.distance(source, destination)
+                    if distance is None:
+                        assert path is None
+                        continue
+                    assert path[0] == source and path[-1] == destination
+                    assert len(path) == distance + 1
+                    for a, b in zip(path, path[1:]):
+                        assert coupling_map.coupled(a, b), (
+                            coupling_map.name, path,
+                        )
+
+    def test_disconnected_pairs_still_read_none(self):
+        split = CouplingMap(4, {0: [1], 2: [3]})
+        assert split.distance(0, 3) is None
+        assert split.shortest_path(0, 3) is None
+        assert split.bfs_runs == 1  # one row answers both queries
+
+    def test_repeated_queries_reuse_the_row(self, small_map):
+        assert small_map.bfs_runs == 0
+        assert small_map.distance(0, 3) == 3
+        assert small_map.distance(0, 1) == 1
+        assert small_map.shortest_path(0, 2) == [0, 1, 2]
+        assert small_map.bfs_runs == 1
+        assert small_map.distance(3, 0) == 3  # the reverse row is new
+        assert small_map.bfs_runs == 2
+
+    def test_out_of_range_raises_without_building_a_row(self, small_map):
+        with pytest.raises(DeviceError):
+            small_map.distance(0, 9)
+        with pytest.raises(DeviceError):
+            small_map.shortest_path(9, 0)
+        assert small_map.bfs_runs == 0
+
+
 class TestEdgeList:
     def test_from_edge_list_roundtrip(self):
         edges = [(0, 1), (1, 2), (2, 0)]

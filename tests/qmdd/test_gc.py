@@ -1,0 +1,124 @@
+"""Unique-table garbage collection and bounded operation caches.
+
+The contract under test (see ``QMDDManager.collect_garbage``): a sweep
+may only reclaim nodes unreachable from the given roots plus the
+manager's own identity/gate caches, and **pointer canonicity must
+survive** — rebuilding a swept diagram returns the same node objects, so
+equivalence verdicts cannot change because a sweep happened.
+"""
+
+import pytest
+
+from repro.backend import toffoli_network
+from repro.core import CNOT, QuantumCircuit, TOFFOLI, X
+from repro.qmdd import QMDDManager, check_equivalence
+from tests.conftest import random_circuit
+
+
+class TestSweep:
+    def test_dead_nodes_are_reclaimed(self):
+        manager = QMDDManager(4)
+        manager.circuit_edge(random_circuit(4, 30, seed=1))
+        populated = manager.stats()["unique_nodes"]
+        reclaimed = manager.collect_garbage(())  # the diagram is dead
+        stats = manager.stats()
+        assert reclaimed > 0
+        assert stats["unique_nodes"] < populated
+        assert stats["gc_sweeps"] == 1
+        assert stats["gc_reclaimed"] == reclaimed
+
+    def test_live_roots_survive(self):
+        manager = QMDDManager(4)
+        edge = manager.circuit_edge(random_circuit(4, 30, seed=2))
+        manager.collect_garbage((edge,))
+        # The kept diagram must still be canonical: rebuilding the same
+        # circuit lands on the very same node object.
+        rebuilt = manager.circuit_edge(random_circuit(4, 30, seed=2))
+        assert rebuilt.node is edge.node
+        assert manager.values.equal(rebuilt.weight, edge.weight)
+
+    def test_canonicity_survives_a_full_sweep(self):
+        manager = QMDDManager(3)
+        first = manager.circuit_edge(QuantumCircuit(3, toffoli_network(0, 1, 2)))
+        manager.collect_garbage(())  # drop everything rebuildable
+        second = manager.circuit_edge(QuantumCircuit(3, [TOFFOLI(0, 1, 2)]))
+        # Different sweep histories, same function -> same pointer.
+        assert second.node is first.node or check_equivalence(
+            QuantumCircuit(3, toffoli_network(0, 1, 2)),
+            QuantumCircuit(3, [TOFFOLI(0, 1, 2)]),
+            manager=manager,
+        ).equivalent
+
+    def test_identity_cache_survives(self):
+        manager = QMDDManager(3)
+        identity = manager.identity()
+        manager.circuit_edge(random_circuit(3, 20, seed=3))
+        manager.collect_garbage(())
+        assert manager.identity().node is identity.node
+
+    def test_maybe_collect_is_a_noop_when_unarmed(self):
+        manager = QMDDManager(3)
+        manager.circuit_edge(random_circuit(3, 20, seed=4))
+        assert manager.gc_node_limit is None
+        assert manager.maybe_collect(()) == 0
+        assert manager.stats()["gc_sweeps"] == 0
+
+
+class TestVerdictsUnderForcedGC:
+    """A tiny node cap forces sweeps mid-build; verdicts must not move."""
+
+    def _managers(self):
+        return QMDDManager(3), QMDDManager(3, gc_node_limit=16)
+
+    @pytest.mark.parametrize("strategy", ["two_sided", "miter"])
+    def test_equivalent_pair_stays_equivalent(self, strategy):
+        a = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        b = QuantumCircuit(3, toffoli_network(0, 1, 2))
+        unforced, forced = self._managers()
+        baseline = check_equivalence(a, b, manager=unforced, strategy=strategy)
+        swept = check_equivalence(a, b, manager=forced, strategy=strategy)
+        assert baseline.equivalent and swept.equivalent
+        assert forced.stats()["gc_sweeps"] > 0, "cap never triggered"
+
+    @pytest.mark.parametrize("strategy", ["two_sided", "miter"])
+    def test_inequivalent_pair_stays_inequivalent(self, strategy):
+        a = QuantumCircuit(3, toffoli_network(0, 1, 2))
+        b = QuantumCircuit(3, toffoli_network(0, 1, 2) + [X(1)])
+        unforced, forced = self._managers()
+        baseline = check_equivalence(a, b, manager=unforced, strategy=strategy)
+        swept = check_equivalence(a, b, manager=forced, strategy=strategy)
+        assert not baseline.equivalent and not swept.equivalent
+
+    def test_deep_equivalent_circuit_stays_under_the_cap(self):
+        """The miter's single live root means sweeps actually bound the
+        table, not just churn it."""
+        circuit = random_circuit(4, 120, seed=7)
+        doubled = circuit.compose(circuit.inverse())
+        manager = QMDDManager(4, gc_node_limit=64)
+        result = check_equivalence(
+            doubled, QuantumCircuit(4), manager=manager, strategy="miter"
+        )
+        assert result.equivalent
+        assert manager.stats()["gc_sweeps"] > 0
+
+
+class TestBoundedOpCaches:
+    def test_overflow_clears_instead_of_growing(self):
+        manager = QMDDManager(4, op_cache_limit=64)
+        manager.circuit_edge(random_circuit(4, 60, seed=5))
+        stats = manager.stats()
+        assert stats["cache_clears"] > 0
+        for cache in ("mul_cache", "add_cache", "apply_cache"):
+            assert stats[cache] <= 64
+
+    def test_results_unchanged_by_cache_bound(self):
+        a = QuantumCircuit(3, [TOFFOLI(0, 1, 2), CNOT(0, 1)])
+        b = QuantumCircuit(3, toffoli_network(0, 1, 2) + [CNOT(0, 1)])
+        bounded = QMDDManager(3, op_cache_limit=32)
+        assert check_equivalence(a, b, manager=bounded).equivalent
+
+    def test_generation_advances_on_clear(self):
+        manager = QMDDManager(4, op_cache_limit=64)
+        before = manager.stats()["generation"]
+        manager.circuit_edge(random_circuit(4, 60, seed=6))
+        assert manager.stats()["generation"] > before

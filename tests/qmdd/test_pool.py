@@ -1,0 +1,135 @@
+"""Per-process QMDD manager pool (repro.qmdd.pool)."""
+
+import pytest
+
+from repro.core import QuantumCircuit, TOFFOLI
+from repro.backend import toffoli_network
+from repro.obs import MetricsRegistry
+from repro.qmdd import (
+    ManagerPool,
+    check_equivalence,
+    get_manager_pool,
+    reset_manager_pool,
+)
+from repro.qmdd.pool import DEFAULT_GC_NODE_LIMIT, DEFAULT_OP_CACHE_LIMIT
+
+
+@pytest.fixture(autouse=True)
+def fresh_process_pool():
+    reset_manager_pool()
+    yield
+    reset_manager_pool()
+
+
+class TestAcquire:
+    def test_same_width_reuses_the_manager(self):
+        pool = ManagerPool()
+        first = pool.acquire(5)
+        second = pool.acquire(5)
+        assert first is second
+        assert pool.stats() == {
+            "managers": 1, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_width_mismatch_gets_a_distinct_manager(self):
+        pool = ManagerPool()
+        assert pool.acquire(3) is not pool.acquire(5)
+        assert pool.acquire(3).num_qubits == 3
+        assert pool.acquire(5).num_qubits == 5
+        assert pool.stats()["managers"] == 2
+
+    def test_lru_eviction_beyond_max_managers(self):
+        pool = ManagerPool(max_managers=2)
+        first = pool.acquire(2)
+        pool.acquire(3)
+        pool.acquire(4)  # evicts width 2 (least recently used)
+        assert pool.stats()["evictions"] == 1
+        assert pool.acquire(2) is not first  # rebuilt, not resurrected
+
+    def test_reuse_keeps_warm_canonical_caches(self):
+        """The point of pooling: the second check finds the first one's
+        gate diagrams already interned."""
+        pool = ManagerPool()
+        a = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        b = QuantumCircuit(3, toffoli_network(0, 1, 2))
+        manager = pool.acquire(3)
+        assert check_equivalence(a, b, manager=manager).equivalent
+        warm = manager.stats()["unique_nodes"]
+        again = pool.acquire(3)
+        assert again is manager
+        assert check_equivalence(a, b, manager=again).equivalent
+        # Canonicity means the rerun interns nothing materially new.
+        assert again.stats()["unique_nodes"] <= warm + 1
+
+
+class TestBounds:
+    def test_pooled_managers_are_bounded_by_default(self):
+        manager = ManagerPool().acquire(4)
+        assert manager.op_cache_limit == DEFAULT_OP_CACHE_LIMIT
+        assert manager.gc_node_limit == DEFAULT_GC_NODE_LIMIT
+
+    def test_env_knobs_override_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QMDD_CACHE_LIMIT", "123")
+        monkeypatch.setenv("REPRO_QMDD_GC_LIMIT", "456")
+        manager = ManagerPool().acquire(4)
+        assert manager.op_cache_limit == 123
+        assert manager.gc_node_limit == 456
+
+    def test_zero_means_unbounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QMDD_CACHE_LIMIT", "0")
+        monkeypatch.setenv("REPRO_QMDD_GC_LIMIT", "0")
+        manager = ManagerPool().acquire(4)
+        assert manager.op_cache_limit is None
+        assert manager.gc_node_limit is None
+
+    def test_explicit_limits_beat_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QMDD_GC_LIMIT", "456")
+        pool = ManagerPool(op_cache_limit=11, gc_node_limit=22)
+        manager = pool.acquire(4)
+        assert manager.op_cache_limit == 11
+        assert manager.gc_node_limit == 22
+
+    def test_acquire_sweeps_an_over_limit_reused_manager(self):
+        from tests.conftest import random_circuit
+
+        # The live root of the previous check is itself bigger than the
+        # cap, so mid-build sweeps cannot shrink the table below it —
+        # only the hand-back sweep (where that root is dead) can.
+        pool = ManagerPool(gc_node_limit=50)
+        manager = pool.acquire(5)
+        manager.circuit_edge(random_circuit(5, 80, seed=9))
+        assert manager.stats()["unique_nodes"] > 50
+        again = pool.acquire(5)  # hand-back sweep: old roots are dead
+        assert again is manager
+        assert again.stats()["unique_nodes"] <= 50
+
+
+class TestProcessPool:
+    def test_get_manager_pool_is_a_singleton(self):
+        assert get_manager_pool() is get_manager_pool()
+
+    def test_reset_drops_the_pool(self):
+        pool = get_manager_pool()
+        pool.acquire(3)
+        reset_manager_pool()
+        fresh = get_manager_pool()
+        assert fresh is not pool
+        assert fresh.stats()["managers"] == 0
+
+
+class TestMetrics:
+    def test_counters_ship_as_deltas(self):
+        pool = ManagerPool()
+        pool.acquire(3)
+        pool.acquire(3)
+        registry = MetricsRegistry()
+        pool.record_metrics(registry)
+        assert registry.counter("qmdd.pool_hits") == 1
+        assert registry.counter("qmdd.pool_misses") == 1
+        # A second ship with no new activity adds nothing.
+        pool.record_metrics(registry)
+        assert registry.counter("qmdd.pool_hits") == 1
+        pool.acquire(3)
+        pool.record_metrics(registry)
+        assert registry.counter("qmdd.pool_hits") == 2
+        assert registry.get_gauge("qmdd.pool_managers") == 1
