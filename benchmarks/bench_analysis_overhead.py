@@ -97,3 +97,78 @@ def test_analysis_overhead_under_five_percent():
         f"default-mode analysis added {relative * 100:.1f}% "
         f"({overhead * 1e3:.1f} ms) to the grid compile"
     )
+
+
+#: Budget for the *opt-in* dataflow pass (``known_zero`` facts).
+#: Looser than the default-mode budget because facts mode does real
+#: rewriting work the plain path skips: on cells where the fact
+#: survives mapping, propagation sweeps the whole circuit, deletes
+#: gates, and re-cleans — measured ~20% on this grid (the fact dies
+#: within a few gates on the other cells and the sweep bails out).
+MAX_DATAFLOW_OVERHEAD = 0.35
+
+
+def _time_pass_facts(jobs):
+    started = time.perf_counter()
+    for circuit, device in jobs:
+        compile_circuit(
+            circuit, device, verify=False,
+            known_zero=[circuit.num_qubits - 1],
+        )
+    return time.perf_counter() - started
+
+
+def test_dataflow_pass_overhead_budget():
+    """The default path pays nothing for the dataflow machinery (covered
+    by the assert above — no facts, no analysis); this leg times the
+    opt-in facts mode and keeps its cost proportionate."""
+    jobs = _grid_jobs()
+    assert jobs, "benchmark grid is empty"
+
+    plain = facts = None
+    for _ in range(REPEATS):
+        off = _time_pass(jobs, analyze=True)
+        on = _time_pass_facts(jobs)
+        plain = off if plain is None else min(plain, off)
+        facts = on if facts is None else min(facts, on)
+
+    overhead = facts - plain
+    relative = overhead / plain if plain > 0 else 0.0
+
+    deleted = demoted = reduced_cells = 0
+    for circuit, device in jobs:
+        result = compile_circuit(
+            circuit, device, verify=False,
+            known_zero=[circuit.num_qubits - 1],
+        )
+        baseline = compile_circuit(circuit, device, verify=False)
+        stats = (result.dataflow or {}).get("constant_propagation") or {}
+        deleted += stats.get("deleted", 0)
+        demoted += stats.get("demoted", 0)
+        if result.optimized_metrics.cost < baseline.optimized_metrics.cost:
+            reduced_cells += 1
+
+    RUNTIME["dataflow_overhead"] = {
+        "cells": len(jobs),
+        "repeats": REPEATS,
+        "seconds_plain": round(plain, 6),
+        "seconds_with_facts": round(facts, 6),
+        "overhead_seconds": round(overhead, 6),
+        "overhead_relative": round(relative, 6),
+        "gates_deleted": deleted,
+        "gates_demoted": demoted,
+        "cells_cost_reduced": reduced_cells,
+    }
+    print(
+        f"\ndataflow facts overhead: {plain * 1e3:.1f} ms -> "
+        f"{facts * 1e3:.1f} ms over {len(jobs)} cells "
+        f"({relative * 100:+.2f}%); {deleted} deleted, {demoted} demoted, "
+        f"{reduced_cells} cells cheaper"
+    )
+
+    assert (
+        relative < MAX_DATAFLOW_OVERHEAD or overhead < ABSOLUTE_EPSILON_SECONDS
+    ), (
+        f"dataflow facts mode added {relative * 100:.1f}% "
+        f"({overhead * 1e3:.1f} ms) to the grid compile"
+    )

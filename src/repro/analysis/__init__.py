@@ -28,7 +28,7 @@ Quick use::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..core.circuit import QuantumCircuit
 from ..devices.device import Device
@@ -56,6 +56,28 @@ from .analyzers import (
 )
 from .batch_health import batch_health_report
 from .contracts import STAGE_ANALYZERS, StageContracts
+from .dataflow import (
+    BACKWARD,
+    FORWARD,
+    DataflowDomain,
+    DataflowResult,
+    run_dataflow,
+)
+from .domains import (
+    BasisStateDomain,
+    BasisValue,
+    GateFact,
+    LivenessDomain,
+    PermutationDomain,
+    abstract_permutation,
+    classify_constant_gate,
+    gate_is_dead,
+)
+from .dataflow_analyzers import (
+    DataflowConstantsAnalyzer,
+    DataflowLivenessAnalyzer,
+    dataflow_summary,
+)
 
 #: Analyzers run by :func:`lint_circuit` (and ``repro lint``) when no
 #: explicit selection is given; device-requiring analyzers are skipped
@@ -67,17 +89,26 @@ DEFAULT_LINT_ANALYZERS = (
     "identity-window",
 )
 
+#: Additional analyzers selected by ``repro lint --dataflow``.
+DATAFLOW_LINT_ANALYZERS = (
+    "dataflow-liveness",
+    "dataflow-constants",
+)
+
 
 def lint_circuit(
     circuit: QuantumCircuit,
     device: Optional[Device] = None,
     names: Optional[Sequence[str]] = None,
+    options: Optional[Dict] = None,
 ) -> DiagnosticReport:
     """Run the lint analyzer suite over one circuit.
 
     With a ``device``, coupling-map legality and native-gate-set
     conformance are checked too — the static half of what the QMDD
-    verifier establishes dynamically.
+    verifier establishes dynamically.  ``options`` is passed through to
+    the analyzers (e.g. ``assume_zero`` for the dataflow constants
+    scan).
     """
     selected = list(names) if names is not None else list(DEFAULT_LINT_ANALYZERS)
     if device is None:
@@ -85,7 +116,10 @@ def lint_circuit(
             name for name in selected
             if not get_analyzer(name).requires_device
         ]
-    return run_analyzers(circuit, device=device, names=selected, stage="lint")
+    return run_analyzers(
+        circuit, device=device, names=selected, stage="lint",
+        options=options,
+    )
 
 
 __all__ = [
@@ -108,6 +142,24 @@ __all__ = [
     "StageContracts",
     "STAGE_ANALYZERS",
     "DEFAULT_LINT_ANALYZERS",
+    "DATAFLOW_LINT_ANALYZERS",
     "batch_health_report",
     "lint_circuit",
+    # dataflow engine and domains
+    "FORWARD",
+    "BACKWARD",
+    "DataflowDomain",
+    "DataflowResult",
+    "run_dataflow",
+    "BasisValue",
+    "BasisStateDomain",
+    "GateFact",
+    "LivenessDomain",
+    "PermutationDomain",
+    "abstract_permutation",
+    "classify_constant_gate",
+    "gate_is_dead",
+    "DataflowConstantsAnalyzer",
+    "DataflowLivenessAnalyzer",
+    "dataflow_summary",
 ]

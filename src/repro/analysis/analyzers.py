@@ -24,7 +24,7 @@ All analyzers are registered under short stable names and run through
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from ..core.gates import (
     ALL_GATES,
@@ -493,7 +493,7 @@ class IdentityWindowAnalyzer(Analyzer):
         chains: Dict[int, List[int]],
         lookback: int,
         reported: set,
-    ):
+    ) -> Optional[Diagnostic]:
         """Continue the backward commutation walk past ``nearest``.
 
         ``gate`` is already known to commute with ``gates[nearest]``;

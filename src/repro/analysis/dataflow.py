@@ -1,0 +1,165 @@
+"""A generic forward/backward dataflow engine over the circuit IR.
+
+Quantum circuits in this IR are straight-line programs — no branches,
+no loops — so the classic worklist fixpoint degenerates to a single
+sweep: the first pass is already the (unique) fixpoint.  The engine
+still exposes the textbook interface — a pluggable
+:class:`DataflowDomain` with ``initial``/``transfer`` and a declared
+direction — because the *domains* are where all the semantics live,
+and downstream code (analyzers, the optimizer, ``repro analyze``)
+consumes the same :class:`DataflowResult` regardless of direction.
+
+Program points are indexed in *program order* for both directions:
+``result.before(i)`` is the abstract state between gates ``i-1`` and
+``i``, and ``result.after(i)`` the state between gates ``i`` and
+``i+1`` — for a backward domain ``after(i)`` is the transfer input and
+``before(i)`` its output.  Recorded states must therefore be treated
+as immutable (the stock domains use tuples and frozensets).
+
+Adding a domain::
+
+    class ParityDomain(DataflowDomain):
+        name = "parity"
+        direction = FORWARD
+
+        def initial(self, circuit):
+            return tuple(0 for _ in range(circuit.num_qubits))
+
+        def transfer(self, state, gate, index):
+            ...  # return the state after `gate`
+
+    result = run_dataflow(circuit, ParityDomain())
+
+See ``docs/dataflow.md`` for the stock domains' lattices and transfer
+functions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import ReproError
+from ..obs import get_metrics
+
+__all__ = [
+    "BACKWARD",
+    "FORWARD",
+    "DataflowDomain",
+    "DataflowResult",
+    "run_dataflow",
+]
+
+#: Direction markers for :attr:`DataflowDomain.direction`.
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowDomain:
+    """Base class for pluggable abstract domains.
+
+    Subclasses set ``name`` and ``direction`` and implement
+    :meth:`initial` and :meth:`transfer`.  Abstract states should be
+    immutable values; :meth:`transfer` must return the successor state
+    (which may be the input state unchanged).
+    """
+
+    #: Human-readable domain name (used in metrics and reports).
+    name: str = ""
+
+    #: :data:`FORWARD` or :data:`BACKWARD`.
+    direction: str = FORWARD
+
+    def initial(self, circuit: QuantumCircuit) -> Any:
+        """The boundary state: circuit entry for forward domains,
+        circuit exit for backward domains."""
+        raise NotImplementedError
+
+    def transfer(self, state: Any, gate: Any, index: int) -> Any:
+        """The abstract effect of ``gate`` (at program index ``index``)
+        on ``state``.
+
+        Forward domains receive the state *before* the gate and return
+        the state after it; backward domains receive the state *after*
+        the gate (program order) and return the state before it.
+        """
+        raise NotImplementedError
+
+
+class DataflowResult:
+    """Per-program-point abstract states of one analysis run.
+
+    ``points[i]`` is the state at the program point before gate ``i``
+    (so ``points[len(circuit)]`` is the exit point), in program order
+    for both analysis directions.
+    """
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        domain: DataflowDomain,
+        points: List[Any],
+    ) -> None:
+        self.circuit = circuit
+        self.domain = domain
+        self.points = points
+
+    def before(self, index: int) -> Any:
+        """The abstract state at the point before gate ``index``."""
+        return self.points[index]
+
+    def after(self, index: int) -> Any:
+        """The abstract state at the point after gate ``index``."""
+        return self.points[index + 1]
+
+    @property
+    def entry(self) -> Any:
+        """The state at circuit entry."""
+        return self.points[0]
+
+    @property
+    def exit(self) -> Any:
+        """The state at circuit exit."""
+        return self.points[-1]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def run_dataflow(
+    circuit: QuantumCircuit, domain: DataflowDomain
+) -> DataflowResult:
+    """Run ``domain`` to its fixpoint over ``circuit``.
+
+    One linear sweep in the domain's direction (straight-line programs
+    converge immediately); states at every program point are recorded
+    so callers can interrogate any gate's context.  Emits
+    ``dataflow.runs`` / ``dataflow.seconds`` metrics tagged per domain.
+    """
+    if domain.direction not in (FORWARD, BACKWARD):
+        raise ReproError(
+            f"domain {domain.name or type(domain).__name__!r} declares "
+            f"unknown direction {domain.direction!r}"
+        )
+    started = time.perf_counter()
+    gates = circuit.gates
+    count = len(gates)
+    points: List[Any] = [None] * (count + 1)
+    if domain.direction == FORWARD:
+        state = domain.initial(circuit)
+        points[0] = state
+        for index in range(count):
+            state = domain.transfer(state, gates[index], index)
+            points[index + 1] = state
+    else:
+        state = domain.initial(circuit)
+        points[count] = state
+        for index in range(count - 1, -1, -1):
+            state = domain.transfer(state, gates[index], index)
+            points[index] = state
+    metrics = get_metrics()
+    metrics.inc("dataflow.runs")
+    metrics.inc(f"dataflow.{domain.name or 'anonymous'}.runs")
+    metrics.inc("dataflow.seconds", time.perf_counter() - started)
+    return DataflowResult(circuit, domain, points)

@@ -1,0 +1,278 @@
+"""Dataflow-powered analyzers (the ``REPRO8xx`` family).
+
+Built on the engine in :mod:`repro.analysis.dataflow` and the domains
+in :mod:`repro.analysis.domains`:
+
+* :class:`DataflowConstantsAnalyzer` (``dataflow-constants``) — forward
+  basis-state constant propagation.  Fires only when the caller assumes
+  input facts (``options["assume_zero"]`` / ``options["assume_one"]``
+  — by unitarity no wire is constant for *all* inputs):
+
+  - ``REPRO802`` — a gate provably inert under the facts (a control
+    known |0⟩, a diagonal gate on a |0⟩ wire): unreachable code.
+  - ``REPRO803`` — a gate demotable to a cheaper one (controls known
+    |1⟩ can be dropped).
+  - ``REPRO805`` — a wire provably constant at circuit exit.
+
+* :class:`DataflowLivenessAnalyzer` (``dataflow-liveness``) — backward
+  may-liveness from the observable wires (``context.active_qubits`` or
+  ``options["observable"]``; with neither, everything is observable and
+  the analyzer is silent):
+
+  - ``REPRO801`` — a gate writing only dead wires (unobservable dead
+    code).
+  - ``REPRO804`` — a borrowed ancilla live at circuit entry: its dirty
+    initial value *may* reach an observable output.  A may-analysis
+    cannot see parity cancellation (sound Barenco double V-chains are
+    flagged too), hence INFO severity.
+
+Neither analyzer is part of the default lint set or any compile stage
+contract; ``repro lint --dataflow`` and ``repro analyze`` opt in.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional, Union
+
+from ..core.circuit import QuantumCircuit
+from .dataflow import run_dataflow
+from .diagnostics import Diagnostic
+from .domains import (
+    BasisStateDomain,
+    BasisValue,
+    LivenessDomain,
+    classify_constant_gate,
+    gate_is_dead,
+)
+from .registry import AnalysisContext, Analyzer, register_analyzer
+
+__all__ = [
+    "DataflowConstantsAnalyzer",
+    "DataflowLivenessAnalyzer",
+]
+
+
+def _parse_wires(
+    value: Union[None, int, str, Iterable[int]]
+) -> FrozenSet[int]:
+    """Normalize an option value into a set of wire indices.
+
+    Accepts an iterable of ints, a single int, or a comma-separated
+    string (the CLI's spelling, e.g. ``"0,3,4"``).
+    """
+    if value is None:
+        return frozenset()
+    if isinstance(value, int):
+        return frozenset((value,))
+    if isinstance(value, str):
+        parts = [part.strip() for part in value.split(",")]
+        return frozenset(int(part) for part in parts if part)
+    return frozenset(int(q) for q in value)
+
+
+@register_analyzer
+class DataflowConstantsAnalyzer(Analyzer):
+    """Constant-propagation findings under assumed input facts."""
+
+    name = "dataflow-constants"
+
+    def analyze(self, context: AnalysisContext) -> Iterator[Diagnostic]:
+        zeros = _parse_wires(context.options.get("assume_zero"))
+        ones = _parse_wires(context.options.get("assume_one"))
+        if not zeros and not ones:
+            return
+        circuit = context.circuit
+        width = circuit.num_qubits
+        zeros = frozenset(q for q in zeros if 0 <= q < width)
+        ones = frozenset(q for q in ones if 0 <= q < width)
+        if not zeros and not ones:
+            return
+        result = run_dataflow(circuit, BasisStateDomain(zeros, ones))
+        for index, gate in enumerate(circuit):
+            if gate.name == "I":
+                continue  # literal identity gates are REPRO401's business
+            fact = classify_constant_gate(result.before(index), gate)
+            if fact is None:
+                continue
+            if fact.kind == "inert":
+                yield self.diagnostic(
+                    "REPRO802",
+                    f"{gate} is provably inert: {fact.reason}",
+                    gate_index=index,
+                    qubits=gate.qubits,
+                    hint="delete the gate (repro.optimize.dataflow."
+                    "propagate_constants)",
+                )
+            else:
+                yield self.diagnostic(
+                    "REPRO803",
+                    f"{gate} is demotable to {fact.replacement}: "
+                    f"{fact.reason}",
+                    gate_index=index,
+                    qubits=gate.qubits,
+                    hint="replace with the cheaper gate (repro.optimize."
+                    "dataflow.propagate_constants)",
+                )
+        used = set(circuit.used_qubits)
+        for qubit, value in enumerate(result.exit):
+            if qubit in used and value.is_basis:
+                bit = "0" if value is BasisValue.ZERO else "1"
+                yield self.diagnostic(
+                    "REPRO805",
+                    f"wire q{qubit} is provably |{bit}> at circuit exit "
+                    "under the assumed input facts",
+                    qubits=(qubit,),
+                    hint="a constant output wire may be removable from "
+                    "the computation",
+                )
+
+
+@register_analyzer
+class DataflowLivenessAnalyzer(Analyzer):
+    """Liveness findings relative to the observable wires."""
+
+    name = "dataflow-liveness"
+
+    def analyze(self, context: AnalysisContext) -> Iterator[Diagnostic]:
+        observable = self._observable(context)
+        if observable is None:
+            return
+        circuit = context.circuit
+        classical = circuit.is_classical_reversible
+        result = run_dataflow(
+            circuit, LivenessDomain(observable, classical=classical)
+        )
+        for index, gate in enumerate(circuit):
+            if gate.name == "I":
+                continue
+            if gate_is_dead(result.after(index), gate, classical=classical):
+                yield self.diagnostic(
+                    "REPRO801",
+                    f"{gate} writes only dead wires: no observable "
+                    "output depends on it",
+                    gate_index=index,
+                    qubits=gate.qubits,
+                    hint="dead code relative to the observable wires "
+                    f"({self._render_wires(observable)})",
+                )
+        ancillas = sorted(set(circuit.used_qubits) - observable)
+        entry_live = result.entry
+        for ancilla in ancillas:
+            if ancilla in entry_live:
+                yield self.diagnostic(
+                    "REPRO804",
+                    f"borrowed ancilla q{ancilla} is live at entry: its "
+                    "dirty initial value may reach an observable output",
+                    qubits=(ancilla,),
+                    hint="conservative may-analysis: parity-cancelling "
+                    "uses (Barenco double V-chains) are flagged too; "
+                    "confirm with the exact ancilla-restore check "
+                    "(REPRO301)",
+                )
+
+    @staticmethod
+    def _observable(context: AnalysisContext) -> Optional[FrozenSet[int]]:
+        """The observed exit wires, or ``None`` to stay silent."""
+        option = context.options.get("observable")
+        if option is not None:
+            return _parse_wires(option)
+        if context.active_qubits is not None:
+            return frozenset(context.active_qubits)
+        return None
+
+    @staticmethod
+    def _render_wires(wires: FrozenSet[int]) -> str:
+        if not wires:
+            return "none"
+        return ", ".join(f"q{q}" for q in sorted(wires))
+
+
+def dataflow_summary(
+    circuit: QuantumCircuit,
+    assume_zero: Iterable[int] = (),
+    assume_one: Iterable[int] = (),
+    observable: Optional[Iterable[int]] = None,
+    permutation_cutoff: Optional[int] = None,
+) -> dict:
+    """A JSON-safe digest of all three domains over one circuit.
+
+    The backing store of ``repro analyze`` and of
+    ``CompilationResult.dataflow``: exit basis facts, inert/demotable
+    gate verdicts, dead gates relative to ``observable``, and the
+    abstract permutation (identity check + size) when available.
+    """
+    from .domains import PERMUTATION_WIDTH_CUTOFF, abstract_permutation
+
+    width = circuit.num_qubits
+    zeros = frozenset(q for q in _parse_wires(tuple(assume_zero))
+                      if 0 <= q < width)
+    ones = frozenset(q for q in _parse_wires(tuple(assume_one))
+                     if 0 <= q < width)
+    summary: dict = {
+        "width": width,
+        "gates": len(circuit),
+        "assume_zero": sorted(zeros),
+        "assume_one": sorted(ones),
+    }
+
+    result = run_dataflow(circuit, BasisStateDomain(zeros, ones))
+    inert = []
+    demotable = []
+    for index, gate in enumerate(circuit):
+        fact = classify_constant_gate(result.before(index), gate)
+        if fact is None:
+            continue
+        record = {
+            "gate_index": index,
+            "gate": str(gate),
+            "reason": fact.reason,
+        }
+        if fact.kind == "inert":
+            inert.append(record)
+        else:
+            record["replacement"] = str(fact.replacement)
+            demotable.append(record)
+    summary["inert_gates"] = inert
+    summary["demotable_gates"] = demotable
+    summary["exit_facts"] = {
+        f"q{qubit}": value.value
+        for qubit, value in enumerate(result.exit)
+        if value is not BasisValue.TOP
+    }
+
+    if observable is not None:
+        observed = _parse_wires(tuple(observable))
+        classical = circuit.is_classical_reversible
+        live = run_dataflow(
+            circuit, LivenessDomain(observed, classical=classical)
+        )
+        summary["observable"] = sorted(observed)
+        summary["dead_gates"] = [
+            {"gate_index": index, "gate": str(gate)}
+            for index, gate in enumerate(circuit)
+            if gate.name != "I"
+            and gate_is_dead(live.after(index), gate, classical=classical)
+        ]
+        summary["live_at_entry"] = sorted(live.entry)
+
+    cutoff = (
+        permutation_cutoff
+        if permutation_cutoff is not None
+        else PERMUTATION_WIDTH_CUTOFF
+    )
+    perm = abstract_permutation(circuit, cutoff=cutoff)
+    if perm is None:
+        summary["permutation"] = {"exact": False, "reason": (
+            "non-classical circuit"
+            if not circuit.is_classical_reversible
+            else f"width {width} beyond cutoff {cutoff}"
+        )}
+    else:
+        moved = sum(1 for i, out in enumerate(perm) if out != i)
+        summary["permutation"] = {
+            "exact": True,
+            "size": len(perm),
+            "identity": moved == 0,
+            "moved_states": moved,
+        }
+    return summary

@@ -18,13 +18,15 @@ for the full catalog with examples and fixes):
 * ``REPRO5xx`` — pipeline stage contracts (cost monotonicity)
 * ``REPRO6xx`` — parse-level diagnostics (front-end file formats)
 * ``REPRO7xx`` — batch-execution health and differential fuzzing
+* ``REPRO8xx`` — dataflow analysis (liveness, constant propagation)
+* ``REPRO9xx`` — analyzer-infrastructure failures
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.exceptions import ContractViolation
 
@@ -91,6 +93,14 @@ CODE_CATALOG: Dict[str, Tuple[Severity, str]] = {
     "REPRO705": (Severity.WARNING, "batch interrupted before completion"),
     "REPRO712": (Severity.WARNING, "per-job timeout requested but not enforceable"),
     "REPRO710": (Severity.ERROR, "compiled output failed the differential fuzz oracle"),
+    # -- 8xx: dataflow analysis ------------------------------------------
+    "REPRO801": (Severity.WARNING, "gate writes only dead (unobservable) wires"),
+    "REPRO802": (Severity.WARNING, "gate provably inert: a control/operand is constant |0>"),
+    "REPRO803": (Severity.WARNING, "gate demotable: control(s) provably constant |1>"),
+    "REPRO804": (Severity.INFO, "borrowed ancilla live at entry (dirty value may leak)"),
+    "REPRO805": (Severity.INFO, "wire provably constant at circuit exit"),
+    # -- 9xx: analyzer infrastructure ------------------------------------
+    "REPRO901": (Severity.ERROR, "analyzer crashed internally"),
 }
 
 
@@ -114,7 +124,7 @@ class Diagnostic:
     line: Optional[int] = None
 
     @classmethod
-    def make(cls, code: str, message: str, **kwargs) -> "Diagnostic":
+    def make(cls, code: str, message: str, **kwargs: Any) -> "Diagnostic":
         """Build a diagnostic with the catalog's default severity for
         ``code`` (overridable via ``severity=``)."""
         severity = kwargs.pop("severity", None)
@@ -221,7 +231,7 @@ class DiagnosticReport:
     def __bool__(self) -> bool:
         return bool(self._diagnostics)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, DiagnosticReport):
             return NotImplemented
         return self._diagnostics == other._diagnostics

@@ -1,0 +1,489 @@
+"""Abstract domains for dataflow analysis over the circuit IR.
+
+The engine in :mod:`repro.analysis.dataflow` is generic; this module
+supplies the three concrete domains the compiler uses:
+
+* :class:`BasisStateDomain` — forward basis-state constant propagation.
+  Each wire is tracked as one of four abstract values forming the
+  lattice ``ZERO, ONE ⊑ SUPER ⊑ TOP`` (:class:`BasisValue`):
+  provably |0⟩, provably |1⟩, provably an *unentangled* single-qubit
+  pure state, or unknown/possibly entangled.  A wire can only be
+  ``ZERO``/``ONE`` relative to explicitly assumed input facts — by
+  unitarity no wire of a circuit is constant for *all* inputs — so all
+  facts here are conditional on the initial state the caller supplies.
+* :class:`LivenessDomain` — backward may-liveness.  A wire is *live*
+  at a program point if its value there may still influence an
+  observable wire at the circuit's exit; a gate whose every written
+  wire is dead is unobservable dead code.
+* :class:`PermutationDomain` — the exact truth-table action of purely
+  classical NOT/CNOT/Toffoli/MCX/SWAP prefixes, tracked as a full
+  ``2^n`` permutation up to a width cutoff and collapsing to ``⊤``
+  (``None``) at the first non-classical gate or beyond the cutoff.
+
+:func:`classify_constant_gate` turns basis facts into rewrite verdicts
+(provably-inert gates, control-dropping demotions) shared by the
+``REPRO8xx`` analyzers, the optimizer pass
+(:mod:`repro.optimize.dataflow`) and the ``repro analyze`` report.
+Every verdict is *subspace-sound*: it preserves the circuit's action on
+exactly those inputs satisfying the assumed facts (see
+``docs/dataflow.md`` for the soundness argument).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import (
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import MCX, X, Z, Gate
+from ..verify.permutation import apply_classical
+from .dataflow import BACKWARD, FORWARD, DataflowDomain
+
+__all__ = [
+    "BasisValue",
+    "BasisStateDomain",
+    "GateFact",
+    "LivenessDomain",
+    "PermutationDomain",
+    "abstract_permutation",
+    "classify_constant_gate",
+    "gate_is_dead",
+    "PERMUTATION_WIDTH_CUTOFF",
+]
+
+#: Gates with classical (permutation) semantics.
+_CLASSICAL_GATES = frozenset({"I", "X", "CNOT", "TOFFOLI", "MCX", "SWAP"})
+
+#: Single-qubit gates that flip |0⟩ ↔ |1⟩ (Y's phases are irrelevant to
+#: the *basis* abstraction: Y|0⟩ = i|1⟩ is still a basis state).
+_FLIP_GATES = frozenset({"X", "Y"})
+
+#: Single-qubit diagonal gates: they preserve basis values exactly on
+#: |0⟩ and up to a (local, harmless for the abstraction) phase on |1⟩.
+_DIAGONAL_1Q = frozenset({"I", "Z", "S", "SDG", "T", "TDG", "RZ"})
+
+#: Single-qubit gates that mix the basis: the wire stays an unentangled
+#: pure state but its basis value is lost.
+_MIXING_1Q = frozenset({"H", "RX", "RY"})
+
+#: Default width bound of the exact permutation domain (2^cutoff table
+#: entries per program point).
+PERMUTATION_WIDTH_CUTOFF = 12
+
+
+class BasisValue(enum.Enum):
+    """One wire's abstract state in the constant-propagation lattice.
+
+    ``ZERO ⊑ SUPER``, ``ONE ⊑ SUPER``, ``SUPER ⊑ TOP``: a basis state
+    is a special unentangled pure state, and an unentangled pure state
+    is a special arbitrary (possibly entangled) marginal.
+    """
+
+    ZERO = "zero"
+    ONE = "one"
+    SUPER = "superposed"
+    TOP = "top"
+
+    @property
+    def is_basis(self) -> bool:
+        """True for the two exactly-known basis values."""
+        return self is BasisValue.ZERO or self is BasisValue.ONE
+
+    def flip(self) -> "BasisValue":
+        """The value after an X/Y on the wire."""
+        if self is BasisValue.ZERO:
+            return BasisValue.ONE
+        if self is BasisValue.ONE:
+            return BasisValue.ZERO
+        return self
+
+    def join(self, other: "BasisValue") -> "BasisValue":
+        """Least upper bound in the lattice."""
+        if self is other:
+            return self
+        if BasisValue.TOP in (self, other):
+            return BasisValue.TOP
+        # Distinct members of {ZERO, ONE, SUPER} join to SUPER.
+        return BasisValue.SUPER
+
+
+@dataclass(frozen=True)
+class GateFact:
+    """A rewrite verdict about one gate, justified by basis facts.
+
+    ``kind`` is ``"inert"`` (the gate provably acts as the identity on
+    every admissible input — deletable) or ``"demote"`` (the gate
+    provably acts as the cheaper ``replacement``).  ``reason`` is a
+    human-readable justification used in diagnostics.
+    """
+
+    kind: str
+    reason: str
+    replacement: Optional[Gate] = None
+
+
+class BasisStateDomain(DataflowDomain):
+    """Forward constant propagation of per-wire basis facts.
+
+    The initial state marks the caller's assumed-|0⟩/|1⟩ wires and
+    leaves every other wire ``TOP``.  With no assumptions every wire is
+    ``TOP`` forever (the transfer functions never invent a basis value
+    from ``TOP``), so running the domain without facts is a no-op by
+    construction.
+    """
+
+    name = "basis-state"
+    direction = FORWARD
+
+    def __init__(
+        self,
+        known_zero: Iterable[int] = (),
+        known_one: Iterable[int] = (),
+    ) -> None:
+        self.known_zero: FrozenSet[int] = frozenset(known_zero)
+        self.known_one: FrozenSet[int] = frozenset(known_one)
+        overlap = self.known_zero & self.known_one
+        if overlap:
+            raise ValueError(
+                f"wires {sorted(overlap)} assumed both |0> and |1>"
+            )
+
+    def initial(self, circuit: QuantumCircuit) -> Tuple[BasisValue, ...]:
+        return tuple(
+            BasisValue.ZERO if q in self.known_zero
+            else BasisValue.ONE if q in self.known_one
+            else BasisValue.TOP
+            for q in range(circuit.num_qubits)
+        )
+
+    def transfer(
+        self, state: Tuple[BasisValue, ...], gate: Gate, index: int
+    ) -> Tuple[BasisValue, ...]:
+        return basis_transfer(state, gate)
+
+
+def basis_transfer(
+    state: Tuple[BasisValue, ...], gate: Gate
+) -> Tuple[BasisValue, ...]:
+    """One gate's (conservative) effect on the per-wire basis facts."""
+    name = gate.name
+    qubits = gate.qubits
+    if name in _DIAGONAL_1Q:
+        return state
+    if name in _FLIP_GATES:
+        q = qubits[0]
+        return _set(state, q, state[q].flip())
+    if name in _MIXING_1Q:
+        q = qubits[0]
+        if state[q] is BasisValue.TOP:
+            return state
+        return _set(state, q, BasisValue.SUPER)
+    if name == "CNOT":
+        control, target = qubits
+        if state[control] is BasisValue.ZERO:
+            return state
+        if state[control] is BasisValue.ONE:
+            return _set(state, target, state[target].flip())
+        # A non-basis control entangles with the target in general.
+        return _set(_set(state, control, BasisValue.TOP),
+                    target, BasisValue.TOP)
+    if name == "CZ":
+        a, b = qubits
+        # With either operand in a basis state CZ acts as identity or a
+        # local Z — both preserve every abstract value.
+        if state[a].is_basis or state[b].is_basis:
+            return state
+        return _set(_set(state, a, BasisValue.TOP), b, BasisValue.TOP)
+    if name in ("TOFFOLI", "MCX"):
+        controls = qubits[:-1]
+        target = qubits[-1]
+        values = [state[c] for c in controls]
+        if BasisValue.ZERO in values:
+            return state
+        if all(v is BasisValue.ONE for v in values):
+            return _set(state, target, state[target].flip())
+        # Non-constant controls entangle with the target; controls known
+        # |1⟩ stay a product |1⟩ factor.
+        result = list(state)
+        result[target] = BasisValue.TOP
+        for control, value in zip(controls, values):
+            if value is not BasisValue.ONE:
+                result[control] = BasisValue.TOP
+        return tuple(result)
+    if name == "SWAP":
+        a, b = qubits
+        if state[a] is state[b]:
+            return state
+        result = list(state)
+        result[a], result[b] = state[b], state[a]
+        return tuple(result)
+    # Unknown or explicitly entangling gates (RXX, future additions):
+    # everything they touch becomes unknown.
+    result = list(state)
+    for q in qubits:
+        result[q] = BasisValue.TOP
+    return tuple(result)
+
+
+def _set(
+    state: Tuple[BasisValue, ...], qubit: int, value: BasisValue
+) -> Tuple[BasisValue, ...]:
+    if state[qubit] is value:
+        return state
+    result = list(state)
+    result[qubit] = value
+    return tuple(result)
+
+
+def classify_constant_gate(
+    state: Sequence[BasisValue], gate: Gate
+) -> Optional[GateFact]:
+    """Rewrite verdict for ``gate`` given the basis facts *before* it.
+
+    Returns ``None`` when the facts justify nothing.  Every verdict
+    preserves the circuit's action exactly (including phases) on the
+    subspace of inputs satisfying the assumed initial facts:
+
+    * a controlled gate with one control provably |0⟩ is the identity;
+    * a CNOT/Toffoli/MCX control provably |1⟩ can be dropped (the gate
+      acts as the lower-arity gate tensored with that |1⟩ factor);
+    * a CZ with one operand |1⟩ is exactly Z on the other operand;
+    * a single-qubit diagonal gate on a provably-|0⟩ wire is the
+      identity (its |0⟩⟨0| entry is 1 for every gate in the family);
+    * a SWAP of two wires holding the same known basis value is the
+      identity.
+
+    Diagonal gates on a provably-|1⟩ wire are *not* reported: they
+    multiply the admissible subspace by one global phase, which default
+    (exact) equivalence checking distinguishes.
+    """
+    name = gate.name
+    qubits = gate.qubits
+    if name == "I":
+        return GateFact(kind="inert", reason="identity gate")
+    if name in _DIAGONAL_1Q:
+        if state[qubits[0]] is BasisValue.ZERO:
+            return GateFact(
+                kind="inert",
+                reason=f"diagonal gate on q{qubits[0]} provably |0>",
+            )
+        return None
+    if name == "CNOT":
+        control, target = qubits
+        if state[control] is BasisValue.ZERO:
+            return GateFact(
+                kind="inert",
+                reason=f"control q{control} provably |0>",
+            )
+        if state[control] is BasisValue.ONE:
+            return GateFact(
+                kind="demote",
+                reason=f"control q{control} provably |1>",
+                replacement=X(target),
+            )
+        return None
+    if name == "CZ":
+        a, b = qubits
+        if state[a] is BasisValue.ZERO or state[b] is BasisValue.ZERO:
+            zero = a if state[a] is BasisValue.ZERO else b
+            return GateFact(
+                kind="inert", reason=f"operand q{zero} provably |0>"
+            )
+        if state[a] is BasisValue.ONE:
+            return GateFact(
+                kind="demote",
+                reason=f"operand q{a} provably |1>",
+                replacement=Z(b),
+            )
+        if state[b] is BasisValue.ONE:
+            return GateFact(
+                kind="demote",
+                reason=f"operand q{b} provably |1>",
+                replacement=Z(a),
+            )
+        return None
+    if name in ("TOFFOLI", "MCX"):
+        controls = gate.controls
+        target = gate.target
+        for control in controls:
+            if state[control] is BasisValue.ZERO:
+                return GateFact(
+                    kind="inert",
+                    reason=f"control q{control} provably |0>",
+                )
+        ones = [c for c in controls if state[c] is BasisValue.ONE]
+        if not ones:
+            return None
+        remaining = [c for c in controls if state[c] is not BasisValue.ONE]
+        dropped = ", ".join(f"q{c}" for c in ones)
+        if not remaining:
+            replacement = X(target)
+        else:
+            replacement = MCX(*remaining, target)
+        return GateFact(
+            kind="demote",
+            reason=f"control(s) {dropped} provably |1>",
+            replacement=replacement,
+        )
+    if name == "SWAP":
+        a, b = qubits
+        if state[a] is state[b] and state[a].is_basis:
+            return GateFact(
+                kind="inert",
+                reason=(
+                    f"both operands provably "
+                    f"|{'0' if state[a] is BasisValue.ZERO else '1'}>"
+                ),
+            )
+        return None
+    return None
+
+
+class LivenessDomain(DataflowDomain):
+    """Backward may-liveness of wires.
+
+    The state at a program point is the frozenset of *live* wires —
+    wires whose value there may still reach an observable wire at the
+    exit.  ``observable`` names the wires read at the exit (defaults to
+    all of them, under which nothing is ever dead).
+
+    ``classical=True`` enables the refinement that classical
+    controlled-X gates read controls without writing them: a
+    CNOT/Toffoli/MCX with a dead target is dead and does not make its
+    controls live.  That refinement is only sound under basis-state
+    (permutation) semantics — a quantum CNOT kicks phase back onto a
+    superposed control — so it must be requested, and callers request
+    it exactly when ``circuit.is_classical_reversible``.
+    """
+
+    name = "liveness"
+    direction = BACKWARD
+
+    def __init__(
+        self,
+        observable: Optional[Iterable[int]] = None,
+        classical: bool = False,
+    ) -> None:
+        self.observable: Optional[FrozenSet[int]] = (
+            frozenset(observable) if observable is not None else None
+        )
+        self.classical = classical
+
+    def initial(self, circuit: QuantumCircuit) -> FrozenSet[int]:
+        if self.observable is not None:
+            return self.observable
+        return frozenset(range(circuit.num_qubits))
+
+    def transfer(
+        self, state: FrozenSet[int], gate: Gate, index: int
+    ) -> FrozenSet[int]:
+        """Live set *before* ``gate`` given the live set after it."""
+        name = gate.name
+        qubits = gate.qubits
+        if len(qubits) == 1:
+            # Single-qubit unitaries are bijections on the wire: the
+            # input is needed exactly when the output is.
+            return state
+        if name == "SWAP":
+            a, b = qubits
+            a_live, b_live = a in state, b in state
+            if a_live == b_live:
+                return state
+            return (state - {a, b}) | ({b} if a_live else {a})
+        if self.classical and name in ("CNOT", "TOFFOLI", "MCX"):
+            target = gate.target
+            if target not in state:
+                return state
+            return state | frozenset(gate.controls)
+        # Conservative general case (incl. quantum CNOT/CZ/RXX): any
+        # live operand makes every operand live.
+        if any(q in state for q in qubits):
+            return state | gate.support
+        return state
+
+
+def gate_is_dead(
+    live_after: FrozenSet[int], gate: Gate, classical: bool = False
+) -> bool:
+    """True when ``gate`` provably cannot influence any live wire.
+
+    ``live_after`` is the live set at the program point *after* the
+    gate (program order).  Under ``classical`` semantics a controlled-X
+    writes only its target; in general every operand of a multi-qubit
+    gate may be written (phase kickback), so all must be dead.
+    """
+    name = gate.name
+    if name == "I":
+        return True
+    if classical and name in ("CNOT", "TOFFOLI", "MCX"):
+        return gate.target not in live_after
+    return all(q not in live_after for q in gate.qubits)
+
+
+class PermutationDomain(DataflowDomain):
+    """Exact truth-table tracking of classical circuit prefixes.
+
+    The abstract value is the permutation (as a tuple mapping input
+    basis index to output basis index) realized by the gates seen so
+    far, or ``None`` (⊤) once the circuit leaves the classical gate set
+    or the width exceeds ``cutoff``.  Composition is exact — within the
+    cutoff this domain loses no information at all, which is what makes
+    the verification pre-screen a *proof* on classical circuits.
+    """
+
+    name = "permutation"
+    direction = FORWARD
+
+    def __init__(self, cutoff: int = PERMUTATION_WIDTH_CUTOFF) -> None:
+        self.cutoff = cutoff
+        self._width = 0
+
+    def initial(
+        self, circuit: QuantumCircuit
+    ) -> Optional[Tuple[int, ...]]:
+        width = circuit.num_qubits
+        if width > self.cutoff:
+            return None
+        self._width = width
+        return tuple(range(1 << width))
+
+    def transfer(
+        self,
+        state: Optional[Tuple[int, ...]],
+        gate: Gate,
+        index: int,
+    ) -> Optional[Tuple[int, ...]]:
+        if state is None or gate.name not in _CLASSICAL_GATES:
+            return None
+        width = self._width
+        return tuple(
+            apply_classical(gate, bits, width) for bits in state
+        )
+
+
+def abstract_permutation(
+    circuit: QuantumCircuit, cutoff: int = PERMUTATION_WIDTH_CUTOFF
+) -> Optional[Tuple[int, ...]]:
+    """The circuit's exact permutation, or ``None`` (⊤) when the
+    circuit is non-classical or wider than ``cutoff``.
+
+    A thin convenience over :class:`PermutationDomain` that skips the
+    per-point recording — only the exit value matters to callers.
+    """
+    if circuit.num_qubits > cutoff or not circuit.is_classical_reversible:
+        return None
+    width = circuit.num_qubits
+    state: List[int] = list(range(1 << width))
+    for gate in circuit:
+        if gate.name == "I":
+            continue
+        state = [apply_classical(gate, bits, width) for bits in state]
+    return tuple(state)

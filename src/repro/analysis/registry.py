@@ -28,7 +28,7 @@ merged :class:`~repro.analysis.diagnostics.DiagnosticReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Type, Union
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import ReproError
@@ -82,7 +82,7 @@ class Analyzer:
         """Yield diagnostics about ``context.circuit``."""
         raise NotImplementedError
 
-    def diagnostic(self, code: str, message: str, **kwargs) -> Diagnostic:
+    def diagnostic(self, code: str, message: str, **kwargs: Any) -> Diagnostic:
         """Convenience: a catalog-severity diagnostic stamped with the
         context stage (pass ``stage=`` explicitly to override)."""
         return Diagnostic.make(code, message, **kwargs)

@@ -119,6 +119,9 @@ def job_cache_key(
         f"mcx_mode={options.get('mcx_mode', 'barenco')}",
         f"verify_samples={options.get('verify_samples', 32)}",
         f"verify_strategy={options.get('verify_strategy', 'miter')}",
+        "known_zero={}".format(
+            ",".join(map(str, sorted(options.get("known_zero", ()) or ())))
+        ),
     )
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 

@@ -95,6 +95,7 @@ _KNOWN_OPTIONS = frozenset(
         "analyze",
         "strict",
         "trace",
+        "known_zero",
     }
 )
 
@@ -137,6 +138,12 @@ class CompileJob:
         if unknown:
             raise ReproError(
                 f"unknown compile option(s): {', '.join(sorted(unknown))}"
+            )
+        if "known_zero" in options:
+            # Normalize to a hashable, order-independent form so equal
+            # jobs compare (and cache-key) identically.
+            options["known_zero"] = tuple(
+                sorted(int(q) for q in options["known_zero"] or ())
             )
         if not label:
             label = f"{circuit.name or 'circuit'}@{device.name}"

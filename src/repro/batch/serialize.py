@@ -28,7 +28,9 @@ from ..verify.equivalence import VerificationReport
 #: v2: added the ``diagnostics`` list (stage-contract findings).
 #: v3: added the optional ``trace`` span summary (see
 #: :mod:`repro.obs.trace`), so a profiled compile survives the cache.
-PAYLOAD_VERSION = 3
+#: v4: added the optional ``dataflow`` facts dict (known-zero wires,
+#: constant-propagation stats, exit basis facts).
+PAYLOAD_VERSION = 4
 
 
 def circuit_to_payload(circuit: QuantumCircuit) -> Dict:
@@ -92,6 +94,7 @@ def result_to_payload(result: CompilationResult) -> Dict:
         "placement": {str(k): v for k, v in result.placement.items()},
         "diagnostics": result.diagnostics.to_payload(),
         "trace": result.trace,
+        "dataflow": result.dataflow,
     }
 
 
@@ -121,4 +124,5 @@ def result_from_payload(payload: Dict) -> Optional[CompilationResult]:
             payload.get("diagnostics", ())
         ),
         trace=payload.get("trace"),
+        dataflow=payload.get("dataflow"),
     )

@@ -79,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--strict", action="store_true",
                              help="fail the compile on any stage-contract "
                                   "diagnostic (see `repro lint`)")
+    compile_cmd.add_argument("--known-zero", dest="known_zero", default=None,
+                             metavar="WIRES",
+                             help="comma-separated logical wires asserted to "
+                                  "start in |0> (e.g. '2' for a fresh STG "
+                                  "target); enables dataflow constant "
+                                  "propagation and subspace verification")
     compile_cmd.add_argument("--workers", type=int, default=1,
                              help="worker processes for batch compilation "
                                   "(default 1 = serial)")
@@ -151,7 +157,39 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", dest="output_format", default="text",
                       choices=["text", "json"],
                       help="diagnostic output format (default text)")
+    lint.add_argument("--dataflow", action="store_true",
+                      help="also run the dataflow analyzers (liveness, "
+                           "constant propagation; REPRO8xx)")
+    lint.add_argument("--assume-zero", dest="assume_zero", default=None,
+                      metavar="WIRES",
+                      help="comma-separated wires assumed |0> at entry "
+                           "(feeds the dataflow constants analyzer)")
+    lint.add_argument("--assume-one", dest="assume_one", default=None,
+                      metavar="WIRES",
+                      help="comma-separated wires assumed |1> at entry")
+    lint.add_argument("--observable", default=None, metavar="WIRES",
+                      help="comma-separated wires observed at exit (feeds "
+                           "the dataflow liveness analyzer)")
     lint.set_defaults(handler=cmd_lint)
+
+    analyze = commands.add_parser(
+        "analyze", help="dataflow report for one circuit file: basis-state "
+                        "constants, liveness, abstract permutation"
+    )
+    analyze.add_argument("input", help="circuit or function file "
+                                       "(.qasm/.qc/.real/.pla)")
+    analyze.add_argument("--assume-zero", dest="assume_zero", default=None,
+                         metavar="WIRES",
+                         help="comma-separated wires assumed |0> at entry")
+    analyze.add_argument("--assume-one", dest="assume_one", default=None,
+                         metavar="WIRES",
+                         help="comma-separated wires assumed |1> at entry")
+    analyze.add_argument("--observable", default=None, metavar="WIRES",
+                         help="comma-separated wires observed at exit")
+    analyze.add_argument("--format", dest="output_format", default="text",
+                         choices=["text", "json"],
+                         help="report format (default text)")
+    analyze.set_defaults(handler=cmd_analyze)
 
     draw = commands.add_parser("draw", help="render a circuit file as ASCII art")
     draw.add_argument("input", help="circuit file (.qasm/.qc/.real)")
@@ -221,6 +259,15 @@ def cmd_compile(args) -> int:
         "strict": args.strict,
         "trace": tracing,
     }
+    if args.known_zero:
+        try:
+            options["known_zero"] = tuple(
+                int(part) for part in args.known_zero.split(",") if part.strip()
+            )
+        except ValueError:
+            print(f"error: --known-zero expects comma-separated wire "
+                  f"indices, got {args.known_zero!r}", file=sys.stderr)
+            return 2
 
     # Collect the circuits to compile (front-end synthesis happens here;
     # the back-end runs through the batch engine below).
@@ -455,7 +502,13 @@ def cmd_lint(args) -> int:
     """
     import json
 
-    from .analysis import DiagnosticReport, lint_circuit
+    from .analysis import (
+        DATAFLOW_LINT_ANALYZERS,
+        DEFAULT_LINT_ANALYZERS,
+        Diagnostic,
+        DiagnosticReport,
+        lint_circuit,
+    )
     from .core.exceptions import ParseError
 
     try:
@@ -463,17 +516,49 @@ def cmd_lint(args) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    names = list(DEFAULT_LINT_ANALYZERS)
+    options = {}
+    if getattr(args, "dataflow", False):
+        names.extend(DATAFLOW_LINT_ANALYZERS)
+    for key in ("assume_zero", "assume_one", "observable"):
+        value = getattr(args, key, None)
+        if value is not None:
+            options[key] = value
     documents = []
     errors = warnings = 0
     for path in args.inputs:
         try:
             circuit = _load_lintable(path)
-            report = lint_circuit(circuit, device=device)
         except ParseError as error:
             report = DiagnosticReport([error.diagnostic])
         except OSError as error:
             print(f"error: cannot read {path}: {error}", file=sys.stderr)
             return 2
+        else:
+            try:
+                report = lint_circuit(
+                    circuit, device=device, names=names,
+                    options=options or None,
+                )
+            except ReproError:
+                # User-facing input problems keep their historical exit
+                # path (main() prints them and exits 1).
+                raise
+            except Exception as error:
+                # An analyzer raising anything else is a bug in the
+                # analyzer, not in the user's input: report one located
+                # diagnostic instead of a traceback, and exit 2 (usage/
+                # tool failure, distinct from "lint found problems").
+                crash = Diagnostic.make(
+                    "REPRO901",
+                    f"analyzer crashed while linting this file: "
+                    f"{type(error).__name__}: {error}",
+                    filename=path,
+                    hint="this is an analyzer bug, not a problem with "
+                         "the input; please report it",
+                )
+                print(crash.render(), file=sys.stderr)
+                return 2
         errors += len(report.errors())
         warnings += len(report.warnings())
         documents.append({
@@ -504,7 +589,8 @@ def cmd_lint(args) -> int:
 
 def _load_lintable(path: str):
     """Read any lintable input: circuit formats directly, ``.pla``/
-    ``.esop`` switching functions through the front-end cascade."""
+    ``.esop`` switching functions through the front-end cascade, and
+    fuzz-corpus ``.json`` entries by their embedded circuit."""
     import os
 
     ext = os.path.splitext(path)[1].lower()
@@ -513,7 +599,80 @@ def _load_lintable(path: str):
         from .io import read_pla
 
         return cascade_from_cubes(read_pla(path), name=path)
+    if ext == ".json":
+        import json
+
+        from .batch.serialize import circuit_from_payload
+
+        with open(path) as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "circuit" not in payload:
+            raise ReproError(
+                f"{path}: not a fuzz-corpus entry (no 'circuit' key)"
+            )
+        return circuit_from_payload(payload["circuit"])
     return read_circuit(path)
+
+
+def cmd_analyze(args) -> int:
+    """Print the dataflow digest of one circuit: constant-propagation
+    facts, liveness (when ``--observable`` is given), and the abstract
+    permutation.  Exit 0 always (this is a report, not a gate)."""
+    import json
+
+    from .analysis import dataflow_summary
+
+    circuit = _load_lintable(args.input)
+
+    def wires(text):
+        if text is None:
+            return ()
+        return tuple(int(part) for part in text.split(",") if part.strip())
+
+    summary = dataflow_summary(
+        circuit,
+        assume_zero=wires(args.assume_zero),
+        assume_one=wires(args.assume_one),
+        observable=(
+            wires(args.observable) if args.observable is not None else None
+        ),
+    )
+    if args.output_format == "json":
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"file        : {args.input}")
+    print(f"width       : {summary['width']}  gates: {summary['gates']}")
+    if summary["assume_zero"] or summary["assume_one"]:
+        print(f"assumptions : zero={summary['assume_zero']} "
+              f"one={summary['assume_one']}")
+    print(f"inert gates : {len(summary['inert_gates'])}")
+    for record in summary["inert_gates"]:
+        print(f"  [{record['gate_index']}] {record['gate']}: "
+              f"{record['reason']}")
+    print(f"demotable   : {len(summary['demotable_gates'])}")
+    for record in summary["demotable_gates"]:
+        print(f"  [{record['gate_index']}] {record['gate']} -> "
+              f"{record['replacement']}: {record['reason']}")
+    if summary["exit_facts"]:
+        facts = ", ".join(
+            f"{wire}={value}" for wire, value in summary["exit_facts"].items()
+        )
+        print(f"exit facts  : {facts}")
+    if "observable" in summary:
+        print(f"observable  : {summary['observable']}")
+        print(f"dead gates  : {len(summary['dead_gates'])}")
+        for record in summary["dead_gates"]:
+            print(f"  [{record['gate_index']}] {record['gate']}")
+        print(f"live at entry: {summary['live_at_entry']}")
+    perm = summary["permutation"]
+    if perm["exact"]:
+        shape = "identity" if perm["identity"] else (
+            f"{perm['moved_states']}/{perm['size']} states moved"
+        )
+        print(f"permutation : exact ({shape})")
+    else:
+        print(f"permutation : ⊤ ({perm['reason']})")
+    return 0
 
 
 def cmd_fuzz(args) -> int:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from .analysis.contracts import StageContracts
 from .analysis.diagnostics import DiagnosticReport
@@ -49,6 +49,12 @@ class CompilationResult:
     #: :func:`repro.obs.stage_rows` or export with
     #: :func:`repro.obs.write_chrome_trace`.
     trace: Optional[Dict] = None
+    #: Dataflow facts of this compile (JSON-safe), present only when the
+    #: caller asserted ``known_zero`` wires: the physical fact set, what
+    #: constant propagation deleted/demoted, and the exit basis facts of
+    #: the final circuit.  ``None`` on the default path — no analysis
+    #: runs without facts.
+    dataflow: Optional[Dict] = None
 
     @property
     def percent_cost_decrease(self) -> float:
@@ -95,6 +101,7 @@ def compile_circuit(
     strict: bool = False,
     trace: bool = False,
     tracer: Optional[Tracer] = None,
+    known_zero: Iterable[int] = (),
 ) -> CompilationResult:
     """Compile a technology-independent circuit for ``device``.
 
@@ -127,6 +134,14 @@ def compile_circuit(
     iteration with its cost delta, verification — and attaches the
     summary to :attr:`CompilationResult.trace`.  Tracing is default-off
     and its disabled cost is a few no-op calls per compile.
+
+    ``known_zero`` asserts that the listed *logical* wires start in |0⟩
+    (e.g. a fresh target wire of a single-target-gate cascade, or clean
+    hardware ancillas).  The facts are translated through the placement,
+    handed to the optimizer's dataflow constant-propagation pass (which
+    may delete routing/decomposition gates that are provably inert on
+    that subspace) and to verification, which then checks equivalence
+    restricted to the same subspace.  Without facts this costs nothing.
     """
     if isinstance(device, str):
         device = get_device(device)
@@ -156,6 +171,13 @@ def compile_circuit(
                 placement = choose_placement(
                     circuit, device, strategy=placement
                 )
+        # Input facts arrive on logical wires; everything downstream of
+        # placement (optimizer, verifier) sees physical indices.
+        physical_zero = frozenset(
+            placement[q]
+            for q in known_zero
+            if 0 <= q < circuit.num_qubits and q in placement
+        )
         if contracts is not None:
             with t.span("analyze.input"):
                 contracts.check("input", circuit)
@@ -172,16 +194,19 @@ def compile_circuit(
         if contracts is not None:
             with t.span("analyze.mapped"):
                 contracts.check("mapped", unoptimized, device=device)
+        dataflow_stats = None
         if optimize:
             optimizer = LocalOptimizer(
                 cost,
                 device.coupling_map,
                 gate_set=device.gate_set,
                 tracer=tracer,
+                known_zero=physical_zero,
             )
             with t.span("optimize") as opt_span:
                 optimized = optimizer.run(unoptimized)
                 opt_report = getattr(optimizer, "last_report", None)
+                dataflow_stats = getattr(optimizer, "last_dataflow", None)
                 if opt_report is not None:
                     opt_span.set(
                         rounds=opt_report.rounds,
@@ -220,11 +245,37 @@ def compile_circuit(
                     source, optimized, method=method, samples=verify_samples,
                     up_to_global_phase=phase_free,
                     strategy=verify_strategy,
+                    known_zero=physical_zero,
                 )
                 verify_span.set(
                     method=report.method, equivalent=report.equivalent
                 )
         root.set(gates_out=len(optimized))
+
+    dataflow_payload: Optional[Dict] = None
+    if physical_zero:
+        if dataflow_stats is not None:
+            # The optimizer's propagation sweep already walked the final
+            # circuit; reuse its exit facts instead of re-analyzing.
+            exit_facts = dict(dataflow_stats.exit_facts)
+        else:  # optimize=False: one explicit analysis pass
+            from .analysis.dataflow_analyzers import dataflow_summary
+
+            exit_facts = {
+                wire: value
+                for wire, value in dataflow_summary(
+                    optimized, assume_zero=physical_zero
+                )["exit_facts"].items()
+                if value in ("zero", "one")
+            }
+        dataflow_payload = {
+            "known_zero": sorted(physical_zero),
+            "constant_propagation": (
+                dataflow_stats.to_payload()
+                if dataflow_stats is not None else None
+            ),
+            "exit_facts": exit_facts,
+        }
 
     metrics = get_metrics()
     metrics.inc("compile.calls")
@@ -243,6 +294,7 @@ def compile_circuit(
             contracts.report if contracts is not None else DiagnosticReport()
         ),
         trace=tracer.to_summary() if tracer is not None else None,
+        dataflow=dataflow_payload,
     )
 
 

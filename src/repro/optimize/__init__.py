@@ -1,6 +1,7 @@
 """Local optimizations: identity removal, phase merging, circuit identities."""
 
 from .cancellation import cancel_inverse_pairs, remove_identities
+from .dataflow import ConstantPropagationStats, propagate_constants
 from .merging import merge_phase_runs, merge_phases
 from .templates import apply_templates, DEFAULT_RULES
 from .local import LocalOptimizer, OptimizationReport, optimize_circuit
@@ -9,6 +10,8 @@ from .phase import PHASE_EXPONENT, is_phase_gate, merged_phase_gates
 __all__ = [
     "cancel_inverse_pairs",
     "remove_identities",
+    "ConstantPropagationStats",
+    "propagate_constants",
     "merge_phase_runs",
     "merge_phases",
     "apply_templates",

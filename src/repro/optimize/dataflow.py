@@ -1,0 +1,144 @@
+"""Constant-propagation rewriting on top of the dataflow analysis.
+
+:func:`propagate_constants` consumes the basis-state facts computed by
+:class:`repro.analysis.domains.BasisStateDomain` and rewrites the
+circuit: gates proved inert under the assumed input facts are deleted,
+and multi-controlled gates whose controls are provably |1⟩ are demoted
+to their cheaper residual (``TOFFOLI`` → ``CNOT`` → ``X``).
+
+Soundness contract: every rewrite is exact *on the subspace* where the
+assumed wires really start in |0⟩/|1⟩ (see ``docs/dataflow.md``).  By
+unitarity no wire is constant for all inputs, so the pass does nothing
+— and runs no analysis at all — unless the caller asserts facts; the
+compiler's verification then re-checks the output restricted to that
+same subspace (``verify_equivalent(known_zero=...)``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..analysis.domains import (
+    BasisStateDomain,
+    basis_transfer,
+    classify_constant_gate,
+)
+from ..core.circuit import QuantumCircuit
+from ..core.gates import Gate
+from ..obs import get_metrics
+
+__all__ = [
+    "ConstantPropagationStats",
+    "propagate_constants",
+]
+
+
+@dataclass
+class ConstantPropagationStats:
+    """What one :func:`propagate_constants` run did."""
+
+    known_zero: FrozenSet[int]
+    known_one: FrozenSet[int]
+    deleted: int = 0
+    demoted: int = 0
+    #: Basis facts (``"qN" -> "zero"/"one"``) at the exit of the swept
+    #: circuit, conditional on the assumed input facts.  Recorded so the
+    #: compiler can report exit facts without a second analysis pass.
+    exit_facts: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.deleted or self.demoted)
+
+    def merge(self, other: "ConstantPropagationStats") -> None:
+        """Fold a later run's counts into this accumulator."""
+        self.deleted += other.deleted
+        self.demoted += other.demoted
+        # The later run swept the later circuit: its exit facts win.
+        self.exit_facts = dict(other.exit_facts)
+
+    def to_payload(self) -> Dict:
+        """JSON-safe encoding (rides on ``CompilationResult.dataflow``)."""
+        return {
+            "known_zero": sorted(self.known_zero),
+            "known_one": sorted(self.known_one),
+            "deleted": self.deleted,
+            "demoted": self.demoted,
+        }
+
+
+def propagate_constants(
+    circuit: QuantumCircuit,
+    known_zero: Iterable[int] = (),
+    known_one: Iterable[int] = (),
+) -> Tuple[QuantumCircuit, ConstantPropagationStats]:
+    """Delete/demote gates proved inert/demotable under the input facts.
+
+    Returns ``(circuit, stats)``.  With no in-range facts this is an
+    exact no-op (the input circuit object is returned unchanged and no
+    analysis runs) — the default compile path costs nothing.
+
+    One analysis pass is the fixpoint: the abstract transfer of a gate
+    already models its rewritten form (a deleted gate's transfer leaves
+    the state unchanged on the fact subspace, a demoted gate's transfer
+    agrees with the original's), so downstream classifications account
+    for upstream rewrites.
+
+    The sweep is fused (transfer + classify in one walk) and bails out
+    the moment no wire holds a basis fact any more: facts can only be
+    destroyed, never re-created, once every ZERO/ONE is gone (flips and
+    swaps need a basis operand to produce one), so the remaining suffix
+    is provably untouched and copied verbatim.  Gates whose operands
+    carry no basis fact are likewise skipped without transfer — the
+    SUPER/TOP distinction their transfer would refine can never enable
+    a later classification.  On typical mapped circuits the assumed
+    fact dies within a few gates (basis-changing H sandwiches), so the
+    pass degenerates to a short prefix walk.
+    """
+    width = circuit.num_qubits
+    zeros = frozenset(q for q in known_zero if 0 <= q < width)
+    ones = frozenset(q for q in known_one if 0 <= q < width)
+    stats = ConstantPropagationStats(known_zero=zeros, known_one=ones)
+    if not zeros and not ones:
+        return circuit, stats
+    started = time.perf_counter()
+    state = BasisStateDomain(zeros, ones).initial(circuit)
+    basis = set(zeros | ones)
+    source = circuit.gates
+    gates: List[Gate] = []
+    for index, gate in enumerate(source):
+        if not basis:
+            gates.extend(source[index:])
+            break
+        if gate.name != "I" and basis.isdisjoint(gate.qubits):
+            gates.append(gate)
+            continue
+        fact = classify_constant_gate(state, gate)
+        if fact is None:
+            gates.append(gate)
+        elif fact.kind == "inert":
+            stats.deleted += 1
+        else:
+            assert fact.replacement is not None
+            gates.append(fact.replacement)
+            stats.demoted += 1
+        state = basis_transfer(state, gate)
+        for q in gate.qubits:
+            if state[q].is_basis:
+                basis.add(q)
+            else:
+                basis.discard(q)
+    stats.exit_facts = {
+        f"q{q}": state[q].value for q in sorted(basis)
+    }
+    metrics = get_metrics()
+    metrics.inc("dataflow.runs")
+    metrics.inc("dataflow.basis-state.runs")
+    metrics.inc("dataflow.seconds", time.perf_counter() - started)
+    if not stats.changed:
+        return circuit, stats
+    metrics.inc("dataflow.gates_deleted", stats.deleted)
+    metrics.inc("dataflow.gates_demoted", stats.demoted)
+    return QuantumCircuit(width, gates, name=circuit.name), stats

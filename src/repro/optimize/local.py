@@ -25,6 +25,7 @@ from ..core.cost import CostFunction, TRANSMON_COST
 from ..devices.coupling import CouplingMap
 from ..obs import NULL_TRACER, get_metrics
 from .cancellation import remove_identities
+from .dataflow import ConstantPropagationStats, propagate_constants
 from .merging import merge_phases
 from .templates import apply_templates
 
@@ -57,12 +58,21 @@ class LocalOptimizer:
         gate_set=None,
         lookback_window: Optional[int] = None,
         tracer=None,
+        known_zero=(),
+        known_one=(),
     ):
         self.cost_function = cost_function
         self.coupling_map = coupling_map
         self.max_rounds = max_rounds
         self.enable_templates = enable_templates
         self.gate_set = set(gate_set) if gate_set is not None else None
+        #: Input facts for the dataflow constant-propagation pass: wires
+        #: asserted to start in |0⟩ / |1⟩.  Empty (the default) keeps the
+        #: pass — and its analysis — entirely out of the loop; rewrites
+        #: under facts are exact only on the asserted subspace, so the
+        #: caller must verify with the same ``known_zero``.
+        self.known_zero = frozenset(known_zero)
+        self.known_one = frozenset(known_one)
         #: Commutation-walk bound for cancellation sweeps; ``None`` uses
         #: :data:`repro.optimize.cancellation.LOOKBACK_WINDOW`.
         self.lookback_window = lookback_window
@@ -71,24 +81,35 @@ class LocalOptimizer:
         #: round's cost and gate-count deltas.
         self.tracer = tracer
         self.last_report: Optional[OptimizationReport] = None
+        #: Accumulated :class:`ConstantPropagationStats` of the last run
+        #: (``None`` when no input facts were supplied).
+        self.last_dataflow: Optional[ConstantPropagationStats] = None
 
     def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
         """Optimize ``circuit`` until the cost function stops decreasing."""
         t = self.tracer if self.tracer is not None else NULL_TRACER
+        facts = bool(self.known_zero or self.known_one)
+        self.last_dataflow = (
+            ConstantPropagationStats(self.known_zero, self.known_one)
+            if facts else None
+        )
         best = circuit
         best_cost = self.cost_function(best)
         trace = [best_cost]
         rounds = 0
-        for rounds in range(1, self.max_rounds + 1):
+        while rounds < self.max_rounds:
+            rounds += 1
             with t.span("optimize.round", round=rounds) as span:
                 candidate = remove_identities(best, self.lookback_window)
                 candidate = merge_phases(candidate, self.gate_set)
                 if self.enable_templates:
                     candidate = apply_templates(
-                        candidate, self.coupling_map, gate_set=self.gate_set
+                        candidate, self.coupling_map,
+                        gate_set=self.gate_set,
                     )
-                    # Templates can expose fresh inverse pairs; clean them
-                    # now so the cost comparison sees the full benefit.
+                    # Templates can expose fresh inverse pairs; clean
+                    # them now so the cost comparison sees the full
+                    # benefit.
                     candidate = remove_identities(
                         candidate, self.lookback_window
                     )
@@ -105,6 +126,35 @@ class LocalOptimizer:
                 best, best_cost = candidate, cost
             else:
                 break
+        # Dataflow constant propagation after the fixpoint: on the raw
+        # mapping the facts are usually blocked by basis-changing
+        # sandwiches (H conjugations), so the interesting deletions
+        # appear only once templates have cleaned those up.  After a
+        # rewrite a cancellation sweep (cheap, exact) cleans any
+        # inverse pairs the deletion exposed and propagation runs
+        # again over the smaller circuit; the common case — nothing to
+        # rewrite — is one early-bailing sweep.  Accepted at equal
+        # cost too (fewer gates, never costlier).
+        while facts and rounds < self.max_rounds:
+            rounds += 1
+            with t.span("optimize.dataflow") as df_span:
+                rewritten, stats = propagate_constants(
+                    best, self.known_zero, self.known_one
+                )
+                df_span.set(
+                    deleted=stats.deleted, demoted=stats.demoted,
+                    gates_before=len(best), gates_after=len(rewritten),
+                )
+            assert self.last_dataflow is not None
+            self.last_dataflow.merge(stats)
+            if not stats.changed:
+                break
+            rewritten = remove_identities(rewritten, self.lookback_window)
+            cost = self.cost_function(rewritten)
+            if cost > best_cost:
+                break
+            best, best_cost = rewritten, cost
+            trace.append(cost)
         self.last_report = OptimizationReport(
             initial_cost=trace[0],
             final_cost=best_cost,
@@ -122,6 +172,10 @@ def optimize_circuit(
     circuit: QuantumCircuit,
     cost_function: CostFunction = TRANSMON_COST,
     coupling_map: Optional[CouplingMap] = None,
+    known_zero=(),
+    known_one=(),
 ) -> QuantumCircuit:
     """Convenience wrapper: run :class:`LocalOptimizer` once."""
-    return LocalOptimizer(cost_function, coupling_map).run(circuit)
+    return LocalOptimizer(
+        cost_function, coupling_map, known_zero=known_zero, known_one=known_one
+    ).run(circuit)

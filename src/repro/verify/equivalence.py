@@ -13,6 +13,12 @@ for each design and testing for equivalence" (Section 5).
   sample, used for very wide circuits (the 96-qubit Table 8 runs) where
   building the full QMDD is impractically slow in pure Python.
 * **auto** — qmdd below ``qmdd_width_limit`` qubits, else sampled.
+  Auto mode first tries the dataflow **abstract-permutation pre-screen**:
+  when both circuits are classical-reversible within
+  :data:`PRESCREEN_WIDTH_LIMIT` qubits, their exact truth tables are
+  compared before any QMDD is built — disagreement is an immediate NO
+  with a witness input, agreement is a proof, and ⊤ (non-classical or
+  too wide) falls through to the miter path.
 
 The qmdd method runs one of two strategies (see
 ``docs/performance.md``):
@@ -35,8 +41,10 @@ unique/operation tables.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional
 import numpy as np
 
 from ..core.circuit import QuantumCircuit
@@ -45,10 +53,27 @@ from ..obs import get_metrics
 from ..qmdd.equivalence import check_equivalence as qmdd_check
 from ..qmdd.manager import QMDDManager
 from ..qmdd.pool import get_manager_pool
-from .sparse_sim import sampled_equivalence
+from .permutation import evaluate, permutation
+from .sparse_sim import run_sparse, sampled_equivalence
 
 #: QMDD strategies accepted by ``verify_equivalent(strategy=...)``.
 VERIFY_STRATEGIES = ("miter", "two_sided")
+
+#: Width bound of the abstract-permutation pre-screen (the exact
+#: permutation of both circuits is built; 2^width entries each).
+PRESCREEN_WIDTH_LIMIT = 12
+
+#: Work bound of the pre-screen: ``2^width * total_gates`` evaluation
+#: steps.  Beyond it the screen abstains (⊤) and the QMDD path runs —
+#: a "cheap NO" that costs more than the miter is no longer cheap.
+_PRESCREEN_MAX_OPS = 1 << 20
+
+#: Exhaustive-subspace bounds: sparse simulation of every admissible
+#: basis input is attempted up to this many free (non-known-zero)
+#: wires; classical circuits use the cheaper bitwise evaluator with a
+#: work bound instead.
+_SUBSPACE_EXHAUSTIVE_FREE = 10
+_SUBSPACE_MAX_OPS = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -73,6 +98,8 @@ def verify_equivalent(
     seed: int = 2019,
     strategy: str = "miter",
     pool: bool = True,
+    known_zero: Iterable[int] = (),
+    prescreen: bool = True,
     _recheck: bool = False,
 ) -> VerificationReport:
     """Check that ``mapped`` implements ``original`` (ancilla wires must
@@ -85,7 +112,20 @@ def verify_equivalent(
 
     ``strategy`` selects the qmdd build (``"miter"`` or ``"two_sided"``)
     and ``pool=False`` opts out of the per-process manager pool (used by
-    benchmarks that must measure cold builds)."""
+    benchmarks that must measure cold builds).
+
+    ``known_zero`` restricts the equivalence claim to the subspace where
+    the listed wires start in |0⟩ (the compiler passes the facts it let
+    the dataflow optimizer exploit).  A full-space YES implies the
+    subspace YES; on a full-space NO the check re-asks the question on
+    the admissible inputs only.
+
+    When ``method == "auto"`` and both circuits are classical-reversible
+    within :data:`PRESCREEN_WIDTH_LIMIT` qubits, the abstract-permutation
+    pre-screen compares exact truth tables *before any QMDD is built*:
+    disagreement is an immediate NO with a witness input, agreement is a
+    proof (the permutation is the circuit's full semantics).  Pass
+    ``prescreen=False`` to force the QMDD path."""
     if strategy not in VERIFY_STRATEGIES:
         raise VerificationError(
             f"unknown verification strategy {strategy!r} "
@@ -97,7 +137,12 @@ def verify_equivalent(
     width = (max(touched) + 1) if touched else 1
     original = QuantumCircuit(width, original.gates, name=original.name)
     mapped = QuantumCircuit(width, mapped.gates, name=mapped.name)
+    zeros = frozenset(q for q in known_zero if 0 <= q < width)
     if method == "auto":
+        if prescreen and not _recheck:
+            screened = _permutation_prescreen(original, mapped, width, zeros)
+            if screened is not None:
+                return screened
         method = "qmdd" if width <= qmdd_width_limit else "sampled"
 
     metrics = get_metrics()
@@ -108,11 +153,21 @@ def verify_equivalent(
     metrics.inc(f"{counter_prefix}{method}_checks")
     started = time.perf_counter()
     try:
-        return _verify(
+        report = _verify(
             original, mapped, method, width,
             up_to_global_phase=up_to_global_phase, samples=samples, seed=seed,
             strategy=strategy, pool=pool,
         )
+        if not report.equivalent and zeros and not _recheck:
+            # The full-space check failed, but the claim is only about
+            # the |0⟩-restricted subspace (e.g. after constant-
+            # propagation deletions that are sound there by design).
+            return _subspace_verify(
+                original, mapped, width, zeros,
+                up_to_global_phase=up_to_global_phase,
+                samples=samples, seed=seed,
+            )
+        return report
     finally:
         metrics.inc(
             f"{counter_prefix}seconds", time.perf_counter() - started
@@ -222,6 +277,174 @@ def _verify(
             detail=f"samples={samples}",
         )
     raise VerificationError(f"unknown verification method {method!r}")
+
+
+def _permutation_prescreen(
+    original: QuantumCircuit,
+    mapped: QuantumCircuit,
+    width: int,
+    known_zero: FrozenSet[int],
+) -> Optional[VerificationReport]:
+    """The dataflow abstract-permutation pre-screen.
+
+    Both circuits must be classical-reversible (their abstract
+    permutation is exact, not ⊤) and narrow enough that building the
+    2^width truth tables is cheaper than any QMDD.  Disagreement on an
+    admissible input is a complete NO with that input as witness;
+    agreement on every admissible input is a complete YES — for
+    classical circuits the permutation *is* the unitary.  Returns
+    ``None`` (⊤: fall through to the miter path) when either circuit is
+    non-classical or the work bound is exceeded.
+    """
+    if width > PRESCREEN_WIDTH_LIMIT:
+        return None
+    if not (original.is_classical_reversible and mapped.is_classical_reversible):
+        return None
+    total_gates = len(original.gates) + len(mapped.gates)
+    if (1 << width) * max(total_gates, 1) > _PRESCREEN_MAX_OPS:
+        return None
+    metrics = get_metrics()
+    metrics.inc("verify.prescreen.checks")
+    started = time.perf_counter()
+    try:
+        first = permutation(original)
+        second = permutation(mapped)
+        zero_mask = sum(1 << (width - 1 - q) for q in known_zero)
+        for index in range(1 << width):
+            if index & zero_mask:
+                continue  # outside the known-zero subspace
+            if first[index] != second[index]:
+                metrics.inc("verify.prescreen.rejects")
+                witness = format(index, f"0{width}b")
+                expected = format(first[index], f"0{width}b")
+                got = format(second[index], f"0{width}b")
+                return VerificationReport(
+                    method="prescreen",
+                    equivalent=False,
+                    detail=(
+                        f"abstract permutations disagree on input "
+                        f"|{witness}>: original -> |{expected}>, "
+                        f"mapped -> |{got}>"
+                    ),
+                )
+        metrics.inc("verify.prescreen.proofs")
+        scope = (
+            f"on the |0> subspace of q{{{','.join(map(str, sorted(known_zero)))}}}"
+            if known_zero else "on all inputs"
+        )
+        return VerificationReport(
+            method="prescreen",
+            equivalent=True,
+            detail=(
+                f"exact classical permutations agree {scope} "
+                f"(2^{width} states, no QMDD built)"
+            ),
+        )
+    finally:
+        metrics.inc("verify.prescreen.seconds", time.perf_counter() - started)
+
+
+def _subspace_verify(
+    original: QuantumCircuit,
+    mapped: QuantumCircuit,
+    width: int,
+    known_zero: FrozenSet[int],
+    up_to_global_phase: bool,
+    samples: int,
+    seed: int,
+) -> VerificationReport:
+    """Equivalence restricted to basis inputs with ``known_zero`` wires
+    in |0⟩ (reached only after a full-space NO).
+
+    By linearity, agreement on every admissible *basis* input proves
+    equivalence on the whole subspace, so the exhaustive legs are exact
+    proofs; beyond the exhaustive bounds the verdict degrades to
+    restricted sampling (exact per sample, like the ``sampled`` method).
+    """
+    metrics = get_metrics()
+    metrics.inc("verify.subspace_checks")
+    started = time.perf_counter()
+    try:
+        free_positions = [
+            width - 1 - q for q in range(width) if q not in known_zero
+        ]
+        free = len(free_positions)
+
+        def scatter(packed: int) -> int:
+            index = 0
+            for offset, position in enumerate(free_positions):
+                if packed & (1 << offset):
+                    index |= 1 << position
+            return index
+
+        classical = (
+            original.is_classical_reversible and mapped.is_classical_reversible
+        )
+        total_gates = len(original.gates) + len(mapped.gates)
+        if classical and (1 << free) * max(total_gates, 1) <= _SUBSPACE_MAX_OPS:
+            for packed in range(1 << free):
+                index = scatter(packed)
+                if evaluate(original, index) != evaluate(mapped, index):
+                    witness = format(index, f"0{width}b")
+                    return VerificationReport(
+                        method="subspace",
+                        equivalent=False,
+                        detail=f"classical outputs differ on input |{witness}>",
+                    )
+            return VerificationReport(
+                method="subspace",
+                equivalent=True,
+                detail=(
+                    f"exhaustive classical check over 2^{free} admissible "
+                    "inputs (exact on the subspace)"
+                ),
+            )
+        if free <= _SUBSPACE_EXHAUSTIVE_FREE:
+            for packed in range(1 << free):
+                index = scatter(packed)
+                state_a = run_sparse(original, index)
+                state_b = run_sparse(mapped, index)
+                if not state_a.equals(
+                    state_b, up_to_global_phase=up_to_global_phase
+                ):
+                    witness = format(index, f"0{width}b")
+                    return VerificationReport(
+                        method="subspace",
+                        equivalent=False,
+                        detail=f"states differ on basis input |{witness}>",
+                    )
+            return VerificationReport(
+                method="subspace",
+                equivalent=True,
+                detail=(
+                    f"exhaustive sparse simulation over 2^{free} admissible "
+                    "basis inputs (exact on the subspace by linearity)"
+                ),
+            )
+        rng = random.Random(seed)
+        for _ in range(samples):
+            index = scatter(rng.getrandbits(free))
+            state_a = run_sparse(original, index)
+            state_b = run_sparse(mapped, index)
+            if not state_a.equals(
+                state_b, up_to_global_phase=up_to_global_phase
+            ):
+                witness = format(index, f"0{width}b")
+                return VerificationReport(
+                    method="subspace",
+                    equivalent=False,
+                    detail=f"states differ on basis input |{witness}>",
+                )
+        return VerificationReport(
+            method="subspace",
+            equivalent=True,
+            detail=(
+                f"{samples} sampled admissible basis inputs agree "
+                "(subspace too wide for the exhaustive check)"
+            ),
+        )
+    finally:
+        metrics.inc("verify.subspace_seconds", time.perf_counter() - started)
 
 
 def require_equivalent(

@@ -1,0 +1,326 @@
+"""The dataflow engine and its abstract domains.
+
+Engine indexing, the basis-state lattice and transfer functions (pinned
+against dense simulation where it matters), liveness, and the exact
+permutation domain.
+"""
+
+import pytest
+
+from repro.analysis import (
+    BACKWARD,
+    BasisStateDomain,
+    BasisValue,
+    DataflowDomain,
+    FORWARD,
+    LivenessDomain,
+    PermutationDomain,
+    abstract_permutation,
+    classify_constant_gate,
+    gate_is_dead,
+    run_dataflow,
+)
+from repro.core import (
+    CNOT,
+    CZ,
+    Gate,
+    H,
+    MCX,
+    QuantumCircuit,
+    ReproError,
+    S,
+    SWAP,
+    T,
+    TOFFOLI,
+    X,
+    Z,
+)
+from repro.obs import get_metrics
+from repro.verify import permutation
+
+ZERO, ONE = BasisValue.ZERO, BasisValue.ONE
+SUPER, TOP = BasisValue.SUPER, BasisValue.TOP
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class CountingDomain(DataflowDomain):
+    """Forward gate counter: state at point i is i."""
+
+    name = "counting"
+    direction = FORWARD
+
+    def initial(self, circuit):
+        return 0
+
+    def transfer(self, state, gate, index):
+        assert state == index  # the engine hands states in program order
+        return state + 1
+
+
+class TestEngine:
+    def test_forward_program_points(self):
+        circuit = QuantumCircuit(2, [H(0), CNOT(0, 1), X(1)])
+        result = run_dataflow(circuit, CountingDomain())
+        assert len(result) == 4  # gates + 1 program points
+        assert result.entry == 0
+        assert result.exit == 3
+        for i in range(3):
+            assert result.before(i) == i
+            assert result.after(i) == i + 1
+
+    def test_backward_program_points_stay_in_program_order(self):
+        # Liveness of q1 through SWAP(0,1): before the swap the live
+        # wire is q0 — before(i) must be the program-order earlier point
+        # even though the sweep ran backwards.
+        circuit = QuantumCircuit(2, [SWAP(0, 1)])
+        result = run_dataflow(circuit, LivenessDomain(observable=[1]))
+        assert result.after(0) == frozenset({1})
+        assert result.before(0) == frozenset({0})
+        assert result.entry == frozenset({0})
+        assert result.exit == frozenset({1})
+
+    def test_unknown_direction_rejected(self):
+        class Sideways(DataflowDomain):
+            name = "sideways"
+            direction = "diagonal"
+
+        with pytest.raises(ReproError, match="direction"):
+            run_dataflow(QuantumCircuit(1, [X(0)]), Sideways())
+
+    def test_runs_are_metered(self):
+        registry = get_metrics()
+        before = registry.counter("dataflow.counting.runs")
+        run_dataflow(QuantumCircuit(1, [X(0)]), CountingDomain())
+        assert registry.counter("dataflow.counting.runs") == before + 1
+
+
+# -- the basis-state lattice --------------------------------------------------
+
+
+class TestBasisValueLattice:
+    def test_join_is_commutative_and_idempotent(self):
+        values = list(BasisValue)
+        for a in values:
+            assert a.join(a) is a
+            for b in values:
+                assert a.join(b) is b.join(a)
+
+    def test_join_orders_the_lattice(self):
+        assert ZERO.join(ONE) is SUPER
+        assert ZERO.join(SUPER) is SUPER
+        assert SUPER.join(TOP) is TOP
+        assert ZERO.join(TOP) is TOP
+
+    def test_flip(self):
+        assert ZERO.flip() is ONE
+        assert ONE.flip() is ZERO
+        assert SUPER.flip() is SUPER
+        assert TOP.flip() is TOP
+
+    def test_is_basis(self):
+        assert ZERO.is_basis and ONE.is_basis
+        assert not SUPER.is_basis and not TOP.is_basis
+
+
+def facts_after(circuit, known_zero=(), known_one=()):
+    return run_dataflow(circuit, BasisStateDomain(known_zero, known_one)).exit
+
+
+class TestBasisTransfer:
+    def test_no_facts_is_a_noop_by_construction(self):
+        # Every transfer starts and stays TOP: the domain can never
+        # invent a fact, which is what makes the default path free.
+        circuit = QuantumCircuit(
+            3, [H(0), X(1), CNOT(0, 1), TOFFOLI(0, 1, 2), SWAP(0, 2), T(2)]
+        )
+        assert facts_after(circuit) == (TOP, TOP, TOP)
+
+    def test_diagonal_gates_preserve_facts(self):
+        circuit = QuantumCircuit(2, [Z(0), S(0), T(1)])
+        assert facts_after(circuit, known_zero=[0], known_one=[1]) == (ZERO, ONE)
+
+    def test_x_flips_h_loses(self):
+        circuit = QuantumCircuit(2, [X(0), H(1)])
+        assert facts_after(circuit, known_zero=[0, 1]) == (ONE, SUPER)
+
+    def test_cnot_control_zero_is_identity(self):
+        circuit = QuantumCircuit(2, [CNOT(0, 1)])
+        assert facts_after(circuit, known_zero=[0, 1]) == (ZERO, ZERO)
+
+    def test_cnot_control_one_flips_target(self):
+        circuit = QuantumCircuit(2, [X(0), CNOT(0, 1)])
+        assert facts_after(circuit, known_zero=[0, 1]) == (ONE, ONE)
+
+    def test_cnot_unknown_control_entangles(self):
+        circuit = QuantumCircuit(2, [H(0), CNOT(0, 1)])
+        assert facts_after(circuit, known_zero=[0, 1]) == (TOP, TOP)
+
+    def test_toffoli_any_zero_control_is_identity(self):
+        # q1 is unassumed (TOP after the H); the |0> control q0 still
+        # freezes the whole gate.
+        circuit = QuantumCircuit(3, [H(1), TOFFOLI(0, 1, 2)])
+        assert facts_after(circuit, known_zero=[0, 2]) == (ZERO, TOP, ZERO)
+        circuit = QuantumCircuit(3, [H(1), TOFFOLI(1, 0, 2)])
+        assert facts_after(circuit, known_zero=[0, 2]) == (ZERO, TOP, ZERO)
+
+    def test_toffoli_all_one_controls_flip(self):
+        circuit = QuantumCircuit(3, [X(0), X(1), TOFFOLI(0, 1, 2)])
+        assert facts_after(circuit, known_zero=[0, 1, 2]) == (ONE, ONE, ONE)
+
+    def test_toffoli_mixed_controls_keep_the_one_factor(self):
+        # control q0 |1>, control q1 superposed: the target entangles
+        # with q1, but q0 stays a product |1> factor.
+        circuit = QuantumCircuit(3, [X(0), H(1), TOFFOLI(0, 1, 2)])
+        assert facts_after(circuit, known_zero=[0, 1, 2]) == (ONE, TOP, TOP)
+
+    def test_cz_with_basis_operand_preserves_everything(self):
+        circuit = QuantumCircuit(2, [H(1), CZ(0, 1)])
+        assert facts_after(circuit, known_zero=[0, 1]) == (ZERO, SUPER)
+
+    def test_swap_exchanges_facts(self):
+        circuit = QuantumCircuit(2, [X(0), SWAP(0, 1)])
+        assert facts_after(circuit, known_zero=[0, 1]) == (ZERO, ONE)
+
+    def test_unknown_gate_is_conservative(self):
+        circuit = QuantumCircuit(2, [Gate("RXX", (0, 1), params=(0.5,))])
+        assert facts_after(circuit, known_zero=[0, 1]) == (TOP, TOP)
+
+    def test_conflicting_assumptions_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            BasisStateDomain(known_zero=[0], known_one=[0])
+
+
+class TestBasisSoundness:
+    """ZERO/ONE claims must agree with exact simulation of the assumed
+    input, gate by gate."""
+
+    def test_every_claim_matches_the_permutation(self):
+        circuit = QuantumCircuit(
+            4,
+            [
+                X(1),
+                CNOT(1, 2),       # control |1>: flips q2
+                TOFFOLI(1, 2, 3),  # both controls |1>: flips q3
+                SWAP(0, 3),
+                CNOT(3, 0),        # control q3 now |0>: inert
+                MCX(1, 2, 3, 0),
+            ],
+        )
+        width = circuit.num_qubits
+        result = run_dataflow(circuit, BasisStateDomain(range(width)))
+        index = 0  # |0000>
+        from repro.verify.permutation import apply_classical
+
+        for i, gate in enumerate(circuit):
+            state = result.before(i)
+            for q in range(width):
+                bit = (index >> (width - 1 - q)) & 1
+                if state[q] is ZERO:
+                    assert bit == 0, f"gate {i}: q{q} claimed |0>"
+                if state[q] is ONE:
+                    assert bit == 1, f"gate {i}: q{q} claimed |1>"
+            index = apply_classical(gate, index, width)
+
+
+# -- rewrite verdicts ---------------------------------------------------------
+
+
+class TestClassifyConstantGate:
+    def test_cnot_control_zero_inert(self):
+        fact = classify_constant_gate((ZERO, TOP), CNOT(0, 1))
+        assert fact.kind == "inert"
+
+    def test_cnot_control_one_demotes_to_x(self):
+        fact = classify_constant_gate((ONE, TOP), CNOT(0, 1))
+        assert fact.kind == "demote"
+        assert fact.replacement == X(1)
+
+    def test_mcx_drops_exactly_the_one_controls(self):
+        fact = classify_constant_gate((ONE, TOP, ONE, TOP), MCX(0, 1, 2, 3))
+        assert fact.kind == "demote"
+        assert fact.replacement == CNOT(1, 3)
+
+    def test_toffoli_all_ones_demotes_to_x(self):
+        fact = classify_constant_gate((ONE, ONE, TOP), TOFFOLI(0, 1, 2))
+        assert fact.replacement == X(2)
+
+    def test_cz_operand_one_is_z_on_the_other(self):
+        fact = classify_constant_gate((ONE, TOP), CZ(0, 1))
+        assert fact.kind == "demote"
+        assert fact.replacement == Z(1)
+
+    def test_diagonal_on_zero_inert(self):
+        assert classify_constant_gate((ZERO,), T(0)).kind == "inert"
+
+    def test_diagonal_on_one_not_reported(self):
+        # T|1> is a global phase on the subspace: exact equivalence
+        # distinguishes it, so no verdict.
+        assert classify_constant_gate((ONE,), T(0)) is None
+
+    def test_swap_of_equal_basis_values_inert(self):
+        assert classify_constant_gate((ONE, ONE), SWAP(0, 1)).kind == "inert"
+        assert classify_constant_gate((ZERO, ONE), SWAP(0, 1)) is None
+
+    def test_no_facts_no_verdict(self):
+        for gate in (CNOT(0, 1), TOFFOLI(0, 1, 2), CZ(0, 1), SWAP(0, 1)):
+            assert classify_constant_gate((TOP, TOP, TOP), gate) is None
+
+
+# -- liveness -----------------------------------------------------------------
+
+
+class TestLiveness:
+    def test_default_everything_observable_nothing_dead(self):
+        circuit = QuantumCircuit(2, [CNOT(0, 1)])
+        result = run_dataflow(circuit, LivenessDomain())
+        assert not gate_is_dead(result.after(0), circuit.gates[0])
+
+    def test_classical_dead_target_does_not_wake_controls(self):
+        # q2 is never observed: the Toffoli writing it is dead, and its
+        # controls must NOT become live because of it.
+        circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        result = run_dataflow(
+            circuit, LivenessDomain(observable=[0], classical=True)
+        )
+        assert gate_is_dead(result.after(0), circuit.gates[0], classical=True)
+        assert result.entry == frozenset({0})
+
+    def test_quantum_semantics_are_conservative(self):
+        # A quantum CNOT kicks phase back onto the control: with a live
+        # control the gate is not dead even if the target is unobserved.
+        circuit = QuantumCircuit(2, [CNOT(0, 1)])
+        result = run_dataflow(circuit, LivenessDomain(observable=[0]))
+        assert not gate_is_dead(result.after(0), circuit.gates[0])
+
+    def test_swap_renames_liveness(self):
+        circuit = QuantumCircuit(2, [X(0), SWAP(0, 1)])
+        result = run_dataflow(circuit, LivenessDomain(observable=[1]))
+        # Before the swap, q0 holds the observed value: X(0) is live.
+        assert result.before(1) == frozenset({0})
+        assert not gate_is_dead(result.after(0), circuit.gates[0])
+
+
+# -- the permutation domain ---------------------------------------------------
+
+
+class TestPermutationDomain:
+    def test_matches_the_exact_permutation(self):
+        circuit = QuantumCircuit(3, [X(0), CNOT(0, 1), TOFFOLI(0, 1, 2)])
+        assert abstract_permutation(circuit) == tuple(permutation(circuit))
+
+    def test_top_on_non_classical(self):
+        assert abstract_permutation(QuantumCircuit(1, [H(0)])) is None
+
+    def test_top_beyond_cutoff(self):
+        circuit = QuantumCircuit(5, [X(0)])
+        assert abstract_permutation(circuit, cutoff=4) is None
+        assert abstract_permutation(circuit, cutoff=5) is not None
+
+    def test_domain_collapses_at_first_non_classical_gate(self):
+        circuit = QuantumCircuit(2, [X(0), H(0), X(1)])
+        result = run_dataflow(circuit, PermutationDomain())
+        assert result.before(1) is not None
+        assert result.after(1) is None
+        assert result.exit is None

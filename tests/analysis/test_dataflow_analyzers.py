@@ -1,0 +1,154 @@
+"""The REPRO8xx dataflow analyzers and the ``dataflow_summary`` digest."""
+
+from repro.analysis import (
+    DATAFLOW_LINT_ANALYZERS,
+    DEFAULT_LINT_ANALYZERS,
+    lint_circuit,
+    run_analyzers,
+)
+from repro.analysis.dataflow_analyzers import dataflow_summary
+from repro.core import CNOT, CZ, H, QuantumCircuit, T, TOFFOLI, X
+
+
+def toffoli_sandwich():
+    return QuantumCircuit(3, [H(2), TOFFOLI(0, 1, 2), H(2)])
+
+
+class TestConstantsAnalyzer:
+    def test_silent_without_assumptions(self):
+        report = run_analyzers(
+            toffoli_sandwich(), names=["dataflow-constants"]
+        )
+        assert len(report) == 0
+
+    def test_inert_gate_fires_802(self):
+        report = run_analyzers(
+            toffoli_sandwich(),
+            names=["dataflow-constants"],
+            options={"assume_zero": "0"},
+        )
+        codes = report.codes()
+        assert "REPRO802" in codes
+        finding = report.with_code("REPRO802")[0]
+        assert finding.gate_index == 1  # the Toffoli, not the H's
+        assert "provably inert" in finding.message
+
+    def test_demotable_gate_fires_803(self):
+        circuit = QuantumCircuit(2, [X(0), CNOT(0, 1)])
+        report = run_analyzers(
+            circuit,
+            names=["dataflow-constants"],
+            options={"assume_zero": [0, 1]},
+        )
+        finding = report.with_code("REPRO803")[0]
+        assert finding.gate_index == 1
+        assert "X(q1)" in finding.message
+
+    def test_constant_exit_wire_fires_805(self):
+        circuit = QuantumCircuit(2, [X(0), CZ(0, 1)])
+        report = run_analyzers(
+            circuit,
+            names=["dataflow-constants"],
+            options={"assume_zero": "0"},
+        )
+        assert [d.qubits for d in report.with_code("REPRO805")] == [(0,)]
+
+    def test_out_of_range_assumptions_ignored(self):
+        report = run_analyzers(
+            toffoli_sandwich(),
+            names=["dataflow-constants"],
+            options={"assume_zero": "17,-3"},
+        )
+        assert len(report) == 0
+
+
+class TestLivenessAnalyzer:
+    def test_silent_without_observable_set(self):
+        circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        report = run_analyzers(circuit, names=["dataflow-liveness"])
+        assert len(report) == 0
+
+    def test_dead_gate_fires_801(self):
+        circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        report = run_analyzers(
+            circuit,
+            names=["dataflow-liveness"],
+            options={"observable": "0,1"},
+        )
+        finding = report.with_code("REPRO801")[0]
+        assert finding.gate_index == 0
+
+    def test_live_ancilla_fires_804(self):
+        # q2 is read (as a control) into an observable wire before any
+        # write: its dirty value may leak.
+        circuit = QuantumCircuit(3, [CNOT(2, 0)])
+        report = run_analyzers(
+            circuit,
+            names=["dataflow-liveness"],
+            options={"observable": "0,1"},
+        )
+        assert [d.qubits for d in report.with_code("REPRO804")] == [(2,)]
+
+    def test_observable_falls_back_to_active_qubits(self):
+        circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        report = run_analyzers(
+            circuit,
+            names=["dataflow-liveness"],
+            active_qubits=[0, 1],
+        )
+        assert "REPRO801" in report.codes()
+
+
+class TestLintIntegration:
+    def test_dataflow_analyzers_are_opt_in(self):
+        for name in DATAFLOW_LINT_ANALYZERS:
+            assert name not in DEFAULT_LINT_ANALYZERS
+
+    def test_lint_circuit_with_dataflow_names(self):
+        report = lint_circuit(
+            toffoli_sandwich(),
+            names=list(DEFAULT_LINT_ANALYZERS) + list(DATAFLOW_LINT_ANALYZERS),
+            options={"assume_zero": "0"},
+        )
+        assert "REPRO802" in report.codes()
+
+
+class TestDataflowSummary:
+    def test_digest_shape(self):
+        summary = dataflow_summary(toffoli_sandwich(), assume_zero=[0])
+        assert summary["width"] == 3
+        assert summary["gates"] == 3
+        assert summary["assume_zero"] == [0]
+        assert [g["gate_index"] for g in summary["inert_gates"]] == [1]
+        assert summary["demotable_gates"] == []
+        assert summary["exit_facts"]["q0"] == "zero"
+        assert summary["permutation"] == {
+            "exact": False, "reason": "non-classical circuit",
+        }
+
+    def test_exact_permutation_digest(self):
+        circuit = QuantumCircuit(2, [X(0), CNOT(0, 1)])
+        summary = dataflow_summary(circuit)
+        assert summary["permutation"]["exact"]
+        assert summary["permutation"]["size"] == 4
+        assert not summary["permutation"]["identity"]
+
+    def test_observable_section(self):
+        circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        summary = dataflow_summary(circuit, observable=[0, 1])
+        assert summary["observable"] == [0, 1]
+        assert [g["gate_index"] for g in summary["dead_gates"]] == [0]
+
+    def test_json_safe(self):
+        import json
+
+        summary = dataflow_summary(
+            toffoli_sandwich(), assume_zero=[0], observable=[0, 1]
+        )
+        assert json.loads(json.dumps(summary)) == summary
+
+    def test_diagonal_phase_on_one_not_inert(self):
+        circuit = QuantumCircuit(1, [X(0), T(0)])
+        summary = dataflow_summary(circuit, assume_zero=[0])
+        assert summary["inert_gates"] == []
+        assert summary["exit_facts"]["q0"] == "one"

@@ -1,0 +1,152 @@
+"""CLI surfaces of the dataflow layer: ``repro lint --dataflow``,
+``repro analyze``, ``repro compile --known-zero``, and the analyzer
+crash containment (one located REPRO901 line, exit 2, no traceback)."""
+
+import json
+
+import pytest
+
+from repro.analysis import get_analyzer
+from repro.cli import main
+
+TOFFOLI_QC = """.v a b c
+BEGIN
+t3 a b c
+END
+"""
+
+
+@pytest.fixture
+def toffoli_path(tmp_path):
+    path = tmp_path / "toffoli.qc"
+    path.write_text(TOFFOLI_QC)
+    return str(path)
+
+
+class TestLintDataflow:
+    def test_dataflow_findings_need_the_flag(self, toffoli_path, capsys):
+        assert main(["lint", toffoli_path, "--assume-zero", "0"]) == 0
+        assert "REPRO802" not in capsys.readouterr().out
+
+    def test_dataflow_findings_need_facts(self, toffoli_path, capsys):
+        assert main(["lint", "--dataflow", toffoli_path]) == 0
+        assert "REPRO8" not in capsys.readouterr().out
+
+    def test_assume_zero_fires_802_and_805(self, toffoli_path, capsys):
+        code = main([
+            "lint", "--dataflow", "--assume-zero", "0", toffoli_path,
+        ])
+        assert code == 0  # warnings don't gate without --strict
+        out = capsys.readouterr().out
+        assert "REPRO802" in out and "REPRO805" in out
+
+    def test_strict_gates_on_dataflow_warnings(self, toffoli_path):
+        code = main([
+            "lint", "--dataflow", "--strict", "--assume-zero", "0",
+            toffoli_path,
+        ])
+        assert code == 1
+
+    def test_observable_fires_liveness(self, toffoli_path, capsys):
+        code = main([
+            "lint", "--dataflow", "--observable", "0,1", toffoli_path,
+        ])
+        assert code == 0
+        assert "REPRO801" in capsys.readouterr().out
+
+    def test_corpus_json_is_lintable(self, capsys):
+        assert main([
+            "lint", "--dataflow", "tests/corpus/01c019b92bd55c6a.json",
+        ]) == 0
+
+    def test_non_corpus_json_is_an_input_error(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"not": "a corpus entry"}))
+        assert main(["lint", str(path)]) == 1  # user input, not a crash
+        err = capsys.readouterr().err
+        assert "no 'circuit' key" in err
+        assert "REPRO901" not in err
+
+
+class TestAnalyzerCrashContainment:
+    """An analyzer raising internally is a tool bug, not an input
+    problem: one located diagnostic, exit 2, never a traceback."""
+
+    @pytest.fixture
+    def crashing_constants(self, monkeypatch):
+        analyzer = get_analyzer("dataflow-constants")
+
+        def explode(context):
+            raise KeyError("synthetic analyzer bug")
+            yield  # pragma: no cover - makes this a generator like analyze
+
+        monkeypatch.setattr(analyzer, "analyze", explode)
+
+    def test_crash_exits_2_with_one_diagnostic(
+        self, toffoli_path, capsys, crashing_constants
+    ):
+        code = main([
+            "lint", "--dataflow", "--assume-zero", "0", toffoli_path,
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "REPRO901" in err
+        assert toffoli_path in err          # located at the input file
+        assert "KeyError" in err            # names the underlying bug
+        assert "Traceback" not in err
+
+    def test_default_lint_unaffected_by_the_crasher(
+        self, toffoli_path, capsys, crashing_constants
+    ):
+        # Without --dataflow the crashing analyzer never runs.
+        assert main(["lint", toffoli_path]) == 0
+
+
+class TestAnalyzeCommand:
+    def test_text_report(self, toffoli_path, capsys):
+        code = main(["analyze", toffoli_path, "--assume-zero", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inert gates : 1" in out
+        assert "permutation : exact" in out
+
+    def test_json_report(self, toffoli_path, capsys):
+        code = main([
+            "analyze", toffoli_path, "--assume-zero", "0",
+            "--format", "json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["assume_zero"] == [0]
+        assert [g["gate_index"] for g in report["inert_gates"]] == [0]
+        assert report["permutation"]["exact"]
+
+    def test_observable_section(self, toffoli_path, capsys):
+        code = main([
+            "analyze", toffoli_path, "--observable", "0,1",
+            "--format", "json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["observable"] == [0, 1]
+        assert len(report["dead_gates"]) == 1
+
+
+class TestCompileKnownZero:
+    def test_flag_reaches_the_result(self, tmp_path, capsys):
+        out = tmp_path / "out.qasm"
+        code = main([
+            "compile", "--hex", "03", "--inputs", "4",
+            "--device", "ibmqx4", "--known-zero", "3",
+            "-o", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+
+    def test_bad_wire_list_is_usage_error(self, tmp_path, capsys):
+        code = main([
+            "compile", "--hex", "03", "--inputs", "4",
+            "--device", "ibmqx4", "--known-zero", "banana",
+            "-o", str(tmp_path / "out.qasm"),
+        ])
+        assert code == 2

@@ -1,4 +1,4 @@
-"""Diagnostics must survive the batch cache's JSON round-trip (payload v3)."""
+"""Diagnostics must survive the batch cache's JSON round-trip (payload v4)."""
 
 from repro.analysis import Diagnostic, DiagnosticReport
 from repro.batch.serialize import (
@@ -17,8 +17,56 @@ def _result():
     return compile_circuit(circuit, get_device("ibmqx4"), verify=False)
 
 
-def test_payload_version_is_three():
-    assert PAYLOAD_VERSION == 3
+def test_payload_version_is_four():
+    assert PAYLOAD_VERSION == 4
+
+
+def test_round_trip_preserves_dataflow_payload():
+    circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+    result = compile_circuit(
+        circuit, get_device("ibmqx4"), verify=False, known_zero=[2],
+    )
+    assert result.dataflow is not None
+    rebuilt = result_from_payload(result_to_payload(result))
+    assert rebuilt.dataflow == result.dataflow
+    assert rebuilt.dataflow["known_zero"] == result.dataflow["known_zero"]
+
+
+def test_no_facts_round_trips_as_none():
+    rebuilt = result_from_payload(result_to_payload(_result()))
+    assert rebuilt.dataflow is None
+
+
+def test_known_zero_is_part_of_the_cache_key():
+    from repro.batch.cache import job_cache_key
+
+    circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+    device = get_device("ibmqx4")
+    plain = job_cache_key(circuit, device, {"verify": False})
+    facts = job_cache_key(
+        circuit, device, {"verify": False, "known_zero": (2,)}
+    )
+    assert plain != facts
+    # Fact order must not split the cache.
+    reordered = job_cache_key(
+        circuit, device, {"verify": False, "known_zero": (2, 0)}
+    )
+    swapped = job_cache_key(
+        circuit, device, {"verify": False, "known_zero": (0, 2)}
+    )
+    assert reordered == swapped
+
+
+def test_batch_job_normalizes_known_zero():
+    from repro.batch.engine import CompileJob
+
+    circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2)], name="ccx")
+    job = CompileJob.make(
+        circuit, "ibmqx4", {"verify": False, "known_zero": [2, 0]},
+    )
+    assert dict(job.options)["known_zero"] == (0, 2)
+    result = job.run()
+    assert result.dataflow is not None
 
 
 def test_round_trip_empty_diagnostics():

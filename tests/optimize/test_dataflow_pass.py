@@ -1,0 +1,210 @@
+"""The constant-propagation rewriting pass and its optimizer/compiler
+integration."""
+
+import pytest
+
+from repro.core import (
+    CNOT,
+    CZ,
+    H,
+    MCX,
+    QuantumCircuit,
+    SWAP,
+    T,
+    TOFFOLI,
+    TRANSMON_COST,
+    X,
+)
+from repro.optimize import (
+    ConstantPropagationStats,
+    LocalOptimizer,
+    propagate_constants,
+)
+from repro.verify import run_sparse
+
+
+def subspace_equal(original, rewritten, known_zero, width):
+    """Exhaustively compare both circuits on every admissible input."""
+    zero_mask = sum(1 << (width - 1 - q) for q in known_zero)
+    for index in range(1 << width):
+        if index & zero_mask:
+            continue
+        a = run_sparse(original, index)
+        b = run_sparse(rewritten, index)
+        if not a.equals(b):
+            return False
+    return True
+
+
+class TestPropagateConstants:
+    def test_no_facts_is_an_exact_noop(self):
+        circuit = QuantumCircuit(2, [H(0), CNOT(0, 1)])
+        result, stats = propagate_constants(circuit)
+        assert result is circuit  # the very same object, no analysis ran
+        assert not stats.changed
+
+    def test_out_of_range_facts_are_a_noop(self):
+        circuit = QuantumCircuit(2, [CNOT(0, 1)])
+        result, stats = propagate_constants(circuit, known_zero=[5])
+        assert result is circuit
+
+    def test_deletes_inert_gates(self):
+        circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2), CNOT(0, 2), T(0)])
+        result, stats = propagate_constants(circuit, known_zero=[0])
+        assert stats.deleted == 3  # both controlled gates + T on |0>
+        assert stats.demoted == 0
+        assert len(result) == 0
+        assert subspace_equal(circuit, result, {0}, 3)
+
+    def test_demotes_controls_known_one(self):
+        circuit = QuantumCircuit(3, [X(0), TOFFOLI(0, 1, 2)])
+        result, stats = propagate_constants(circuit, known_zero=[0])
+        assert stats.demoted == 1
+        assert list(result.gates) == [X(0), CNOT(1, 2)]
+        assert subspace_equal(circuit, result, {0}, 3)
+
+    def test_mcx_demotion_chain(self):
+        circuit = QuantumCircuit(4, [X(0), X(1), MCX(0, 1, 2, 3)])
+        result, stats = propagate_constants(circuit, known_zero=[0, 1])
+        assert stats.demoted == 1
+        assert list(result.gates) == [X(0), X(1), CNOT(2, 3)]
+        assert subspace_equal(circuit, result, {0, 1}, 4)
+
+    def test_facts_flow_through_rewrites(self):
+        # The demoted CNOT(0,1) -> X(1) makes q1 |1>, which demotes the
+        # next gate too: one pass is the fixpoint.
+        circuit = QuantumCircuit(3, [X(0), CNOT(0, 1), CNOT(1, 2)])
+        result, stats = propagate_constants(circuit, known_zero=[0, 1])
+        assert stats.demoted == 2
+        assert list(result.gates) == [X(0), X(1), X(2)]
+        assert subspace_equal(circuit, result, {0, 1}, 3)
+
+    def test_bails_out_when_facts_die(self):
+        # H kills the only fact: the suffix must be copied verbatim and
+        # nothing downstream may be touched (CNOT(0,1) would be inert
+        # if the bail-out were wrong).
+        suffix = [CNOT(0, 1), CZ(0, 1), SWAP(0, 1)]
+        circuit = QuantumCircuit(2, [H(0)] + suffix)
+        result, stats = propagate_constants(circuit, known_zero=[0])
+        assert result is circuit
+        assert not stats.changed
+
+    def test_exit_facts_recorded(self):
+        circuit = QuantumCircuit(2, [X(0), CNOT(0, 1)])
+        _, stats = propagate_constants(circuit, known_zero=[0, 1])
+        assert stats.exit_facts == {"q0": "one", "q1": "one"}
+
+    def test_exit_facts_empty_after_bailout(self):
+        circuit = QuantumCircuit(2, [H(0), CNOT(0, 1)])
+        _, stats = propagate_constants(circuit, known_zero=[0])
+        assert stats.exit_facts == {}
+
+    def test_stats_merge_accumulates_and_takes_latest_exit(self):
+        first = ConstantPropagationStats(
+            frozenset({0}), frozenset(), deleted=2, demoted=1,
+            exit_facts={"q0": "zero"},
+        )
+        second = ConstantPropagationStats(
+            frozenset({0}), frozenset(), deleted=1,
+            exit_facts={"q0": "one"},
+        )
+        first.merge(second)
+        assert first.deleted == 3 and first.demoted == 1
+        assert first.exit_facts == {"q0": "one"}
+        assert first.to_payload() == {
+            "known_zero": [0], "known_one": [], "deleted": 3, "demoted": 1,
+        }
+
+
+class TestOptimizerIntegration:
+    def test_default_path_has_no_dataflow(self):
+        optimizer = LocalOptimizer(TRANSMON_COST)
+        optimizer.run(QuantumCircuit(2, [H(0), CNOT(0, 1)]))
+        assert optimizer.last_dataflow is None
+
+    def test_facts_delete_through_the_loop(self):
+        circuit = QuantumCircuit(3, [TOFFOLI(0, 1, 2), CNOT(0, 2)])
+        optimizer = LocalOptimizer(TRANSMON_COST, known_zero=[0])
+        result = optimizer.run(circuit)
+        assert len(result) == 0
+        stats = optimizer.last_dataflow
+        assert stats is not None and stats.deleted == 2
+
+    def test_deletion_accepted_at_equal_cost(self):
+        # A single CZ with a |0> operand: deleting it cannot increase
+        # the cost and must be accepted even though the cost-decreasing
+        # fixpoint alone would keep it.
+        circuit = QuantumCircuit(2, [CZ(0, 1)])
+        optimizer = LocalOptimizer(TRANSMON_COST, known_zero=[0])
+        result = optimizer.run(circuit)
+        assert len(result) == 0
+
+    def test_deletion_exposes_cancellation(self):
+        # Deleting the inert Toffoli brings the surrounding CNOT pair
+        # together; the post-deletion cancellation sweep must clean it.
+        circuit = QuantumCircuit(
+            3, [CNOT(1, 2), TOFFOLI(0, 1, 2), CNOT(1, 2)]
+        )
+        optimizer = LocalOptimizer(
+            TRANSMON_COST, known_zero=[0], enable_templates=False
+        )
+        result = optimizer.run(circuit)
+        assert len(result) == 0
+        assert optimizer.last_dataflow.deleted == 1
+
+    def test_rewrites_preserve_subspace_semantics(self):
+        circuit = QuantumCircuit(
+            3, [X(0), CNOT(0, 1), TOFFOLI(0, 1, 2), H(2), T(2), H(2)]
+        )
+        optimizer = LocalOptimizer(TRANSMON_COST, known_zero=[0, 1, 2])
+        result = optimizer.run(circuit)
+        assert subspace_equal(circuit, result, {0, 1, 2}, 3)
+
+
+class TestCompilerIntegration:
+    def test_payload_rides_the_result(self):
+        from repro.benchlib import single_target
+        from repro.compiler import compile_circuit
+
+        circuit = single_target.build_benchmark("03", 4)
+        result = compile_circuit(circuit, "ibmqx4", known_zero=[3])
+        payload = result.dataflow
+        assert payload is not None
+        stats = payload["constant_propagation"]
+        assert stats["deleted"] >= 1
+        assert payload["known_zero"] == stats["known_zero"]
+        assert result.verification is not None
+        assert result.verification.equivalent
+
+    def test_facts_reduce_mapped_cost(self):
+        from repro.benchlib import single_target
+        from repro.compiler import compile_circuit
+
+        circuit = single_target.build_benchmark("03", 4)
+        plain = compile_circuit(circuit, "ibmqx4", verify=False)
+        facts = compile_circuit(
+            circuit, "ibmqx4", verify=False, known_zero=[3]
+        )
+        assert (
+            facts.optimized_metrics.cost < plain.optimized_metrics.cost
+        )
+
+    def test_no_facts_no_payload(self):
+        from repro.benchlib import single_target
+        from repro.compiler import compile_circuit
+
+        result = compile_circuit(
+            single_target.build_benchmark("1", 2), "ibmqx4", verify=False
+        )
+        assert result.dataflow is None
+
+    def test_facts_translate_through_placement(self):
+        from repro.benchlib import single_target
+        from repro.compiler import compile_circuit
+
+        circuit = single_target.build_benchmark("03", 4)
+        result = compile_circuit(
+            circuit, "ibmqx4", verify=False, known_zero=[3]
+        )
+        [physical] = result.dataflow["known_zero"]
+        assert physical == result.placement[3]

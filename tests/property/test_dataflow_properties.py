@@ -1,0 +1,102 @@
+"""Property tests for dataflow-justified rewrites.
+
+The contract under test: every deletion/demotion `propagate_constants`
+makes under assumed facts preserves the `verify_equivalent` verdict on
+the asserted subspace — under both QMDD strategies and the screened
+auto path — over the committed fuzz corpus and seeded generator
+circuits.  An injected miscompile on top of the rewrite must still be
+caught.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import H, QuantumCircuit, X
+from repro.fuzz import random_cascade
+from repro.optimize import propagate_constants
+from repro.verify import verify_equivalent
+
+SEEDS = range(12)
+WIDTH = 4
+
+
+def corpus_circuits():
+    from repro.batch.serialize import circuit_from_payload
+
+    for path in sorted(Path("tests/corpus").glob("*.json")):
+        payload = json.loads(path.read_text())
+        yield path.name, circuit_from_payload(payload["circuit"])
+
+
+def assert_rewrite_verified(original, rewritten, zeros, label):
+    for strategy in ("miter", "two_sided"):
+        report = verify_equivalent(
+            original, rewritten, method="qmdd",
+            known_zero=zeros, strategy=strategy,
+        )
+        assert report.equivalent, (
+            f"{label}: dataflow rewrite broke {strategy} verification: "
+            f"{report.detail}"
+        )
+    screened = verify_equivalent(original, rewritten, known_zero=zeros)
+    assert screened.equivalent, (
+        f"{label}: screened auto path disagrees: {screened.detail}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_cascades_rewrite_soundly(seed):
+    circuit = random_cascade(seed, num_qubits=WIDTH, num_gates=12)
+    zeros = frozenset({0, WIDTH - 1})
+    rewritten, stats = propagate_constants(circuit, known_zero=zeros)
+    assert_rewrite_verified(circuit, rewritten, zeros, f"seed {seed}")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_injected_miscompile_still_caught(seed):
+    """A rewrite plus a deliberately wrong extra gate must verify NO:
+    subspace restriction may excuse the rewrite, never a miscompile."""
+    circuit = random_cascade(seed, num_qubits=WIDTH, num_gates=12)
+    zeros = frozenset({0, WIDTH - 1})
+    rewritten, _ = propagate_constants(circuit, known_zero=zeros)
+    # X on a free wire changes the action on every admissible input.
+    broken = QuantumCircuit(
+        WIDTH, list(rewritten.gates) + [X(1)], name="broken"
+    )
+    for strategy in ("miter", "two_sided"):
+        report = verify_equivalent(
+            circuit, broken, method="qmdd",
+            known_zero=zeros, strategy=strategy,
+        )
+        assert not report.equivalent, f"seed {seed}: {strategy} missed it"
+    screened = verify_equivalent(circuit, broken, known_zero=zeros)
+    assert not screened.equivalent
+    # Classical cascade: the cheap prescreen itself must be the catcher.
+    assert screened.method == "prescreen"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_non_classical_prefix_rewrites_soundly(seed):
+    # An H prefix kills most facts: whatever survives must still be
+    # rewritten soundly, and the prescreen must abstain (non-classical).
+    cascade = random_cascade(seed, num_qubits=WIDTH, num_gates=10)
+    circuit = QuantumCircuit(
+        WIDTH, [H(1)] + list(cascade.gates), name=cascade.name
+    )
+    zeros = frozenset({0, WIDTH - 1})
+    rewritten, stats = propagate_constants(circuit, known_zero=zeros)
+    assert_rewrite_verified(circuit, rewritten, zeros, f"seed {seed}")
+
+
+def test_corpus_circuits_rewrite_soundly():
+    checked = 0
+    for name, circuit in corpus_circuits():
+        if circuit.num_qubits > 8:
+            continue  # keep the exhaustive QMDD legs fast
+        zeros = frozenset({0})
+        rewritten, _ = propagate_constants(circuit, known_zero=zeros)
+        assert_rewrite_verified(circuit, rewritten, zeros, name)
+        checked += 1
+    assert checked > 0, "no corpus circuits narrow enough to check"

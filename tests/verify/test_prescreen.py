@@ -1,0 +1,178 @@
+"""The abstract-permutation pre-screen and subspace verification.
+
+The pre-screen settles classical pairs before any QMDD exists:
+agreement is a proof, disagreement is a NO with a witness input.
+Subspace verification rescues full-space NOs that are YES on the
+asserted ``known_zero`` subspace.
+"""
+
+import pytest
+
+from repro.backend import toffoli_network
+from repro.core import CNOT, H, QuantumCircuit, T, TOFFOLI, X
+from repro.obs import get_metrics
+from repro.verify import verify_equivalent
+from repro.verify.permutation import evaluate
+
+
+@pytest.fixture
+def counters():
+    registry = get_metrics()
+    before = dict(registry.snapshot()["counters"])
+
+    def delta(name):
+        return registry.counter(name) - before.get(name, 0)
+
+    return delta
+
+
+class TestPrescreenProof:
+    def test_classical_pair_proved_without_qmdd(self, counters):
+        a = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        b = QuantumCircuit(3, [TOFFOLI(1, 0, 2)])
+        report = verify_equivalent(a, b)
+        assert report.equivalent
+        assert report.method == "prescreen"
+        assert "no QMDD built" in report.detail
+        assert counters("verify.prescreen.checks") == 1
+        assert counters("verify.prescreen.proofs") == 1
+        assert counters("verify.qmdd_checks") == 0
+
+    def test_explicit_method_bypasses_the_screen(self, counters):
+        a = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        b = QuantumCircuit(3, [TOFFOLI(1, 0, 2)])
+        report = verify_equivalent(a, b, method="qmdd")
+        assert report.equivalent and report.method == "qmdd"
+        assert counters("verify.prescreen.checks") == 0
+
+    def test_prescreen_false_forces_the_qmdd_path(self, counters):
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        report = verify_equivalent(a, a, prescreen=False)
+        assert report.equivalent and report.method == "qmdd"
+        assert counters("verify.prescreen.checks") == 0
+
+
+class TestPrescreenReject:
+    def test_miscompile_caught_with_witness_and_no_qmdd(self, counters):
+        """A classical miscompile (wrong CNOT direction) must be caught
+        by table comparison alone — the cheap NO of the issue's
+        acceptance criteria."""
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(2, [CNOT(1, 0)])
+        report = verify_equivalent(a, b)
+        assert not report.equivalent
+        assert report.method == "prescreen"
+        assert counters("verify.prescreen.rejects") == 1
+        assert counters("verify.qmdd_checks") == 0
+        assert counters("verify.recheck.qmdd_checks") == 0
+
+    def test_witness_is_a_real_counterexample(self):
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(2, [CNOT(1, 0)])
+        report = verify_equivalent(a, b)
+        # detail: ... disagree on input |xy>: original -> ..., mapped -> ...
+        witness = report.detail.split("|")[1].split(">")[0]
+        index = int(witness, 2)
+        assert evaluate(a, index) != evaluate(b, index)
+
+    def test_dropped_gate_caught(self, counters):
+        network = toffoli_network(0, 1, 2)
+        a = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
+        b = QuantumCircuit(3, network[:-1])  # compiler "lost" a gate
+        if QuantumCircuit(3, network[:-1]).is_classical_reversible:
+            report = verify_equivalent(a, b)
+        else:
+            # The decomposition uses non-classical gates: screen must
+            # abstain, not misjudge.
+            report = verify_equivalent(a, b)
+            assert report.method != "prescreen" or not report.equivalent
+            return
+        assert not report.equivalent
+
+    def test_known_zero_limits_the_witness_search(self):
+        # The pair differs ONLY on inputs with q0=1: restricted to the
+        # q0=|0> subspace the screen must prove equivalence instead.
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(2, [])
+        full = verify_equivalent(a, b)
+        assert not full.equivalent
+        restricted = verify_equivalent(a, b, known_zero=[0])
+        assert restricted.equivalent
+        assert restricted.method == "prescreen"
+        assert "subspace" in restricted.detail
+
+
+class TestPrescreenAbstains:
+    def test_non_classical_falls_through(self, counters):
+        a = QuantumCircuit(1, [H(0), H(0)])
+        b = QuantumCircuit(1, [])
+        report = verify_equivalent(a, b)
+        assert report.equivalent
+        assert report.method == "qmdd"
+        assert counters("verify.prescreen.checks") == 0
+
+    def test_width_limit_falls_through(self, monkeypatch, counters):
+        import repro.verify.equivalence as eq
+
+        monkeypatch.setattr(eq, "PRESCREEN_WIDTH_LIMIT", 1)
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        report = verify_equivalent(a, a)
+        assert report.equivalent and report.method == "qmdd"
+        assert counters("verify.prescreen.checks") == 0
+
+
+class TestSubspaceVerification:
+    def test_full_space_no_rescued_on_the_subspace(self, counters):
+        a = QuantumCircuit(2, [CNOT(1, 0)])
+        b = QuantumCircuit(2, [])
+        # Non-auto method: the prescreen stays out of the way and the
+        # full-space check fails first.
+        report = verify_equivalent(a, b, method="qmdd", known_zero=[1])
+        assert report.equivalent
+        assert report.method == "subspace"
+        assert counters("verify.subspace_checks") == 1
+
+    def test_subspace_no_stays_no_with_witness(self):
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(2, [X(1)])
+        report = verify_equivalent(a, b, method="qmdd", known_zero=[0])
+        assert not report.equivalent
+        assert report.method == "subspace"
+        assert "|0" in report.detail  # witness lies in the subspace
+
+    def test_non_classical_subspace_check(self):
+        # T on a |0> wire is inert; the circuits differ on q0=1 inputs
+        # (phase), so only the subspace check can say YES — via sparse
+        # simulation, since T is not classical.
+        a = QuantumCircuit(1, [T(0)])
+        b = QuantumCircuit(1, [])
+        report = verify_equivalent(a, b, method="qmdd", known_zero=[0])
+        assert report.equivalent
+        assert report.method == "subspace"
+        assert "sparse" in report.detail
+
+    def test_full_space_yes_needs_no_subspace_pass(self, counters):
+        a = QuantumCircuit(2, [CNOT(0, 1)])
+        b = QuantumCircuit(2, [CNOT(0, 1)])
+        report = verify_equivalent(a, b, method="qmdd", known_zero=[0])
+        assert report.equivalent and report.method == "qmdd"
+        assert counters("verify.subspace_checks") == 0
+
+
+class TestCorpusAgreement:
+    def test_prescreen_agrees_with_qmdd_on_the_corpus(self):
+        """Every committed corpus pair must get the same verdict from
+        the screened auto path and the raw QMDD path."""
+        import json
+        from pathlib import Path
+
+        from repro.batch.serialize import circuit_from_payload
+
+        entries = sorted(Path("tests/corpus").glob("*.json"))
+        assert entries, "regression corpus is empty"
+        for path in entries:
+            payload = json.loads(path.read_text())
+            circuit = circuit_from_payload(payload["circuit"])
+            screened = verify_equivalent(circuit, circuit)
+            raw = verify_equivalent(circuit, circuit, prescreen=False)
+            assert screened.equivalent == raw.equivalent, path.name
