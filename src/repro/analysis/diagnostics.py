@@ -71,7 +71,12 @@ CODE_CATALOG: Dict[str, Tuple[Severity, str]] = {
     "REPRO203": (Severity.ERROR, "gate operand outside the device"),
     "REPRO211": (Severity.ERROR, "gate not in the device's native library"),
     # -- 3xx: ancilla discipline ----------------------------------------
+    "REPRO300": (Severity.ERROR, "circuit not synthesizable on the target"),
     "REPRO301": (Severity.ERROR, "borrowed dirty ancilla not restored"),
+    "REPRO302": (
+        Severity.ERROR,
+        "no coupling-connected dirty ancilla for an MCX decomposition",
+    ),
     # -- 4xx: missed optimizations --------------------------------------
     "REPRO401": (Severity.WARNING, "identity window (cancelable inverse pair)"),
     # -- 5xx: pipeline contracts ----------------------------------------

@@ -19,6 +19,7 @@ from .relative_phase import (
     rccx_network,
 )
 from .mapper import (
+    ROUTE_STRATEGIES,
     MappingOutcome,
     check_conformance,
     expand_to_library,
@@ -26,6 +27,13 @@ from .mapper import (
     legalize_cnots,
     lower_mcx_for_device,
     map_circuit,
+    map_circuit_outcome,
+)
+from .router import (
+    RoutingResult,
+    permutation_restore_gates,
+    route_sabre,
+    routed_restore_gates,
 )
 from .placement import (
     choose_placement,
@@ -65,10 +73,16 @@ __all__ = [
     "placement_cost",
     "refine_placement",
     "MappingOutcome",
+    "ROUTE_STRATEGIES",
+    "RoutingResult",
     "check_conformance",
     "expand_to_library",
     "identity_placement",
     "legalize_cnots",
     "lower_mcx_for_device",
     "map_circuit",
+    "map_circuit_outcome",
+    "permutation_restore_gates",
+    "route_sabre",
+    "routed_restore_gates",
 ]

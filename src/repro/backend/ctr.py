@@ -22,12 +22,15 @@ of the three must be orientation-reversed, so a SWAP costs at most
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.exceptions import SynthesisError
 from ..core.gates import Gate
 from ..devices.coupling import CouplingMap
 from .reversal import orient_cnot
+
+if TYPE_CHECKING:
+    from ..devices.calibration import Calibration
 
 
 def swap_gates(a: int, b: int, coupling_map: CouplingMap) -> List[Gate]:
@@ -68,7 +71,7 @@ def cnot_with_ctr(
     control: int,
     target: int,
     coupling_map: CouplingMap,
-    path: List[int] = None,
+    path: Optional[List[int]] = None,
 ) -> List[Gate]:
     """Emit a native-gate sequence implementing CNOT(control, target).
 
@@ -98,7 +101,7 @@ def cnot_with_noise_aware_ctr(
     control: int,
     target: int,
     coupling_map: CouplingMap,
-    calibration,
+    calibration: "Calibration",
 ) -> List[Gate]:
     """CTR variant that routes along the *most reliable* SWAP path.
 
@@ -146,13 +149,13 @@ class ConnectivityTree:
     of Fig. 5 so tools and tests can display the layers that CTR explores.
     """
 
-    def __init__(self, coupling_map: CouplingMap, root: int):
+    def __init__(self, coupling_map: CouplingMap, root: int) -> None:
         self.coupling_map = coupling_map
         self.root = root
-        self.parent = {root: None}
+        self.parent: Dict[int, Optional[int]] = {root: None}
         self.layers: List[List[int]] = [[root]]
 
-    def grow_until(self, goal: int, max_layers: int = None) -> bool:
+    def grow_until(self, goal: int, max_layers: Optional[int] = None) -> bool:
         """Grow breadth-first layers (``build_branches``) until ``goal``
         joins the tree.  Returns True on success."""
         if goal in self.parent:
@@ -182,7 +185,9 @@ class ConnectivityTree:
                 f"q{goal} unreachable from q{self.root} on {self.coupling_map.name}"
             )
         path = [goal]
-        while self.parent[path[-1]] is not None:
-            path.append(self.parent[path[-1]])
+        parent = self.parent[goal]
+        while parent is not None:
+            path.append(parent)
+            parent = self.parent[parent]
         path.reverse()
         return path

@@ -11,9 +11,13 @@ mapper applies, in order, the procedures enumerated in Section 4:
    nearest the gate's target to keep later rerouting cheap.
 3. *Gate-library expansion* — Toffoli / CZ / SWAP become one- and
    two-qubit transmon-library gates (Nielsen & Chuang networks).
-4. *CNOT legalization* — each CNOT is orientation-reversed (Fig. 6)
-   and/or rerouted with CTR (Figs. 3-5) so it satisfies the device's
-   coupling map.
+4. *CNOT legalization* — with ``route="ctr"`` (the paper's procedure)
+   each CNOT is orientation-reversed (Fig. 6) and/or rerouted with CTR
+   (Figs. 3-5) so it satisfies the device's coupling map; with
+   ``route="sabre"`` the dynamic-layout router
+   (:mod:`repro.backend.router`) legalizes the whole stream with a
+   moving layout and reports the final output permutation instead of
+   swapping back.
 
 The result is the *unoptimized mapping* of the paper's tables; the local
 optimizer (:mod:`repro.optimize`) then produces the optimized mapping.
@@ -22,15 +26,18 @@ optimizer (:mod:`repro.optimize`) then produces the optimized mapping.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import NotSynthesizableError, SynthesisError
 from ..devices.device import Device
-from .ctr import cnot_with_ctr
+from .ctr import cnot_with_ctr, route_cost_in_swaps
 from .mcx import mcx_to_toffoli
 from .toffoli import expand_non_native
+
+#: Routing strategies accepted by ``map_circuit(route=...)``.
+ROUTE_STRATEGIES = ("ctr", "sabre")
 
 
 def identity_placement(circuit: QuantumCircuit, device: Device) -> Dict[int, int]:
@@ -68,20 +75,34 @@ def lower_mcx_for_device(
     else:
         raise SynthesisError(f"unknown mcx_mode {mcx_mode!r}")
     lowered = QuantumCircuit(device.num_qubits, name=circuit.name)
-    for gate in circuit:
+    for index, gate in enumerate(circuit):
         if gate.name != "MCX":
             lowered.append(gate)
             continue
         busy = set(gate.qubits)
-        free = [q for q in range(device.num_qubits) if q not in busy]
-        free.sort(key=lambda q: _distance_or_big(device, q, gate.target))
+        # Only qubits the coupling graph actually connects to the target
+        # can serve as dirty ancillas: a borrowed qubit in another
+        # component can never be routed into the V-chain, and offering
+        # it to the decomposition used to surface later as a confusing
+        # "no SWAP path" routing error instead of a located diagnosis.
+        reach: Dict[int, int] = {}
+        for q in range(device.num_qubits):
+            if q in busy:
+                continue
+            distance = device.coupling_map.distance(q, gate.target)
+            if distance is not None:
+                reach[q] = distance
+        free = sorted(reach, key=lambda q: (reach[q], q))
+        if len(gate.controls) >= 3 and not free:
+            raise NotSynthesizableError(
+                f"MCX with {len(gate.controls)} controls needs a dirty "
+                f"ancilla, but no free qubit of {device.name} is "
+                f"connected to target q{gate.target}",
+                code="REPRO302",
+                gate_index=index,
+            )
         lowered.extend(lower(gate.controls, gate.target, free))
     return lowered
-
-
-def _distance_or_big(device: Device, a: int, b: int) -> int:
-    distance = device.coupling_map.distance(a, b)
-    return device.num_qubits * 2 if distance is None else distance
 
 
 def expand_to_library(circuit: QuantumCircuit) -> QuantumCircuit:
@@ -110,16 +131,28 @@ def legalize_cnots(circuit: QuantumCircuit, device: Device) -> QuantumCircuit:
     return legal
 
 
-def map_circuit(
+def map_circuit_outcome(
     circuit: QuantumCircuit,
     device: Device,
     placement: Optional[Dict[int, int]] = None,
     mcx_mode: str = "barenco",
-    contracts=None,
-    tracer=None,
-) -> QuantumCircuit:
-    """Run the full Section 4 mapping pipeline; returns the unoptimized
-    technology-dependent circuit on ``device.num_qubits`` wires.
+    contracts: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+    route: str = "ctr",
+    restore_layout: bool = False,
+) -> "MappingOutcome":
+    """Run the full Section 4 mapping pipeline; returns a
+    :class:`MappingOutcome` carrying the unoptimized technology-dependent
+    circuit on ``device.num_qubits`` wires plus its routing metadata.
+
+    ``route`` selects CNOT legalization: ``"ctr"`` (the paper's
+    Connectivity-Tree Reroute, every CNOT restores the layout) or
+    ``"sabre"`` (the dynamic-layout router of
+    :mod:`repro.backend.router`, which reports the final output
+    permutation on :attr:`MappingOutcome.output_permutation` instead of
+    swapping back).  With ``restore_layout=True`` the sabre path appends
+    the device-legal uncompute SWAP tail, trading gates for wire
+    identity; the reported permutation is then empty again.
 
     ``contracts`` is an optional
     :class:`repro.analysis.contracts.StageContracts` recorder; when
@@ -129,11 +162,19 @@ def map_circuit(
 
     ``tracer`` is an optional :class:`repro.obs.Tracer`; when given,
     each mapping sub-stage (place, lower, expand, route, rebase) records
-    a span with its output gate count.
+    a span with its output gate count; the ``map.route`` span also
+    carries the strategy and the number of SWAPs it inserted.
     """
     if tracer is None:
-        from ..obs import NULL_TRACER as tracer  # noqa: F811
+        from ..obs import NULL_TRACER
 
+        tracer = NULL_TRACER
+
+    if route not in ROUTE_STRATEGIES:
+        raise SynthesisError(
+            f"unknown route strategy {route!r} "
+            f"(expected one of {', '.join(ROUTE_STRATEGIES)})"
+        )
     if placement is None:
         placement = identity_placement(circuit, device)
     _validate_placement(placement, circuit, device)
@@ -150,9 +191,36 @@ def map_circuit(
     with tracer.span("map.expand") as span:
         expanded = expand_to_library(lowered)
         span.set(gates=len(expanded))
-    with tracer.span("map.route") as span:
-        legal = legalize_cnots(expanded, device)
-        span.set(gates=len(legal))
+    output_permutation: Dict[int, int] = {}
+    with tracer.span("map.route", route=route) as span:
+        if route == "sabre":
+            from .router import route_sabre, routed_restore_gates
+
+            routing = route_sabre(expanded, device.coupling_map)
+            legal = routing.circuit
+            swap_count = routing.swap_count
+            output_permutation = routing.output_permutation
+            if restore_layout and output_permutation:
+                tail = routed_restore_gates(
+                    output_permutation, device.coupling_map
+                )
+                legal = QuantumCircuit._trusted(
+                    legal.num_qubits,
+                    list(legal.gates) + tail,
+                    name=legal.name,
+                )
+                swap_count += sum(1 for g in tail if g.name == "CNOT") // 3
+                output_permutation = {}
+        else:
+            legal = legalize_cnots(expanded, device)
+            swap_count = sum(
+                2 * route_cost_in_swaps(
+                    gate.qubits[0], gate.qubits[1], device.coupling_map
+                )
+                for gate in expanded
+                if gate.name == "CNOT"
+            )
+        span.set(gates=len(legal), swaps=swap_count)
     if not device.supports_gate("CNOT"):
         # Non-transmon technology target (e.g. trapped-ion): rebase the
         # mapped 1q+CNOT circuit into the device's native library.
@@ -166,7 +234,45 @@ def map_circuit(
 
         if faults.fire("mapper", circuit.name or ""):
             legal = _inject_miscompile(legal)
-    return legal
+    return MappingOutcome(
+        device=device,
+        original=circuit,
+        placement=placement,
+        unoptimized=legal,
+        output_permutation=output_permutation,
+        route=route,
+        swap_count=swap_count,
+    )
+
+
+def map_circuit(
+    circuit: QuantumCircuit,
+    device: Device,
+    placement: Optional[Dict[int, int]] = None,
+    mcx_mode: str = "barenco",
+    contracts: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+    route: str = "ctr",
+    restore_layout: bool = False,
+) -> QuantumCircuit:
+    """Like :func:`map_circuit_outcome`, returning just the circuit.
+
+    With ``route="sabre"`` and ``restore_layout=False`` the returned
+    circuit's wires end *permuted* (see
+    :attr:`MappingOutcome.output_permutation`); callers that need the
+    permutation — notably for verification — should use
+    :func:`map_circuit_outcome`.
+    """
+    return map_circuit_outcome(
+        circuit,
+        device,
+        placement,
+        mcx_mode=mcx_mode,
+        contracts=contracts,
+        tracer=tracer,
+        route=route,
+        restore_layout=restore_layout,
+    ).unoptimized
 
 
 def _inject_miscompile(circuit: QuantumCircuit) -> QuantumCircuit:
@@ -242,3 +348,12 @@ class MappingOutcome:
     original: QuantumCircuit
     placement: Dict[int, int]
     unoptimized: QuantumCircuit
+    #: Final wire permutation ``{input wire -> output wire}`` left by
+    #: dynamic-layout routing (identity entries omitted; always empty
+    #: for ``route="ctr"`` or ``restore_layout=True``).
+    output_permutation: Dict[int, int] = field(default_factory=dict)
+    #: Routing strategy that produced :attr:`unoptimized`.
+    route: str = "ctr"
+    #: SWAPs the router inserted (CTR counts both directions of every
+    #: reroute; each SWAP expands to 3 CNOTs plus orientation fixes).
+    swap_count: int = 0

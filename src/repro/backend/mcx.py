@@ -39,19 +39,19 @@ def mcx_to_toffoli(
 
     Every ancilla is returned to its initial state, whatever it was.
     """
-    controls = list(controls)
-    ancillas = [a for a in ancillas if a != target and a not in controls]
-    k = len(controls)
+    control_list = list(controls)
+    spare = [a for a in ancillas if a != target and a not in control_list]
+    k = len(control_list)
     if k == 0:
         return [X(target)]
     if k == 1:
-        return [CNOT(controls[0], target)]
+        return [CNOT(control_list[0], target)]
     if k == 2:
-        return [TOFFOLI(controls[0], controls[1], target)]
-    if len(ancillas) >= k - 2:
-        return _v_chain(controls, target, ancillas[: k - 2])
-    if ancillas:
-        return _split(controls, target, ancillas[0])
+        return [TOFFOLI(control_list[0], control_list[1], target)]
+    if len(spare) >= k - 2:
+        return _v_chain(control_list, target, spare[: k - 2])
+    if spare:
+        return _split(control_list, target, spare[0])
     raise NotSynthesizableError(
         f"T_{k + 1} gate (X with {k} controls) needs at least one spare "
         "qubit on the device to decompose into Toffoli gates (Barenco "

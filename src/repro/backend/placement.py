@@ -23,7 +23,7 @@ number of SWAPs CTR will insert each way.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.circuit import QuantumCircuit
 from ..core.exceptions import NotSynthesizableError, SynthesisError
@@ -132,12 +132,89 @@ def refine_placement(
     Considers swapping every pair of logical assignments (and moving a
     logical qubit to any free physical qubit) until a full pass finds no
     improvement.
+
+    Scoring is *incremental*: per-pair contributions are kept between
+    candidate moves and only the pairs incident to the moved logicals
+    are rescored, so one candidate costs O(degree) distance lookups
+    instead of a full O(|weights|) rescore.  Contributions are
+    integer-valued (integer interaction weight times integer SWAP
+    count), so the running total is exact and the accepted moves — and
+    the final placement — are identical to a full rescore.
     """
     weights = interaction_graph(circuit)
     current = dict(placement)
-    best_cost = placement_cost(current, weights, device)
+    coupling = device.coupling_map
     logicals = list(current)
     free = [q for q in range(device.num_qubits) if q not in current.values()]
+
+    incident: Dict[int, List[Tuple[Tuple[int, int], int]]] = {}
+    for pair, weight in weights.items():
+        incident.setdefault(pair[0], []).append((pair, weight))
+        incident.setdefault(pair[1], []).append((pair, weight))
+
+    def contribution(pair: Tuple[int, int], weight: int) -> Optional[float]:
+        """This pair's cost term under ``current`` (None = disconnected)."""
+        a, b = pair
+        distance = coupling.distance(current.get(a, a), current.get(b, b))
+        if distance is None:
+            return None
+        return weight * max(0, distance - 1)
+
+    contributions: Dict[Tuple[int, int], Optional[float]] = {}
+    finite_total = 0.0
+    infinite_pairs = 0
+    for pair, weight in weights.items():
+        term = contribution(pair, weight)
+        contributions[pair] = term
+        if term is None:
+            infinite_pairs += 1
+        else:
+            finite_total += term
+    best_cost = float("inf") if infinite_pairs else finite_total
+
+    def rescore(
+        moved: Tuple[int, ...]
+    ) -> Tuple[float, List[Tuple[Tuple[int, int], Optional[float]]]]:
+        """Candidate cost after ``current`` was mutated, touching only
+        the pairs incident to the moved logicals; returns the cost and
+        the contribution updates to apply on acceptance."""
+        total = finite_total
+        infinite = infinite_pairs
+        updates: List[Tuple[Tuple[int, int], Optional[float]]] = []
+        seen: Set[Tuple[int, int]] = set()
+        for logical in moved:
+            for pair, weight in incident.get(logical, ()):
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                old = contributions[pair]
+                new = contribution(pair, weight)
+                if old is None:
+                    infinite -= 1
+                else:
+                    total -= old
+                if new is None:
+                    infinite += 1
+                else:
+                    total += new
+                updates.append((pair, new))
+        return (float("inf") if infinite else total), updates
+
+    def accept(
+        updates: List[Tuple[Tuple[int, int], Optional[float]]]
+    ) -> None:
+        nonlocal finite_total, infinite_pairs
+        for pair, new in updates:
+            old = contributions[pair]
+            if old is None:
+                infinite_pairs -= 1
+            else:
+                finite_total -= old
+            if new is None:
+                infinite_pairs += 1
+            else:
+                finite_total += new
+            contributions[pair] = new
 
     for _ in range(max_passes):
         improved = False
@@ -145,23 +222,25 @@ def refine_placement(
             for j in range(i + 1, len(logicals)):
                 a, b = logicals[i], logicals[j]
                 current[a], current[b] = current[b], current[a]
-                cost = placement_cost(current, weights, device)
+                cost, updates = rescore((a, b))
                 if cost < best_cost:
                     best_cost = cost
+                    accept(updates)
                     improved = True
                 else:
                     current[a], current[b] = current[b], current[a]
         for a in logicals:
             for index, spare in enumerate(free):
-                old = current[a]
+                old_physical = current[a]
                 current[a] = spare
-                cost = placement_cost(current, weights, device)
+                cost, updates = rescore((a,))
                 if cost < best_cost:
                     best_cost = cost
-                    free[index] = old
+                    accept(updates)
+                    free[index] = old_physical
                     improved = True
                 else:
-                    current[a] = old
+                    current[a] = old_physical
         if not improved:
             break
     return current

@@ -1,0 +1,321 @@
+"""Dynamic-layout SABRE-style routing (the alternative to CTR).
+
+CTR (:mod:`repro.backend.ctr`, the paper's Figs. 3-5) legalizes each
+CNOT in isolation: swap the control's state next to the target, execute,
+and swap *all the way back*, so a CNOT at coupling distance ``d`` pays
+``2(d-1)`` SWAPs — half of them only to restore the original wire
+assignment.  The router in this module instead lets the layout move, in
+the style of Li, Ding & Xie's SABRE: it maintains a logical→physical
+layout, inserts SWAPs chosen by a lookahead heuristic (front-gate
+distance plus a decaying extended-set term over upcoming CNOTs, scored
+with the O(1) :meth:`CouplingMap.distance` tables), and never swaps
+back.  Each distant CNOT costs only ``d-1`` SWAPs; the price is that the
+routed circuit ends with its wires *permuted*.
+
+The router therefore returns the mapped circuit **plus its final output
+permutation** (:class:`RoutingResult`).  Consumers have two options:
+
+* verification-aware (the default compile path): hand the permutation to
+  :func:`repro.verify.verify_equivalent`, which composes the inverse
+  permutation into the miter / prescreen / sampling paths via
+  :func:`permutation_restore_gates`;
+* wire-identity (``restore_layout=True`` on :func:`map_circuit`): append
+  the device-legal uncompute tail of :func:`routed_restore_gates`, which
+  costs gates but leaves every state on its original wire.
+
+Every candidate SWAP is required to strictly reduce the current front
+gate's coupling distance, so routing one CNOT terminates after exactly
+``d-1`` SWAPs and the extended-set term only arbitrates *which* shortest
+route the layout drifts along — sabre can never spend more SWAPs on a
+single CNOT than CTR does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..core.exceptions import SynthesisError
+from ..core.gates import SWAP, Gate, intern_gate
+from ..devices.coupling import CouplingMap
+from .ctr import swap_gates
+from .reversal import orient_cnot
+
+__all__ = [
+    "RoutingResult",
+    "permutation_restore_gates",
+    "route_sabre",
+    "routed_restore_gates",
+]
+
+#: How many upcoming CNOTs the lookahead scores (the "extended set").
+EXTENDED_SET_SIZE = 8
+
+#: Geometric weight decay across the extended set: the k-th upcoming
+#: CNOT contributes ``EXTENDED_SET_DECAY ** (k + 1)`` of its distance.
+EXTENDED_SET_DECAY = 0.5
+
+#: How far ahead (in gates) the extended-set scan looks for CNOTs.
+_LOOKAHEAD_WINDOW = 64
+
+
+@dataclass
+class RoutingResult:
+    """What one dynamic-layout routing run produced."""
+
+    #: The coupling-legal circuit (native 1q gates + oriented CNOTs).
+    circuit: QuantumCircuit
+    #: Final layout as ``{input wire -> output wire}``: the state that
+    #: entered on wire ``v`` leaves the routed circuit on wire
+    #: ``output_permutation[v]``.  Identity entries are omitted, so an
+    #: empty dict means the layout ended where it started.
+    output_permutation: Dict[int, int] = field(default_factory=dict)
+    #: SWAPs inserted (each expands to 3 CNOTs plus orientation fixes).
+    swap_count: int = 0
+
+
+def route_sabre(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap,
+    extended_set_size: int = EXTENDED_SET_SIZE,
+    decay: float = EXTENDED_SET_DECAY,
+) -> RoutingResult:
+    """Route an expanded (1q + CNOT) circuit with a moving layout.
+
+    ``circuit`` must already be placed on physical wires and expanded to
+    single-qubit gates plus CNOTs (the output of
+    :func:`repro.backend.mapper.expand_to_library`).  Wires are tracked
+    from the identity layout; the returned permutation says where each
+    input wire's state ended up.
+    """
+    num_qubits = circuit.num_qubits
+    if num_qubits > coupling_map.num_qubits:
+        raise SynthesisError(
+            f"cannot route {num_qubits} wires on "
+            f"{coupling_map.num_qubits}-qubit {coupling_map.name}"
+        )
+    # layout[v] = physical wire currently holding input-wire v's state;
+    # holder[p] = the input wire whose state physical wire p holds.
+    layout = list(range(coupling_map.num_qubits))
+    holder = list(range(coupling_map.num_qubits))
+    gates: List[Gate] = []
+    swap_count = 0
+    program = list(circuit)
+
+    def apply_swap(a: int, b: int) -> None:
+        """Emit SWAP(a, b) as native gates and move the layout."""
+        nonlocal swap_count
+        gates.extend(swap_gates(a, b, coupling_map))
+        swap_count += 1
+        u, w = holder[a], holder[b]
+        holder[a], holder[b] = w, u
+        layout[u], layout[w] = b, a
+
+    def extended_set(start: int) -> List[Tuple[int, int]]:
+        """Operand pairs of the next few CNOTs after ``start``."""
+        pairs: List[Tuple[int, int]] = []
+        stop = min(len(program), start + _LOOKAHEAD_WINDOW)
+        for index in range(start, stop):
+            gate = program[index]
+            if gate.name == "CNOT":
+                pairs.append((gate.qubits[0], gate.qubits[1]))
+                if len(pairs) >= extended_set_size:
+                    break
+        return pairs
+
+    def score_swap(
+        a: int, b: int, control: int, target: int,
+        lookahead: List[Tuple[int, int]],
+    ) -> float:
+        """Heuristic cost of the layout after SWAP(a, b): front-gate
+        distance plus the decayed distances of upcoming CNOTs."""
+
+        def pos(v: int) -> int:
+            p = layout[v]
+            if p == a:
+                return b
+            if p == b:
+                return a
+            return p
+
+        def dist(x: int, y: int) -> float:
+            d = coupling_map.distance(pos(x), pos(y))
+            # Disconnected pairs surface later as routing errors; here
+            # they simply cannot attract the layout.
+            return float(coupling_map.num_qubits * 2 if d is None else d)
+
+        total = dist(control, target)
+        weight = 1.0
+        for c, t in lookahead:
+            weight *= decay
+            total += weight * dist(c, t)
+        return total
+
+    for index, gate in enumerate(program):
+        if gate.name != "CNOT":
+            if gate.num_qubits > 1:
+                raise SynthesisError(
+                    f"unexpected multi-qubit gate {gate} during routing"
+                )
+            q = gate.qubits[0]
+            gates.append(intern_gate(gate.name, (layout[q],), gate.params))
+            continue
+        control, target = gate.qubits
+        lookahead: Optional[List[Tuple[int, int]]] = None
+        while True:
+            pc, pt = layout[control], layout[target]
+            if coupling_map.coupled(pc, pt):
+                gates.extend(orient_cnot(pc, pt, coupling_map))
+                break
+            distance = coupling_map.distance(pc, pt)
+            if distance is None:
+                raise SynthesisError(
+                    f"no SWAP path between q{pc} and q{pt} on "
+                    f"{coupling_map.name}: qubits lie in disconnected "
+                    f"components"
+                )
+            if lookahead is None:
+                lookahead = extended_set(index + 1)
+            best: Optional[Tuple[float, int, int]] = None
+            seen: Set[Tuple[int, int]] = set()
+            for endpoint in (pc, pt):
+                for neighbor in coupling_map.neighbors(endpoint):
+                    a, b = min(endpoint, neighbor), max(endpoint, neighbor)
+                    if (a, b) in seen:
+                        continue
+                    seen.add((a, b))
+
+                    def through(wire: int) -> int:
+                        if wire == a:
+                            return b
+                        if wire == b:
+                            return a
+                        return wire
+
+                    after = coupling_map.distance(through(pc), through(pt))
+                    # Only swaps that strictly shorten the front gate's
+                    # route are admissible: this caps the CNOT at d-1
+                    # SWAPs (CTR pays 2(d-1)) and guarantees progress.
+                    if after is None or after >= distance:
+                        continue
+                    candidate = (
+                        score_swap(a, b, control, target, lookahead), a, b
+                    )
+                    if best is None or candidate < best:
+                        best = candidate
+            if best is None:
+                # Every neighbor stalls (possible only on adversarial
+                # directed maps); fall back to the BFS route's first hop.
+                path = coupling_map.shortest_path(pc, pt)
+                if path is None or len(path) < 2:
+                    raise SynthesisError(
+                        f"no SWAP path between q{pc} and q{pt} on "
+                        f"{coupling_map.name}"
+                    )
+                apply_swap(path[0], path[1])
+            else:
+                apply_swap(best[1], best[2])
+
+    permutation = {
+        v: layout[v]
+        for v in range(coupling_map.num_qubits)
+        if layout[v] != v
+    }
+    # Routing happens on device wires: even a narrow input circuit may
+    # leave states on higher physical wires, so the routed circuit is
+    # always device-wide.
+    routed = QuantumCircuit._trusted(
+        coupling_map.num_qubits, gates, name=circuit.name
+    )
+    return RoutingResult(
+        circuit=routed,
+        output_permutation=permutation,
+        swap_count=swap_count,
+    )
+
+
+def permutation_restore_gates(
+    output_permutation: Dict[int, int], num_qubits: int
+) -> List[Gate]:
+    """Wire-space SWAPs that undo ``output_permutation`` when appended.
+
+    The returned gates implement the *inverse* permutation: after the
+    routed circuit leaves input-wire ``v``'s state on wire ``π(v)``,
+    appending these SWAPs returns every state to its input wire.  They
+    are plain ``SWAP`` gates with no coupling-map legality — this tail
+    exists so the verifier can compare a permuted output against its
+    source (QMDD, dense, sparse and the classical prescreen all apply
+    ``SWAP`` natively); it is never emitted into a device circuit.  Use
+    :func:`routed_restore_gates` for a device-legal tail.
+    """
+    current = {
+        v: output_permutation.get(v, v) for v in range(num_qubits)
+    }
+    holder = {p: v for v, p in current.items()}
+    if len(holder) != num_qubits:
+        raise SynthesisError(
+            f"output permutation is not a bijection: {output_permutation}"
+        )
+    gates: List[Gate] = []
+    for v in range(num_qubits):
+        p = current[v]
+        if p == v:
+            continue
+        gates.append(SWAP(v, p))
+        displaced = holder[v]
+        current[v], current[displaced] = v, p
+        holder[v], holder[p] = v, displaced
+    return gates
+
+
+def routed_restore_gates(
+    output_permutation: Dict[int, int], coupling_map: CouplingMap
+) -> List[Gate]:
+    """A device-legal uncompute tail for ``output_permutation``.
+
+    Selection-sorts the layout home one wire at a time; each
+    transposition of two (possibly distant) wires is realized CTR-style
+    — swap along the coupling route to adjacency, swap, swap back — so
+    only the two intended states move and every SWAP sits on a coupled
+    edge.  This is the ``restore_layout=True`` escape hatch for
+    consumers that need wire identity on hardware; it typically costs
+    more than the permutation was worth, which is why the default path
+    reports the permutation instead.
+    """
+    current = {
+        v: output_permutation.get(v, v)
+        for v in range(coupling_map.num_qubits)
+    }
+    holder = {p: v for v, p in current.items()}
+    gates: List[Gate] = []
+    for v in range(coupling_map.num_qubits):
+        p = current[v]
+        if p == v:
+            continue
+        gates.extend(_transposition_gates(v, p, coupling_map))
+        displaced = holder[v]
+        current[v], current[displaced] = v, p
+        holder[v], holder[p] = v, displaced
+    return gates
+
+
+def _transposition_gates(
+    x: int, y: int, coupling_map: CouplingMap
+) -> List[Gate]:
+    """Exchange the states of wires ``x`` and ``y`` (only) using SWAPs
+    on coupled edges: route to adjacency, swap, route back."""
+    path = coupling_map.shortest_path(x, y)
+    if path is None:
+        raise SynthesisError(
+            f"cannot restore layout: q{x} and q{y} are disconnected on "
+            f"{coupling_map.name}"
+        )
+    gates: List[Gate] = []
+    forward = list(zip(path, path[1:]))[:-1]
+    for a, b in forward:
+        gates.extend(swap_gates(a, b, coupling_map))
+    gates.extend(swap_gates(path[-2], path[-1], coupling_map))
+    for a, b in reversed(forward):
+        gates.extend(swap_gates(a, b, coupling_map))
+    return gates

@@ -122,6 +122,8 @@ def job_cache_key(
         "known_zero={}".format(
             ",".join(map(str, sorted(options.get("known_zero", ()) or ())))
         ),
+        f"route={options.get('route', 'ctr')}",
+        f"restore_layout={options.get('restore_layout', False)}",
     )
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 

@@ -96,6 +96,8 @@ _KNOWN_OPTIONS = frozenset(
         "strict",
         "trace",
         "known_zero",
+        "route",
+        "restore_layout",
     }
 )
 

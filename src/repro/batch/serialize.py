@@ -30,7 +30,10 @@ from ..verify.equivalence import VerificationReport
 #: :mod:`repro.obs.trace`), so a profiled compile survives the cache.
 #: v4: added the optional ``dataflow`` facts dict (known-zero wires,
 #: constant-propagation stats, exit basis facts).
-PAYLOAD_VERSION = 4
+#: v5: added the routing metadata (``route`` strategy and the
+#: ``output_permutation`` left by dynamic-layout routing) — without it
+#: a cached sabre result would replay as an unpermuted circuit.
+PAYLOAD_VERSION = 5
 
 
 def circuit_to_payload(circuit: QuantumCircuit) -> Dict:
@@ -92,6 +95,10 @@ def result_to_payload(result: CompilationResult) -> Dict:
         "verification": verification,
         "synthesis_seconds": result.synthesis_seconds,
         "placement": {str(k): v for k, v in result.placement.items()},
+        "output_permutation": {
+            str(k): v for k, v in result.output_permutation.items()
+        },
+        "route": result.route,
         "diagnostics": result.diagnostics.to_payload(),
         "trace": result.trace,
         "dataflow": result.dataflow,
@@ -120,6 +127,11 @@ def result_from_payload(payload: Dict) -> Optional[CompilationResult]:
         verification=verification,
         synthesis_seconds=payload["synthesis_seconds"],
         placement={int(k): v for k, v in payload.get("placement", {}).items()},
+        output_permutation={
+            int(k): v
+            for k, v in payload.get("output_permutation", {}).items()
+        },
+        route=payload.get("route", "ctr"),
         diagnostics=DiagnosticReport.from_payload(
             payload.get("diagnostics", ())
         ),

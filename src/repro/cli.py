@@ -76,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--mcx-mode", default="barenco",
                              choices=["barenco", "relative_phase"],
                              help="generalized-Toffoli lowering strategy")
+    compile_cmd.add_argument("--route", default="ctr",
+                             choices=["ctr", "sabre"],
+                             help="CNOT legalization: the paper's CTR "
+                                  "(swap there and back, default) or the "
+                                  "dynamic-layout sabre router (fewer SWAPs; "
+                                  "output wires end permuted, see "
+                                  "docs/performance.md)")
+    compile_cmd.add_argument("--restore-layout", action="store_true",
+                             help="with --route sabre: append the uncompute "
+                                  "SWAP tail so wires keep their identity")
     compile_cmd.add_argument("--strict", action="store_true",
                              help="fail the compile on any stage-contract "
                                   "diagnostic (see `repro lint`)")
@@ -133,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--verify-strategy", dest="verify_strategy",
                       default="miter", choices=["miter", "two_sided"],
                       help="QMDD oracle build strategy (default miter)")
+    fuzz.add_argument("--route", default=None, choices=["ctr", "sabre"],
+                      help="pin the routing axis to one strategy "
+                           "(default: the campaign sweeps both)")
     fuzz.add_argument("--corpus-dir", default=None,
                       help="save shrunk findings to this regression corpus "
                            "directory (e.g. tests/corpus)")
@@ -256,6 +269,8 @@ def cmd_compile(args) -> int:
         "verify_strategy": args.verify_strategy,
         "placement": args.placement,
         "mcx_mode": args.mcx_mode,
+        "route": args.route,
+        "restore_layout": args.restore_layout,
         "strict": args.strict,
         "trace": tracing,
     }
@@ -716,6 +731,7 @@ def cmd_fuzz(args) -> int:
         workers=args.workers,
         timeout=args.timeout,
         verify_strategy=args.verify_strategy,
+        route=args.route,
     )
     report = run_fuzz(
         config,

@@ -18,7 +18,7 @@ from .analysis.diagnostics import DiagnosticReport
 from .core.circuit import QuantumCircuit
 from .core.cost import CircuitMetrics, CostFunction
 from .devices.device import Device, get_device
-from .backend.mapper import identity_placement, map_circuit
+from .backend.mapper import identity_placement, map_circuit_outcome
 from .obs import NULL_TRACER, Tracer, get_metrics
 from .optimize.local import LocalOptimizer
 from .verify.equivalence import VerificationReport, require_equivalent
@@ -40,6 +40,16 @@ class CompilationResult:
     verification: Optional[VerificationReport]
     synthesis_seconds: float
     placement: Dict[int, int] = field(default_factory=dict)
+    #: Final wire permutation ``{input wire -> output wire}`` left by
+    #: dynamic-layout routing (``route="sabre"``): the state that
+    #: entered physical wire ``v`` leaves :attr:`optimized` on wire
+    #: ``output_permutation[v]``.  Empty for the CTR route (which swaps
+    #: everything back) and under ``restore_layout=True``.  Verification
+    #: already accounts for it; consumers reading output wires must
+    #: apply it.
+    output_permutation: Dict[int, int] = field(default_factory=dict)
+    #: Routing strategy that produced the mapping (``"ctr"``/``"sabre"``).
+    route: str = "ctr"
     #: Stage-contract findings recorded during this compile (empty when
     #: everything conformed or analysis was disabled).
     diagnostics: DiagnosticReport = field(default_factory=DiagnosticReport)
@@ -102,6 +112,8 @@ def compile_circuit(
     trace: bool = False,
     tracer: Optional[Tracer] = None,
     known_zero: Iterable[int] = (),
+    route: str = "ctr",
+    restore_layout: bool = False,
 ) -> CompilationResult:
     """Compile a technology-independent circuit for ``device``.
 
@@ -142,6 +154,16 @@ def compile_circuit(
     may delete routing/decomposition gates that are provably inert on
     that subspace) and to verification, which then checks equivalence
     restricted to the same subspace.  Without facts this costs nothing.
+
+    ``route`` selects CNOT legalization: ``"ctr"`` (the paper's
+    Connectivity-Tree Reroute — every distant CNOT swaps there and
+    back, wires keep their identity) or ``"sabre"`` (dynamic-layout
+    routing — about half the SWAPs, but the output wires end permuted;
+    the permutation is recorded on
+    :attr:`CompilationResult.output_permutation` and verification
+    composes its inverse into the equivalence check).  With
+    ``restore_layout=True`` the sabre path appends the device-legal
+    uncompute SWAP tail instead, for consumers that need wire identity.
     """
     if isinstance(device, str):
         device = get_device(device)
@@ -182,14 +204,18 @@ def compile_circuit(
             with t.span("analyze.input"):
                 contracts.check("input", circuit)
         with t.span("map") as map_span:
-            unoptimized = map_circuit(
+            mapping = map_circuit_outcome(
                 circuit,
                 device,
                 placement,
                 mcx_mode=mcx_mode,
                 contracts=contracts,
                 tracer=tracer,
+                route=route,
+                restore_layout=restore_layout,
             )
+            unoptimized = mapping.unoptimized
+            output_permutation = mapping.output_permutation
             map_span.set(gates_out=len(unoptimized))
         if contracts is not None:
             with t.span("analyze.mapped"):
@@ -246,6 +272,7 @@ def compile_circuit(
                     up_to_global_phase=phase_free,
                     strategy=verify_strategy,
                     known_zero=physical_zero,
+                    output_permutation=output_permutation,
                 )
                 verify_span.set(
                     method=report.method, equivalent=report.equivalent
@@ -290,6 +317,8 @@ def compile_circuit(
         verification=report,
         synthesis_seconds=elapsed,
         placement=placement,
+        output_permutation=output_permutation,
+        route=route,
         diagnostics=(
             contracts.report if contracts is not None else DiagnosticReport()
         ),

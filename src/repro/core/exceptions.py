@@ -98,8 +98,31 @@ class NotSynthesizableError(SynthesisError):
     This corresponds to the ``N/A`` entries in the paper's Tables 3 and 5:
     either the circuit needs more qubits than the device provides, or a
     generalized Toffoli gate cannot be decomposed because no ancilla
-    (work) qubits are available on the device.
+    (work) qubits are available (or coupling-connected, ``REPRO302``)
+    on the device.
+
+    Like :class:`ParseError`, the failure can carry a stable diagnostic
+    ``code`` and a location (the offending ``gate_index``) so tooling
+    surfaces it as a located diagnostic instead of a bare traceback.
     """
+
+    def __init__(self, message, code=None, gate_index=None):
+        super().__init__(message)
+        self.code = code or "REPRO300"
+        self.gate_index = gate_index
+
+    @property
+    def diagnostic(self):
+        """This failure as a :class:`repro.analysis.Diagnostic`."""
+        from ..analysis.diagnostics import Diagnostic, Severity
+
+        return Diagnostic(
+            code=self.code,
+            severity=Severity.ERROR,
+            message=str(self),
+            stage="lower",
+            gate_index=self.gate_index,
+        )
 
 
 class JobTimeoutError(ReproError):

@@ -108,6 +108,7 @@ COST_VARIANTS: Dict[str, Optional[CostFunction]] = {
 
 _MCX_MODES = ("barenco", "relative_phase")
 _PLACEMENTS = ("identity", "greedy")
+_ROUTES = ("ctr", "sabre")
 
 #: Failure classes the harness does NOT report: expected rejections and
 #: batch-engine fault handling (reported separately via BatchReport).
@@ -148,6 +149,10 @@ class FuzzConfig:
     qmdd_width_limit: int = 24
     #: QMDD build strategy for the oracle ("miter" or "two_sided").
     verify_strategy: str = "miter"
+    #: Pin the routing axis to one strategy ("ctr"/"sabre"); ``None``
+    #: (the default) lets every case draw its router like any other
+    #: option axis, so the differential oracle covers both.
+    route: Optional[str] = None
     shrink_seconds: float = 20.0
     batch_size: int = 8
 
@@ -247,21 +252,29 @@ class FuzzReport:
         return ", ".join(parts)
 
 
-def _case_options(rng: random.Random) -> Dict[str, str]:
+def _case_options(
+    rng: random.Random, route: Optional[str] = None
+) -> Dict[str, str]:
     """Draw one option vector (as corpus-storable names)."""
     return {
         "cost": rng.choice(sorted(COST_VARIANTS)),
         "mcx_mode": rng.choice(_MCX_MODES),
         "placement": rng.choice(_PLACEMENTS),
+        "route": route if route is not None else rng.choice(_ROUTES),
     }
 
 
 def resolve_options(named: Dict[str, str]) -> Dict:
-    """Expand a corpus-storable option vector into compile options."""
+    """Expand a corpus-storable option vector into compile options.
+
+    Corpus entries predating an axis replay with its default (e.g.
+    ``route="ctr"``), so old findings keep reproducing bit-identically.
+    """
     options: Dict = {
         "verify": False,
         "mcx_mode": named.get("mcx_mode", "barenco"),
         "placement": named.get("placement", "identity"),
+        "route": named.get("route", "ctr"),
     }
     cost = COST_VARIANTS.get(named.get("cost", "default"))
     if cost is not None:
@@ -293,6 +306,7 @@ def oracle_check(
         samples=samples,
         seed=seed,
         strategy=strategy,
+        output_permutation=result.output_permutation,
     )
 
 
@@ -400,7 +414,7 @@ def run_fuzz(
                 ]
                 if not eligible:
                     continue
-                named = _case_options(master)
+                named = _case_options(master, route=config.route)
                 device_name = master.choice(sorted(eligible))
                 batch.append({
                     "case_seed": case_seed,

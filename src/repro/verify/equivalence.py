@@ -44,7 +44,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable, Optional
 import numpy as np
 
 from ..core.circuit import QuantumCircuit
@@ -100,6 +100,7 @@ def verify_equivalent(
     pool: bool = True,
     known_zero: Iterable[int] = (),
     prescreen: bool = True,
+    output_permutation: Optional[Dict[int, int]] = None,
     _recheck: bool = False,
 ) -> VerificationReport:
     """Check that ``mapped`` implements ``original`` (ancilla wires must
@@ -125,11 +126,38 @@ def verify_equivalent(
     pre-screen compares exact truth tables *before any QMDD is built*:
     disagreement is an immediate NO with a witness input, agreement is a
     proof (the permutation is the circuit's full semantics).  Pass
-    ``prescreen=False`` to force the QMDD path."""
+    ``prescreen=False`` to force the QMDD path.
+
+    ``output_permutation`` declares that ``mapped`` ends with its wires
+    permuted — dynamic-layout routing (``route="sabre"``) leaves input
+    wire ``v``'s state on wire ``output_permutation[v]`` instead of
+    spending SWAPs to restore it.  The check composes the *inverse*
+    permutation into ``mapped`` (as a wire-space SWAP tail), so every
+    path — miter, two-sided, prescreen, dense, sampled, subspace — sees
+    both circuits in the same wire basis and ``known_zero`` facts keep
+    their input-wire meaning."""
     if strategy not in VERIFY_STRATEGIES:
         raise VerificationError(
             f"unknown verification strategy {strategy!r} "
             f"(expected one of {', '.join(VERIFY_STRATEGIES)})"
+        )
+    if output_permutation and any(
+        v != p for v, p in output_permutation.items()
+    ):
+        # Undo the routing permutation inside the comparison: append the
+        # inverse-permutation SWAP tail to the mapped circuit.  SWAP is
+        # native to every verification backend (QMDD apply, dense
+        # matrices, sparse simulation, the classical prescreen), so all
+        # downstream paths stay unchanged.
+        from ..backend.router import permutation_restore_gates
+
+        tail = permutation_restore_gates(
+            output_permutation, mapped.num_qubits
+        )
+        mapped = QuantumCircuit(
+            mapped.num_qubits,
+            list(mapped.gates) + tail,
+            name=mapped.name,
         )
     # Wires beyond the last touched qubit are identity in both circuits, so
     # verification can run on the narrower effective register.

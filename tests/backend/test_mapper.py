@@ -115,6 +115,64 @@ class TestMapCircuit:
         assert mapped.gates == (H(0), T(1), X(0))
 
 
+class TestDirtyAncillaConnectivity:
+    """An MCX may only borrow ancillas the coupling graph can actually
+    route into its V-chain; disconnected free qubits must surface as a
+    located REPRO302, not a downstream routing crash."""
+
+    @staticmethod
+    def _fragmented_device():
+        from repro.devices import CouplingMap, Device
+
+        # {0,1,2,3} form a chain; {4,5} are an island.  An MCX on 0..3
+        # sees two free qubits, both unreachable from its target.
+        return Device(
+            name="frag6",
+            coupling_map=CouplingMap(
+                6, {0: [1], 1: [2], 2: [3], 4: [5]}, name="frag6"
+            ),
+        )
+
+    def test_disconnected_ancilla_raises_located_repro302(self):
+        device = self._fragmented_device()
+        c = QuantumCircuit(4, [H(0), MCX(0, 1, 2, 3)])
+        with pytest.raises(NotSynthesizableError) as excinfo:
+            lower_mcx_for_device(c.widened(6), device)
+        error = excinfo.value
+        assert error.code == "REPRO302"
+        assert error.gate_index == 1
+        diagnostic = error.diagnostic
+        assert diagnostic.code == "REPRO302"
+        assert diagnostic.gate_index == 1
+        assert "connected" in str(error)
+
+    def test_connected_ancilla_is_still_borrowed(self):
+        """Same device, but the gate sits on the island's far side so the
+        chain's spare qubit is reachable: lowering must succeed."""
+        from repro.devices import CouplingMap, Device
+
+        device = Device(
+            name="chain6",
+            coupling_map=CouplingMap(
+                6, {0: [1], 1: [2], 2: [3], 3: [4], 4: [5]}, name="chain6"
+            ),
+        )
+        c = QuantumCircuit(4, [MCX(0, 1, 2, 3)]).widened(6)
+        lowered = lower_mcx_for_device(c, device)
+        assert all(g.name == "TOFFOLI" for g in lowered)
+
+    def test_default_code_is_repro300(self):
+        error = NotSynthesizableError("too wide")
+        assert error.code == "REPRO300"
+        assert error.diagnostic.code == "REPRO300"
+
+    def test_codes_are_in_the_catalog(self):
+        from repro.analysis.diagnostics import CODE_CATALOG
+
+        assert "REPRO300" in CODE_CATALOG
+        assert "REPRO302" in CODE_CATALOG
+
+
 class TestConformanceChecker:
     def test_flags_illegal_direction(self):
         c = QuantumCircuit(5, [CNOT(1, 0)])  # qx2 allows only 0->1

@@ -126,6 +126,93 @@ class TestRefinePlacement:
         assert len(set(refined.values())) == 4
 
 
+def _refine_naive(placement, circuit, device, max_passes=10):
+    """The pre-optimization hill climb: identical move order and
+    acceptance rule, but every candidate rescores the full weights dict.
+    The incremental implementation must be bit-identical to this."""
+    weights = interaction_graph(circuit)
+    current = dict(placement)
+    logicals = list(current)
+    free = [q for q in range(device.num_qubits) if q not in current.values()]
+    best_cost = placement_cost(current, weights, device)
+    for _ in range(max_passes):
+        improved = False
+        for i in range(len(logicals)):
+            for j in range(i + 1, len(logicals)):
+                a, b = logicals[i], logicals[j]
+                current[a], current[b] = current[b], current[a]
+                cost = placement_cost(current, weights, device)
+                if cost < best_cost:
+                    best_cost = cost
+                    improved = True
+                else:
+                    current[a], current[b] = current[b], current[a]
+        for a in logicals:
+            for index, spare in enumerate(free):
+                old_physical = current[a]
+                current[a] = spare
+                cost = placement_cost(current, weights, device)
+                if cost < best_cost:
+                    best_cost = cost
+                    free[index] = old_physical
+                    improved = True
+                else:
+                    current[a] = old_physical
+        if not improved:
+            break
+    return current
+
+
+class TestIncrementalRefineIsExact:
+    """The delta-scored refine loop must accept exactly the moves the
+    naive full-rescore loop accepts (contributions are integer-valued,
+    so the running total cannot drift)."""
+
+    def test_matches_naive_on_chatty_pair(self, chatty_pair_circuit):
+        device = linear_device(8)
+        seed = {0: 0, 1: 1, 2: 2, 3: 7}
+        assert refine_placement(
+            seed, chatty_pair_circuit, device
+        ) == _refine_naive(seed, chatty_pair_circuit, device)
+
+    def test_matches_naive_on_dense_workload(self):
+        """Deterministic all-pairs-ish traffic over 10 logicals on a
+        16-qubit chain: many candidate moves, many accepted ones."""
+        gates = []
+        for step in range(4):
+            for q in range(10):
+                partner = (q * 3 + 1 + step) % 10
+                if partner != q:
+                    gates.append(CNOT(q, partner))
+        circuit = QuantumCircuit(10, gates)
+        device = linear_device(16)
+        seed = greedy_placement(circuit, device)
+        assert refine_placement(seed, circuit, device) == _refine_naive(
+            seed, circuit, device
+        )
+
+    def test_matches_naive_with_disconnected_pairs(self):
+        """Fragmented coupling: infinite-cost placements must be handled
+        identically (the incremental loop tracks disconnected pairs by
+        count, not by adding infinities)."""
+        from repro.devices import CouplingMap, Device
+
+        device = Device(
+            name="frag8",
+            coupling_map=CouplingMap(
+                8, {0: [1], 1: [2], 2: [3], 4: [5], 5: [6], 6: [7]},
+                name="frag8",
+            ),
+        )
+        circuit = QuantumCircuit(
+            4, [CNOT(0, 1)] * 3 + [CNOT(1, 2), CNOT(2, 3), CNOT(0, 3)]
+        )
+        seed = {0: 0, 1: 3, 2: 4, 3: 7}  # straddles both fragments
+        assert refine_placement(seed, circuit, device) == _refine_naive(
+            seed, circuit, device
+        )
+
+
 class TestChoosePlacement:
     def test_identity(self):
         c = QuantumCircuit(3)

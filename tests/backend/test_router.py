@@ -1,0 +1,314 @@
+"""Dynamic-layout (sabre-style) router tests.
+
+Covers the routing loop itself (unidirectional, fragmented and library
+coupling maps), the permutation bookkeeping and both restore tails, the
+compiler integration (``route="sabre"`` end to end, both QMDD build
+strategies, corpus replay), and the adversarial leg: an injected
+mapper miscompile must still be caught by the permutation-aware
+verifier — reporting a permutation must never mask a real routing bug.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QuantumCircuit, VerificationError, compile_circuit
+from repro.backend import (
+    map_circuit_outcome,
+    permutation_restore_gates,
+    route_sabre,
+    routed_restore_gates,
+)
+from repro.backend.mapper import check_conformance
+from repro.core import CNOT, H, SynthesisError, T, TOFFOLI
+from repro.devices import (
+    CouplingMap,
+    PAPER_DEVICES,
+    PROPOSED96,
+    SIMULATOR,
+    linear_device,
+)
+from repro.verify import verify_equivalent
+
+
+def _with_restore_tail(routing, coupling_map) -> QuantumCircuit:
+    """The routed circuit with its wire-space uncompute tail appended —
+    unitary-comparable against the unrouted source."""
+    tail = permutation_restore_gates(
+        routing.output_permutation, coupling_map.num_qubits
+    )
+    return QuantumCircuit(
+        coupling_map.num_qubits, list(routing.circuit.gates) + tail
+    )
+
+
+class TestRouteSabre:
+    def test_adjacent_cnot_needs_no_swap(self):
+        device = linear_device(3)
+        routing = route_sabre(
+            QuantumCircuit(3, [CNOT(0, 1)]), device.coupling_map
+        )
+        assert routing.swap_count == 0
+        assert routing.output_permutation == {}
+
+    def test_distant_cnot_spends_distance_minus_one_swaps(self):
+        device = linear_device(5)
+        routing = route_sabre(
+            QuantumCircuit(5, [CNOT(0, 4)]), device.coupling_map
+        )
+        assert routing.swap_count == 3  # distance 4 -> 3 SWAPs, no way back
+        assert routing.output_permutation  # layout moved
+
+    def test_unidirectional_line_is_legal_and_correct(self):
+        """linear_device couplings point one way; every emitted CNOT must
+        sit on a directed edge and the unitary must match."""
+        device = linear_device(4)
+        circuit = QuantumCircuit(4, [CNOT(3, 0), H(1), CNOT(0, 2)])
+        routing = route_sabre(circuit, device.coupling_map)
+        assert check_conformance(routing.circuit, device) == []
+        restored = _with_restore_tail(routing, device.coupling_map)
+        assert np.allclose(restored.unitary(), circuit.unitary())
+
+    def test_fragmented_map_routes_within_component(self):
+        split = CouplingMap(4, {0: [1], 2: [3]}, name="split4")
+        routing = route_sabre(
+            QuantumCircuit(4, [CNOT(0, 1), CNOT(2, 3)]), split
+        )
+        assert routing.swap_count == 0
+
+    def test_fragmented_map_raises_across_components(self):
+        split = CouplingMap(4, {0: [1], 2: [3]}, name="split4")
+        with pytest.raises(SynthesisError, match="disconnected"):
+            route_sabre(QuantumCircuit(4, [CNOT(0, 2)]), split)
+
+    def test_rejects_multi_qubit_non_cnot(self):
+        device = linear_device(3)
+        with pytest.raises(SynthesisError, match="multi-qubit"):
+            route_sabre(
+                QuantumCircuit(3, [TOFFOLI(0, 1, 2)]), device.coupling_map
+            )
+
+    def test_single_qubit_gates_follow_the_moving_layout(self):
+        """A 1q gate after a layout move must land on the wire that now
+        holds its logical qubit's state."""
+        device = linear_device(5)
+        circuit = QuantumCircuit(5, [CNOT(0, 4), T(0)])
+        routing = route_sabre(circuit, device.coupling_map)
+        restored = _with_restore_tail(routing, device.coupling_map)
+        assert np.allclose(restored.unitary(), circuit.unitary())
+
+    def test_narrow_circuit_routes_onto_device_width(self):
+        """Routing can park states on wires above the input width; the
+        routed circuit is always device-wide."""
+        device = linear_device(6)
+        routing = route_sabre(
+            QuantumCircuit(3, [CNOT(0, 2)]), device.coupling_map
+        )
+        assert routing.circuit.num_qubits == 6
+
+    def test_permutation_matches_emitted_swaps(self):
+        """Replaying the emitted circuit's SWAP trail must reproduce the
+        reported permutation exactly."""
+        device = linear_device(5)
+        circuit = QuantumCircuit(
+            5, [CNOT(0, 4), CNOT(4, 1), CNOT(0, 1), H(2)]
+        )
+        routing = route_sabre(circuit, device.coupling_map)
+        restored = _with_restore_tail(routing, device.coupling_map)
+        assert np.allclose(restored.unitary(), circuit.unitary())
+
+
+class TestRestoreTails:
+    def test_wire_space_tail_inverts_permutation(self):
+        # Applying the permutation and then its restore tail must be the
+        # identity: state entering wire v leaves on wire permutation[v],
+        # and the tail sends it home.
+        permutation = {0: 2, 2: 1, 1: 0}
+        tail = permutation_restore_gates(permutation, 3)
+        composed = QuantumCircuit(
+            3, list(_permutation_gates(permutation, 3)) + tail
+        )
+        assert np.allclose(composed.unitary(), np.eye(8))
+
+    def test_identity_permutation_yields_no_gates(self):
+        assert permutation_restore_gates({}, 4) == []
+        assert permutation_restore_gates({1: 1, 3: 3}, 4) == []
+
+    def test_non_bijection_raises(self):
+        with pytest.raises(SynthesisError, match="bijection"):
+            permutation_restore_gates({0: 1, 2: 1}, 3)
+
+    def test_routed_tail_is_device_legal(self):
+        device = linear_device(5)
+        circuit = QuantumCircuit(5, [CNOT(0, 4)])
+        routing = route_sabre(circuit, device.coupling_map)
+        tail = routed_restore_gates(
+            routing.output_permutation, device.coupling_map
+        )
+        whole = QuantumCircuit(5, list(routing.circuit.gates) + tail)
+        assert check_conformance(whole, device) == []
+        assert np.allclose(whole.unitary(), circuit.unitary())
+
+    def test_routed_tail_raises_on_disconnected_restore(self):
+        split = CouplingMap(4, {0: [1], 2: [3]}, name="split4")
+        with pytest.raises(SynthesisError, match="disconnected"):
+            routed_restore_gates({0: 2, 2: 0}, split)
+
+
+def _permutation_gates(permutation, num_qubits):
+    """SWAPs realizing ``permutation`` (state on wire v moves to wire
+    permutation[v]) — the forward direction, for test composition."""
+    inverse = {p: v for v, p in permutation.items()}
+    return permutation_restore_gates(inverse, num_qubits)
+
+
+class TestMapperIntegration:
+    def test_sabre_outcome_carries_permutation(self):
+        circuit = QuantumCircuit(5, [CNOT(0, 4)])
+        outcome = map_circuit_outcome(
+            circuit, linear_device(5), route="sabre"
+        )
+        assert outcome.route == "sabre"
+        assert outcome.output_permutation
+        assert outcome.swap_count == 3
+
+    def test_ctr_outcome_has_empty_permutation(self):
+        circuit = QuantumCircuit(5, [CNOT(0, 4)])
+        outcome = map_circuit_outcome(circuit, linear_device(5), route="ctr")
+        assert outcome.route == "ctr"
+        assert outcome.output_permutation == {}
+
+    def test_restore_layout_clears_permutation_and_stays_legal(self):
+        device = linear_device(5)
+        circuit = QuantumCircuit(5, [CNOT(0, 4)])
+        outcome = map_circuit_outcome(
+            circuit, device, route="sabre", restore_layout=True
+        )
+        assert outcome.output_permutation == {}
+        assert check_conformance(outcome.unoptimized, device) == []
+        assert np.allclose(
+            outcome.unoptimized.unitary(), circuit.unitary()
+        )
+
+    def test_unknown_route_raises(self):
+        with pytest.raises(SynthesisError, match="route strategy"):
+            map_circuit_outcome(
+                QuantumCircuit(2, [CNOT(0, 1)]),
+                linear_device(2),
+                route="teleport",
+            )
+
+
+class TestEveryLibraryDevice:
+    """Both routing strategies on every registered device, with verdict
+    agreement through the permutation-aware verifier."""
+
+    CIRCUIT = QuantumCircuit(
+        4, [TOFFOLI(0, 1, 2), CNOT(3, 0), H(1), CNOT(2, 3)], name="spread"
+    )
+
+    @pytest.mark.parametrize(
+        "device", list(PAPER_DEVICES) + [SIMULATOR, PROPOSED96],
+        ids=lambda d: d.name,
+    )
+    def test_both_routes_compile_verify_and_agree(self, device):
+        results = {}
+        for route in ("ctr", "sabre"):
+            result = compile_circuit(self.CIRCUIT, device, route=route)
+            assert result.verification.equivalent, (device.name, route)
+            assert check_conformance(result.optimized, device) == []
+            results[route] = result
+        assert results["ctr"].output_permutation == {}
+        # Independent re-verification, permutation-aware on both:
+        for route, result in results.items():
+            report = verify_equivalent(
+                self.CIRCUIT.remapped(
+                    result.placement, num_qubits=device.num_qubits
+                ),
+                result.optimized,
+                output_permutation=result.output_permutation,
+            )
+            assert report.equivalent, (device.name, route)
+
+    @pytest.mark.parametrize("strategy", ["miter", "two_sided"])
+    def test_qmdd_strategies_agree_on_permuted_output(self, strategy):
+        device = PAPER_DEVICES[1]  # ibmqx3: 16q, forces multi-hop routes
+        result = compile_circuit(
+            self.CIRCUIT, device, route="sabre", verify=False
+        )
+        report = verify_equivalent(
+            self.CIRCUIT.remapped(
+                result.placement, num_qubits=device.num_qubits
+            ),
+            result.optimized,
+            output_permutation=result.output_permutation,
+            strategy=strategy,
+            prescreen=False,
+        )
+        assert report.method == "qmdd"
+        assert report.equivalent
+
+
+class TestVerifierStillCatchesBugs:
+    def test_injected_miscompile_is_caught_with_sabre(self, monkeypatch):
+        """The fault hook drops an entangling gate after routing; the
+        permutation-aware closing verification must refuse to sign it."""
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "miscompile:*")
+        circuit = QuantumCircuit(5, [CNOT(0, 4), CNOT(4, 1)], name="buggy")
+        with pytest.raises(VerificationError):
+            compile_circuit(circuit, linear_device(5), route="sabre")
+
+    def test_wrong_permutation_is_caught(self):
+        """Claiming the wrong output permutation must flip the verdict —
+        the permutation is part of the circuit's semantics."""
+        device = linear_device(5)
+        circuit = QuantumCircuit(5, [CNOT(0, 4)])
+        outcome = map_circuit_outcome(circuit, device, route="sabre")
+        wrong = dict(outcome.output_permutation)
+        keys = sorted(wrong)
+        wrong[keys[0]], wrong[keys[1]] = wrong[keys[1]], wrong[keys[0]]
+        report = verify_equivalent(
+            circuit, outcome.unoptimized, output_permutation=wrong
+        )
+        assert not report.equivalent
+
+
+class TestCorpusReplayWithSabre:
+    def test_sabre_entry_round_trips_and_replays(self, tmp_path):
+        """A corpus entry pinned to route=sabre must save, load and
+        replay as equivalent (the oracle is permutation-aware)."""
+        from repro.fuzz.corpus import (
+            CorpusEntry,
+            load_corpus,
+            replay_corpus,
+            save_entry,
+        )
+
+        entry = CorpusEntry(
+            kind="regression",
+            device="linear5",
+            options={
+                "cost": "default",
+                "mcx_mode": "barenco",
+                "placement": "identity",
+                "route": "sabre",
+            },
+            circuit=QuantumCircuit(5, [CNOT(0, 4), H(2), CNOT(4, 1)]),
+            detail="synthetic sabre cell",
+        )
+        save_entry(str(tmp_path), entry)
+        loaded = load_corpus(str(tmp_path))
+        assert len(loaded) == 1
+        assert loaded[0].options["route"] == "sabre"
+        outcomes = replay_corpus(str(tmp_path))
+        assert all(o.passed for o in outcomes), [
+            o.describe() for o in outcomes
+        ]
+
+    def test_legacy_entry_without_route_resolves_to_ctr(self):
+        from repro.fuzz.harness import resolve_options
+
+        options = resolve_options(
+            {"cost": "default", "mcx_mode": "barenco",
+             "placement": "identity"}
+        )
+        assert options["route"] == "ctr"

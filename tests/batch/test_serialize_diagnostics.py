@@ -1,4 +1,4 @@
-"""Diagnostics must survive the batch cache's JSON round-trip (payload v4)."""
+"""Diagnostics must survive the batch cache's JSON round-trip (payload v5)."""
 
 from repro.analysis import Diagnostic, DiagnosticReport
 from repro.batch.serialize import (
@@ -17,8 +17,8 @@ def _result():
     return compile_circuit(circuit, get_device("ibmqx4"), verify=False)
 
 
-def test_payload_version_is_four():
-    assert PAYLOAD_VERSION == 4
+def test_payload_version_is_five():
+    assert PAYLOAD_VERSION == 5
 
 
 def test_round_trip_preserves_dataflow_payload():

@@ -300,4 +300,4 @@ class TestObservability:
         err = capsys.readouterr().err
         assert "timing: generate" in err
         assert "metrics:" in err
-        assert "verify.qmdd_checks" in err
+        assert "verify.prescreen.checks" in err

@@ -131,15 +131,18 @@ class TestVerificationCatchesBugs:
         """If mapping were broken, verification must catch it."""
         import repro.compiler as compiler_module
 
-        original_map = compiler_module.map_circuit
+        original_map = compiler_module.map_circuit_outcome
 
         def broken_map(circuit, device, placement=None, **kwargs):
-            mapped = original_map(circuit, device, placement, **kwargs)
-            sabotaged = mapped.copy()
+            outcome = original_map(circuit, device, placement, **kwargs)
+            sabotaged = outcome.unoptimized.copy()
             sabotaged.append(Gate("X", (0,)))
-            return sabotaged
+            outcome.unoptimized = sabotaged
+            return outcome
 
-        monkeypatch.setattr(compiler_module, "map_circuit", broken_map)
+        monkeypatch.setattr(
+            compiler_module, "map_circuit_outcome", broken_map
+        )
         c = QuantumCircuit(3, [TOFFOLI(0, 1, 2)])
         with pytest.raises(VerificationError):
             compile_circuit(c, IBMQX4)

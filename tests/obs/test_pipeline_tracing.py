@@ -66,7 +66,7 @@ def test_fuzz_report_has_phase_timing_and_metrics():
     # Every oracle check is settled either by a QMDD build or by the
     # abstract-permutation prescreen (classical pairs never reach QMDD).
     settled = (
-        counters["verify.qmdd_checks"]
+        counters.get("verify.qmdd_checks", 0)
         + counters.get("verify.prescreen.proofs", 0)
         + counters.get("verify.prescreen.rejects", 0)
     )
