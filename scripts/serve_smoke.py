@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""CI smoke for the ``repro serve`` daemon.
+
+Boots a real daemon subprocess on an ephemeral port, fires two
+identical concurrent waves of mixed compile requests through
+:class:`repro.serve.client.ServeClient`, and asserts the contract the
+service documents:
+
+* every request in both waves answers 200 with a v5 result payload,
+* the second wave is served >= 90% from the shared warm cache (and the
+  ``/metrics`` per-scrape delta agrees),
+* SIGTERM drains and exits 0, printing the drained summary.
+
+Exit status is nonzero on any violated assertion, so this file can run
+directly as a CI step::
+
+    python scripts/serve_smoke.py
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+BELL = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+"""
+
+TOFFOLI = """.v a b c
+.i a b c
+tof a b c
+"""
+
+#: (source, format, device, options) cells — mixed formats, devices,
+#: and option sets so the waves exercise distinct cache keys.
+WORKLOAD = [
+    (BELL, "qasm", "ibmqx4", {}),
+    (BELL, "qasm", "ibmqx5", {}),
+    (BELL, "qasm", "ibmqx4", {"route": "sabre"}),
+    (TOFFOLI, "qc", "ibmqx4", {}),
+    (TOFFOLI, "qc", "ibmqx3", {"verify": "qmdd"}),
+]
+
+ANNOUNCE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def fire_wave(client, n):
+    cells = [WORKLOAD[i % len(WORKLOAD)] for i in range(n)]
+
+    def one(indexed):
+        index, (source, fmt, device, options) = indexed
+        return client.compile(
+            source, device=device, fmt=fmt,
+            name=f"cell{index % len(WORKLOAD)}", options=options,
+        )
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        return list(pool.map(one, enumerate(cells)))
+
+
+def main():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "4", "--queue-depth", "64"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    try:
+        line = process.stdout.readline()
+        match = ANNOUNCE.search(line)
+        assert match, f"no announce line: {line!r}"
+        client = ServeClient(host=match.group(1), port=int(match.group(2)))
+        client.wait_ready(timeout=20.0)
+
+        first = fire_wave(client, 50)
+        assert all(r["ok"] for r in first), "first wave had failures"
+        assert all(r["result"]["version"] == 5 for r in first)
+        client.metrics()  # close the cold window
+
+        second = fire_wave(client, 50)
+        assert all(r["ok"] for r in second), "second wave had failures"
+        warm = sum(1 for r in second if r["from_cache"]) / len(second)
+        assert warm >= 0.9, f"second wave only {warm:.0%} warm"
+        scrape = client.metrics()
+        assert scrape["cache"]["hit_rate"] >= 0.9, scrape["cache"]
+        assert scrape["cache"]["stores"] == 0, scrape["cache"]
+        print(f"serve smoke: wave 2 warm rate {warm:.0%}, "
+              f"/metrics delta hit_rate {scrape['cache']['hit_rate']:.2f}")
+
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=60)
+        output = process.stdout.read()
+        assert "repro serve: drained" in output, output
+        assert code == 0, f"SIGTERM exit code {code}"
+        print("serve smoke: clean SIGTERM drain, exit 0")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+        process.stdout.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ import glob
 import hashlib
 import json
 import os
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, Optional
@@ -131,13 +132,20 @@ def job_cache_key(
 class CompilationCache:
     """Two-tier (memory LRU + optional disk) store of compilation results.
 
-    Thread-/process-safety model: the cache lives in the *coordinating*
-    process only — workers never touch it.  Disk writes go through a
-    temp-file rename so concurrent coordinators at worst recompute.
+    Thread-/process-safety model: the cache is **thread-safe** — an
+    :class:`~threading.RLock` guards the memory ``OrderedDict`` and
+    every counter, so a threaded coordinator (``repro serve``) can share
+    one warm cache across concurrent requests without losing entries or
+    corrupting the LRU order.  Disk I/O happens *outside* the lock
+    (reads and writes never serialize each other); disk writes go
+    through a temp-file rename so concurrent writers — threads or whole
+    processes sharing one directory — at worst recompute.
     """
 
     #: Disk stores between amortized eviction sweeps (when
-    #: ``max_disk_entries`` is set).
+    #: ``max_disk_entries`` is set).  Over-budget detection does not
+    #: wait for this: the observed on-disk count is extrapolated per
+    #: write and a sweep triggers as soon as it crosses the cap.
     _EVICT_EVERY = 32
 
     def __init__(
@@ -154,6 +162,7 @@ class CompilationCache:
         self.directory = directory
         self.max_disk_entries = max_disk_entries
         self._memory: "OrderedDict[str, CompilationResult]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.memory_hits = 0
@@ -161,6 +170,11 @@ class CompilationCache:
         self.stores = 0
         self.disk_writes = 0
         self.disk_evictions = 0
+        #: On-disk entry count at the last observation (glob), plus the
+        #: writes this instance has made since — the estimate that
+        #: triggers an eviction sweep the moment the cap is crossed.
+        self._disk_observed = 0
+        self._writes_since_observe = 0
         self.temp_files_swept = self._sweep_stale_temps()
         if self.max_disk_entries is not None:
             self._evict_disk()
@@ -171,45 +185,62 @@ class CompilationCache:
         """Cached result for ``key``, or ``None`` (miss / uncacheable)."""
         if key is None:
             return None
-        result = self._memory.get(key)
-        if result is not None:
-            self._memory.move_to_end(key)
-            self.hits += 1
-            self.memory_hits += 1
-            return result
-        result = self._disk_get(key)
-        if result is not None:
-            self.hits += 1
-            self.disk_hits += 1
-            self._memory_put(key, result)
-            return result
-        self.misses += 1
-        return None
+        with self._lock:
+            result = self._memory.get(key)
+            if result is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                self.memory_hits += 1
+                return result
+        result = self._disk_get(key)  # I/O outside the lock
+        with self._lock:
+            if result is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._memory_put(key, result)
+                return result
+            self.misses += 1
+            return None
 
     def put(self, key: Optional[str], result: CompilationResult) -> None:
         """Store ``result`` under ``key`` in every tier (no-op if ``key``
         is ``None``)."""
         if key is None:
             return
-        self.stores += 1
-        self._memory_put(key, result)
+        with self._lock:
+            self.stores += 1
+            self._memory_put(key, result)
         self._disk_put(key, result)
 
     def __contains__(self, key: Optional[str]) -> bool:
+        """True iff :meth:`get` would return a result for ``key``.
+
+        Membership agrees with *readability*: a disk path whose payload
+        is truncated, corrupt, or from an incompatible schema version is
+        not a member, exactly as :meth:`get` would treat it as a miss.
+        (An earlier version answered ``os.path.exists``, which said
+        ``True`` for entries ``get`` could never return.)  Probing does
+        not touch the hit/miss counters or the LRU order.
+        """
         if key is None:
             return False
-        return key in self._memory or os.path.exists(self._path(key))
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._disk_get(key) is not None
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     # -- memory tier -------------------------------------------------------
 
     def _memory_put(self, key: str, result: CompilationResult) -> None:
-        self._memory[key] = result
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_entries:
-            self._memory.popitem(last=False)
+        with self._lock:
+            self._memory[key] = result
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
 
     # -- disk tier ---------------------------------------------------------
 
@@ -277,14 +308,28 @@ class CompilationCache:
             with open(temp, "w") as handle:
                 json.dump(result_to_payload(result), handle)
             os.replace(temp, path)
-            self.disk_writes += 1
         except OSError:
             return  # a full/read-only disk degrades to memory-only caching
-        if (
-            self.max_disk_entries is not None
-            and self.disk_writes % self._EVICT_EVERY == 0
-        ):
-            self._evict_disk()
+        with self._lock:
+            self.disk_writes += 1
+            self._writes_since_observe += 1
+            if self.max_disk_entries is None:
+                return
+            # Extrapolate the on-disk count from the last observation
+            # plus our own writes since (overwrites of an existing key
+            # overcount, which merely refreshes the observation early).
+            # Sweep the moment the estimate crosses the cap — the old
+            # ``disk_writes % _EVICT_EVERY`` amortization was
+            # per-process, so N concurrent writers sharing a directory
+            # could overshoot the budget by ~N×_EVICT_EVERY before any
+            # of them swept.  The periodic sweep is kept to re-observe
+            # what *other* writers have been adding.
+            over_budget = (
+                self._disk_observed + self._writes_since_observe
+                > self.max_disk_entries
+            )
+            if over_budget or self._writes_since_observe >= self._EVICT_EVERY:
+                self._evict_disk()
 
     def _disk_paths(self) -> list:
         if not self.directory or not os.path.isdir(self.directory):
@@ -294,31 +339,40 @@ class CompilationCache:
 
     def _evict_disk(self) -> None:
         """Trim the disk tier to ``max_disk_entries``, oldest-mtime
-        first (amortized: runs every :data:`_EVICT_EVERY` stores, plus
-        once at open)."""
-        paths = self._disk_paths()
-        excess = len(paths) - (self.max_disk_entries or 0)
-        if excess <= 0:
-            return
-        def mtime(path):
-            try:
-                return os.stat(path).st_mtime
-            except OSError:
-                return 0.0
-        for path in sorted(paths, key=mtime)[:excess]:
-            try:
-                os.remove(path)
-                self.disk_evictions += 1
-            except OSError:
-                pass  # concurrent eviction/read; the tier stays usable
+        first, from the *observed* on-disk count (a fresh glob, so
+        entries written by concurrent threads, caches, or processes
+        sharing the directory are seen and counted against the budget).
+        Runs at open, whenever the extrapolated count crosses the cap,
+        and every :data:`_EVICT_EVERY` stores as a staleness backstop.
+        """
+        with self._lock:
+            paths = self._disk_paths()
+            excess = len(paths) - (self.max_disk_entries or 0)
+            removed = 0
+            if excess > 0:
+                def mtime(path):
+                    try:
+                        return os.stat(path).st_mtime
+                    except OSError:
+                        return 0.0
+                for path in sorted(paths, key=mtime)[:excess]:
+                    try:
+                        os.remove(path)
+                        removed += 1
+                        self.disk_evictions += 1
+                    except OSError:
+                        pass  # concurrent eviction/read; tier stays usable
+            self._disk_observed = len(paths) - removed
+            self._writes_since_observe = 0
 
     # -- reporting ---------------------------------------------------------
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when no lookups)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     #: The monotonically-accumulating keys of :meth:`stats` — the ones
     #: :meth:`stats_delta` subtracts.  Everything else is a level or a
@@ -342,25 +396,30 @@ class CompilationCache:
         on disk right now.  For a single batch's share of these
         counters, use :meth:`stats_delta` (what
         :attr:`repro.batch.BatchReport.cache_stats` reports).
+
+        The snapshot is taken under the cache lock, so concurrent
+        threads always see a consistent set of counters (hits + misses
+        equals the lookups made so far, never a torn intermediate).
         """
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "memory_hits": self.memory_hits,
-            "disk_hits": self.disk_hits,
-            "stores": self.stores,
-            "hit_rate": round(self.hit_rate, 4),
-            "memory_entries": len(self._memory),
-            "disk_enabled": bool(self.directory),
-            "disk_opened": bool(
-                self.directory and os.path.isdir(self.directory)
-            ),
-            "disk_entries": len(self._disk_paths()),
-            "disk_writes": self.disk_writes,
-            "disk_evictions": self.disk_evictions,
-            "temp_files_swept": self.temp_files_swept,
-            "orphans_swept": self.temp_files_swept,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "stores": self.stores,
+                "hit_rate": round(self.hit_rate, 4),
+                "memory_entries": len(self._memory),
+                "disk_enabled": bool(self.directory),
+                "disk_opened": bool(
+                    self.directory and os.path.isdir(self.directory)
+                ),
+                "disk_entries": len(self._disk_paths()),
+                "disk_writes": self.disk_writes,
+                "disk_evictions": self.disk_evictions,
+                "temp_files_swept": self.temp_files_swept,
+                "orphans_swept": self.temp_files_swept,
+            }
 
     def to_dict(self) -> Dict[str, object]:
         """Alias of :meth:`stats` (the JSON-facing name)."""

@@ -781,11 +781,21 @@ def _run_one_pool(
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
         future_map = {}
-        for chunk in chunks:
+        for position, chunk in enumerate(chunks):
             packed = pickle.dumps(
                 (state.timeout, [(e.index, e.job) for e in chunk])
             )
-            future_map[pool.submit(_execute_packed, packed)] = chunk
+            try:
+                future_map[pool.submit(_execute_packed, packed)] = chunk
+            except BrokenProcessPool:
+                # A fast killer murdered its worker while we were still
+                # submitting.  Everything not yet handed to the pool
+                # never started, so it requeues blame-free; the chunks
+                # already in flight are charged by the drain below.
+                broken = True
+                for unsent in chunks[position:]:
+                    requeue.extend(unsent)
+                break
         outstanding = set(future_map)
         while outstanding:
             budget = None

@@ -9,6 +9,7 @@ The paper describes a *prototype tool*; this CLI is its front door::
     repro verify original.qc mapped.qasm   # formal equivalence check
     repro fuzz --seed 2019 --iterations 100  # differential fuzzing
     repro fuzz --replay tests/corpus         # regression corpus
+    repro serve --port 8400 --cache-dir .repro_cache  # compile daemon
 
 Also runnable as ``python -m repro ...``.
 
@@ -203,6 +204,32 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["text", "json"],
                          help="report format (default text)")
     analyze.set_defaults(handler=cmd_analyze)
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived JSON-over-HTTP compile service "
+                      "(shared warm cache; see docs/serving.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8400,
+                       help="bind port (default 8400; 0 picks an ephemeral "
+                            "port, announced on stdout)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="concurrent compile worker threads "
+                            "(default: CPU count, capped at 8)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="requests allowed to wait beyond the busy "
+                            "workers before answering 429 (default 16)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent compilation cache directory "
+                            "(default: memory-only)")
+    serve.add_argument("--max-memory-entries", type=int, default=512,
+                       help="memory-tier LRU capacity (default 512)")
+    serve.add_argument("--max-disk-entries", type=int, default=None,
+                       help="disk-tier entry budget (default: unbounded)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+    serve.set_defaults(handler=cmd_serve)
 
     draw = commands.add_parser("draw", help="render a circuit file as ASCII art")
     draw.add_argument("input", help="circuit file (.qasm/.qc/.real)")
@@ -753,6 +780,30 @@ def cmd_fuzz(args) -> int:
     if report.interrupted:
         return 130
     return 0 if report.ok else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the compile-service daemon until SIGTERM/Ctrl-C; both drain
+    in-flight requests first.  Exit 0 after SIGTERM, 130 after Ctrl-C.
+    """
+    import os
+
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_dir=args.cache_dir,
+        max_memory_entries=args.max_memory_entries,
+        max_disk_entries=args.max_disk_entries,
+        allow_test_delay=os.environ.get("REPRO_SERVE_TEST_DELAY") == "1",
+    )
+    return run_server(
+        config,
+        host=args.host,
+        port=args.port,
+        verbose=not args.quiet,
+    )
 
 
 def cmd_draw(args) -> int:

@@ -110,6 +110,17 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
 
+    def since(self, before: Optional[Snapshot]) -> Snapshot:
+        """What happened since ``before`` was snapshotted from *this*
+        registry: :meth:`delta` against a fresh snapshot (``before=None``
+        means everything so far).  The scrape idiom of a long-lived
+        server's ``/metrics`` endpoint — each scrape reports only its
+        own interval's counter movement, never history re-counted."""
+        after = self.snapshot()
+        if before is None:
+            return after
+        return self.delta(before, after)
+
     @staticmethod
     def delta(before: Snapshot, after: Snapshot) -> Snapshot:
         """What happened between two snapshots of the *same* registry:

@@ -143,23 +143,41 @@ class ManagerPool:
             self._managers.clear()
 
 
-_POOL: Optional[ManagerPool] = None
-_POOL_PID: Optional[int] = None
+class _PoolSlot(threading.local):
+    """Per-thread slot holding this thread's pool (and the pid it was
+    created in, so a forked worker drops its parent's)."""
+
+    def __init__(self) -> None:
+        self.pool: Optional[ManagerPool] = None
+        self.pid: Optional[int] = None
+
+
+_SLOT = _PoolSlot()
 
 
 def get_manager_pool() -> ManagerPool:
-    """This process's manager pool (created on first use; a forked
-    worker gets a fresh pool rather than sharing the parent's)."""
-    global _POOL, _POOL_PID
+    """This thread's manager pool (created on first use).
+
+    The pool is per-process *and per-thread*: a :class:`QMDDManager`'s
+    unique tables and operation caches are compound mutable state with
+    invariants the GIL alone does not protect, so two threads must never
+    drive one manager concurrently.  Single-threaded callers (the CLI,
+    batch workers, fuzz campaigns) see exactly the old per-process
+    behavior; a threaded coordinator (``repro serve``) gives each
+    long-lived worker thread its own pool, which stays warm across the
+    requests that thread handles.  A forked worker gets a fresh pool
+    rather than sharing the parent's.
+    """
+    slot = _SLOT
     pid = os.getpid()
-    if _POOL is None or _POOL_PID != pid:
-        _POOL = ManagerPool()
-        _POOL_PID = pid
-    return _POOL
+    if slot.pool is None or slot.pid != pid:
+        slot.pool = ManagerPool()
+        slot.pid = pid
+    return slot.pool
 
 
 def reset_manager_pool() -> None:
-    """Drop the process pool (tests and campaigns that must start cold)."""
-    global _POOL, _POOL_PID
-    _POOL = None
-    _POOL_PID = None
+    """Drop the calling thread's pool (tests and campaigns that must
+    start cold)."""
+    _SLOT.pool = None
+    _SLOT.pid = None

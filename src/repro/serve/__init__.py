@@ -1,0 +1,33 @@
+"""Long-lived compile service: the compiler as a warm daemon.
+
+The paper positions the tool as a design aid invoked repeatedly against
+technology-specific targets; every other entry point (CLI, batch
+engine, fuzz harness) is a one-shot process that rebuilds its caches,
+QMDD manager pools, and device distance tables from cold each time.
+``repro serve`` keeps all of that warm across requests inside one
+threaded process:
+
+* :class:`CompileService` — transport-agnostic core: bounded admission
+  queue, worker-thread pool, one shared thread-safe compilation cache;
+* :class:`CompileServer` / :func:`run_server` — the JSON-over-HTTP
+  skin (``POST /compile``, ``GET /healthz``, ``GET /metrics``) with
+  SIGTERM/Ctrl-C drain semantics;
+* :class:`ServeClient` — stdlib-only client helper.
+
+See ``docs/serving.md`` for endpoint payloads and semantics.
+"""
+
+from .client import ServeClient, ServeError
+from .server import CompileServer, run_server
+from .service import CompileService, QueueFullError, RequestError, ServeConfig
+
+__all__ = [
+    "CompileServer",
+    "CompileService",
+    "QueueFullError",
+    "RequestError",
+    "ServeClient",
+    "ServeError",
+    "ServeConfig",
+    "run_server",
+]

@@ -1,0 +1,190 @@
+"""Small stdlib-only client for the ``repro serve`` daemon.
+
+One connection per call (thread-safe by construction)::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(port=8400)
+    client.wait_ready()
+    response = client.compile("OPENQASM 2.0; ...", device="ibmqx4")
+    result = client.compile_result("OPENQASM 2.0; ...", device="ibmqx4")
+    print(result.optimized_metrics, result.verification)
+
+:meth:`ServeClient.compile` returns the raw JSON response (the
+``result`` key is the v5 batch payload);
+:meth:`ServeClient.compile_result` additionally reconstructs the full
+:class:`~repro.compiler.CompilationResult` — byte-identical QASM to a
+local compile.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..compiler import CompilationResult
+from ..core.exceptions import ReproError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """A non-200 answer (or no answer) from the compile service."""
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+    @property
+    def queue_full(self) -> bool:
+        return self.status == 429
+
+
+class ServeClient:
+    """JSON-over-HTTP client bound to one daemon address."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8400,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            encoded = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if encoded else {}
+            connection.request(method, path, body=encoded, headers=headers)
+            answer = connection.getresponse()
+            raw = answer.read()
+        except (OSError, http.client.HTTPException) as error:
+            raise ServeError(
+                f"cannot reach {self.host}:{self.port}: {error}"
+            ) from error
+        finally:
+            connection.close()
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except ValueError:
+            parsed = {"raw": raw.decode(errors="replace")}
+        document: Dict[str, Any] = (
+            parsed if isinstance(parsed, dict) else {"raw": parsed}
+        )
+        return answer.status, document
+
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        status, document = self._request(method, path, body)
+        if status != 200:
+            error = document.get("error", {})
+            message = (
+                error.get("message", f"HTTP {status}")
+                if isinstance(error, dict)
+                else f"HTTP {status}"
+            )
+            raise ServeError(message, status=status, payload=document)
+        return document
+
+    # -- endpoints ---------------------------------------------------------
+
+    def compile(
+        self,
+        circuit: str,
+        device: str,
+        fmt: str = "qasm",
+        name: str = "",
+        options: Optional[Dict[str, Any]] = None,
+        profile: bool = False,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """``POST /compile``; returns the JSON response document.
+
+        Raises :class:`ServeError` on any non-200 status (``.status``
+        carries the code — 429 means the admission queue was full and
+        the request should be retried later).  ``extra`` merges raw
+        top-level fields into the body (tests and the CI smoke use it
+        for the gated ``test_delay_seconds`` hook).
+        """
+        body: Dict[str, Any] = {
+            "circuit": circuit,
+            "format": fmt,
+            "device": device,
+        }
+        if name:
+            body["name"] = name
+        if options:
+            body["options"] = dict(options)
+        if extra:
+            body.update(extra)
+        path = "/compile?profile=1" if profile else "/compile"
+        return self._checked("POST", path, body)
+
+    def compile_result(
+        self,
+        circuit: str,
+        device: str,
+        fmt: str = "qasm",
+        name: str = "",
+        options: Optional[Dict[str, Any]] = None,
+        profile: bool = False,
+    ) -> CompilationResult:
+        """Like :meth:`compile`, but reconstructs the full result."""
+        from ..batch.serialize import result_from_payload
+
+        document = self.compile(
+            circuit, device, fmt=fmt, name=name,
+            options=options, profile=profile,
+        )
+        result = result_from_payload(document["result"])
+        if result is None:
+            raise ServeError(
+                "server answered an incompatible result payload version"
+            )
+        return result
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._checked("GET", "/metrics")
+
+    def wait_ready(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the daemon answers (startup helper);
+        raises :class:`ServeError` if it never comes up."""
+        deadline = time.monotonic() + timeout
+        last: Optional[ServeError] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except ServeError as error:
+                last = error
+                time.sleep(0.05)
+        raise ServeError(
+            f"service at {self.host}:{self.port} not ready "
+            f"after {timeout:g}s: {last}"
+        )

@@ -1,0 +1,235 @@
+"""Regression tests for the thread-safe cache sweep (ISSUE 9).
+
+Three bugs, each with the test that would have caught it:
+
+* the memory ``OrderedDict`` and the hit/miss/store counters were
+  mutated without a lock — racy under a threaded coordinator;
+* ``__contains__`` answered ``os.path.exists`` for the disk tier, so a
+  corrupt or version-skewed entry was "in" the cache while ``get``
+  returned ``None``;
+* disk eviction was amortized on a per-process write counter, so N
+  concurrent writers sharing one directory could overshoot
+  ``max_disk_entries`` by ~N×``_EVICT_EVERY``.
+"""
+
+import json
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import CNOT, H, QuantumCircuit, T
+from repro.batch import CompilationCache, CompileJob
+
+OPTIONS = {"verify": False}
+
+
+def _result():
+    job = CompileJob.make(
+        QuantumCircuit(2, [H(0), CNOT(0, 1)], name="bell"), "ibmqx4", OPTIONS
+    )
+    return job.run()
+
+
+def _keys(count):
+    """Distinct, well-formed cache keys (content addresses are 64 hex
+    chars; the first two pick the disk shard)."""
+    return [f"{index:064x}" for index in range(count)]
+
+
+class TestThreadSafeMemoryTier:
+    def test_hammer_no_lost_entries_no_torn_counters(self):
+        """A thread pool hammering one cache: every stored entry must
+        be retrievable, nothing may raise, and the counters must sum
+        exactly to the calls made."""
+        result = _result()
+        cache = CompilationCache(max_entries=4096)
+        threads = 8
+        per_thread = 200
+        keys = _keys(threads * per_thread)
+        errors = []
+        barrier = threading.Barrier(threads)
+
+        def worker(lane):
+            try:
+                barrier.wait()
+                for index in range(per_thread):
+                    key = keys[lane * per_thread + index]
+                    assert cache.get(key) is None  # distinct keys: miss
+                    cache.put(key, result)
+                    assert cache.get(key) is result  # hit
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            for lane in range(threads):
+                pool.submit(worker, lane)
+        assert not errors, errors
+
+        total_ops = threads * per_thread
+        stats = cache.stats()
+        # No lost entries: every key stored is still retrievable.
+        assert len(cache) == total_ops
+        for key in keys:
+            assert key in cache
+        # Counter honesty: hits + misses == lookups, stores == puts.
+        # (Checking the *sums* is what catches a lost `+= 1` — the
+        # pre-lock cache dropped increments under contention.)
+        assert stats["stores"] == total_ops
+        assert stats["hits"] + stats["misses"] == 2 * total_ops
+        assert stats["hits"] == total_ops
+        assert stats["misses"] == total_ops
+
+    def test_concurrent_gets_on_shared_keys_count_every_lookup(self):
+        result = _result()
+        cache = CompilationCache(max_entries=64)
+        keys = _keys(8)
+        for key in keys:
+            cache.put(key, result)
+        baseline = cache.stats()
+        lookups_per_thread = 500
+        threads = 6
+
+        def reader():
+            for index in range(lookups_per_thread):
+                assert cache.get(keys[index % len(keys)]) is result
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            for _ in range(threads):
+                pool.submit(reader)
+        stats = cache.stats()
+        assert (
+            stats["hits"] - baseline["hits"]
+            == threads * lookups_per_thread
+        )
+        assert stats["misses"] == baseline["misses"]
+
+    def test_lru_eviction_stays_bounded_under_contention(self):
+        result = _result()
+        cache = CompilationCache(max_entries=16)
+        keys = _keys(400)
+
+        def writer(lane):
+            for index in range(lane, len(keys), 4):
+                cache.put(keys[index], result)
+                cache.get(keys[(index * 7) % len(keys)])
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for lane in range(4):
+                pool.submit(writer, lane)
+        # The invariant the unlocked OrderedDict could break: the LRU
+        # bound (concurrent move_to_end/popitem corrupted ordering).
+        assert len(cache) <= 16
+
+
+class TestMembershipAgreesWithReadability:
+    def _store_one(self, tmp_path):
+        cache = CompilationCache(directory=str(tmp_path))
+        job = CompileJob.make(
+            QuantumCircuit(2, [T(0), CNOT(0, 1)], name="tc"), "ibmqx4", OPTIONS
+        )
+        key = job.cache_key()
+        cache.put(key, job.run())
+        return cache, key
+
+    def test_truncated_disk_entry_is_not_a_member(self, tmp_path):
+        cache, key = self._store_one(tmp_path)
+        path = cache._path(key)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) // 2])  # truncate mid-JSON
+        cold = CompilationCache(directory=str(tmp_path))
+        assert cold.get(key) is None
+        assert (key in cold) == (cold.get(key) is not None) == False  # noqa: E712
+        assert os.path.exists(path)  # the file exists; membership is honest
+
+    def test_version_skewed_entry_is_not_a_member(self, tmp_path):
+        cache, key = self._store_one(tmp_path)
+        path = cache._path(key)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["version"] = 1  # ancient schema: result_from_payload -> None
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        cold = CompilationCache(directory=str(tmp_path))
+        assert (key in cold) == (cold.get(key) is not None) == False  # noqa: E712
+
+    def test_readable_entry_is_a_member_without_counter_noise(self, tmp_path):
+        _, key = self._store_one(tmp_path)
+        cold = CompilationCache(directory=str(tmp_path))
+        before = cold.stats()
+        assert key in cold
+        after = cold.stats()
+        # Membership probes are not lookups: no hit/miss movement.
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"]
+        assert cold.get(key) is not None
+
+    def test_memory_membership_unaffected(self):
+        cache = CompilationCache()
+        result = _result()
+        cache.put("a" * 64, result)
+        assert "a" * 64 in cache
+        assert "b" * 64 not in cache
+        assert None not in cache
+
+
+class TestMultiWriterDiskEvictionBound:
+    def test_concurrent_writers_respect_the_disk_budget(self, tmp_path):
+        """N writers (each its own cache instance — per-process
+        amortization counters!) share one directory.  The observed-count
+        trigger keeps the tier within ``max_disk_entries`` plus at most
+        one in-flight write per writer; the old per-process
+        ``disk_writes % 32`` schedule let this overshoot by
+        ~N×_EVICT_EVERY (here: 4×32 = 128 on a budget of 12)."""
+        result = _result()
+        writers = 4
+        per_writer = 30
+        budget = 12
+        caches = [
+            CompilationCache(
+                directory=str(tmp_path), max_disk_entries=budget
+            )
+            for _ in range(writers)
+        ]
+        keys = _keys(writers * per_writer)
+        barrier = threading.Barrier(writers)
+
+        def writer(lane):
+            barrier.wait()
+            for index in range(per_writer):
+                caches[lane].put(keys[lane * per_writer + index], result)
+
+        with ThreadPoolExecutor(max_workers=writers) as pool:
+            for lane in range(writers):
+                pool.submit(writer, lane)
+
+        on_disk = len(caches[0]._disk_paths())
+        assert on_disk <= budget + writers, (
+            f"{on_disk} entries on disk for a budget of {budget} "
+            f"({writers} writers)"
+        )
+        # And the budget is actually being used, not wiped to zero.
+        assert on_disk >= 1
+
+    def test_single_writer_never_exceeds_budget_between_sweeps(self, tmp_path):
+        result = _result()
+        budget = 5
+        cache = CompilationCache(
+            directory=str(tmp_path), max_disk_entries=budget
+        )
+        for key in _keys(23):
+            cache.put(key, result)
+            # The over-budget trigger fires on the write that crosses
+            # the cap — a lone writer is *always* within budget.
+            assert len(cache._disk_paths()) <= budget
+        assert cache.disk_evictions >= 23 - budget
+
+    def test_open_time_eviction_still_trims(self, tmp_path):
+        result = _result()
+        writer = CompilationCache(directory=str(tmp_path))
+        for key in _keys(9):
+            writer.put(key, result)
+        capped = CompilationCache(directory=str(tmp_path), max_disk_entries=3)
+        assert len(capped._disk_paths()) == 3
+        assert capped.disk_evictions == 6

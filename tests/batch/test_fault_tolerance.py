@@ -97,6 +97,40 @@ class TestKilledWorker:
         for name in ("bell", "misc", "xh"):
             assert by_name[name].ok, str(by_name[name].error)
 
+    def test_pool_broken_during_submit_is_contained(self, monkeypatch):
+        """A fast killer can murder its worker while the coordinator is
+        still submitting chunks, at which point the *next* submit raises
+        BrokenProcessPool.  That must recover like any other crash —
+        unsubmitted jobs requeue blame-free on a fresh pool — instead of
+        escaping ``compile_many``."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.batch import engine
+
+        real_executor = engine.ProcessPoolExecutor
+        breaks_armed = {"count": 1}
+
+        class FlakySubmitPool(real_executor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._submits = 0
+
+            def submit(self, *args, **kwargs):
+                self._submits += 1
+                if self._submits == 2 and breaks_armed["count"] > 0:
+                    breaks_armed["count"] -= 1
+                    raise BrokenProcessPool(
+                        "worker died before submission finished"
+                    )
+                return super().submit(*args, **kwargs)
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", FlakySubmitPool)
+        report = compile_many(
+            jobs("bell", "ccx", "misc", "xh"), workers=2, chunk_size=1
+        )
+        assert len(report) == 4
+        assert report.ok, [str(e.error) for e in report.errors()]
+
 
 class TestTimeouts:
     def test_serial_hang_times_out(self, inject):

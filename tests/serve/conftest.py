@@ -1,0 +1,60 @@
+"""Shared fixtures for the compile-service tests."""
+
+import threading
+
+import pytest
+
+from repro.serve import CompileServer, CompileService, ServeClient, ServeConfig
+
+BELL_QASM = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+"""
+
+TOFFOLI_QC = """.v a b c
+.i a b c
+tof a b c
+"""
+
+#: A small mixed workload: (source, format, device) cells.
+WORKLOAD = [
+    (BELL_QASM, "qasm", "ibmqx4"),
+    (BELL_QASM, "qasm", "ibmqx5"),
+    (TOFFOLI_QC, "qc", "ibmqx4"),
+    (TOFFOLI_QC, "qc", "ibmqx3"),
+]
+
+
+class RunningServer:
+    """An in-process daemon plus a bound client, torn down cleanly."""
+
+    def __init__(self, config: ServeConfig):
+        self.service = CompileService(config)
+        self.server = CompileServer(("127.0.0.1", 0), self.service)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, kwargs={"poll_interval": 0.02}
+        )
+        self.thread.start()
+        self.client = ServeClient(port=self.server.port, timeout=30.0)
+
+    def stop(self):
+        self.server.shutdown()
+        self.service.drain()
+        self.server.server_close()
+        self.thread.join()
+
+
+@pytest.fixture
+def running_server(request):
+    """Boot an in-process server; parametrize with a ServeConfig via
+    ``@pytest.mark.parametrize('running_server', [config], indirect=True)``
+    or take the default (2 workers, small queue, test delay allowed)."""
+    config = getattr(
+        request, "param",
+        ServeConfig(workers=2, queue_depth=4, allow_test_delay=True),
+    )
+    box = RunningServer(config)
+    yield box
+    box.stop()

@@ -1,0 +1,127 @@
+"""Signal-driven drain tests against a real ``repro serve`` subprocess.
+
+These boot ``python -m repro serve --port 0`` the way an operator
+would, read the announce line for the ephemeral port, and assert the
+documented lifecycle: SIGTERM/SIGINT stop accepting, *complete* every
+in-flight request, then exit 0 / 130.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeClient, ServeError
+
+from .conftest import BELL_QASM
+
+_ANNOUNCE = re.compile(r"listening on http://([\d.]+):(\d+)")
+_REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+class Daemon:
+    """A ``repro serve`` child process bound to an ephemeral port."""
+
+    def __init__(self, *extra_args: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _REPO_SRC
+        env["REPRO_SERVE_TEST_DELAY"] = "1"
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--workers", "2", *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        line = self.process.stdout.readline()
+        match = _ANNOUNCE.search(line)
+        if not match:
+            self.process.kill()
+            rest = self.process.stdout.read()
+            raise AssertionError(f"no announce line, got: {line!r}{rest!r}")
+        self.client = ServeClient(
+            host=match.group(1), port=int(match.group(2)), timeout=30.0
+        )
+        self.client.wait_ready(timeout=15.0)
+
+    def finish(self, timeout: float = 30.0) -> int:
+        code = self.process.wait(timeout=timeout)
+        self.process.stdout.close()
+        return code
+
+    def kill(self):
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait()
+        self.process.stdout.close()
+
+
+@pytest.mark.parametrize(
+    "signum,expected_exit",
+    [(signal.SIGTERM, 0), (signal.SIGINT, 130)],
+    ids=["sigterm", "sigint"],
+)
+def test_signal_drains_in_flight_request(signum, expected_exit):
+    daemon = Daemon()
+    try:
+        # Prove the daemon compiles before we wound it.
+        warmup = daemon.client.compile(BELL_QASM, device="ibmqx4")
+        assert warmup["ok"]
+
+        outcome = {}
+
+        def slow():
+            try:
+                outcome["response"] = daemon.client.compile(
+                    BELL_QASM, device="ibmqx5", name="inflight",
+                    extra={"test_delay_seconds": 1.5},
+                )
+            except ServeError as error:  # pragma: no cover - failure path
+                outcome["error"] = error
+
+        thread = threading.Thread(target=slow)
+        thread.start()
+        # Wait until the slow request is actually in flight.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if daemon.client.healthz()["in_flight"] > 0:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("slow request never went in-flight")
+
+        daemon.process.send_signal(signum)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        # The in-flight request completed with a full 200 response —
+        # the drain finished the work instead of dropping the socket.
+        assert "error" not in outcome, f"drain dropped request: {outcome}"
+        assert outcome["response"]["ok"]
+        assert daemon.finish() == expected_exit
+    finally:
+        daemon.kill()
+
+
+def test_idle_sigterm_exits_zero_with_drained_summary():
+    daemon = Daemon()
+    try:
+        daemon.client.compile(BELL_QASM, device="ibmqx4")
+        daemon.client.compile(BELL_QASM, device="ibmqx4")
+        daemon.process.send_signal(signal.SIGTERM)
+        assert daemon.process.wait(timeout=30.0) == 0
+        output = daemon.process.stdout.read()
+        assert "repro serve: drained" in output
+        assert "2 requests" in output
+        assert "1 compiled" in output
+        assert "1 cache hits" in output
+    finally:
+        daemon.kill()
